@@ -1,0 +1,108 @@
+/// \file bench_fig2_temperature.cpp
+/// Reproduces Figure 2: temperature against time for a set of system sizes,
+/// NVT (velocity scaling) for the first 2/3 of the run and NVE for the last
+/// 1/3. The paper's point is that the relative temperature fluctuation
+/// shrinks as 1/sqrt(N); we run scaled-down sizes at the paper's density,
+/// temperature (1200 K) and time step (2 fs) and print the fluctuation of
+/// each size against the canonical-sampler prediction sqrt(2/(3N)).
+///
+/// Paper sizes: N = 1.10e5 / 1.48e6 / 1.88e7 (n = 24 / 57 / 133 supercells).
+/// Defaults here: n = 4, 8 (N = 512, 4096); --full adds n = 12 (N = 13824);
+/// the paper's own smallest size is n = 24 (runnable with --sizes 24 given
+/// ~an hour).
+///
+///   ./bench_fig2_temperature [--sizes 4,8] [--steps 360] [--full]
+///                            [--csv-prefix fig2] [--seed 1]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/io.hpp"
+#include "core/lattice.hpp"
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "util/cli.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdm;
+  const CommandLine cli(argc, argv);
+  auto sizes = cli.get_int_list("sizes", {4, 8});
+  if (cli.get_bool("full")) sizes.push_back(12);
+  const int steps = static_cast<int>(cli.get_int("steps", 360));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string csv_prefix = cli.get_string("csv-prefix", "");
+
+  std::printf("Figure 2: temperature fluctuation vs system size "
+              "(T = 1200 K, dt = 2 fs, NVT %d steps then NVE %d steps)\n\n",
+              2 * steps / 3, steps - 2 * steps / 3);
+
+  AsciiTable table("Relative temperature fluctuation in the NVE phase");
+  table.set_header({"n", "N", "<T>/K", "sigma_T/<T>", "sqrt(2/3N)",
+                    "ratio", "s/step"});
+
+  std::vector<double> measured, predicted;
+  for (const auto n_cells : sizes) {
+    auto system = make_nacl_crystal(static_cast<int>(n_cells));
+    assign_maxwell_velocities(system, 1200.0, seed + n_cells);
+
+    const auto params =
+        software_parameters(double(system.size()), system.box());
+    CompositeForceField field;
+    field.add(std::make_unique<EwaldCoulomb>(params, system.box()));
+    field.add(std::make_unique<TosiFumiShortRange>(
+        TosiFumiParameters::nacl(), params.r_cut, /*shift_energy=*/true));
+
+    SimulationConfig protocol;
+    protocol.nvt_steps = 2 * steps / 3;
+    protocol.nve_steps = steps - protocol.nvt_steps;
+    Simulation sim(system, field, protocol);
+
+    Timer timer;
+    sim.run();
+    const double per_step = timer.seconds() / steps;
+
+    RunningStats t_stats;
+    for (const auto& s : sim.nve_samples()) t_stats.add(s.temperature_K);
+    const double rel = t_stats.stddev() / t_stats.mean();
+    const double ideal =
+        expected_relative_temperature_fluctuation(system.size());
+    measured.push_back(rel);
+    predicted.push_back(ideal);
+
+    table.add_row({format_int(n_cells),
+                   format_int(static_cast<long long>(system.size())),
+                   format_fixed(t_stats.mean(), 1), format_fixed(rel, 5),
+                   format_fixed(ideal, 5), format_fixed(rel / ideal, 2),
+                   format_fixed(per_step, 3)});
+
+    if (!csv_prefix.empty()) {
+      const std::string path =
+          csv_prefix + "_n" + std::to_string(n_cells) + ".csv";
+      write_samples_csv(path, sim.samples());
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  if (measured.size() >= 2) {
+    const double shrink = measured.front() / measured.back();
+    const double ideal_shrink = predicted.front() / predicted.back();
+    std::printf("Fluctuation shrinks by %.2fx from the smallest to the "
+                "largest size (1/sqrt(N) predicts %.2fx) - the paper's "
+                "Fig. 2 message, which motivates its 18.8M-particle run.\n",
+                shrink, ideal_shrink);
+    std::printf("(The ratio column is below 1 because the NVE ensemble "
+                "suppresses kinetic fluctuations by ~sqrt(1-3NkB/2Cv) ~ 0.7 "
+                "and short correlated series underestimate sigma.)\n");
+  }
+  std::printf("\nPaper sizes for reference: n = 24 -> N = 110,592 (Fig. 2c),"
+              " n = 57 -> 1,481,544 (2b), n = 133 -> 18,821,096 (2a).\n");
+  return 0;
+}

@@ -1,0 +1,214 @@
+/// \file bench_micro.cpp
+/// Google-benchmark micro suite: throughput of the kernels every higher
+/// layer is built on - the Ewald pair kernel, the structure-factor
+/// recurrence, cell-list construction, both hardware pipelines, the trig
+/// unit and the fixed-point primitives.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/cell_list.hpp"
+#include "core/lattice.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "ewald/pme.hpp"
+#include "mdgrape2/pipeline.hpp"
+#include "util/fft.hpp"
+#include "util/fixed_point.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+#include "wine2/pipeline.hpp"
+
+namespace {
+
+using namespace mdm;
+
+std::vector<Vec3> random_positions(std::size_t n, double box,
+                                   std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Vec3> pos(n);
+  for (auto& r : pos)
+    r = {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)};
+  return pos;
+}
+
+/// The 59-flop real-space pair kernel (erfc + exp + sqrt + div).
+void BM_EwaldRealPairKernel(benchmark::State& state) {
+  Random rng(1);
+  const double beta = 0.3;
+  double acc = 0.0;
+  double r2 = rng.uniform(4.0, 100.0);
+  for (auto _ : state) {
+    const double r = std::sqrt(r2);
+    const double e =
+        std::erfc(beta * r) / r + 0.2 * std::exp(-beta * beta * r2);
+    acc += e / r2;
+    r2 += 1e-9;  // defeat constant folding
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EwaldRealPairKernel);
+
+void BM_CellListBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double box = std::cbrt(double(n) / 0.0306);
+  const auto pos = random_positions(n, box, 2);
+  CellList cells(box, box / std::max(3, int(std::cbrt(double(n) / 16))));
+  for (auto _ : state) {
+    cells.build(pos);
+    benchmark::DoNotOptimize(cells.order().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CellListBuild)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_EwaldRealSpace(benchmark::State& state) {
+  auto system = make_nacl_crystal(static_cast<int>(state.range(0)));
+  const auto params =
+      software_parameters(double(system.size()), system.box());
+  EwaldCoulomb ewald(params, system.box());
+  std::vector<Vec3> forces(system.size());
+  for (auto _ : state) {
+    for (auto& f : forces) f = Vec3{};
+    benchmark::DoNotOptimize(ewald.add_real_space(system, forces).potential);
+  }
+  state.SetItemsProcessed(state.iterations() * system.size());
+}
+BENCHMARK(BM_EwaldRealSpace)->Arg(2)->Arg(4);
+
+void BM_StructureFactors(benchmark::State& state) {
+  auto system = make_nacl_crystal(static_cast<int>(state.range(0)));
+  const auto params =
+      software_parameters(double(system.size()), system.box());
+  EwaldCoulomb ewald(params, system.box());
+  std::vector<double> charges(system.size());
+  for (std::size_t i = 0; i < system.size(); ++i)
+    charges[i] = system.charge(i);
+  for (auto _ : state) {
+    const auto sf = ewald.structure_factors(system.positions(), charges);
+    benchmark::DoNotOptimize(sf.s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * system.size() *
+                          ewald.kvectors().size());
+}
+BENCHMARK(BM_StructureFactors)->Arg(2)->Arg(4);
+
+void BM_PmeReciprocal(benchmark::State& state) {
+  auto system = make_nacl_crystal(static_cast<int>(state.range(0)));
+  const auto params =
+      software_parameters(double(system.size()), system.box());
+  SmoothPme pme({params.alpha, params.r_cut, 32, 4}, system.box());
+  std::vector<Vec3> forces(system.size());
+  for (auto _ : state) {
+    for (auto& f : forces) f = Vec3{};
+    benchmark::DoNotOptimize(pme.add_reciprocal(system, forces));
+  }
+  state.SetItemsProcessed(state.iterations() * system.size());
+}
+BENCHMARK(BM_PmeReciprocal)->Arg(2)->Arg(4);
+
+void BM_Fft3D(benchmark::State& state) {
+  Grid3D grid(static_cast<std::size_t>(state.range(0)));
+  Random rng(8);
+  for (auto& v : grid.data()) v = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    grid.transform(false);
+    benchmark::DoNotOptimize(grid.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * grid.size());
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32);
+
+void BM_Mdgrape2Pipeline(benchmark::State& state) {
+  const double box = 40.0;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass = mdgrape2::make_coulomb_real_pass(0.2, 12.0, charges);
+  mdgrape2::Pipeline pipe;
+  pipe.load(&pass);
+  Random rng(3);
+  mdgrape2::StoredParticle i{
+      mdgrape2::to_cyclic({20, 20, 20}, box), 0};
+  std::vector<mdgrape2::StoredParticle> stream;
+  for (int k = 0; k < 256; ++k)
+    stream.push_back({mdgrape2::to_cyclic({rng.uniform(0, box),
+                                           rng.uniform(0, box),
+                                           rng.uniform(0, box)},
+                                          box),
+                      k % 2});
+  Vec3 force;
+  for (auto _ : state) {
+    pipe.accumulate_force(i, stream, box, force);
+    benchmark::DoNotOptimize(force.x);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_Mdgrape2Pipeline);
+
+void BM_Wine2DftPipeline(benchmark::State& state) {
+  const auto formats = wine2::WineFormats::paper();
+  wine2::TrigUnit trig(formats);
+  wine2::Pipeline pipe(formats, trig);
+  std::vector<wine2::WaveSlot> waves(8);
+  for (int k = 0; k < 8; ++k) waves[k].n[0] = k + 1;
+  pipe.load_waves(waves);
+  Random rng(4);
+  std::vector<wine2::WineParticle> particles;
+  for (int k = 0; k < 64; ++k)
+    particles.push_back(wine2::make_wine_particle(
+        {rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)}, 10.0,
+        k % 2 ? 1.0 : -1.0, 1.0, formats));
+  for (auto _ : state) {
+    const auto acc = pipe.run_dft(particles);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * waves.size() *
+                          particles.size());
+}
+BENCHMARK(BM_Wine2DftPipeline);
+
+void BM_TrigUnit(benchmark::State& state) {
+  wine2::TrigUnit trig(wine2::WineFormats::paper());
+  std::uint64_t phase = 12345;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += trig.sine(phase);
+    phase += 98765;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrigUnit);
+
+void BM_FixedPointMul(benchmark::State& state) {
+  const QFormat in{.int_bits = 8, .frac_bits = 24};
+  const QFormat out{.int_bits = 8, .frac_bits = 24};
+  Fixed a = Fixed::from_double(1.2345, in);
+  const Fixed b = Fixed::from_double(0.9876, in);
+  for (auto _ : state) {
+    a = mul(a, b, out);
+    benchmark::DoNotOptimize(a.raw());
+    if (a.raw() == 0) a = Fixed::from_double(1.2345, in);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FixedPointMul);
+
+void BM_MinimumImage(benchmark::State& state) {
+  Random rng(5);
+  const double box = 25.0;
+  Vec3 a{rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)};
+  const Vec3 b{rng.uniform(0, box), rng.uniform(0, box),
+               rng.uniform(0, box)};
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += norm2(minimum_image(a, b, box));
+    a.x += 1e-6;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinimumImage);
+
+}  // namespace

@@ -1,0 +1,92 @@
+/// \file bench_scaling.cpp
+/// The complexity claims of secs. 1 and 3.1: the Ewald method costs
+/// O(N^{3/2}) per step at the balanced alpha, against the native method's
+/// O(N^2); the host and communication parts scale as O(N). Measures the
+/// wall-clock of our software solvers over a size sweep and fits the
+/// exponents.
+///
+///   ./bench_scaling [--sizes 2,3,4,6] [--reps 2]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "ewald/direct_sum.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double fit_exponent(const std::vector<double>& n,
+                    const std::vector<double>& t) {
+  // Least-squares slope of log t vs log n.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double m = static_cast<double>(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double x = std::log(n[i]);
+    const double y = std::log(t[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (m * sxy - sx * sy) / (m * sxx - sx * sx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mdm;
+  const CommandLine cli(argc, argv);
+  const auto sizes = cli.get_int_list("sizes", {3, 4, 6, 8});
+  const int reps = static_cast<int>(cli.get_int("reps", 2));
+
+  AsciiTable table("Force evaluation cost vs N (software backends)");
+  table.set_header({"n", "N", "Ewald s/eval", "direct O(N^2) s/eval"});
+  std::vector<double> ns, t_ewald, t_direct;
+  for (const auto n_cells : sizes) {
+    auto system = make_nacl_crystal(static_cast<int>(n_cells));
+    Random rng(n_cells);
+    for (auto& r : system.positions())
+      r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                rng.uniform(-0.3, 0.3)};
+    system.wrap_positions();
+
+    const auto params =
+        software_parameters(double(system.size()), system.box());
+    EwaldCoulomb ewald(params, system.box());
+    DirectCoulombMinimumImage direct;
+    std::vector<Vec3> forces(system.size());
+
+    Timer timer;
+    for (int rep = 0; rep < reps; ++rep)
+      evaluate_forces(ewald, system, forces);
+    const double ewald_time = timer.seconds() / reps;
+    timer.reset();
+    for (int rep = 0; rep < reps; ++rep)
+      evaluate_forces(direct, system, forces);
+    const double direct_time = timer.seconds() / reps;
+
+    ns.push_back(double(system.size()));
+    t_ewald.push_back(ewald_time);
+    t_direct.push_back(direct_time);
+    table.add_row({format_int(n_cells),
+                   format_int(static_cast<long long>(system.size())),
+                   format_fixed(ewald_time, 4), format_fixed(direct_time, 4)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("fitted exponents: Ewald t ~ N^%.2f (theory 1.5), "
+              "direct t ~ N^%.2f (theory 2.0)\n",
+              fit_exponent(ns, t_ewald), fit_exponent(ns, t_direct));
+  std::printf("crossover: the Ewald advantage grows as sqrt(N); at the "
+              "paper's N = 1.88e7 the direct method would need ~%.0fx more "
+              "operations.\n",
+              std::sqrt(18821096.0) / std::sqrt(ns.front()) *
+                  (t_direct.front() / t_ewald.front()));
+  return 0;
+}

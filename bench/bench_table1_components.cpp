@@ -1,0 +1,42 @@
+/// \file bench_table1_components.cpp
+/// Regenerates the paper's Table 1 (component inventory) and the sec. 3.2
+/// topology arithmetic: 4 nodes x (5 WINE-2 clusters x 7 boards x 16 chips
+/// + 4 MDGRAPE-2 clusters x 2 boards x 2 chips).
+
+#include <cstdio>
+
+#include "perf/machine_model.hpp"
+#include "perf/table5.hpp"
+
+int main() {
+  using namespace mdm;
+  using namespace mdm::perf;
+
+  std::printf("%s\n", table1_components().str().c_str());
+
+  const MdmTopology topo;
+  AsciiTable t("Topology (sec. 3.2, fig. 3)");
+  t.set_header({"Level", "WINE-2", "MDGRAPE-2"});
+  t.add_row({"node computers", format_int(topo.node_count),
+             format_int(topo.node_count)});
+  t.add_row({"clusters / node", format_int(topo.wine_clusters_per_node),
+             format_int(topo.mdgrape_clusters_per_node)});
+  t.add_row({"boards / cluster", format_int(topo.wine_boards_per_cluster),
+             format_int(topo.mdgrape_boards_per_cluster)});
+  t.add_row({"chips / board", format_int(topo.wine_chips_per_board),
+             format_int(topo.mdgrape_chips_per_board)});
+  t.add_rule();
+  t.add_row({"total chips", format_int(topo.wine_chips()),
+             format_int(topo.mdgrape_chips())});
+  const auto current = MachineModel::mdm_current();
+  t.add_row({"peak (Tflops)",
+             format_fixed(current.wine_peak_flops() / 1e12, 1),
+             format_fixed(current.mdgrape_peak_flops() / 1e12, 1)});
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("paper: 2,240 WINE-2 chips / 45 Tflops, 64 MDGRAPE-2 chips / "
+              "1 Tflops -> reproduced: %d / %.1f, %d / %.1f\n",
+              topo.wine_chips(), current.wine_peak_flops() / 1e12,
+              topo.mdgrape_chips(), current.mdgrape_peak_flops() / 1e12);
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// \file bench_table23_api.cpp
+/// Walks the library interfaces of the paper's Tables 2 and 3 (the WINE-2
+/// and MDGRAPE-2 driver routines of sec. 4) end to end, timing each call on
+/// the simulators and printing the routine inventory.
+
+#include <cstdio>
+
+#include "core/lattice.hpp"
+#include "ewald/parameters.hpp"
+#include "host/vmpi.hpp"
+#include "host/wine2_mpi.hpp"
+#include "mdgrape2/api.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "wine2/api.hpp"
+
+int main() {
+  using namespace mdm;
+
+  auto system = make_nacl_crystal(3);
+  Random rng(12);
+  for (auto& r : system.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  system.wrap_positions();
+  const auto params = clamp_to_box(
+      parameters_from_alpha(8.0, system.box()), system.box());
+  const double beta = params.alpha / system.box();
+  std::vector<double> charges(system.size());
+  for (std::size_t i = 0; i < system.size(); ++i)
+    charges[i] = system.charge(i);
+
+  // --- Table 2: WINE-2 routines -------------------------------------------
+  AsciiTable t2("Table 2: WINE-2 library routines (timed on the simulator, "
+                "N = " + format_int((long long)system.size()) + ")");
+  t2.set_header({"Category", "Name", "time/ms"});
+  {
+    const KVectorTable kvectors(system.box(), params.alpha, params.lk_cut);
+    wine2::Wine2Library lib;
+    Timer t;
+    lib.wine2_allocate_board(7);
+    t2.add_row({"Initialization", "wine2_allocate_board",
+                format_fixed(t.seconds() * 1e3, 3)});
+    t.reset();
+    lib.wine2_initialize_board();
+    t2.add_row({"Initialization", "wine2_initialize_board",
+                format_fixed(t.seconds() * 1e3, 3)});
+    t.reset();
+    lib.wine2_set_nn(system.size());
+    t2.add_row({"Initialization", "wine2_set_nn",
+                format_fixed(t.seconds() * 1e3, 3)});
+    std::vector<Vec3> forces(system.size(), Vec3{});
+    t.reset();
+    const double pot = lib.calculate_force_and_pot_wavepart_nooffset(
+        system.positions(), charges, system.box(), kvectors, forces);
+    t2.add_row({"Force calculation", "calculate_force_and_pot_wavepart"
+                "_nooffset", format_fixed(t.seconds() * 1e3, 3)});
+    t.reset();
+    lib.wine2_free_board();
+    t2.add_row({"Finalization", "wine2_free_board",
+                format_fixed(t.seconds() * 1e3, 3)});
+    std::printf("%s\nwavenumber potential: %.4f eV\n\n", t2.str().c_str(),
+                pot);
+  }
+
+  // The MPI-parallel flavour (wine2_set_MPI_community) on 4 virtual ranks.
+  {
+    const KVectorTable kvectors(system.box(), params.alpha, params.lk_cut);
+    vmpi::World world(4);
+    Timer t;
+    world.run([&](vmpi::Communicator& comm) {
+      auto group = comm.subgroup({0, 1, 2, 3});
+      host::Wine2MpiLibrary lib;
+      lib.wine2_set_MPI_community(&group);
+      lib.wine2_allocate_board(1);
+      lib.wine2_initialize_board();
+      std::vector<Vec3> pos;
+      std::vector<double> q;
+      for (std::size_t i = comm.rank(); i < system.size(); i += 4) {
+        pos.push_back(system.positions()[i]);
+        q.push_back(charges[i]);
+      }
+      lib.wine2_set_nn(pos.size());
+      std::vector<Vec3> forces(pos.size(), Vec3{});
+      lib.calculate_force_and_pot_wavepart_nooffset(
+          pos, q, system.box(), kvectors, forces);
+      lib.wine2_free_board();
+    });
+    std::printf("wine2_set_MPI_community + 4-rank parallel force call: "
+                "%.1f ms total\n\n", t.seconds() * 1e3);
+  }
+
+  // --- Table 3: MDGRAPE-2 routines ----------------------------------------
+  AsciiTable t3("Table 3: MDGRAPE-2 library routines (timed on the "
+                "simulator)");
+  t3.set_header({"Category", "Name", "time/ms"});
+  {
+    mdgrape2::MR1Library lib;
+    Timer t;
+    lib.MR1allocateboard(4);
+    t3.add_row({"Initialization", "MR1allocateboard",
+                format_fixed(t.seconds() * 1e3, 3)});
+    t.reset();
+    lib.MR1init();
+    t3.add_row({"Initialization", "MR1init",
+                format_fixed(t.seconds() * 1e3, 3)});
+    const double species_q[2] = {+1.0, -1.0};
+    t.reset();
+    lib.MR1SetTable(
+        mdgrape2::make_coulomb_real_pass(beta, params.r_cut, species_q));
+    t3.add_row({"Initialization", "MR1SetTable (fits 1024 quartics)",
+                format_fixed(t.seconds() * 1e3, 3)});
+    std::vector<Vec3> forces(system.size(), Vec3{});
+    t.reset();
+    const auto stats = lib.MR1calcvdw_block2(system, params.r_cut, forces);
+    t3.add_row({"Force calculation", "MR1calcvdw_block2",
+                format_fixed(t.seconds() * 1e3, 3)});
+    t.reset();
+    lib.MR1free();
+    t3.add_row({"Finalization", "MR1free",
+                format_fixed(t.seconds() * 1e3, 3)});
+    std::printf("%s\ncell-index pair operations: %llu (N_int_g scan, "
+                "no cutoff skip, no Newton's 3rd law)\n",
+                t3.str().c_str(),
+                static_cast<unsigned long long>(stats.pair_operations));
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "core/cell_list.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mdm {
+
+CellList::CellList(double box, double min_cell_side) : box_(box) {
+  if (!(box > 0.0)) throw std::invalid_argument("box must be positive");
+  if (!(min_cell_side > 0.0))
+    throw std::invalid_argument("cell side must be positive");
+  m_ = std::max(1, static_cast<int>(std::floor(box / min_cell_side)));
+  ranges_.assign(static_cast<std::size_t>(m_) * m_ * m_, Range{});
+}
+
+int CellList::cell_index(int ix, int iy, int iz) const {
+  auto wrap = [this](int v) {
+    v %= m_;
+    return v < 0 ? v + m_ : v;
+  };
+  return (wrap(iz) * m_ + wrap(iy)) * m_ + wrap(ix);
+}
+
+int CellList::cell_of(const Vec3& r) const {
+  auto coord = [this](double v) {
+    int c = static_cast<int>(std::floor(wrap_coordinate(v, box_) / box_ * m_));
+    // Guard the v == box - epsilon edge where rounding can produce m_.
+    return std::min(c, m_ - 1);
+  };
+  return cell_index(coord(r.x), coord(r.y), coord(r.z));
+}
+
+void CellList::build(std::span<const Vec3> positions) {
+  const std::size_t n = positions.size();
+  std::vector<std::uint32_t> cell_of_particle(n);
+  std::vector<std::uint32_t> counts(ranges_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = cell_of(positions[i]);
+    cell_of_particle[i] = static_cast<std::uint32_t>(c);
+    ++counts[c];
+  }
+  // Prefix sums -> per-cell ranges.
+  std::uint32_t offset = 0;
+  for (std::size_t c = 0; c < ranges_.size(); ++c) {
+    ranges_[c].begin = offset;
+    offset += counts[c];
+    ranges_[c].end = offset;
+  }
+  // Stable counting sort of particle ids by cell.
+  order_.assign(n, 0);
+  std::vector<std::uint32_t> cursor(ranges_.size());
+  for (std::size_t c = 0; c < ranges_.size(); ++c)
+    cursor[c] = ranges_[c].begin;
+  for (std::size_t i = 0; i < n; ++i)
+    order_[cursor[cell_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::span<const std::uint32_t> CellList::cell_particles(int c) const {
+  const Range r = ranges_[c];
+  return {order_.data() + r.begin, r.end - r.begin};
+}
+
+std::array<int, 27> CellList::neighbors27(int c) const {
+  const int ix = c % m_;
+  const int iy = (c / m_) % m_;
+  const int iz = c / (m_ * m_);
+  std::array<int, 27> out{};
+  int k = 0;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        out[k++] = cell_index(ix + dx, iy + dy, iz + dz);
+  return out;
+}
+
+void CellList::for_each_pair_within(
+    std::span<const Vec3> positions, double cutoff,
+    const std::function<void(std::uint32_t, std::uint32_t, const Vec3&,
+                             double)>& fn) const {
+  const double cutoff2 = cutoff * cutoff;
+  const std::size_t n = positions.size();
+
+  if (!stencil_unique() || cell_side() < cutoff) {
+    // Grid unusable for the half stencil: plain O(N^2) minimum-image loop.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        const Vec3 d = minimum_image(positions[i], positions[j], box_);
+        const double r2 = norm2(d);
+        if (r2 < cutoff2) fn(i, j, d, r2);
+      }
+    }
+    return;
+  }
+
+  // Half stencil: 13 of the 26 neighbour offsets, chosen so each unordered
+  // cell pair is visited once.
+  static constexpr int kHalf[13][3] = {
+      {1, 0, 0},  {1, 1, 0},   {0, 1, 0},  {-1, 1, 0}, {1, 0, 1},
+      {1, 1, 1},  {0, 1, 1},   {-1, 1, 1}, {1, -1, 1}, {0, -1, 1},
+      {-1, -1, 1}, {0, 0, 1},  {-1, 0, 1}};
+
+  for (int c = 0; c < cell_count(); ++c) {
+    const auto own = cell_particles(c);
+    // Pairs within the cell.
+    for (std::size_t a = 0; a < own.size(); ++a) {
+      for (std::size_t b = a + 1; b < own.size(); ++b) {
+        const std::uint32_t i = own[a];
+        const std::uint32_t j = own[b];
+        const Vec3 d = minimum_image(positions[i], positions[j], box_);
+        const double r2 = norm2(d);
+        if (r2 < cutoff2) fn(i, j, d, r2);
+      }
+    }
+    // Pairs with the 13 forward neighbour cells.
+    const int ix = c % m_;
+    const int iy = (c / m_) % m_;
+    const int iz = c / (m_ * m_);
+    for (const auto& off : kHalf) {
+      const int nc = cell_index(ix + off[0], iy + off[1], iz + off[2]);
+      const auto other = cell_particles(nc);
+      for (const std::uint32_t i : own) {
+        for (const std::uint32_t j : other) {
+          const Vec3 d = minimum_image(positions[i], positions[j], box_);
+          const double r2 = norm2(d);
+          if (r2 < cutoff2) fn(i, j, d, r2);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mdm

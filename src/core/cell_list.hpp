@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file cell_list.hpp
+/// Link-cell (cell-index) spatial decomposition, Hockney & Eastwood style,
+/// as used by the MDGRAPE-2 board (sec. 2.2, eqs. 7-8): the box is divided
+/// into cells at least r_cut wide, a particle interacts with the particles
+/// of its 27 neighbouring cells, and particle indices within a cell are
+/// contiguous (the board's dual counters stream `jstart_c..jend_c` ranges).
+///
+/// The same structure also backs the fast software force loops, where a
+/// half stencil restores Newton's third law (which the hardware forgoes).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace mdm {
+
+class CellList {
+ public:
+  /// Range [begin, end) into order() listing one cell's particles.
+  struct Range {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t size() const { return end - begin; }
+  };
+
+  /// Prepare a grid for a cubic box of side `box` with cells at least
+  /// `min_cell_side` wide ("a little larger than r_cut" in the paper).
+  /// The grid has max(1, floor(box / min_cell_side))^3 cells.
+  CellList(double box, double min_cell_side);
+
+  /// Bin the given positions. Positions may be slightly outside the box;
+  /// they are wrapped when binned. Must be called before any query.
+  void build(std::span<const Vec3> positions);
+
+  int cells_per_side() const { return m_; }
+  int cell_count() const { return m_ * m_ * m_; }
+  double cell_side() const { return box_ / m_; }
+  double box() const { return box_; }
+
+  /// Linear cell id from integer coordinates (wrapped into [0, m)).
+  int cell_index(int ix, int iy, int iz) const;
+  /// Cell id containing a position.
+  int cell_of(const Vec3& r) const;
+
+  /// Particle indices sorted by cell; within a cell the original order is
+  /// preserved (counting sort is stable).
+  std::span<const std::uint32_t> order() const { return order_; }
+  /// Index range of cell `c` within order().
+  Range cell_range(int c) const { return ranges_[c]; }
+  /// Particle ids of cell `c`.
+  std::span<const std::uint32_t> cell_particles(int c) const;
+
+  /// The 27 neighbour cell ids of `c` (including `c` itself), in the fixed
+  /// scan order of the hardware's cell-index counter. When the grid is
+  /// narrower than 3 cells a neighbour id can repeat, exactly as a naive
+  /// hardware scan would revisit the same physical cell.
+  std::array<int, 27> neighbors27(int c) const;
+
+  /// True when the 27-cell stencil visits each distinct cell once (grid at
+  /// least 3 cells wide); required by the half-stencil pair iteration.
+  bool stencil_unique() const { return m_ >= 3; }
+
+  /// Visit every unordered pair (i, j) with minimum-image distance below
+  /// `cutoff` exactly once: fn(i, j, delta, r2) where delta = ri - rj
+  /// (minimum image) and r2 = |delta|^2. Falls back to the O(N^2) double
+  /// loop when the grid is too small for the half stencil.
+  void for_each_pair_within(
+      std::span<const Vec3> positions, double cutoff,
+      const std::function<void(std::uint32_t, std::uint32_t, const Vec3&,
+                               double)>& fn) const;
+
+ private:
+  double box_;
+  int m_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace mdm

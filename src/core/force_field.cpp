@@ -1,0 +1,27 @@
+#include "core/force_field.hpp"
+
+namespace mdm {
+
+ForceResult CompositeForceField::add_forces(const ParticleSystem& system,
+                                            std::span<Vec3> forces) {
+  ForceResult total;
+  for (auto& f : fields_) total += f->add_forces(system, forces);
+  return total;
+}
+
+std::string CompositeForceField::name() const {
+  std::string n = "composite(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) n += " + ";
+    n += fields_[i]->name();
+  }
+  return n + ")";
+}
+
+ForceResult evaluate_forces(ForceField& field, const ParticleSystem& system,
+                            std::span<Vec3> forces) {
+  for (auto& f : forces) f = Vec3{};
+  return field.add_forces(system, forces);
+}
+
+}  // namespace mdm

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file force_field.hpp
+/// Force-provider interface shared by the reference solvers, the short-range
+/// potentials and the MDM hardware-simulator backend. A force field
+/// *accumulates* into the caller's force array so providers compose the way
+/// the machine composes: host sums contributions from WINE-2, MDGRAPE-2 and
+/// its own bonded-force loop.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm {
+
+/// Scalar results of one force evaluation.
+struct ForceResult {
+  double potential = 0.0;  ///< potential energy contribution (eV)
+  double virial = 0.0;     ///< sum over pairs of r_ij . f_ij (eV)
+
+  ForceResult& operator+=(const ForceResult& o) {
+    potential += o.potential;
+    virial += o.virial;
+    return *this;
+  }
+};
+
+class ForceField {
+ public:
+  virtual ~ForceField() = default;
+
+  /// Add this field's forces into `forces` (size == system.size()) and
+  /// return the potential-energy/virial contribution.
+  virtual ForceResult add_forces(const ParticleSystem& system,
+                                 std::span<Vec3> forces) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Sum of several force fields (owned).
+class CompositeForceField final : public ForceField {
+ public:
+  void add(std::unique_ptr<ForceField> field) {
+    fields_.push_back(std::move(field));
+  }
+
+  std::size_t count() const { return fields_.size(); }
+  ForceField& field(std::size_t i) { return *fields_.at(i); }
+
+  ForceResult add_forces(const ParticleSystem& system,
+                         std::span<Vec3> forces) override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::unique_ptr<ForceField>> fields_;
+};
+
+/// Evaluate a force field from scratch: zero `forces`, then accumulate.
+ForceResult evaluate_forces(ForceField& field, const ParticleSystem& system,
+                            std::span<Vec3> forces);
+
+}  // namespace mdm

@@ -1,0 +1,62 @@
+#include "core/integrator.hpp"
+
+#include "util/units.hpp"
+
+namespace mdm {
+
+void VelocityVerlet::prime(ParticleSystem& system) {
+  if (valid_ && forces_.size() == system.size()) return;
+  forces_.assign(system.size(), Vec3{});
+  last_ = field_->add_forces(system, forces_);
+  valid_ = true;
+}
+
+ForceResult VelocityVerlet::step(ParticleSystem& system, double dt_fs) {
+  prime(system);
+  auto positions = system.positions();
+  auto velocities = system.velocities();
+  const std::size_t n = system.size();
+
+  // First half kick + drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
+    velocities[i] += c * forces_[i];
+    positions[i] += dt_fs * velocities[i];
+  }
+  system.wrap_positions();
+
+  // Forces at the new positions.
+  for (auto& f : forces_) f = Vec3{};
+  last_ = field_->add_forces(system, forces_);
+
+  // Second half kick.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
+    velocities[i] += c * forces_[i];
+  }
+  return last_;
+}
+
+ForceResult Leapfrog::step(ParticleSystem& system, double dt_fs) {
+  if (!valid_ || forces_.size() != system.size()) {
+    forces_.assign(system.size(), Vec3{});
+    field_->add_forces(system, forces_);
+    valid_ = true;
+  }
+  auto positions = system.positions();
+  auto velocities = system.velocities();
+  const std::size_t n = system.size();
+
+  // v(t+dt/2) = v(t-dt/2) + a(t) dt ; r(t+dt) = r(t) + v(t+dt/2) dt.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = dt_fs * units::kAccelUnit / system.mass(i);
+    velocities[i] += c * forces_[i];
+    positions[i] += dt_fs * velocities[i];
+  }
+  system.wrap_positions();
+
+  for (auto& f : forces_) f = Vec3{};
+  return field_->add_forces(system, forces_);
+}
+
+}  // namespace mdm

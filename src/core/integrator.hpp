@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file integrator.hpp
+/// Time integrators for Newton's equations — the "other operations" the MDM
+/// host performs (sec. 3.1: update of positions and velocities). Velocity
+/// Verlet is the default; leapfrog is provided for cross-checks.
+
+#include <span>
+#include <vector>
+
+#include "core/force_field.hpp"
+#include "core/particle_system.hpp"
+
+namespace mdm {
+
+/// Velocity-Verlet (kick-drift-kick) integrator. Forces are cached between
+/// steps so each step costs exactly one force evaluation.
+class VelocityVerlet {
+ public:
+  explicit VelocityVerlet(ForceField& field) : field_(&field) {}
+
+  /// Advance one step of `dt_fs` femtoseconds. Returns the force-field
+  /// result evaluated at the *new* positions.
+  ForceResult step(ParticleSystem& system, double dt_fs);
+
+  /// Forces at the current positions (valid after the first step()).
+  std::span<const Vec3> forces() const { return forces_; }
+  /// Potential energy at the current positions (valid after first step()).
+  double potential() const { return last_.potential; }
+  double virial() const { return last_.virial; }
+
+  /// Drop the force cache; call after externally modifying positions or the
+  /// force field so the next step() starts from fresh forces.
+  void invalidate() { valid_ = false; }
+
+  /// Ensure forces are evaluated for the current configuration (also fills
+  /// potential()); used before sampling step 0.
+  void prime(ParticleSystem& system);
+
+ private:
+  ForceField* field_;
+  std::vector<Vec3> forces_;
+  ForceResult last_;
+  bool valid_ = false;
+};
+
+/// Leapfrog integrator (velocities live at half steps). Equivalent accuracy
+/// class to velocity Verlet; used by tests to cross-validate trajectories.
+class Leapfrog {
+ public:
+  explicit Leapfrog(ForceField& field) : field_(&field) {}
+
+  ForceResult step(ParticleSystem& system, double dt_fs);
+  void invalidate() { valid_ = false; }
+
+ private:
+  ForceField* field_;
+  std::vector<Vec3> forces_;
+  bool valid_ = false;
+};
+
+}  // namespace mdm

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file io.hpp
+/// File I/O performed by the MDM host (sec. 3.1): XYZ trajectory frames,
+/// binary checkpoints, and CSV time series for the plotting benches.
+
+#include <string>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "core/simulation.hpp"
+
+namespace mdm {
+
+/// Append one frame in extended-XYZ format (element, x, y, z).
+void write_xyz_frame(const std::string& path, const ParticleSystem& system,
+                     const std::string& comment = "", bool append = false);
+
+/// Write the sampled time series as CSV:
+/// step,time_ps,temperature_K,kinetic_eV,potential_eV,total_eV.
+void write_samples_csv(const std::string& path,
+                       const std::vector<Sample>& samples);
+
+/// Binary checkpoint (positions + velocities). The target system of
+/// load_checkpoint must already hold the same particle count and species;
+/// only the dynamic state is restored.
+void save_checkpoint(const std::string& path, const ParticleSystem& system);
+void load_checkpoint(const std::string& path, ParticleSystem& system);
+
+}  // namespace mdm

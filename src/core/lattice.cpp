@@ -1,0 +1,57 @@
+#include "core/lattice.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+
+ParticleSystem make_nacl_crystal(int n_cells, double lattice_constant) {
+  if (n_cells < 1) throw std::invalid_argument("n_cells must be >= 1");
+  const double a = lattice_constant;
+  ParticleSystem system(n_cells * a);
+  const int na = system.add_species({"Na", units::kMassNa, +1.0});
+  const int cl = system.add_species({"Cl", units::kMassCl, -1.0});
+
+  // Rock salt: Na on the fcc lattice, Cl displaced by a/2 along x.
+  static constexpr double kFcc[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  for (int ix = 0; ix < n_cells; ++ix) {
+    for (int iy = 0; iy < n_cells; ++iy) {
+      for (int iz = 0; iz < n_cells; ++iz) {
+        const Vec3 origin{ix * a, iy * a, iz * a};
+        for (const auto& site : kFcc) {
+          const Vec3 base = origin + Vec3{site[0] * a, site[1] * a, site[2] * a};
+          system.add_particle(na, base);
+          system.add_particle(cl, base + Vec3{0.5 * a, 0.0, 0.0});
+        }
+      }
+    }
+  }
+  return system;
+}
+
+void assign_maxwell_velocities(ParticleSystem& system, double temperature_K,
+                               std::uint64_t seed) {
+  Random rng(seed);
+  auto velocities = system.velocities();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    // sigma^2 = kB T / m in these units: v [A/fs], kB T in eV -> multiply by
+    // the acceleration conversion factor.
+    const double sigma = std::sqrt(units::kBoltzmann * temperature_K *
+                                   units::kAccelUnit / system.mass(i));
+    velocities[i] = rng.normal_vec3(sigma);
+  }
+  system.zero_momentum();
+  // Rescale to hit the requested temperature exactly despite the drift
+  // removal and finite-sample noise.
+  const double t_now = system.temperature();
+  if (t_now > 0.0) {
+    const double scale = std::sqrt(temperature_K / t_now);
+    for (auto& v : velocities) v *= scale;
+  }
+}
+
+}  // namespace mdm

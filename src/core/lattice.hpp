@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file lattice.hpp
+/// Rock-salt NaCl supercell builder matching the paper's setups: the runs in
+/// section 5 start from the crystal state at the melt density N/L^3 =
+/// 0.030645 1/A^3 (lattice constant a = 6.3910 A, 8 ions per cubic cell).
+/// The paper's own system sizes are n^3 supercells of this cell:
+/// n = 24 -> 110,592 ions, n = 57 -> 1,481,544, n = 133 -> 18,821,096
+/// (and 133 * a = 850 A, the quoted box).
+
+#include <cstdint>
+
+#include "core/particle_system.hpp"
+
+namespace mdm {
+
+/// Lattice constant reproducing the paper's density (A).
+inline constexpr double kPaperLatticeConstant = 6.391047;
+
+/// Build an n x n x n rock-salt supercell (8 ions per cubic unit cell:
+/// 4 Na+ on the fcc sites, 4 Cl- on the interleaved fcc sites).
+/// Species 0 = Na+ (charge +1), species 1 = Cl- (charge -1).
+ParticleSystem make_nacl_crystal(int n_cells,
+                                 double lattice_constant = kPaperLatticeConstant);
+
+/// Draw Maxwell-Boltzmann velocities at temperature `temperature_K`, remove
+/// the center-of-mass drift, and rescale so the instantaneous temperature is
+/// exactly `temperature_K`. Deterministic for a given seed.
+void assign_maxwell_velocities(ParticleSystem& system, double temperature_K,
+                               std::uint64_t seed);
+
+/// Number of ions in an n^3 supercell (8 n^3).
+constexpr long long nacl_ion_count(int n_cells) {
+  return 8LL * n_cells * n_cells * n_cells;
+}
+
+}  // namespace mdm

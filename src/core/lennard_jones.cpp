@@ -1,0 +1,79 @@
+#include "core/lennard_jones.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cell_list.hpp"
+
+namespace mdm {
+
+LennardJonesParameters LennardJonesParameters::single(double epsilon_eV,
+                                                      double sigma_A) {
+  LennardJonesParameters p;
+  p.species_count = 1;
+  p.epsilon[0][0] = epsilon_eV;
+  p.sigma[0][0] = sigma_A;
+  return p;
+}
+
+LennardJonesParameters LennardJonesParameters::lorentz_berthelot(
+    std::span<const double> eps, std::span<const double> sig) {
+  if (eps.size() != sig.size() || eps.empty() ||
+      eps.size() > static_cast<std::size_t>(kMaxSpecies))
+    throw std::invalid_argument("bad species arrays");
+  LennardJonesParameters p;
+  p.species_count = static_cast<int>(eps.size());
+  for (int i = 0; i < p.species_count; ++i) {
+    for (int j = 0; j < p.species_count; ++j) {
+      p.epsilon[i][j] = std::sqrt(eps[i] * eps[j]);
+      p.sigma[i][j] = 0.5 * (sig[i] + sig[j]);
+    }
+  }
+  return p;
+}
+
+double LennardJonesParameters::pair_energy(int ti, int tj, double r) const {
+  const double sr2 = sigma[ti][tj] * sigma[ti][tj] / (r * r);
+  const double sr6 = sr2 * sr2 * sr2;
+  return 4.0 * epsilon[ti][tj] * sr6 * (sr6 - 1.0);
+}
+
+double LennardJonesParameters::pair_force_over_r(int ti, int tj,
+                                                 double r) const {
+  const double inv_r2 = 1.0 / (r * r);
+  const double sr2 = sigma[ti][tj] * sigma[ti][tj] * inv_r2;
+  const double sr6 = sr2 * sr2 * sr2;
+  return 24.0 * epsilon[ti][tj] * sr6 * (2.0 * sr6 - 1.0) * inv_r2;
+}
+
+LennardJones::LennardJones(LennardJonesParameters params, double r_cut)
+    : params_(params), r_cut_(r_cut) {
+  if (!(r_cut > 0.0)) throw std::invalid_argument("r_cut must be positive");
+}
+
+ForceResult LennardJones::add_forces(const ParticleSystem& system,
+                                     std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("force array size mismatch");
+  const auto positions = system.positions();
+  const auto types = system.types();
+
+  CellList cells(system.box(), r_cut_);
+  cells.build(positions);
+
+  ForceResult result;
+  cells.for_each_pair_within(
+      positions, r_cut_,
+      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        const double r = std::sqrt(r2);
+        const double s = params_.pair_force_over_r(types[i], types[j], r);
+        const Vec3 f = s * d;
+        forces[i] += f;
+        forces[j] -= f;
+        result.potential += params_.pair_energy(types[i], types[j], r);
+        result.virial += s * r2;
+      });
+  return result;
+}
+
+}  // namespace mdm

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file lennard_jones.hpp
+/// Standard 12-6 Lennard-Jones potential with per-pair epsilon/sigma, the
+/// "van der Waals" force of the paper's eq. 4. The paper writes the force as
+///
+///   F_i(vdW) = sum_j eps'(at_i,at_j) [ 2 (sigma/r)^14 - (sigma/r)^8 ] r_ij
+///
+/// which is the 12-6 force with eps' = 24 eps / sigma^2 folded into the
+/// prefactor; on MDGRAPE-2 it maps to g(x) = 2 x^-7 - x^-4 with
+/// a_ij = sigma^-2 and b_ij = eps' (sec. 3.5.4). This class is the
+/// double-precision reference for that hardware path.
+
+#include <array>
+
+#include "core/force_field.hpp"
+
+namespace mdm {
+
+struct LennardJonesParameters {
+  static constexpr int kMaxSpecies = 8;
+
+  int species_count = 0;
+  std::array<std::array<double, kMaxSpecies>, kMaxSpecies> epsilon{};  ///< eV
+  std::array<std::array<double, kMaxSpecies>, kMaxSpecies> sigma{};    ///< A
+
+  /// Single-species helper.
+  static LennardJonesParameters single(double epsilon_eV, double sigma_A);
+
+  /// Build from per-species eps/sigma with Lorentz-Berthelot mixing.
+  static LennardJonesParameters lorentz_berthelot(
+      std::span<const double> eps, std::span<const double> sig);
+
+  double pair_energy(int ti, int tj, double r) const;
+  /// s(r) = -phi'(r)/r so the force on i is s(r) * r_ij.
+  double pair_force_over_r(int ti, int tj, double r) const;
+};
+
+/// Cell-list LJ force field with plain truncation at r_cut.
+class LennardJones final : public ForceField {
+ public:
+  LennardJones(LennardJonesParameters params, double r_cut);
+
+  ForceResult add_forces(const ParticleSystem& system,
+                         std::span<Vec3> forces) override;
+  std::string name() const override { return "lennard-jones"; }
+
+  double r_cut() const { return r_cut_; }
+  const LennardJonesParameters& parameters() const { return params_; }
+
+ private:
+  LennardJonesParameters params_;
+  double r_cut_;
+};
+
+}  // namespace mdm

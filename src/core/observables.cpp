@@ -1,0 +1,17 @@
+#include "core/observables.hpp"
+
+#include <cmath>
+
+namespace mdm {
+
+double pressure(const ParticleSystem& system, double virial) {
+  const double volume = system.box() * system.box() * system.box();
+  return (2.0 * system.kinetic_energy() + virial) / (3.0 * volume);
+}
+
+double expected_relative_temperature_fluctuation(std::size_t n_particles) {
+  if (n_particles == 0) return 0.0;
+  return std::sqrt(2.0 / (3.0 * static_cast<double>(n_particles)));
+}
+
+}  // namespace mdm

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file observables.hpp
+/// Scalar observables beyond those on ParticleSystem: pressure from the
+/// virial, and the relative temperature fluctuation used by Figure 2.
+
+#include "core/particle_system.hpp"
+
+namespace mdm {
+
+/// 1 eV/A^3 in gigapascal.
+inline constexpr double kEvPerA3InGPa = 160.21766208;
+
+/// Instantaneous pressure P = (2 KE / 3 + W / 3) / V where W = sum r.f is
+/// the pair virial. Returned in eV/A^3 (multiply by kEvPerA3InGPa for GPa).
+double pressure(const ParticleSystem& system, double virial);
+
+/// Canonical-ensemble prediction of the relative temperature fluctuation
+/// for an ideal sampler: sigma_T / <T> = sqrt(2 / (3 N)). Figure 2's point
+/// is that the measured fluctuation follows this 1/sqrt(N) law.
+double expected_relative_temperature_fluctuation(std::size_t n_particles);
+
+}  // namespace mdm

@@ -1,0 +1,138 @@
+#include "core/rdf.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdm {
+
+RadialDistribution::RadialDistribution(double r_max, int bins,
+                                       int species_count)
+    : r_max_(r_max), bins_(bins), species_count_(species_count) {
+  if (!(r_max > 0.0) || bins < 1 || species_count < 1)
+    throw std::invalid_argument("RadialDistribution: bad arguments");
+  counts_.assign(
+      static_cast<std::size_t>(species_count) * species_count * bins, 0);
+  species_counts_.assign(species_count, 0);
+}
+
+std::uint64_t& RadialDistribution::cell(int a, int b, int bin) {
+  if (a > b) std::swap(a, b);
+  return counts_[(static_cast<std::size_t>(a) * species_count_ + b) * bins_ +
+                 bin];
+}
+
+std::uint64_t RadialDistribution::cell(int a, int b, int bin) const {
+  if (a > b) std::swap(a, b);
+  return counts_[(static_cast<std::size_t>(a) * species_count_ + b) * bins_ +
+                 bin];
+}
+
+void RadialDistribution::accumulate(const ParticleSystem& system) {
+  if (r_max_ > 0.5 * system.box() + 1e-9)
+    throw std::invalid_argument("RadialDistribution: r_max must be <= L/2");
+  if (system.species_count() > species_count_)
+    throw std::invalid_argument("RadialDistribution: too many species");
+  const auto positions = system.positions();
+  const double bin_width = r_max_ / bins_;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    for (std::size_t j = i + 1; j < system.size(); ++j) {
+      const double r =
+          norm(minimum_image(positions[i], positions[j], system.box()));
+      if (r >= r_max_) continue;
+      const int bin = std::min(static_cast<int>(r / bin_width), bins_ - 1);
+      ++cell(system.type(i), system.type(j), bin);
+    }
+  }
+  for (auto& c : species_counts_) c = 0;
+  for (std::size_t i = 0; i < system.size(); ++i)
+    ++species_counts_[system.type(i)];
+  density_sum_ += system.number_density();
+  ++frames_;
+}
+
+double RadialDistribution::r(int bin) const {
+  return (bin + 0.5) * r_max_ / bins_;
+}
+
+std::vector<double> RadialDistribution::partial(int a, int b) const {
+  std::vector<double> g(bins_, 0.0);
+  if (frames_ == 0) return g;
+  const double bin_width = r_max_ / bins_;
+  // Pair normalization: expected ideal-gas pairs in a shell for the (a, b)
+  // species pair. For a == b: N_a (N_a - 1) / 2 ordered/2; for a != b:
+  // N_a N_b (counted once since we store unordered pairs).
+  const double na = static_cast<double>(species_counts_[a]);
+  const double nb = static_cast<double>(species_counts_[b]);
+  const double pair_count = a == b ? 0.5 * na * (na - 1.0) : na * nb;
+  if (pair_count <= 0.0) return g;
+  const double density = density_sum_ / static_cast<double>(frames_);
+  // Volume inferred from the last frame's composition.
+  const double total_n = [this] {
+    double s = 0.0;
+    for (const auto c : species_counts_) s += static_cast<double>(c);
+    return s;
+  }();
+  const double volume = total_n / density;
+  for (int bin = 0; bin < bins_; ++bin) {
+    const double r_lo = bin * bin_width;
+    const double r_hi = r_lo + bin_width;
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = pair_count * shell / volume;
+    g[bin] = static_cast<double>(cell(a, b, bin)) /
+             (ideal * static_cast<double>(frames_));
+  }
+  return g;
+}
+
+std::vector<double> RadialDistribution::total() const {
+  std::vector<double> g(bins_, 0.0);
+  if (frames_ == 0) return g;
+  const double bin_width = r_max_ / bins_;
+  double total_n = 0.0;
+  for (const auto c : species_counts_) total_n += static_cast<double>(c);
+  const double pair_count = 0.5 * total_n * (total_n - 1.0);
+  const double density = density_sum_ / static_cast<double>(frames_);
+  const double volume = total_n / density;
+  for (int bin = 0; bin < bins_; ++bin) {
+    std::uint64_t count = 0;
+    for (int a = 0; a < species_count_; ++a)
+      for (int b = a; b < species_count_; ++b) count += cell(a, b, bin);
+    const double r_lo = bin * bin_width;
+    const double r_hi = r_lo + bin_width;
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = pair_count * shell / volume;
+    g[bin] = static_cast<double>(count) /
+             (ideal * static_cast<double>(frames_));
+  }
+  return g;
+}
+
+MeanSquaredDisplacement::MeanSquaredDisplacement(const ParticleSystem& system)
+    : box_(system.box()),
+      last_wrapped_(system.positions().begin(), system.positions().end()),
+      displacement_(system.size(), Vec3{}) {}
+
+double MeanSquaredDisplacement::update(const ParticleSystem& system) {
+  if (system.size() != displacement_.size())
+    throw std::invalid_argument("MSD: particle count changed");
+  const auto positions = system.positions();
+  double total = 0.0;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    // Minimum-image increment unwraps the trajectory.
+    displacement_[i] += minimum_image(positions[i], last_wrapped_[i], box_);
+    last_wrapped_[i] = positions[i];
+    total += norm2(displacement_[i]);
+  }
+  msd_ = total / static_cast<double>(system.size());
+  return msd_;
+}
+
+double MeanSquaredDisplacement::diffusion(double elapsed_fs) const {
+  if (elapsed_fs <= 0.0) return 0.0;
+  return msd_ / (6.0 * elapsed_fs);
+}
+
+}  // namespace mdm

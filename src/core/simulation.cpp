@@ -1,0 +1,87 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/observables.hpp"
+
+namespace mdm {
+
+Simulation::Simulation(ParticleSystem& system, ForceField& field,
+                       SimulationConfig config)
+    : system_(&system), config_(config), integrator_(field) {
+  if (config_.dt_fs <= 0.0) throw std::invalid_argument("dt must be positive");
+  if (config_.sample_interval < 1 || config_.rescale_interval < 1)
+    throw std::invalid_argument("intervals must be >= 1");
+}
+
+void Simulation::record(int step) {
+  Sample s;
+  s.step = step;
+  s.time_ps = step * config_.dt_fs * 1e-3;
+  s.temperature_K = system_->temperature();
+  s.kinetic_eV = system_->kinetic_energy();
+  s.potential_eV = integrator_.potential();
+  s.total_eV = s.kinetic_eV + s.potential_eV;
+  s.pressure_GPa =
+      pressure(*system_, integrator_.virial()) * kEvPerA3InGPa;
+  samples_.push_back(s);
+}
+
+void Simulation::run(const std::function<void(const Sample&)>& observer) {
+  integrator_.prime(*system_);
+  record(0);
+  if (observer) observer(samples_.back());
+
+  const int total = config_.nvt_steps + config_.nve_steps;
+  for (int step = 1; step <= total; ++step) {
+    integrator_.step(*system_, config_.dt_fs);
+    const bool nvt_phase = step <= config_.nvt_steps;
+    if (nvt_phase && step % config_.rescale_interval == 0) {
+      const double target = config_.temperature_schedule
+                                ? config_.temperature_schedule(step)
+                                : config_.temperature_K;
+      thermostat_.apply(*system_, target, config_.dt_fs);
+    }
+    if (step % config_.sample_interval == 0) {
+      record(step);
+      if (observer) observer(samples_.back());
+    }
+  }
+}
+
+void Simulation::run_nve(int steps,
+                         const std::function<void(const Sample&)>& observer) {
+  integrator_.prime(*system_);
+  if (samples_.empty()) {
+    record(0);
+    if (observer) observer(samples_.back());
+  }
+  const int start = samples_.empty() ? 0 : samples_.back().step;
+  for (int step = start + 1; step <= start + steps; ++step) {
+    integrator_.step(*system_, config_.dt_fs);
+    if (step % config_.sample_interval == 0) {
+      record(step);
+      if (observer) observer(samples_.back());
+    }
+  }
+}
+
+std::vector<Sample> Simulation::nve_samples() const {
+  std::vector<Sample> out;
+  for (const auto& s : samples_)
+    if (s.step >= config_.nvt_steps) out.push_back(s);
+  return out;
+}
+
+double Simulation::nve_energy_drift() const {
+  const auto nve = nve_samples();
+  if (nve.size() < 2) return 0.0;
+  const double e0 = nve.front().total_eV;
+  double worst = 0.0;
+  for (const auto& s : nve)
+    worst = std::max(worst, std::fabs(s.total_eV - e0));
+  return worst / std::fabs(e0);
+}
+
+}  // namespace mdm

@@ -1,0 +1,30 @@
+#include "core/thermostat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mdm {
+
+void VelocityScalingThermostat::apply(ParticleSystem& system, double target_K,
+                                      double /*dt_fs*/) {
+  const double t = system.temperature();
+  if (t <= 0.0) return;
+  const double scale = std::sqrt(target_K / t);
+  for (auto& v : system.velocities()) v *= scale;
+}
+
+BerendsenThermostat::BerendsenThermostat(double tau_fs) : tau_fs_(tau_fs) {
+  if (!(tau_fs > 0.0)) throw std::invalid_argument("tau must be positive");
+}
+
+void BerendsenThermostat::apply(ParticleSystem& system, double target_K,
+                                double dt_fs) {
+  const double t = system.temperature();
+  if (t <= 0.0) return;
+  const double lambda2 = 1.0 + dt_fs / tau_fs_ * (target_K / t - 1.0);
+  if (lambda2 <= 0.0) return;
+  const double scale = std::sqrt(lambda2);
+  for (auto& v : system.velocities()) v *= scale;
+}
+
+}  // namespace mdm

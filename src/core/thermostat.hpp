@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file thermostat.hpp
+/// Thermostats for the NVT phase. The paper's runs use plain velocity
+/// scaling ("NVT constant ensemble by scaling the velocity", sec. 5);
+/// Berendsen is included as a gentler alternative for the examples.
+
+#include "core/particle_system.hpp"
+
+namespace mdm {
+
+class Thermostat {
+ public:
+  virtual ~Thermostat() = default;
+  /// Adjust velocities toward `target_K`; `dt_fs` is the step just taken.
+  virtual void apply(ParticleSystem& system, double target_K,
+                     double dt_fs) = 0;
+};
+
+/// Rescale velocities so the instantaneous temperature equals the target
+/// exactly (isokinetic scaling, as in the paper).
+class VelocityScalingThermostat final : public Thermostat {
+ public:
+  void apply(ParticleSystem& system, double target_K, double dt_fs) override;
+};
+
+/// Berendsen weak-coupling thermostat with time constant tau (fs).
+class BerendsenThermostat final : public Thermostat {
+ public:
+  explicit BerendsenThermostat(double tau_fs);
+  void apply(ParticleSystem& system, double target_K, double dt_fs) override;
+
+ private:
+  double tau_fs_;
+};
+
+}  // namespace mdm

@@ -1,0 +1,88 @@
+#include "core/tosi_fumi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cell_list.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+
+TosiFumiParameters TosiFumiParameters::nacl() {
+  TosiFumiParameters p;
+  p.species_count = 2;
+  p.rho = 0.317;
+
+  const double b = 3.38e-20 * 6.241509074e18;  // J -> eV: 0.21096 eV
+  const double sigma[2] = {1.170, 1.585};      // Na, Cl
+  const double pauling[2][2] = {{1.25, 1.00}, {1.00, 0.75}};
+  // Sangster-Dixon tabulation, units 1e-79 J m^6 and 1e-99 J m^8.
+  const double c_cgs[2][2] = {{1.68, 11.2}, {11.2, 116.0}};
+  const double d_cgs[2][2] = {{0.8, 13.9}, {13.9, 233.0}};
+
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      p.born_prefactor[i][j] =
+          pauling[i][j] * b * std::exp((sigma[i] + sigma[j]) / p.rho);
+      p.c6[i][j] = c_cgs[i][j] * units::kC6Unit;
+      p.d8[i][j] = d_cgs[i][j] * units::kD8Unit;
+    }
+  }
+  return p;
+}
+
+double TosiFumiParameters::pair_energy(int ti, int tj, double r) const {
+  const double r2 = r * r;
+  const double r6 = r2 * r2 * r2;
+  const double r8 = r6 * r2;
+  return born_prefactor[ti][tj] * std::exp(-r / rho) - c6[ti][tj] / r6 -
+         d8[ti][tj] / r8;
+}
+
+double TosiFumiParameters::pair_force_over_r(int ti, int tj, double r) const {
+  const double r2 = r * r;
+  const double r8 = r2 * r2 * r2 * r2;
+  const double r10 = r8 * r2;
+  return born_prefactor[ti][tj] * std::exp(-r / rho) / (rho * r) -
+         6.0 * c6[ti][tj] / r8 - 8.0 * d8[ti][tj] / r10;
+}
+
+TosiFumiShortRange::TosiFumiShortRange(TosiFumiParameters params,
+                                       double r_cut, bool shift_energy)
+    : params_(params), r_cut_(r_cut), shift_energy_(shift_energy) {
+  if (!(r_cut > 0.0)) throw std::invalid_argument("r_cut must be positive");
+  if (shift_energy_) {
+    for (int i = 0; i < params_.species_count; ++i)
+      for (int j = 0; j < params_.species_count; ++j)
+        shift_[i][j] = params_.pair_energy(i, j, r_cut_);
+  }
+}
+
+ForceResult TosiFumiShortRange::add_forces(const ParticleSystem& system,
+                                           std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("force array size mismatch");
+  const auto positions = system.positions();
+  const auto types = system.types();
+
+  CellList cells(system.box(), r_cut_);
+  cells.build(positions);
+
+  ForceResult result;
+  cells.for_each_pair_within(
+      positions, r_cut_,
+      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        const double r = std::sqrt(r2);
+        const int ti = types[i];
+        const int tj = types[j];
+        const double s = params_.pair_force_over_r(ti, tj, r);
+        const Vec3 f = s * d;  // force on i; Newton's third law for j
+        forces[i] += f;
+        forces[j] -= f;
+        result.potential += params_.pair_energy(ti, tj, r) - shift_[ti][tj];
+        result.virial += s * r2;
+      });
+  return result;
+}
+
+}  // namespace mdm

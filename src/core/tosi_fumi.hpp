@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file tosi_fumi.hpp
+/// Tosi-Fumi (Born-Mayer-Huggins) rigid-ion potential used by the paper
+/// (eq. 15) for molten NaCl:
+///
+///   phi_ij(r) = q_i q_j / r                     (Coulomb - handled by Ewald)
+///             + A_ij b exp((sigma_i + sigma_j - r) / rho)   (overlap repulsion)
+///             - c_ij / r^6 - d_ij / r^8                     (dispersion)
+///
+/// This module evaluates the *short-range* (non-Coulomb) part with the same
+/// r_cut used for the real-space Ewald term. On the real machine these terms
+/// run as extra MDGRAPE-2 passes with g(x)-tables (see mdgrape2/gtables);
+/// here they also exist as a clean double-precision force field that serves
+/// as the reference for those passes.
+
+#include <array>
+
+#include "core/force_field.hpp"
+
+namespace mdm {
+
+/// Per-pair Tosi-Fumi constants (energies eV, lengths A).
+struct TosiFumiParameters {
+  static constexpr int kMaxSpecies = 4;
+
+  int species_count = 0;
+  /// Born-Mayer prefactor B_ij = A_ij * b * exp((sigma_i + sigma_j)/rho), eV.
+  std::array<std::array<double, kMaxSpecies>, kMaxSpecies> born_prefactor{};
+  double rho = 0.0;  ///< softness parameter, A
+  /// Dispersion coefficients c_ij (eV A^6) and d_ij (eV A^8).
+  std::array<std::array<double, kMaxSpecies>, kMaxSpecies> c6{};
+  std::array<std::array<double, kMaxSpecies>, kMaxSpecies> d8{};
+
+  /// Canonical Fumi-Tosi 1964 parameters for NaCl (species 0 = Na,
+  /// 1 = Cl), converted from the customary CGS tabulation:
+  /// b = 3.38e-20 J, rho = 0.317 A, sigma_Na = 1.170 A, sigma_Cl = 1.585 A,
+  /// Pauling factors A_++ = 1.25, A_+- = 1, A_-- = 0.75,
+  /// c in 1e-79 J m^6: {1.68, 11.2, 116}, d in 1e-99 J m^8: {0.8, 13.9, 233}.
+  static TosiFumiParameters nacl();
+
+  /// Short-range pair energy phi_sr(r) in eV (no Coulomb term).
+  double pair_energy(int ti, int tj, double r) const;
+  /// Scalar s(r) = -phi_sr'(r)/r, so the force on i is s(r) * r_ij.
+  double pair_force_over_r(int ti, int tj, double r) const;
+};
+
+/// Cell-list-accelerated evaluation of the short-range Tosi-Fumi terms with
+/// plain truncation at r_cut (the paper truncates "the real-space part of
+/// the Coulomb and other forces" at the same 26.4 A cutoff).
+class TosiFumiShortRange final : public ForceField {
+ public:
+  /// `shift_energy` subtracts phi_sr(r_cut) per pair so the truncated
+  /// potential is continuous at the cutoff; forces are unchanged. Plain
+  /// truncation (the paper's choice) is the default; the shifted form is
+  /// useful when strict NVE energy conservation matters on small boxes
+  /// where a coordination shell sits near r_cut.
+  TosiFumiShortRange(TosiFumiParameters params, double r_cut,
+                     bool shift_energy = false);
+
+  ForceResult add_forces(const ParticleSystem& system,
+                         std::span<Vec3> forces) override;
+  std::string name() const override { return "tosi-fumi-short-range"; }
+
+  double r_cut() const { return r_cut_; }
+  bool shift_energy() const { return shift_energy_; }
+  const TosiFumiParameters& parameters() const { return params_; }
+
+ private:
+  TosiFumiParameters params_;
+  double r_cut_;
+  bool shift_energy_;
+  /// phi_sr(r_cut) per type pair, subtracted when shift_energy_ is set.
+  std::array<std::array<double, TosiFumiParameters::kMaxSpecies>,
+             TosiFumiParameters::kMaxSpecies>
+      shift_{};
+};
+
+}  // namespace mdm

@@ -1,0 +1,80 @@
+#include "ewald/direct_sum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mdm {
+
+ForceResult DirectCoulombMinimumImage::add_forces(
+    const ParticleSystem& system, std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("force array size mismatch");
+  const double box = system.box();
+  const double r_cut = r_cut_ > 0.0 ? r_cut_ : 0.5 * box;
+  if (r_cut > 0.5 * box + 1e-12)
+    throw std::invalid_argument("r_cut must be <= L/2");
+  const double r_cut2 = r_cut * r_cut;
+  const auto positions = system.positions();
+
+  ForceResult result;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    for (std::size_t j = i + 1; j < system.size(); ++j) {
+      const Vec3 d = minimum_image(positions[i], positions[j], box);
+      const double r2 = norm2(d);
+      if (r2 >= r_cut2) continue;
+      const double r = std::sqrt(r2);
+      const double qq =
+          units::kCoulomb * system.charge(i) * system.charge(j);
+      const double s = qq / (r2 * r);
+      const Vec3 f = s * d;
+      forces[i] += f;
+      forces[j] -= f;
+      result.potential += qq / r;
+      result.virial += s * r2;
+    }
+  }
+  return result;
+}
+
+ForceResult LatticeSumCoulomb::add_forces(const ParticleSystem& system,
+                                          std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("force array size mismatch");
+  const double box = system.box();
+  const auto positions = system.positions();
+  const std::size_t n = system.size();
+
+  ForceResult result;
+  for (int cx = -shells_; cx <= shells_; ++cx) {
+    for (int cy = -shells_; cy <= shells_; ++cy) {
+      for (int cz = -shells_; cz <= shells_; ++cz) {
+        const Vec3 shift{cx * box, cy * box, cz * box};
+        const bool home = cx == 0 && cy == 0 && cz == 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (home && i == j) continue;
+            // Image of particle j in the replica cell.
+            const Vec3 d = positions[i] - (positions[j] + shift);
+            const double r2 = norm2(d);
+            const double r = std::sqrt(r2);
+            const double qq =
+                units::kCoulomb * system.charge(i) * system.charge(j);
+            const double s = qq / (r2 * r);
+            forces[i] += s * d;
+            // Count each interaction once for energy/virial (i<j within the
+            // home cell; for replicas every ordered pair is half a periodic
+            // pair, so weight by 1/2 including i==j self-images).
+            const double w = home ? (i < j ? 1.0 : 0.0) : 0.5;
+            result.potential += w * qq / r;
+            result.virial += w * s * r2;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdm

@@ -1,0 +1,236 @@
+#include "ewald/ewald.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/cell_list.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+const double kTwoOverSqrtPi = 2.0 / std::sqrt(kPi);
+
+/// Per-axis complex phase tables e^{i 2 pi n u / L} for n = 0..n_max,
+/// built by recurrence (the "addition formula" of sec. 2.3).
+struct PhaseTable {
+  std::vector<double> cos_t;  ///< [axis * (n_max+1) + n]
+  std::vector<double> sin_t;
+  int stride = 0;
+
+  void build(const Vec3& r, double box, int n_max) {
+    stride = n_max + 1;
+    cos_t.resize(3 * stride);
+    sin_t.resize(3 * stride);
+    const double u[3] = {r.x, r.y, r.z};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double theta = 2.0 * kPi * u[axis] / box;
+      const double c1 = std::cos(theta);
+      const double s1 = std::sin(theta);
+      double c = 1.0;
+      double s = 0.0;
+      for (int n = 0; n <= n_max; ++n) {
+        cos_t[axis * stride + n] = c;
+        sin_t[axis * stride + n] = s;
+        const double cn = c * c1 - s * s1;
+        s = c * s1 + s * c1;
+        c = cn;
+      }
+    }
+  }
+
+  /// cos/sin of 2 pi (nx x + ny y + nz z) / L for possibly negative n.
+  void phase(int nx, int ny, int nz, double& c, double& s) const {
+    auto axis_cs = [this](int axis, int n, double& ca, double& sa) {
+      const int a = std::abs(n);
+      ca = cos_t[axis * stride + a];
+      sa = n >= 0 ? sin_t[axis * stride + a] : -sin_t[axis * stride + a];
+    };
+    double cx, sx, cy, sy, cz, sz;
+    axis_cs(0, nx, cx, sx);
+    axis_cs(1, ny, cy, sy);
+    axis_cs(2, nz, cz, sz);
+    const double cxy = cx * cy - sx * sy;
+    const double sxy = sx * cy + cx * sy;
+    c = cxy * cz - sxy * sz;
+    s = sxy * cz + cxy * sz;
+  }
+};
+
+}  // namespace
+
+EwaldCoulomb::EwaldCoulomb(EwaldParameters params, double box)
+    : params_(params),
+      box_(box),
+      beta_(params.alpha / box),
+      kvectors_(box, params.alpha, params.lk_cut) {
+  if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
+    throw std::invalid_argument("EwaldCoulomb: bad parameters");
+  if (params.r_cut > 0.5 * box + 1e-12)
+    throw std::invalid_argument("EwaldCoulomb: r_cut must be <= L/2");
+}
+
+ForceResult EwaldCoulomb::add_real_space(const ParticleSystem& system,
+                                         std::span<Vec3> forces) const {
+  const auto positions = system.positions();
+  CellList cells(box_, params_.r_cut);
+  cells.build(positions);
+
+  ForceResult result;
+  cells.for_each_pair_within(
+      positions, params_.r_cut,
+      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        const double r = std::sqrt(r2);
+        const double qq = units::kCoulomb * system.charge(i) * system.charge(j);
+        const double erfc_term = std::erfc(beta_ * r);
+        const double gauss =
+            kTwoOverSqrtPi * beta_ * r * std::exp(-beta_ * beta_ * r2);
+        // F_i = k_e q_i q_j [erfc(br)/r + (2b/sqrt(pi)) r exp(-b^2 r^2)] d/r^3
+        const double s = qq * (erfc_term + gauss) / (r2 * r);
+        const Vec3 f = s * d;
+        forces[i] += f;
+        forces[j] -= f;
+        result.potential += qq * erfc_term / r;
+        result.virial += s * r2;
+      });
+  return result;
+}
+
+StructureFactors EwaldCoulomb::structure_factors(
+    std::span<const Vec3> positions, std::span<const double> charges) const {
+  const auto& kvecs = kvectors_.vectors();
+  StructureFactors sf;
+  sf.s.assign(kvecs.size(), 0.0);
+  sf.c.assign(kvecs.size(), 0.0);
+
+  auto accumulate = [&](std::size_t begin, std::size_t end,
+                        std::vector<double>& s_out,
+                        std::vector<double>& c_out) {
+    PhaseTable table;
+    for (std::size_t p = begin; p < end; ++p) {
+      table.build(positions[p], box_, kvectors_.n_max());
+      const double q = charges[p];
+      for (std::size_t m = 0; m < kvecs.size(); ++m) {
+        double c, s;
+        table.phase(static_cast<int>(kvecs[m].n.x),
+                    static_cast<int>(kvecs[m].n.y),
+                    static_cast<int>(kvecs[m].n.z), c, s);
+        c_out[m] += q * c;
+        s_out[m] += q * s;
+      }
+    }
+  };
+
+  if (pool_ && pool_->size() > 1 && positions.size() > 1) {
+    // Per-chunk partials, reduced in chunk order (deterministic for a
+    // fixed pool size).
+    std::vector<std::vector<double>> s_part(pool_->size()),
+        c_part(pool_->size());
+    pool_->parallel_for(positions.size(), [&](unsigned chunk,
+                                              std::size_t begin,
+                                              std::size_t end) {
+      s_part[chunk].assign(kvecs.size(), 0.0);
+      c_part[chunk].assign(kvecs.size(), 0.0);
+      accumulate(begin, end, s_part[chunk], c_part[chunk]);
+    });
+    for (unsigned chunk = 0; chunk < pool_->size(); ++chunk) {
+      if (s_part[chunk].empty()) continue;
+      for (std::size_t m = 0; m < kvecs.size(); ++m) {
+        sf.s[m] += s_part[chunk][m];
+        sf.c[m] += c_part[chunk][m];
+      }
+    }
+  } else {
+    accumulate(0, positions.size(), sf.s, sf.c);
+  }
+  return sf;
+}
+
+ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
+                                      std::span<const double> charges,
+                                      const StructureFactors& sf,
+                                      std::span<Vec3> forces) const {
+  const auto& kvecs = kvectors_.vectors();
+  if (sf.s.size() != kvecs.size() || forces.size() != positions.size())
+    throw std::invalid_argument("idft_forces: size mismatch");
+
+  const double l3 = box_ * box_ * box_;
+  // F_i = (4 k_e q_i / L^4) sum_half a_n n_vec [C_n sin_i - S_n cos_i].
+  const double force_pref = 4.0 * units::kCoulomb / (l3 * box_);
+
+  auto idft_range = [&](std::size_t begin, std::size_t end) {
+    PhaseTable table;
+    for (std::size_t p = begin; p < end; ++p) {
+      table.build(positions[p], box_, kvectors_.n_max());
+      Vec3 acc;
+      for (std::size_t m = 0; m < kvecs.size(); ++m) {
+        double c, s;
+        table.phase(static_cast<int>(kvecs[m].n.x),
+                    static_cast<int>(kvecs[m].n.y),
+                    static_cast<int>(kvecs[m].n.z), c, s);
+        const double w = kvecs[m].a * (sf.c[m] * s - sf.s[m] * c);
+        acc += w * kvecs[m].n;
+      }
+      forces[p] += (force_pref * charges[p]) * acc;
+    }
+  };
+  if (pool_ && pool_->size() > 1 && positions.size() > 1) {
+    // Independent per-particle work: bit-identical to the serial loop.
+    pool_->parallel_for(positions.size(),
+                        [&](unsigned, std::size_t begin, std::size_t end) {
+                          idft_range(begin, end);
+                        });
+  } else {
+    idft_range(0, positions.size());
+  }
+
+  // Reciprocal energy E = (k_e / (pi L^3)) sum_half a_n (C^2 + S^2) and its
+  // virial trace W = sum_k E_k (1 - k_phys^2 / (2 beta^2)), with
+  // k_phys^2 / (2 beta^2) = 2 pi^2 n^2 / alpha^2.
+  ForceResult result;
+  const double energy_pref = units::kCoulomb / (kPi * l3);
+  for (std::size_t m = 0; m < kvecs.size(); ++m) {
+    const double ek =
+        energy_pref * kvecs[m].a * (sf.c[m] * sf.c[m] + sf.s[m] * sf.s[m]);
+    const double n2 = dot(kvecs[m].n, kvecs[m].n);
+    result.potential += ek;
+    result.virial += ek * (1.0 - 2.0 * kPi * kPi * n2 /
+                                     (params_.alpha * params_.alpha));
+  }
+  return result;
+}
+
+ForceResult EwaldCoulomb::add_wavenumber_space(const ParticleSystem& system,
+                                               std::span<Vec3> forces) const {
+  std::vector<double> charges(system.size());
+  for (std::size_t i = 0; i < system.size(); ++i)
+    charges[i] = system.charge(i);
+  const auto sf = structure_factors(system.positions(), charges);
+  return idft_forces(system.positions(), charges, sf, forces);
+}
+
+double EwaldCoulomb::self_energy(const ParticleSystem& system) const {
+  return -units::kCoulomb * beta_ / std::sqrt(kPi) *
+         system.total_charge_squared();
+}
+
+double EwaldCoulomb::background_energy(const ParticleSystem& system) const {
+  const double q = system.total_charge();
+  const double l3 = box_ * box_ * box_;
+  return -units::kCoulomb * kPi / (2.0 * beta_ * beta_ * l3) * q * q;
+}
+
+ForceResult EwaldCoulomb::add_forces(const ParticleSystem& system,
+                                     std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("force array size mismatch");
+  ForceResult result = add_real_space(system, forces);
+  result += add_wavenumber_space(system, forces);
+  result.potential += self_energy(system);
+  result.potential += background_energy(system);
+  return result;
+}
+
+}  // namespace mdm

@@ -1,0 +1,38 @@
+#include "ewald/flops.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mdm {
+
+namespace {
+constexpr double kTwoPiOver3 = 2.0 * std::numbers::pi / 3.0;
+}
+
+double n_int(double n_particles, double box, double r_cut) {
+  const double density = n_particles / (box * box * box);
+  return kTwoPiOver3 * r_cut * r_cut * r_cut * density;
+}
+
+double n_int_g(double n_particles, double box, double r_cut) {
+  const double density = n_particles / (box * box * box);
+  return 27.0 * r_cut * r_cut * r_cut * density;
+}
+
+double n_wv(double lk_cut) {
+  return kTwoPiOver3 * lk_cut * lk_cut * lk_cut;
+}
+
+EwaldStepFlops ewald_step_flops(double n_particles, double box,
+                                const EwaldParameters& params) {
+  EwaldStepFlops f;
+  f.n_int = n_int(n_particles, box, params.r_cut);
+  f.n_int_g = n_int_g(n_particles, box, params.r_cut);
+  f.n_wv = n_wv(params.lk_cut);
+  f.real_host = OperationCounts::kRealPair * n_particles * f.n_int;
+  f.real_grape = OperationCounts::kRealPair * n_particles * f.n_int_g;
+  f.wavenumber = OperationCounts::kWavePair * n_particles * f.n_wv;
+  return f;
+}
+
+}  // namespace mdm

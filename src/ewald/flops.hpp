@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file flops.hpp
+/// The paper's floating-point operation accounting (sec. 2). All of Table 4
+/// is derived from these formulas plus one measured wall-clock, so the model
+/// is a first-class library citizen:
+///
+///   real-space pair    : 59 flops (erfc, exp, sqrt, div = 10 each)
+///   DFT per (j, n)     : 29 flops (sin, cos = 10 each)
+///   IDFT per (i, n)    : 35 flops
+///   N_int   = (2 pi / 3) r_cut^3 N / L^3      (eq. 5, Newton's 3rd law)
+///   N_int_g = 27 r_cut^3 N / L^3              (eq. 6, MDGRAPE-2: ~13x more)
+///   N_wv    = (2 pi / 3) (L k_cut)^3          (eq. 13, half space)
+
+#include "ewald/ewald.hpp"
+
+namespace mdm {
+
+/// Paper flop-count conventions.
+struct OperationCounts {
+  static constexpr double kTranscendental = 10.0;  ///< erfc/exp/sqrt/div/sin/cos
+  static constexpr double kRealPair = 59.0;        ///< eq. 2 per pair
+  static constexpr double kDftPerWave = 29.0;      ///< eqs. 9-10 per (j, n)
+  static constexpr double kIdftPerWave = 35.0;     ///< eq. 11 per (i, n)
+  static constexpr double kWavePair = kDftPerWave + kIdftPerWave;  ///< 64
+};
+
+/// Average interacting partners per particle with Newton's third law (half
+/// the particles inside r_cut), eq. 5.
+double n_int(double n_particles, double box, double r_cut);
+
+/// Partners per particle on MDGRAPE-2: full 27-cell scan, no third law, no
+/// cutoff skip (cell side == r_cut), eq. 6. About 13x n_int.
+double n_int_g(double n_particles, double box, double r_cut);
+
+/// Half-space wavevector count, eq. 13 (independent of N).
+double n_wv(double lk_cut);
+
+/// Per-time-step flop counts for one Ewald configuration.
+struct EwaldStepFlops {
+  double n_int = 0.0;
+  double n_int_g = 0.0;
+  double n_wv = 0.0;
+  double real_host = 0.0;   ///< 59 N N_int     (conventional computer)
+  double real_grape = 0.0;  ///< 59 N N_int_g   (MDGRAPE-2)
+  double wavenumber = 0.0;  ///< 64 N N_wv      (WINE-2 or host)
+
+  double total_host() const { return real_host + wavenumber; }
+  double total_grape() const { return real_grape + wavenumber; }
+};
+
+EwaldStepFlops ewald_step_flops(double n_particles, double box,
+                                const EwaldParameters& params);
+
+}  // namespace mdm

@@ -1,0 +1,48 @@
+#include "ewald/kvectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdm {
+
+bool in_half_space(int nx, int ny, int nz) {
+  if (nz != 0) return nz > 0;
+  if (ny != 0) return ny > 0;
+  return nx > 0;
+}
+
+KVectorTable::KVectorTable(double box, double alpha, double lk_cut)
+    : box_(box), alpha_(alpha), lk_cut_(lk_cut) {
+  if (!(box > 0.0) || !(alpha > 0.0) || !(lk_cut > 0.0))
+    throw std::invalid_argument("KVectorTable: parameters must be positive");
+
+  const int limit = static_cast<int>(std::floor(lk_cut));
+  const double lk_cut2 = lk_cut * lk_cut;
+  const double pi = std::numbers::pi;
+  // exp(-pi^2 L^2 k^2 / alpha^2) with k = n/L: exponent = -(pi |n| / alpha)^2.
+  const double damp = (pi / alpha) * (pi / alpha);
+
+  for (int nz = 0; nz <= limit; ++nz) {
+    for (int ny = (nz == 0 ? 0 : -limit); ny <= limit; ++ny) {
+      for (int nx = (nz == 0 && ny == 0 ? 1 : -limit); nx <= limit; ++nx) {
+        if (!in_half_space(nx, ny, nz)) continue;
+        const double n2 =
+            double(nx) * nx + double(ny) * ny + double(nz) * nz;
+        if (n2 > lk_cut2) continue;
+        KVector kv;
+        kv.n = {double(nx), double(ny), double(nz)};
+        kv.k = kv.n / box_;
+        kv.k2 = n2 / (box_ * box_);
+        kv.a = std::exp(-damp * n2) / kv.k2;
+        vectors_.push_back(kv);
+        n_max_ = std::max({n_max_, std::abs(nx), std::abs(ny), std::abs(nz)});
+      }
+    }
+  }
+  if (vectors_.empty())
+    throw std::invalid_argument("KVectorTable: L*k_cut < 1 yields no vectors");
+}
+
+}  // namespace mdm

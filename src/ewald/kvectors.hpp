@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file kvectors.hpp
+/// Enumeration of the wavenumber vectors of the Ewald reciprocal sum in the
+/// paper's conventions: k = n / L with integer n, phases 2*pi*k.r, Gaussian
+/// damping a_n = exp(-pi^2 L^2 k^2 / alpha^2) / k^2 (eq. 12), and a
+/// *half-space* enumeration (one of each +-n pair, eq. 13) whose count is
+/// N_wv ~ (2 pi / 3) (L k_cut)^3. These same vectors are loaded into the
+/// WINE-2 pipelines before a DFT/IDFT run.
+
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace mdm {
+
+/// One reciprocal vector of the half-space set.
+struct KVector {
+  Vec3 k;        ///< k = n / L, in 1/A
+  Vec3 n;        ///< the integer triple as doubles (for exact phase math)
+  double k2;     ///< |k|^2
+  double a;      ///< a_n = exp(-pi^2 L^2 k^2 / alpha^2) / k^2
+};
+
+/// Half-space convention: keep n with (nz > 0) || (nz == 0 && ny > 0) ||
+/// (nz == 0 && ny == 0 && nx > 0). Factor-2 symmetry is folded into the
+/// energy/force prefactors by the consumers.
+bool in_half_space(int nx, int ny, int nz);
+
+class KVectorTable {
+ public:
+  /// Enumerate all half-space vectors with |n| <= L * k_cut for a cubic box
+  /// of side `box`, computing a_n for the given paper-convention alpha
+  /// (beta = alpha / box).
+  KVectorTable(double box, double alpha, double lk_cut);
+
+  const std::vector<KVector>& vectors() const { return vectors_; }
+  std::size_t size() const { return vectors_.size(); }
+
+  double box() const { return box_; }
+  double alpha() const { return alpha_; }
+  double lk_cut() const { return lk_cut_; }
+  /// Largest |n| component over the set (table size for phase recurrences).
+  int n_max() const { return n_max_; }
+
+ private:
+  double box_;
+  double alpha_;
+  double lk_cut_;
+  int n_max_ = 0;
+  std::vector<KVector> vectors_;
+};
+
+}  // namespace mdm

@@ -1,0 +1,75 @@
+#include "ewald/parameters.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "ewald/flops.hpp"
+
+namespace mdm {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+double EwaldAccuracy::real_space_error() const { return std::erfc(s1); }
+
+double EwaldAccuracy::wavenumber_error() const {
+  return std::exp(-s2 * s2);
+}
+
+EwaldParameters parameters_from_alpha(double alpha, double box,
+                                      const EwaldAccuracy& accuracy) {
+  if (!(alpha > 0.0)) throw std::invalid_argument("alpha must be positive");
+  EwaldParameters p;
+  p.alpha = alpha;
+  p.r_cut = accuracy.s1 * box / alpha;
+  p.lk_cut = accuracy.s2 * alpha / kPi;
+  return p;
+}
+
+EwaldParameters clamp_to_box(EwaldParameters params, double box) {
+  params.r_cut = std::min(params.r_cut, 0.5 * box);
+  return params;
+}
+
+double balanced_alpha(double n_particles, const EwaldAccuracy& accuracy) {
+  // 59 N N_int = 64 N N_wv with N_int = (2pi/3) N (s1/alpha)^3 and
+  // N_wv = (2pi/3)(s2 alpha / pi)^3  =>  alpha^6 = (59/64) N (s1 pi/s2)^3.
+  const double ratio = accuracy.s1 * kPi / accuracy.s2;
+  const double alpha6 = OperationCounts::kRealPair /
+                        OperationCounts::kWavePair * n_particles * ratio *
+                        ratio * ratio;
+  return std::pow(alpha6, 1.0 / 6.0);
+}
+
+double machine_optimal_alpha(double n_particles, double speed_real,
+                             double speed_wavenumber,
+                             const EwaldAccuracy& accuracy,
+                             bool grape_counting) {
+  if (!(speed_real > 0.0) || !(speed_wavenumber > 0.0))
+    throw std::invalid_argument("speeds must be positive");
+  // t(alpha) = A / (alpha^3 S_re) + B alpha^3 / S_wn with
+  // A = 59 N^2 s1^3 * (27 or 2pi/3), B = 64 N (2pi/3)(s2/pi)^3;
+  // minimum at alpha^6 = (A / B) * (S_wn / S_re).
+  const double geom = grape_counting ? 27.0 : 2.0 * kPi / 3.0;
+  const double s1_3 = std::pow(accuracy.s1, 3);
+  const double a = OperationCounts::kRealPair * n_particles * n_particles *
+                   geom * s1_3;
+  const double b = OperationCounts::kWavePair * n_particles *
+                   (2.0 * kPi / 3.0) * std::pow(accuracy.s2 / kPi, 3);
+  const double alpha6 = a / b * speed_wavenumber / speed_real;
+  return std::pow(alpha6, 1.0 / 6.0);
+}
+
+EwaldParameters software_parameters(double n_particles, double box,
+                                    const EwaldAccuracy& accuracy) {
+  // Balanced alpha may demand r_cut > L/2 for small systems; raising alpha
+  // to at least 2*s1 keeps r_cut = s1 L / alpha <= L/2 so the clamp never
+  // degrades the real-space accuracy.
+  const double alpha =
+      std::max(balanced_alpha(n_particles, accuracy), 2.0 * accuracy.s1);
+  return clamp_to_box(parameters_from_alpha(alpha, box, accuracy), box);
+}
+
+}  // namespace mdm

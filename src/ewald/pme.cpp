@@ -1,0 +1,227 @@
+#include "ewald/pme.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/cell_list.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Signed alias of a grid frequency index: n in [0,K) -> [-K/2, K/2).
+int signed_index(int n, int k) { return n <= k / 2 ? n : n - k; }
+
+}  // namespace
+
+double bspline(int p, double x) {
+  if (p < 2) throw std::invalid_argument("bspline: order must be >= 2");
+  if (x <= 0.0 || x >= p) return 0.0;
+  if (p == 2) return 1.0 - std::fabs(x - 1.0);
+  return x / (p - 1) * bspline(p - 1, x) +
+         (p - x) / (p - 1) * bspline(p - 1, x - 1.0);
+}
+
+SmoothPme::SmoothPme(PmeParameters params, double box)
+    : params_(params),
+      box_(box),
+      beta_(params.alpha / box),
+      grid_(static_cast<std::size_t>(params.grid)) {
+  if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
+    throw std::invalid_argument("SmoothPme: bad parameters");
+  if (params.r_cut > 0.5 * box + 1e-12)
+    throw std::invalid_argument("SmoothPme: r_cut must be <= L/2");
+  if (params.order < 3 || params.order > 10)
+    throw std::invalid_argument("SmoothPme: order must be in [3, 10]");
+  if (!is_power_of_two(static_cast<std::size_t>(params.grid)))
+    throw std::invalid_argument("SmoothPme: grid must be a power of two");
+  if (params.grid < 2 * params.order)
+    throw std::invalid_argument("SmoothPme: grid too small for the order");
+  build_influence();
+}
+
+void SmoothPme::build_influence() {
+  const int k = params_.grid;
+  const int p = params_.order;
+
+  // |b(n)|^2 per axis: b(n) = e^{2 pi i (p-1) n / K} /
+  //   sum_{j=0}^{p-2} M_p(j+1) e^{2 pi i n j / K}  (Essmann eq. 4.4).
+  std::vector<double> b2(k);
+  for (int n = 0; n < k; ++n) {
+    Complex denom{};
+    for (int j = 0; j <= p - 2; ++j) {
+      const double angle = 2.0 * kPi * n * j / k;
+      denom += bspline(p, j + 1.0) * Complex{std::cos(angle),
+                                             std::sin(angle)};
+    }
+    const double d2 = std::norm(denom);
+    // Keep a zero (instead of a blow-up) where the spline sum vanishes;
+    // those modes carry no PME weight.
+    b2[n] = d2 > 1e-20 ? 1.0 / d2 : 0.0;
+  }
+
+  influence_.assign(static_cast<std::size_t>(k) * k * k, 0.0);
+  const double damp = (kPi / params_.alpha) * (kPi / params_.alpha);
+  for (int nz = 0; nz < k; ++nz) {
+    for (int ny = 0; ny < k; ++ny) {
+      for (int nx = 0; nx < k; ++nx) {
+        if (nx == 0 && ny == 0 && nz == 0) continue;
+        const double sx = signed_index(nx, k);
+        const double sy = signed_index(ny, k);
+        const double sz = signed_index(nz, k);
+        const double n2 = sx * sx + sy * sy + sz * sz;
+        influence_[(std::size_t(nz) * k + ny) * k + nx] =
+            std::exp(-damp * n2) / n2 * b2[nx] * b2[ny] * b2[nz];
+      }
+    }
+  }
+}
+
+double SmoothPme::add_reciprocal(const ParticleSystem& system,
+                                 std::span<Vec3> forces) {
+  const int k = params_.grid;
+  const int p = params_.order;
+  const auto positions = system.positions();
+  const std::size_t n = system.size();
+
+  // Per-particle spline weights and derivative weights per axis.
+  struct Spread {
+    int base[3];            // floor(u) per axis
+    double w[3][10];        // M_p(t + j), j = 0..p-1 (grid point floor(u)-j)
+    double dw[3][10];       // dM_p/du at the same points
+  };
+  std::vector<Spread> spread(n);
+
+  grid_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = system.charge(i);
+    Spread& s = spread[i];
+    double t[3];
+    const double u_coord[3] = {positions[i].x, positions[i].y,
+                               positions[i].z};
+    for (int d = 0; d < 3; ++d) {
+      const double u = wrap_coordinate(u_coord[d], box_) / box_ * k;
+      s.base[d] = static_cast<int>(std::floor(u));
+      t[d] = u - s.base[d];
+      for (int j = 0; j < p; ++j) {
+        s.w[d][j] = bspline(p, t[d] + j);
+        // d/du M_p(u - k) = M_{p-1}(u - k) - M_{p-1}(u - k - 1).
+        s.dw[d][j] = bspline(p - 1, t[d] + j) - bspline(p - 1, t[d] + j - 1);
+      }
+    }
+    for (int jz = 0; jz < p; ++jz) {
+      const int gz = ((s.base[2] - jz) % k + k) % k;
+      for (int jy = 0; jy < p; ++jy) {
+        const int gy = ((s.base[1] - jy) % k + k) % k;
+        const double wyz = s.w[1][jy] * s.w[2][jz] * q;
+        for (int jx = 0; jx < p; ++jx) {
+          const int gx = ((s.base[0] - jx) % k + k) % k;
+          grid_.at(gx, gy, gz) += wyz * s.w[0][jx];
+        }
+      }
+    }
+  }
+
+  // A(n) = F^-(Q)(n) = conj(F^+(Q)(n)) for real Q.
+  grid_.transform(false);
+
+  // Energy E = (k_e / (2 pi L)) sum_n theta(n) |F^+(Q)(n)|^2 and the
+  // convolution G-hat(n) = theta(n) F^+(Q)(n) = theta(n) conj(A(n)).
+  double energy = 0.0;
+  for (std::size_t idx = 0; idx < grid_.size(); ++idx) {
+    const double theta = influence_[idx];
+    const Complex a = grid_.data()[idx];
+    energy += theta * std::norm(a);
+    grid_.data()[idx] = theta * std::conj(a);
+  }
+  energy *= units::kCoulomb / (2.0 * kPi * box_);
+
+  // phi(k_grid) = (k_e / (pi L)) F^-(G-hat)(k_grid)  (real by symmetry).
+  grid_.transform(false);
+
+  // Gather forces: F_i = -q_i sum_grid grad(w_i) phi, du/dx = K / L.
+  // Analytic-differentiation SPME does not conserve momentum exactly (the
+  // spline interpolation breaks Newton's third law at the mesh-error
+  // level); the customary fix, applied below, subtracts the mean force.
+  const double phi_pref = units::kCoulomb / (kPi * box_);
+  const double scale = static_cast<double>(k) / box_;
+  std::vector<Vec3> recip(n, Vec3{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = system.charge(i);
+    const Spread& s = spread[i];
+    Vec3 f;
+    for (int jz = 0; jz < p; ++jz) {
+      const int gz = ((s.base[2] - jz) % k + k) % k;
+      for (int jy = 0; jy < p; ++jy) {
+        const int gy = ((s.base[1] - jy) % k + k) % k;
+        for (int jx = 0; jx < p; ++jx) {
+          const int gx = ((s.base[0] - jx) % k + k) % k;
+          const double phi = phi_pref * grid_.at(gx, gy, gz).real();
+          f.x += s.dw[0][jx] * s.w[1][jy] * s.w[2][jz] * phi;
+          f.y += s.w[0][jx] * s.dw[1][jy] * s.w[2][jz] * phi;
+          f.z += s.w[0][jx] * s.w[1][jy] * s.dw[2][jz] * phi;
+        }
+      }
+    }
+    recip[i] = (-q * scale) * f;
+  }
+  Vec3 net;
+  for (const auto& f : recip) net += f;
+  net /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) forces[i] += recip[i] - net;
+  return energy;
+}
+
+ForceResult SmoothPme::add_forces(const ParticleSystem& system,
+                                  std::span<Vec3> forces) {
+  if (forces.size() != system.size())
+    throw std::invalid_argument("SmoothPme: force array size mismatch");
+
+  ForceResult result;
+  // Real-space erfc part (same sum as the exact Ewald solver).
+  {
+    const auto positions = system.positions();
+    CellList cells(box_, params_.r_cut);
+    cells.build(positions);
+    const double two_over_sqrt_pi = 2.0 / std::sqrt(kPi);
+    cells.for_each_pair_within(
+        positions, params_.r_cut,
+        [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+          const double r = std::sqrt(r2);
+          const double qq =
+              units::kCoulomb * system.charge(i) * system.charge(j);
+          const double erfc_term = std::erfc(beta_ * r);
+          const double gauss =
+              two_over_sqrt_pi * beta_ * r * std::exp(-beta_ * beta_ * r2);
+          const double s = qq * (erfc_term + gauss) / (r2 * r);
+          const Vec3 f = s * d;
+          forces[i] += f;
+          forces[j] -= f;
+          result.potential += qq * erfc_term / r;
+          result.virial += s * r2;
+        });
+  }
+
+  result.potential += add_reciprocal(system, forces);
+
+  // Self and background corrections (as in the exact solver).
+  result.potential += -units::kCoulomb * beta_ / std::sqrt(kPi) *
+                      system.total_charge_squared();
+  const double q_total = system.total_charge();
+  result.potential += -units::kCoulomb * kPi /
+                      (2.0 * beta_ * beta_ * box_ * box_ * box_) * q_total *
+                      q_total;
+  return result;
+}
+
+double SmoothPme::reciprocal_flops(double n_particles) const {
+  const double k3 = std::pow(double(params_.grid), 3);
+  const double p3 = std::pow(double(params_.order), 3);
+  return 2.0 * n_particles * p3 * 10.0 +
+         2.0 * 5.0 * k3 * std::log2(k3);
+}
+
+}  // namespace mdm

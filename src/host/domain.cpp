@@ -1,0 +1,81 @@
+#include "host/domain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mdm::host {
+
+DomainGrid::DomainGrid(int nx, int ny, int nz, double box)
+    : nx_(nx), ny_(ny), nz_(nz), box_(box) {
+  if (nx < 1 || ny < 1 || nz < 1 || !(box > 0.0))
+    throw std::invalid_argument("DomainGrid: bad arguments");
+}
+
+DomainGrid DomainGrid::for_processes(int processes, double box) {
+  if (processes < 1)
+    throw std::invalid_argument("DomainGrid: processes must be >= 1");
+  // Minimize the surface-to-volume ratio: prefer the factor triple with the
+  // smallest spread.
+  int best[3] = {processes, 1, 1};
+  long best_score = -1;
+  for (int a = 1; a <= processes; ++a) {
+    if (processes % a) continue;
+    const int rest = processes / a;
+    for (int b = 1; b <= rest; ++b) {
+      if (rest % b) continue;
+      const int c = rest / b;
+      const long score = long(a) * a + long(b) * b + long(c) * c;
+      if (best_score < 0 || score < best_score) {
+        best_score = score;
+        best[0] = a;
+        best[1] = b;
+        best[2] = c;
+      }
+    }
+  }
+  // Largest count along x (arbitrary but fixed convention).
+  if (best[0] < best[1]) std::swap(best[0], best[1]);
+  if (best[0] < best[2]) std::swap(best[0], best[2]);
+  if (best[1] < best[2]) std::swap(best[1], best[2]);
+  return DomainGrid(best[0], best[1], best[2], box);
+}
+
+int DomainGrid::domain_of(const Vec3& r) const {
+  auto coord = [this](double v, int n) {
+    int c = static_cast<int>(std::floor(wrap_coordinate(v, box_) / box_ * n));
+    return std::min(c, n - 1);
+  };
+  return (coord(r.z, nz_) * ny_ + coord(r.y, ny_)) * nx_ + coord(r.x, nx_);
+}
+
+void DomainGrid::bounds(int d, Vec3& lo, Vec3& hi) const {
+  const int ix = d % nx_;
+  const int iy = (d / nx_) % ny_;
+  const int iz = d / (nx_ * ny_);
+  lo = {ix * box_ / nx_, iy * box_ / ny_, iz * box_ / nz_};
+  hi = {(ix + 1) * box_ / nx_, (iy + 1) * box_ / ny_, (iz + 1) * box_ / nz_};
+}
+
+double DomainGrid::distance_to_domain(const Vec3& r, int d) const {
+  Vec3 lo, hi;
+  bounds(d, lo, hi);
+  // Per-axis periodic distance to the interval [lo, hi).
+  auto axis_dist = [this](double v, double a, double b) {
+    v = wrap_coordinate(v, box_);
+    double best = 1e300;
+    for (const double shift : {-box_, 0.0, box_}) {
+      const double u = v + shift;
+      if (u >= a && u <= b)
+        best = 0.0;
+      else
+        best = std::min(best, std::min(std::fabs(u - a), std::fabs(u - b)));
+    }
+    return best;
+  };
+  const double dx = axis_dist(r.x, lo.x, hi.x);
+  const double dy = axis_dist(r.y, lo.y, hi.y);
+  const double dz = axis_dist(r.z, lo.z, hi.z);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace mdm::host

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file domain.hpp
+/// Spatial domain decomposition of the cubic box for the real-space
+/// processes (sec. 4: "The simulation box is divided into 16 domains, and
+/// one process for real-space part performs all the calculation in each
+/// domain"). Provides the ownership map, cuboid bounds and the periodic
+/// point-to-domain distance used to build halo exchanges.
+
+#include "util/vec3.hpp"
+
+namespace mdm::host {
+
+class DomainGrid {
+ public:
+  /// Split `box` into nx x ny x nz cuboids.
+  DomainGrid(int nx, int ny, int nz, double box);
+
+  /// Near-cubic factorization of `processes` (e.g. 16 -> 4 x 2 x 2).
+  static DomainGrid for_processes(int processes, double box);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int domain_count() const { return nx_ * ny_ * nz_; }
+  double box() const { return box_; }
+
+  /// Owning domain of a (possibly unwrapped) position.
+  int domain_of(const Vec3& r) const;
+
+  /// Cuboid [lo, hi) of domain d.
+  void bounds(int d, Vec3& lo, Vec3& hi) const;
+
+  /// Minimum-image distance from a point to the cuboid of domain d
+  /// (0 when inside). Used to decide which particles a neighbouring process
+  /// needs for its r_cut sphere.
+  double distance_to_domain(const Vec3& r, int d) const;
+
+ private:
+  int nx_, ny_, nz_;
+  double box_;
+};
+
+}  // namespace mdm::host

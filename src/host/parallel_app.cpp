@@ -1,0 +1,433 @@
+#include "host/parallel_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "host/vmpi.hpp"
+#include "host/wine2_mpi.hpp"
+#include "mdgrape2/gtables.hpp"
+#include "util/units.hpp"
+
+namespace mdm::host {
+namespace {
+
+/// Message tags (sec. 4 communication patterns). Must avoid the collective
+/// ranges of vmpi and the 7001+ tags of the WINE-2 MPI library.
+enum Tag : int {
+  kScatter = 100,
+  kHalo = 200,
+  kToWine = 300,
+  kFromWine = 400,
+  kWineEnergy = 450,
+  kMigrate = 500,
+  kGatherFinal = 600,
+};
+
+/// One particle as it travels between processes.
+struct PRec {
+  std::uint32_t id = 0;
+  std::int32_t type = 0;
+  Vec3 pos{};
+  Vec3 vel{};
+  Vec3 force{};
+};
+static_assert(std::is_trivially_copyable_v<PRec>);
+
+/// Compact record shipped to the wavenumber processes.
+struct WnRec {
+  std::uint32_t id = 0;
+  std::int32_t type = 0;
+  Vec3 pos{};
+};
+static_assert(std::is_trivially_copyable_v<WnRec>);
+
+struct IdForce {
+  std::uint32_t id = 0;
+  Vec3 force{};
+};
+static_assert(std::is_trivially_copyable_v<IdForce>);
+
+/// Immutable data shared by all ranks (read-only after construction).
+struct Shared {
+  ParallelAppConfig config;
+  double box = 0.0;
+  std::size_t n_particles = 0;
+  std::vector<Species> species;
+  std::vector<PRec> initial;  // full initial state
+  double self_energy = 0.0;
+  double background_energy = 0.0;
+  int total_steps = 0;
+};
+
+double charge_of(const Shared& shared, int type) {
+  return shared.species[type].charge;
+}
+
+/// ---------------- wavenumber process ------------------------------------
+
+void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
+  const int R = shared.config.real_processes;
+  const int W = shared.config.wn_processes;
+  std::vector<int> wn_ranks(W);
+  for (int w = 0; w < W; ++w) wn_ranks[w] = R + w;
+  auto wn_comm = comm.subgroup(wn_ranks);
+
+  Wine2MpiLibrary lib;
+  lib.wine2_set_MPI_community(&wn_comm);
+  lib.wine2_allocate_board(shared.config.wine_boards_per_process);
+  lib.wine2_initialize_board(shared.config.wine_formats);
+
+  const KVectorTable kvectors(shared.box, shared.config.ewald.alpha,
+                              shared.config.ewald.lk_cut);
+
+  const int rounds = shared.total_steps + 1;  // one per force evaluation
+  for (int round = 0; round < rounds; ++round) {
+    // One (possibly empty) batch from every real rank.
+    std::vector<WnRec> local;
+    std::vector<int> owner;  // real rank per local particle
+    for (int r = 0; r < R; ++r) {
+      const auto batch = comm.recv<WnRec>(r, kToWine);
+      for (const auto& rec : batch) {
+        local.push_back(rec);
+        owner.push_back(r);
+      }
+    }
+
+    std::vector<Vec3> positions(local.size());
+    std::vector<double> charges(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      positions[i] = local[i].pos;
+      charges[i] = charge_of(shared, local[i].type);
+    }
+    std::vector<Vec3> forces(local.size(), Vec3{});
+    const double energy = lib.calculate_force_and_pot_wavepart_nooffset(
+        positions, charges, shared.box, kvectors, forces);
+
+    // Return forces to the owning real ranks.
+    std::vector<std::vector<IdForce>> outgoing(R);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      outgoing[owner[i]].push_back({local[i].id, forces[i]});
+    for (int r = 0; r < R; ++r) comm.send(r, kFromWine, outgoing[r]);
+
+    if (wn_comm.rank() == 0)
+      comm.send_value(0, kWineEnergy, energy);
+  }
+  lib.wine2_free_board();
+}
+
+/// ---------------- real-space process -------------------------------------
+
+class RealProcess {
+ public:
+  RealProcess(const Shared& shared, vmpi::Communicator& comm)
+      : shared_(shared),
+        comm_(comm),
+        grid_(DomainGrid::for_processes(shared.config.real_processes,
+                                        shared.box)),
+        mdgrape_({.clusters = shared.config.mdgrape_boards_per_process,
+                  .boards_per_cluster = 1}) {
+    std::vector<double> charges(shared_.species.size());
+    for (std::size_t t = 0; t < shared_.species.size(); ++t)
+      charges[t] = shared_.species[t].charge;
+    const double beta = shared_.config.ewald.alpha / shared_.box;
+    force_passes_.push_back(mdgrape2::make_coulomb_real_pass(
+        beta, shared_.config.ewald.r_cut, charges));
+    potential_passes_.push_back(mdgrape2::make_coulomb_real_potential_pass(
+        beta, shared_.config.ewald.r_cut, charges));
+    if (shared_.config.include_tosi_fumi) {
+      for (auto& p : mdgrape2::make_tosi_fumi_passes(
+               shared_.config.tosi_fumi, shared_.config.ewald.r_cut))
+        force_passes_.push_back(std::move(p));
+      for (auto& p : mdgrape2::make_tosi_fumi_potential_passes(
+               shared_.config.tosi_fumi, shared_.config.ewald.r_cut))
+        potential_passes_.push_back(std::move(p));
+    }
+  }
+
+  void main() {
+    scatter_initial();
+    compute_forces();
+    record_sample(0);  // collective: every real rank joins the reductions
+    const auto& cfg = shared_.config.protocol;
+    for (int step = 1; step <= shared_.total_steps; ++step) {
+      half_kick();
+      drift();
+      migrate();
+      compute_forces();
+      half_kick();
+      if (step <= cfg.nvt_steps && step % cfg.rescale_interval == 0)
+        thermostat();
+      if (step % cfg.sample_interval == 0) record_sample(step);
+    }
+    gather_final();
+  }
+
+  std::vector<Sample> samples;           // rank 0 only
+  std::vector<Vec3> final_positions;     // rank 0 only
+  std::vector<Vec3> final_velocities;    // rank 0 only
+
+ private:
+  int rank() const { return comm_.rank(); }
+  int real_count() const { return shared_.config.real_processes; }
+  int wn_count() const { return shared_.config.wn_processes; }
+
+  double mass_of(const PRec& p) const {
+    return shared_.species[p.type].mass;
+  }
+
+  void scatter_initial() {
+    if (rank() == 0) {
+      std::vector<std::vector<PRec>> buckets(real_count());
+      for (const auto& p : shared_.initial)
+        buckets[grid_.domain_of(p.pos)].push_back(p);
+      my_ = std::move(buckets[0]);
+      for (int r = 1; r < real_count(); ++r)
+        comm_.send(r, kScatter, buckets[r]);
+    } else {
+      my_ = comm_.recv<PRec>(0, kScatter);
+    }
+  }
+
+  /// Halo exchange: ship to each other real rank the particles within r_cut
+  /// of that rank's domain cuboid; receive the same from everyone.
+  std::vector<PRec> exchange_halos() {
+    const double r_cut = shared_.config.ewald.r_cut;
+    for (int d = 0; d < real_count(); ++d) {
+      if (d == rank()) continue;
+      std::vector<PRec> out;
+      for (const auto& p : my_)
+        if (grid_.distance_to_domain(p.pos, d) < r_cut) out.push_back(p);
+      comm_.send(d, kHalo, out);
+    }
+    std::vector<PRec> halo;
+    for (int d = 0; d < real_count(); ++d) {
+      if (d == rank()) continue;
+      const auto part = comm_.recv<PRec>(d, kHalo);
+      halo.insert(halo.end(), part.begin(), part.end());
+    }
+    return halo;
+  }
+
+  void compute_forces() {
+    const auto halo = exchange_halos();
+
+    // Local particle image: owned first, then halo (MDGRAPE-2 j-set).
+    ParticleSystem local(shared_.box);
+    for (const auto& s : shared_.species) local.add_species(s);
+    for (const auto& p : my_) local.add_particle(p.type, p.pos);
+    for (const auto& p : halo) local.add_particle(p.type, p.pos);
+
+    std::vector<Vec3> forces(local.size(), Vec3{});
+    if (local.size() > 0) {
+      mdgrape_.load_particles(local, shared_.config.ewald.r_cut);
+      for (const auto& pass : force_passes_)
+        mdgrape_.run_force_pass(pass, forces);
+    }
+    for (std::size_t i = 0; i < my_.size(); ++i) my_[i].force = forces[i];
+
+    // Real-space + short-range potential of the owned particles (pair
+    // energies are seen from both sides, hence the factor 1/2).
+    local_potential_ = 0.0;
+    if (local.size() > 0) {
+      std::vector<double> pot(local.size(), 0.0);
+      for (const auto& pass : potential_passes_)
+        mdgrape_.run_potential_pass(pass, pot);
+      for (std::size_t i = 0; i < my_.size(); ++i)
+        local_potential_ += 0.5 * pot[i];
+    }
+
+    // Wavenumber part: partition the owned particles over the 8 wavenumber
+    // processes by particle id.
+    std::vector<std::vector<WnRec>> to_wine(wn_count());
+    for (const auto& p : my_)
+      to_wine[p.id % wn_count()].push_back({p.id, p.type, p.pos});
+    for (int w = 0; w < wn_count(); ++w)
+      comm_.send(real_count() + w, kToWine, to_wine[w]);
+
+    std::vector<IdForce> returned;
+    for (int w = 0; w < wn_count(); ++w) {
+      const auto part = comm_.recv<IdForce>(real_count() + w, kFromWine);
+      returned.insert(returned.end(), part.begin(), part.end());
+    }
+    for (const auto& idf : returned) {
+      const auto it = std::find_if(
+          my_.begin(), my_.end(),
+          [&](const PRec& p) { return p.id == idf.id; });
+      if (it == my_.end())
+        throw std::runtime_error("parallel app: wavenumber force for a "
+                                 "particle this rank does not own");
+      it->force += idf.force;
+    }
+    if (rank() == 0)
+      wn_energy_ = comm_.recv_value<double>(real_count(), kWineEnergy);
+  }
+
+  void half_kick() {
+    const double dt = shared_.config.protocol.dt_fs;
+    for (auto& p : my_) {
+      const double c = 0.5 * dt * units::kAccelUnit / mass_of(p);
+      p.vel += c * p.force;
+    }
+  }
+
+  void drift() {
+    const double dt = shared_.config.protocol.dt_fs;
+    for (auto& p : my_) {
+      p.pos += dt * p.vel;
+      p.pos = wrap_position(p.pos, shared_.box);
+    }
+  }
+
+  void migrate() {
+    std::vector<std::vector<PRec>> buckets(real_count());
+    for (const auto& p : my_) buckets[grid_.domain_of(p.pos)].push_back(p);
+    my_ = std::move(buckets[rank()]);
+    for (int d = 0; d < real_count(); ++d) {
+      if (d == rank()) continue;
+      comm_.send(d, kMigrate, buckets[d]);
+    }
+    for (int d = 0; d < real_count(); ++d) {
+      if (d == rank()) continue;
+      const auto part = comm_.recv<PRec>(d, kMigrate);
+      my_.insert(my_.end(), part.begin(), part.end());
+    }
+    // Deterministic ownership order regardless of arrival order.
+    std::sort(my_.begin(), my_.end(),
+              [](const PRec& a, const PRec& b) { return a.id < b.id; });
+  }
+
+  /// Global kinetic energy (eV) via allreduce over the real group.
+  double global_kinetic() {
+    double twice_ke = 0.0;
+    for (const auto& p : my_) twice_ke += mass_of(p) * norm2(p.vel);
+    twice_ke = real_allreduce(twice_ke);
+    return 0.5 * twice_ke / units::kAccelUnit;
+  }
+
+  double global_temperature() {
+    const double dof =
+        3.0 * static_cast<double>(shared_.n_particles) -
+        (shared_.n_particles > 1 ? 3.0 : 0.0);
+    return 2.0 * global_kinetic() / (dof * units::kBoltzmann);
+  }
+
+  void thermostat() {
+    const double t = global_temperature();
+    if (t <= 0.0) return;
+    const double scale =
+        std::sqrt(shared_.config.protocol.temperature_K / t);
+    for (auto& p : my_) p.vel *= scale;
+  }
+
+  /// Sum-allreduce one double over the real-process group (point-to-point;
+  /// tags distinct from the collective helpers).
+  double real_allreduce(double v) {
+    if (rank() == 0) {
+      for (int r = 1; r < real_count(); ++r)
+        v += comm_.recv_value<double>(r, 9001);
+      for (int r = 1; r < real_count(); ++r) comm_.send_value(r, 9002, v);
+      return v;
+    }
+    comm_.send_value(0, 9001, v);
+    return comm_.recv_value<double>(0, 9002);
+  }
+
+  void record_sample(int step) {
+    const double kinetic = global_kinetic();
+    const double potential_rs = real_allreduce(local_potential_);
+    if (rank() != 0) return;
+    Sample s;
+    s.step = step;
+    s.time_ps = step * shared_.config.protocol.dt_fs * 1e-3;
+    const double dof =
+        3.0 * static_cast<double>(shared_.n_particles) -
+        (shared_.n_particles > 1 ? 3.0 : 0.0);
+    s.temperature_K = 2.0 * kinetic / (dof * units::kBoltzmann);
+    s.kinetic_eV = kinetic;
+    s.potential_eV = potential_rs + wn_energy_ + shared_.self_energy +
+                     shared_.background_energy;
+    s.total_eV = s.kinetic_eV + s.potential_eV;
+    samples.push_back(s);
+  }
+
+  void gather_final() {
+    // Gather over the real-process subgroup only (the wavenumber ranks have
+    // already finished their rounds).
+    std::vector<int> real_ranks(real_count());
+    for (int r = 0; r < real_count(); ++r) real_ranks[r] = r;
+    auto real_comm = comm_.subgroup(real_ranks);
+    const auto all = real_comm.gather(my_, 0, kGatherFinal);
+    if (rank() != 0) return;
+    final_positions.assign(shared_.n_particles, Vec3{});
+    final_velocities.assign(shared_.n_particles, Vec3{});
+    for (const auto& p : all) {
+      final_positions[p.id] = p.pos;
+      final_velocities[p.id] = p.vel;
+    }
+  }
+
+  const Shared& shared_;
+  vmpi::Communicator& comm_;
+  DomainGrid grid_;
+  mdgrape2::Mdgrape2System mdgrape_;
+  std::vector<mdgrape2::ForcePass> force_passes_;
+  std::vector<mdgrape2::ForcePass> potential_passes_;
+  std::vector<PRec> my_;
+  double local_potential_ = 0.0;
+  double wn_energy_ = 0.0;  // rank 0 only
+};
+
+}  // namespace
+
+MdmParallelApp::MdmParallelApp(ParallelAppConfig config) : config_(config) {
+  if (config_.real_processes < 1 || config_.wn_processes < 1)
+    throw std::invalid_argument("MdmParallelApp: need >= 1 process per part");
+}
+
+ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
+  Shared shared;
+  shared.config = config_;
+  shared.box = initial.box();
+  shared.n_particles = initial.size();
+  for (int t = 0; t < initial.species_count(); ++t)
+    shared.species.push_back(initial.species(t));
+  shared.initial.resize(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    shared.initial[i] = {static_cast<std::uint32_t>(i),
+                         initial.type(i), initial.positions()[i],
+                         initial.velocities()[i], Vec3{}};
+  }
+  const double beta = config_.ewald.alpha / shared.box;
+  shared.self_energy = -units::kCoulomb * beta /
+                       std::sqrt(std::numbers::pi) *
+                       initial.total_charge_squared();
+  const double q = initial.total_charge();
+  shared.background_energy =
+      -units::kCoulomb * std::numbers::pi /
+      (2.0 * beta * beta * shared.box * shared.box * shared.box) * q * q;
+  shared.total_steps =
+      config_.protocol.nvt_steps + config_.protocol.nve_steps;
+
+  ParallelRunResult result;
+  vmpi::World world(config_.real_processes + config_.wn_processes);
+  std::mutex result_mutex;
+  world.run([&](vmpi::Communicator& comm) {
+    if (comm.rank() < config_.real_processes) {
+      RealProcess proc(shared, comm);
+      proc.main();
+      if (comm.rank() == 0) {
+        std::lock_guard lock(result_mutex);
+        result.samples = std::move(proc.samples);
+        result.positions = std::move(proc.final_positions);
+        result.velocities = std::move(proc.final_velocities);
+      }
+    } else {
+      wavenumber_main(shared, comm);
+    }
+  });
+  return result;
+}
+
+}  // namespace mdm::host

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file parallel_app.hpp
+/// The paper's MD program (sec. 4): an MPI application with 16 real-space
+/// processes and 8 wavenumber processes.
+///
+///  * Each real-space process owns one spatial domain. Per step it performs
+///    the halo exchange ("each process should know positions of neighboring
+///    particles before calling MR1calcvdw_block2, that is what you have to
+///    manage with MPI routines"), drives its MDGRAPE-2 boards for the
+///    real-space Coulomb + Tosi-Fumi passes, integrates its particles and
+///    migrates the ones that left its domain.
+///  * Each wavenumber process holds ~N/8 particles and calls the
+///    MPI-parallel WINE-2 library (Wine2MpiLibrary), which allreduces the
+///    structure factors internally.
+///
+/// The whole application runs on the virtual MPI world (threads); with the
+/// hardware simulators underneath this is the full MDM software stack.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "host/domain.hpp"
+#include "mdgrape2/system.hpp"
+#include "wine2/formats.hpp"
+
+namespace mdm::host {
+
+struct ParallelAppConfig {
+  int real_processes = 16;  ///< paper: 16 domains
+  int wn_processes = 8;     ///< paper: 8 wavenumber processes
+  SimulationConfig protocol{};
+  EwaldParameters ewald{};
+  bool include_tosi_fumi = true;
+  TosiFumiParameters tosi_fumi = TosiFumiParameters::nacl();
+  int mdgrape_boards_per_process = 2;  ///< one cluster per process
+  int wine_boards_per_process = 7;     ///< one cluster per process
+  wine2::WineFormats wine_formats = wine2::WineFormats::paper();
+};
+
+struct ParallelRunResult {
+  std::vector<Sample> samples;
+  /// Final positions/velocities indexed by original particle id.
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+};
+
+class MdmParallelApp {
+ public:
+  explicit MdmParallelApp(ParallelAppConfig config);
+
+  /// Run the NVT+NVE protocol on a copy of `initial`. Blocking; spawns
+  /// real_processes + wn_processes ranks on the virtual MPI world.
+  ParallelRunResult run(const ParticleSystem& initial);
+
+  const ParallelAppConfig& config() const { return config_; }
+
+ private:
+  ParallelAppConfig config_;
+};
+
+}  // namespace mdm::host

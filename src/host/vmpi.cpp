@@ -1,0 +1,108 @@
+#include "host/vmpi.hpp"
+
+#include <memory>
+#include <thread>
+
+namespace mdm::vmpi {
+
+World::World(int size) : size_(size) {
+  if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  mailboxes_.reserve(size);
+  for (int i = 0; i < size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  threads.reserve(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &errors] {
+      Communicator comm(this, r, size_);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Reset collective state and drain mailboxes so a World can be reused.
+  barrier_count_ = 0;
+  for (auto& mb : mailboxes_) mb->queues.clear();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+Communicator Communicator::subgroup(
+    const std::vector<int>& world_ranks) const {
+  int my_index = -1;
+  for (std::size_t i = 0; i < world_ranks.size(); ++i) {
+    const int wr = world_ranks[i];
+    if (wr < 0 || wr >= static_cast<int>(world_->mailboxes_.size()))
+      throw std::invalid_argument("vmpi: subgroup rank out of range");
+    if (wr == world_rank_) my_index = static_cast<int>(i);
+  }
+  if (my_index < 0)
+    throw std::invalid_argument("vmpi: calling rank not in subgroup");
+  Communicator sub(world_, my_index, static_cast<int>(world_ranks.size()));
+  sub.world_rank_ = world_rank_;
+  sub.group_ = world_ranks;
+  return sub;
+}
+
+void Communicator::send_bytes(int dest, int tag, const std::byte* data,
+                              std::size_t size) {
+  if (dest < 0 || dest >= size_) throw std::invalid_argument("vmpi: bad dest");
+  auto& mb = *world_->mailboxes_[to_world(dest)];
+  std::vector<std::byte> payload(data, data + size);
+  {
+    std::lock_guard lock(mb.mutex);
+    // Messages are keyed by the sender's world rank.
+    mb.queues[{world_rank_, tag}].push_back(std::move(payload));
+  }
+  mb.cv.notify_all();
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
+  if (source < 0 || source >= size_)
+    throw std::invalid_argument("vmpi: bad source");
+  auto& mb = *world_->mailboxes_[world_rank_];
+  std::unique_lock lock(mb.mutex);
+  const auto key = std::pair{to_world(source), tag};
+  mb.cv.wait(lock, [&] {
+    const auto it = mb.queues.find(key);
+    return it != mb.queues.end() && !it->second.empty();
+  });
+  auto& queue = mb.queues[key];
+  auto payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Communicator::barrier() {
+  if (!group_.empty()) {
+    // Token barrier over the subgroup: gather-to-0 then release.
+    if (rank_ == 0) {
+      for (int r = 1; r < size_; ++r) recv_value<int>(r, kBarrierTag);
+      for (int r = 1; r < size_; ++r) send_value<int>(r, kBarrierTag + 1, 0);
+    } else {
+      send_value<int>(0, kBarrierTag, 0);
+      recv_value<int>(0, kBarrierTag + 1);
+    }
+    return;
+  }
+  std::unique_lock lock(world_->barrier_mutex_);
+  const auto generation = world_->barrier_generation_;
+  if (++world_->barrier_count_ == size_) {
+    world_->barrier_count_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(lock, [&] {
+      return world_->barrier_generation_ != generation;
+    });
+  }
+}
+
+}  // namespace mdm::vmpi

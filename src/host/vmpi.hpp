@@ -1,0 +1,188 @@
+#pragma once
+
+/// \file vmpi.hpp
+/// Virtual MPI: an in-process message-passing layer with MPI semantics,
+/// standing in for the Myrinet/MPI fabric of the MDM host (sec. 3.3, 4).
+/// Ranks are threads; messages are typed copies through per-destination
+/// mailboxes keyed by (source, tag). Collectives are built on point-to-point
+/// exactly as a simple MPI implementation would.
+///
+/// The substitution preserves what matters for the reproduction: the MD
+/// program is written against communicator semantics (send/recv/bcast/
+/// allreduce/barrier over process groups), so the sec. 4 software runs
+/// unchanged in spirit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace mdm::vmpi {
+
+class World;
+
+/// Per-rank communicator handle (analogous to MPI_COMM_WORLD viewed from
+/// one rank). Cheap to copy within its rank's thread.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  /// Rank within the world (== rank() for a world communicator).
+  int world_rank() const { return world_rank_; }
+
+  /// Communicator over a subset of world ranks (like MPI_Comm_create).
+  /// `world_ranks` must contain this rank's world rank; ranks in the
+  /// subgroup are renumbered 0..n-1 in the given order. Collectives on the
+  /// subgroup use the same mailboxes, so tags must not collide with
+  /// concurrent world traffic.
+  Communicator subgroup(const std::vector<int>& world_ranks) const;
+
+  /// Blocking typed send/recv of trivially copyable element arrays.
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag,
+               reinterpret_cast<const std::byte*>(data.data()),
+               data.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag);
+    if (bytes.size() % sizeof(T) != 0)
+      throw std::runtime_error("vmpi: message size not a multiple of T");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Scalar convenience forms.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::vector<T>{v});
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    const auto v = recv<T>(source, tag);
+    if (v.size() != 1) throw std::runtime_error("vmpi: expected one value");
+    return v[0];
+  }
+
+  /// Barrier over this communicator's ranks (token ring for subgroups).
+  void barrier();
+
+  /// Broadcast from root (in place).
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root, int tag = kBcastTag) {
+    if (rank_ == root) {
+      for (int r = 0; r < size_; ++r)
+        if (r != root) send(r, tag, data);
+    } else {
+      data = recv<T>(root, tag);
+    }
+  }
+
+  /// Element-wise sum-allreduce (in place, same length on every rank).
+  template <typename T>
+  void allreduce_sum(std::vector<T>& data, int tag = kReduceTag) {
+    if (rank_ == 0) {
+      for (int r = 1; r < size_; ++r) {
+        const auto other = recv<T>(r, tag);
+        if (other.size() != data.size())
+          throw std::runtime_error("vmpi: allreduce length mismatch");
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] += other[i];
+      }
+    } else {
+      send(0, tag, data);
+    }
+    broadcast(data, 0, tag + 1);
+  }
+
+  template <typename T>
+  T allreduce_sum_value(T v, int tag = kReduceTag) {
+    std::vector<T> data{v};
+    allreduce_sum(data, tag);
+    return data[0];
+  }
+
+  /// Gather variable-length arrays to root; root receives them concatenated
+  /// in rank order (including its own contribution).
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& local, int root,
+                        int tag = kGatherTag) {
+    if (rank_ != root) {
+      send(root, tag, local);
+      return {};
+    }
+    std::vector<T> all;
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) {
+        all.insert(all.end(), local.begin(), local.end());
+      } else {
+        const auto part = recv<T>(r, tag);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+    }
+    return all;
+  }
+
+ private:
+  friend class World;
+  static constexpr int kBcastTag = 1 << 20;
+  static constexpr int kReduceTag = 1 << 21;
+  static constexpr int kGatherTag = 1 << 22;
+
+  Communicator(World* world, int rank, int size)
+      : world_(world), rank_(rank), world_rank_(rank), size_(size) {}
+
+  static constexpr int kBarrierTag = 1 << 23;
+
+  /// Translate a communicator-relative rank to a world rank.
+  int to_world(int r) const { return group_.empty() ? r : group_[r]; }
+
+  void send_bytes(int dest, int tag, const std::byte* data,
+                  std::size_t size);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  World* world_;
+  int rank_;        ///< rank within this communicator
+  int world_rank_;  ///< rank within the world
+  int size_;
+  std::vector<int> group_;  ///< world ranks (empty = world communicator)
+};
+
+/// The process group. `run` launches one thread per rank and blocks until
+/// all rank functions return; exceptions from any rank propagate.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::size_t barrier_generation_ = 0;
+};
+
+}  // namespace mdm::vmpi

@@ -1,0 +1,76 @@
+#include "host/wine2_mpi.hpp"
+
+#include <stdexcept>
+
+namespace mdm::host {
+
+void Wine2MpiLibrary::wine2_set_MPI_community(vmpi::Communicator* comm) {
+  if (!comm) throw std::invalid_argument("wine2_set_MPI_community: null");
+  comm_ = comm;
+}
+
+void Wine2MpiLibrary::wine2_allocate_board(int n_boards) {
+  if (n_boards < 1)
+    throw std::invalid_argument("wine2_allocate_board: n < 1");
+  requested_boards_ = n_boards;
+}
+
+void Wine2MpiLibrary::wine2_initialize_board(wine2::WineFormats formats) {
+  if (!comm_)
+    throw std::logic_error(
+        "wine2_initialize_board: call wine2_set_MPI_community first");
+  wine2::SystemConfig config;
+  config.clusters = requested_boards_;
+  config.boards_per_cluster = 1;
+  config.formats = formats;
+  system_ = std::make_unique<wine2::Wine2System>(config);
+}
+
+void Wine2MpiLibrary::wine2_set_nn(std::size_t n_local_particles) {
+  expected_particles_ = n_local_particles;
+}
+
+double Wine2MpiLibrary::calculate_force_and_pot_wavepart_nooffset(
+    std::span<const Vec3> positions, std::span<const double> charges,
+    double box, const KVectorTable& kvectors, std::span<Vec3> forces) {
+  if (!system_)
+    throw std::logic_error("wine2 library: boards not initialized");
+  if (expected_particles_ != 0 && positions.size() != expected_particles_)
+    throw std::invalid_argument("wine2 library: particle count mismatch");
+
+  system_->load_waves(kvectors);
+
+  StructureFactors sf;
+  if (positions.empty()) {
+    sf.s.assign(kvectors.size(), 0.0);
+    sf.c.assign(kvectors.size(), 0.0);
+  } else {
+    system_->set_particles(positions, charges, box);
+    sf = system_->run_dft();
+  }
+
+  // The only cross-process coupling: structure factors are linear in the
+  // particles, so the global S/C are element-wise sums.
+  comm_->allreduce_sum(sf.s, /*tag=*/7001);
+  comm_->allreduce_sum(sf.c, /*tag=*/7003);
+
+  double energy = 0.0;
+  if (!positions.empty()) {
+    system_->run_idft(sf, forces);
+    energy = system_->reciprocal_energy(sf);
+  } else {
+    // Ranks without particles still know the global energy.
+    wine2::Wine2System probe({.clusters = 1, .boards_per_cluster = 1,
+                              .chips_per_board = 1});
+    probe.load_waves(kvectors);
+    // reciprocal_energy only needs the waves and the box.
+    probe.set_particles(std::vector<Vec3>{Vec3{}},
+                        std::vector<double>{0.0}, box);
+    energy = probe.reciprocal_energy(sf);
+  }
+  return energy;
+}
+
+void Wine2MpiLibrary::wine2_free_board() { system_.reset(); }
+
+}  // namespace mdm::host

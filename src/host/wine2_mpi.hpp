@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file wine2_mpi.hpp
+/// The MPI-parallel WINE-2 library of the paper's Table 2. Sec. 4: "For
+/// wavenumber-space part, the library routine for force calculation is
+/// already parallelized with MPI, and users do not care any communication
+/// between processes. We used 8 processes ... so each of them has about N/8
+/// particle positions. All the processes call WINE-2 library routines with
+/// the same parameters except the force calculation routine."
+///
+/// Each rank runs its share of boards on its local particles; the library
+/// internally allreduces the structure factors (the only cross-process
+/// coupling of eqs. 9-11) before the IDFT.
+
+#include "ewald/kvectors.hpp"
+#include "host/vmpi.hpp"
+#include "wine2/system.hpp"
+
+namespace mdm::host {
+
+class Wine2MpiLibrary {
+ public:
+  /// Table 2: "set the MPI community for wavenumber-space part". The
+  /// communicator must span exactly the wavenumber process group.
+  void wine2_set_MPI_community(vmpi::Communicator* comm);
+  void wine2_allocate_board(int n_boards);
+  void wine2_initialize_board(
+      wine2::WineFormats formats = wine2::WineFormats::paper());
+  void wine2_set_nn(std::size_t n_local_particles);
+
+  /// Collective: every rank passes its local particles and receives its
+  /// local wavenumber-space forces plus the (global) reciprocal energy.
+  double calculate_force_and_pot_wavepart_nooffset(
+      std::span<const Vec3> positions, std::span<const double> charges,
+      double box, const KVectorTable& kvectors, std::span<Vec3> forces);
+
+  void wine2_free_board();
+
+ private:
+  vmpi::Communicator* comm_ = nullptr;
+  int requested_boards_ = 7;
+  std::size_t expected_particles_ = 0;
+  std::unique_ptr<wine2::Wine2System> system_;
+};
+
+}  // namespace mdm::host

@@ -1,0 +1,60 @@
+#include "mdgrape2/api.hpp"
+
+#include <stdexcept>
+
+namespace mdm::mdgrape2 {
+
+void MR1Library::MR1allocateboard(int n_boards) {
+  if (n_boards < 1) throw std::invalid_argument("MR1allocateboard: n < 1");
+  if (system_)
+    throw std::logic_error("MR1allocateboard: boards already acquired");
+  requested_boards_ = n_boards;
+}
+
+void MR1Library::MR1init() {
+  if (system_) throw std::logic_error("MR1init: boards already acquired");
+  SystemConfig config;
+  // Boards come in clusters of two; odd requests round up a cluster with a
+  // single-board cluster, matching how partial machines were populated.
+  config.clusters = (requested_boards_ + 1) / 2;
+  config.boards_per_cluster = requested_boards_ >= 2 ? 2 : 1;
+  if (config.clusters * config.boards_per_cluster != requested_boards_) {
+    config.clusters = requested_boards_;
+    config.boards_per_cluster = 1;
+  }
+  system_ = std::make_unique<Mdgrape2System>(config);
+}
+
+void MR1Library::MR1SetTable(const ForcePass& pass) {
+  if (!system_) throw std::logic_error("MR1SetTable: call MR1init first");
+  pass_ = std::make_unique<ForcePass>(pass);
+}
+
+PassStats MR1Library::MR1calcvdw_block2(const ParticleSystem& system,
+                                        double r_cut,
+                                        std::span<Vec3> forces) {
+  if (!system_)
+    throw std::logic_error("MR1calcvdw_block2: call MR1init first");
+  if (!pass_)
+    throw std::logic_error("MR1calcvdw_block2: call MR1SetTable first");
+  system_->load_particles(system, r_cut);
+  return system_->run_force_pass(*pass_, forces);
+}
+
+PassStats MR1Library::MR1calcpot_block2(const ParticleSystem& system,
+                                        double r_cut,
+                                        std::span<double> potentials) {
+  if (!system_)
+    throw std::logic_error("MR1calcpot_block2: call MR1init first");
+  if (!pass_)
+    throw std::logic_error("MR1calcpot_block2: call MR1SetTable first");
+  system_->load_particles(system, r_cut);
+  return system_->run_potential_pass(*pass_, potentials);
+}
+
+void MR1Library::MR1free() {
+  system_.reset();
+  pass_.reset();
+}
+
+}  // namespace mdm::mdgrape2

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file api.hpp
+/// The MDGRAPE-2 library interface of the paper's Table 3, as a thin facade
+/// over Mdgrape2System. Method names follow the table verbatim so the MD
+/// program of sec. 4 ports directly:
+///
+///   MR1allocateboard   set the number of MDGRAPE-2 boards to acquire
+///   MR1init            acquire MDGRAPE-2 boards
+///   MR1SetTable        set the function table g(x)
+///   MR1calcvdw_block2  calculate the real-space part of force with the
+///                      cell-index method
+///   MR1free            release MDGRAPE-2 boards
+
+#include <memory>
+
+#include "mdgrape2/system.hpp"
+
+namespace mdm::mdgrape2 {
+
+class MR1Library {
+ public:
+  /// Set the number of boards the next MR1init acquires.
+  void MR1allocateboard(int n_boards);
+
+  /// Acquire the boards. Throws if called twice without MR1free.
+  void MR1init();
+
+  /// Load a g(x) table + coefficients into every acquired chip.
+  void MR1SetTable(const ForcePass& pass);
+
+  /// Real-space force calculation with the cell-index method: uploads the
+  /// particle image, runs the loaded pass, accumulates into `forces`.
+  PassStats MR1calcvdw_block2(const ParticleSystem& system, double r_cut,
+                              std::span<Vec3> forces);
+
+  /// Potential-mode variant (same table-swap mechanism).
+  PassStats MR1calcpot_block2(const ParticleSystem& system, double r_cut,
+                              std::span<double> potentials);
+
+  /// Release the boards.
+  void MR1free();
+
+  bool initialized() const { return system_ != nullptr; }
+  Mdgrape2System* system() { return system_.get(); }
+
+ private:
+  int requested_boards_ = 2;  ///< one cluster by default
+  std::unique_ptr<Mdgrape2System> system_;
+  std::unique_ptr<ForcePass> pass_;
+};
+
+}  // namespace mdm::mdgrape2

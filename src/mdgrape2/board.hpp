@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file board.hpp
+/// MDGRAPE-2 board model (sec. 3.5.2, fig. 9): two chips fed by an FPGA
+/// holding the cell-index counter, cell memory, particle-index counter and
+/// 8 MB of SSRAM particle memory. The board implements eqs. 7-8: for every
+/// i-particle it scans the 27 cells neighbouring i's cell and streams each
+/// cell's contiguous particle range through both chips.
+///
+/// Notable hardware behaviours reproduced here:
+///  * no cutoff test - pairs beyond r_cut are evaluated and the zero tail
+///    of the g-table discards them (the N_int_g inflation of eq. 6);
+///  * no Newton's third law - every i sees all 27 cells;
+///  * particle indices within a cell must be contiguous in memory.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cell_list.hpp"
+#include "mdgrape2/chip.hpp"
+
+namespace mdm::mdgrape2 {
+
+/// 8 MB SSRAM / 16 bytes per stored particle.
+inline constexpr std::size_t kBoardParticleCapacity = 8u * 1024 * 1024 / 16;
+
+class Board {
+ public:
+  static constexpr int kChips = 2;
+  static constexpr int kPipelinesPerBoard = kChips * Chip::kPipelines;
+
+  /// Load the j-side: particle memory (cell-sorted) plus the cell table.
+  /// `cells` must have been built over the same positions used to produce
+  /// `particles` (in cell order). Throws if the particle memory capacity is
+  /// exceeded.
+  void load_particles(std::vector<StoredParticle> particles,
+                      const CellList& cells);
+  std::size_t loaded_particles() const { return particles_.size(); }
+
+  /// Load the pass into both chips (MR1SetTable).
+  void load_pass(const ForcePass& pass);
+
+  /// Compute forces (or potentials in a potential-mode pass) for the given
+  /// i-particles via the 27-cell scan. `i_cells[k]` is the cell id of
+  /// i_batch[k]. Accumulates into `forces`/`potentials`.
+  void calc_cell_forces(std::span<const StoredParticle> i_batch,
+                        std::span<const int> i_cells, double box,
+                        std::span<Vec3> forces);
+  void calc_cell_potentials(std::span<const StoredParticle> i_batch,
+                            std::span<const int> i_cells, double box,
+                            std::span<double> potentials);
+
+  const Chip& chip(int k) const { return chips_[k]; }
+  Chip& chip(int k) { return chips_[k]; }
+
+  std::uint64_t pair_operations() const;
+  std::uint64_t useful_pair_operations() const;
+  void reset_counters();
+
+ private:
+  /// Stream of one cell: contiguous range of the particle memory.
+  std::span<const StoredParticle> cell_stream(int cell) const;
+
+  std::vector<StoredParticle> particles_;      // cell-sorted particle memory
+  std::vector<CellList::Range> cell_ranges_;   // cell memory
+  std::vector<std::array<int, 27>> neighbors_; // cell-index counter logic
+  Chip chips_[kChips];
+};
+
+}  // namespace mdm::mdgrape2

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The MDGRAPE-2 pipeline datapath (sec. 3.5.4, fig. 11):
+///
+///   r_ij = x_i - x_j  (40-bit cyclic fixed-point coordinates; the modular
+///                      subtraction performs the periodic minimum image)
+///   x    = a_ij * r^2 (IEEE-754 single precision)
+///   g(x)              (function evaluator, single precision)
+///   f    = b_ij * g(x) * r_vec   accumulated in double precision
+///          ("double floating point format is used for accumulating the
+///           force in order to prevent the underflow when large number of
+///           particles are used")
+///
+/// A zero displacement (particle against itself in the 27-cell scan) is
+/// suppressed by the x <= 0 rule of the function evaluator for forces and
+/// by an explicit r^2 == 0 guard in potential mode.
+
+#include <cstdint>
+#include <span>
+
+#include "mdgrape2/gtables.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm::mdgrape2 {
+
+/// Cyclic fixed-point coordinate: position as a 40-bit fraction of the box.
+struct CyclicCoord {
+  std::uint64_t x = 0, y = 0, z = 0;
+};
+
+inline constexpr int kCoordBits = 40;
+
+/// Quantize a wrapped position to cyclic coordinates.
+CyclicCoord to_cyclic(const Vec3& r, double box);
+
+/// Minimum-image displacement a - b in box units, via modular two's
+/// complement arithmetic on the 40-bit words (the hardware trick: the wrap
+/// is free).
+Vec3 cyclic_delta(const CyclicCoord& a, const CyclicCoord& b, double box);
+
+/// A particle as stored in the board's particle memory. "The position,
+/// charge, and particle type of a particle j are supplied to both of the
+/// MDGRAPE-2 chips" (sec. 3.5.2); the per-particle charge only enters the
+/// datapath when the loaded pass sets `use_particle_charge` (needed when
+/// the charge is not a function of the type - e.g. tree-code monopoles).
+struct StoredParticle {
+  CyclicCoord position;
+  int type = 0;
+  float charge = 1.0f;
+};
+
+/// Work accounting of one pipeline run. `evaluated` counts every streamed
+/// pair (the hardware never skips, sec. 2.2); `useful` counts the pairs
+/// whose argument fell inside the g-table domain, i.e. within r_cut - the
+/// difference is the N_int_g vs N_int inflation the paper corrects for in
+/// its effective-speed figure.
+struct PairCount {
+  std::size_t evaluated = 0;
+  std::size_t useful = 0;
+
+  PairCount& operator+=(const PairCount& o) {
+    evaluated += o.evaluated;
+    useful += o.useful;
+    return *this;
+  }
+};
+
+/// One pipeline. Stateless except for the loaded pass (table +
+/// coefficients); `accumulate` processes a j-stream against one i-particle.
+class Pipeline {
+ public:
+  void load(const ForcePass* pass) { pass_ = pass; }
+  bool loaded() const { return pass_ != nullptr; }
+
+  /// Force mode: add sum_j b_ij g(a r^2) r_vec to `force` (double accum).
+  PairCount accumulate_force(const StoredParticle& i,
+                             std::span<const StoredParticle> j_stream,
+                             double box, Vec3& force) const;
+
+  /// Potential mode: add sum_j b_ij g(a r^2) to `potential`.
+  PairCount accumulate_potential(const StoredParticle& i,
+                                 std::span<const StoredParticle> j_stream,
+                                 double box, double& potential) const;
+
+ private:
+  const ForcePass* pass_ = nullptr;
+};
+
+}  // namespace mdm::mdgrape2

@@ -1,0 +1,133 @@
+#include "mdgrape2/system.hpp"
+
+#include <stdexcept>
+
+namespace mdm::mdgrape2 {
+
+Mdgrape2System::Mdgrape2System(SystemConfig config) : config_(config) {
+  if (config_.clusters < 1 || config_.boards_per_cluster < 1)
+    throw std::invalid_argument("Mdgrape2System: bad topology");
+  if (config_.cell_margin < 1.0)
+    throw std::invalid_argument(
+        "Mdgrape2System: cell side must be at least r_cut");
+  const int n = config_.clusters * config_.boards_per_cluster;
+  boards_.reserve(n);
+  for (int i = 0; i < n; ++i) boards_.push_back(std::make_unique<Board>());
+}
+
+void Mdgrape2System::load_particles(const ParticleSystem& system,
+                                    double r_cut) {
+  box_ = system.box();
+  cells_ = std::make_unique<CellList>(box_, r_cut * config_.cell_margin);
+  if (cells_->cells_per_side() < 3)
+    throw std::invalid_argument(
+        "Mdgrape2System: cell-index method needs >= 3 cells per side "
+        "(box >= 3 r_cut); the 27-cell scan would double count otherwise");
+  cells_->build(system.positions());
+
+  const auto order = cells_->order();
+  stored_.resize(order.size());
+  original_index_.assign(order.begin(), order.end());
+  cell_of_slot_.resize(order.size());
+  for (std::size_t slot = 0; slot < order.size(); ++slot) {
+    const auto p = order[slot];
+    stored_[slot].position = to_cyclic(system.positions()[p], box_);
+    stored_[slot].type = system.type(p);
+  }
+  for (int c = 0; c < cells_->cell_count(); ++c) {
+    const auto range = cells_->cell_range(c);
+    for (auto slot = range.begin; slot < range.end; ++slot)
+      cell_of_slot_[slot] = c;
+  }
+  // Broadcast the image to every board (PCI write in the real machine).
+  for (auto& board : boards_) board->load_particles(stored_, *cells_);
+}
+
+PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
+                                         std::span<Vec3> forces) {
+  if (!cells_) throw std::logic_error("Mdgrape2System: particles not loaded");
+  if (forces.size() != stored_.size())
+    throw std::invalid_argument("Mdgrape2System: force array size mismatch");
+  if (pass.potential_mode)
+    throw std::invalid_argument("Mdgrape2System: pass is potential-mode");
+
+  PassStats stats;
+  const std::size_t n = stored_.size();
+  const std::size_t nb = boards_.size();
+  std::vector<Vec3> slot_forces(n, Vec3{});
+  for (std::size_t b = 0; b < nb; ++b) {
+    Board& board = *boards_[b];
+    const std::uint64_t before = board.pair_operations();
+    const std::uint64_t useful_before = board.useful_pair_operations();
+    board.load_pass(pass);
+    // Contiguous i-slice per board (block partition over cell-sorted slots).
+    const std::size_t begin = b * n / nb;
+    const std::size_t end = (b + 1) * n / nb;
+    if (begin == end) continue;
+    board.calc_cell_forces(
+        std::span(stored_).subspan(begin, end - begin),
+        std::span(cell_of_slot_).subspan(begin, end - begin), box_,
+        std::span(slot_forces).subspan(begin, end - begin));
+    const std::uint64_t did = board.pair_operations() - before;
+    stats.pair_operations += did;
+    stats.useful_pairs += board.useful_pair_operations() - useful_before;
+    stats.max_board_pairs = std::max(stats.max_board_pairs, did);
+  }
+  for (std::size_t slot = 0; slot < n; ++slot)
+    forces[original_index_[slot]] += slot_forces[slot];
+  return stats;
+}
+
+PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
+                                             std::span<double> potentials) {
+  if (!cells_) throw std::logic_error("Mdgrape2System: particles not loaded");
+  if (potentials.size() != stored_.size())
+    throw std::invalid_argument(
+        "Mdgrape2System: potential array size mismatch");
+  if (!pass.potential_mode)
+    throw std::invalid_argument("Mdgrape2System: pass is force-mode");
+
+  PassStats stats;
+  const std::size_t n = stored_.size();
+  const std::size_t nb = boards_.size();
+  std::vector<double> slot_pot(n, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    Board& board = *boards_[b];
+    const std::uint64_t before = board.pair_operations();
+    const std::uint64_t useful_before = board.useful_pair_operations();
+    board.load_pass(pass);
+    const std::size_t begin = b * n / nb;
+    const std::size_t end = (b + 1) * n / nb;
+    if (begin == end) continue;
+    board.calc_cell_potentials(
+        std::span(stored_).subspan(begin, end - begin),
+        std::span(cell_of_slot_).subspan(begin, end - begin), box_,
+        std::span(slot_pot).subspan(begin, end - begin));
+    const std::uint64_t did = board.pair_operations() - before;
+    stats.pair_operations += did;
+    stats.useful_pairs += board.useful_pair_operations() - useful_before;
+    stats.max_board_pairs = std::max(stats.max_board_pairs, did);
+  }
+  for (std::size_t slot = 0; slot < n; ++slot)
+    potentials[original_index_[slot]] += slot_pot[slot];
+  return stats;
+}
+
+std::uint64_t Mdgrape2System::pair_operations() const {
+  std::uint64_t total = 0;
+  for (const auto& board : boards_) total += board->pair_operations();
+  return total;
+}
+
+std::uint64_t Mdgrape2System::useful_pair_operations() const {
+  std::uint64_t total = 0;
+  for (const auto& board : boards_)
+    total += board->useful_pair_operations();
+  return total;
+}
+
+void Mdgrape2System::reset_counters() {
+  for (auto& board : boards_) board->reset_counters();
+}
+
+}  // namespace mdm::mdgrape2

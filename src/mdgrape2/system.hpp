@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file system.hpp
+/// The full MDGRAPE-2 subsystem (sec. 3.5, fig. 8): clusters of two boards
+/// each. The paper's current machine has 16 clusters (64 chips, 1 Tflops);
+/// the future machine 1,536 chips. Each board receives the full cell-sorted
+/// particle image (broadcast over the PCI bus in the real machine) and a
+/// slice of the i-particles.
+
+#include <memory>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "mdgrape2/board.hpp"
+
+namespace mdm::mdgrape2 {
+
+struct SystemConfig {
+  int clusters = 16;           ///< paper's current machine
+  int boards_per_cluster = 2;
+  double cell_margin = 1.0;    ///< cell side = cell_margin * r_cut ("a little
+                               ///  larger than r_cut" uses > 1)
+};
+
+/// Result of one pass over all boards.
+struct PassStats {
+  std::uint64_t pair_operations = 0;
+  /// Pairs within r_cut (the physically useful subset; eq. 6's inflation
+  /// is pair_operations / useful_pairs ~ 27 / (4 pi / 3) ~ 6.4 plus the
+  /// missing Newton's-third-law factor of 2).
+  std::uint64_t useful_pairs = 0;
+  /// Pair operations of the busiest board (load-balance indicator).
+  std::uint64_t max_board_pairs = 0;
+};
+
+class Mdgrape2System {
+ public:
+  explicit Mdgrape2System(SystemConfig config = {});
+
+  int board_count() const { return static_cast<int>(boards_.size()); }
+  int chip_count() const { return board_count() * Board::kChips; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Upload positions/types: builds the cell decomposition (cell side >=
+  /// r_cut), sorts particles by cell and broadcasts the image to every
+  /// board. Must be called whenever positions change.
+  void load_particles(const ParticleSystem& system, double r_cut);
+
+  /// Run one force pass; adds b g(a r^2) r_vec sums into `forces` (indexed
+  /// like the ParticleSystem). The i-range is partitioned across boards.
+  PassStats run_force_pass(const ForcePass& pass, std::span<Vec3> forces);
+
+  /// Run one potential pass; adds per-particle scalars into `potentials`.
+  PassStats run_potential_pass(const ForcePass& pass,
+                               std::span<double> potentials);
+
+  /// Number of particles currently loaded.
+  std::size_t loaded_particles() const { return stored_.size(); }
+  /// Cells per side of the current decomposition.
+  int cells_per_side() const { return cells_ ? cells_->cells_per_side() : 0; }
+
+  /// Cumulative pair operations over all boards since the last reset.
+  std::uint64_t pair_operations() const;
+  std::uint64_t useful_pair_operations() const;
+  void reset_counters();
+
+ private:
+  SystemConfig config_;
+  std::vector<std::unique_ptr<Board>> boards_;
+  std::unique_ptr<CellList> cells_;
+  double box_ = 0.0;
+  /// Cell-sorted particle image plus the original index of each slot.
+  std::vector<StoredParticle> stored_;
+  std::vector<std::uint32_t> original_index_;
+  std::vector<int> cell_of_slot_;
+};
+
+}  // namespace mdm::mdgrape2

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file machine_model.hpp
+/// Analytic performance model of the MDM configurations discussed in the
+/// paper (secs. 3, 5, 6): chip counts, peak speeds, efficiencies and the
+/// communication fabric. Together with the operation-count model of
+/// ewald/flops.hpp this regenerates Tables 1, 4 and 5.
+
+#include <algorithm>
+#include <string>
+
+#include "ewald/flops.hpp"
+#include "ewald/parameters.hpp"
+
+namespace mdm::perf {
+
+/// One machine configuration.
+struct MachineModel {
+  std::string name;
+
+  // --- special-purpose units --------------------------------------------
+  int mdgrape_chips = 0;
+  int wine_chips = 0;
+  double mdgrape_chip_gflops = 16.0;  ///< sec. 3.5.3 (100 MHz, 4 pipelines)
+  double wine_chip_gflops = 20.0;     ///< sec. 3.4.3 (66.6 MHz, 8 pipelines)
+  /// Sustained fraction of peak (Table 5's "efficiency").
+  double mdgrape_efficiency = 1.0;
+  double wine_efficiency = 1.0;
+
+  // --- conventional computer alternative ---------------------------------
+  /// When true, both Ewald parts run on a general-purpose computer at
+  /// `host_flops` and the real-space part uses Newton's third law + exact
+  /// cutoff (N_int, not N_int_g).
+  bool conventional = false;
+  double host_flops = 0.0;
+
+  // --- fabric (sec. 6.1) --------------------------------------------------
+  double pci_bandwidth_bytes = 132e6;      ///< 32-bit PCI
+  double network_bandwidth_bytes = 160e6;  ///< Myrinet, per link
+  int node_count = 4;
+
+  double mdgrape_peak_flops() const {
+    return mdgrape_chips * mdgrape_chip_gflops * 1e9;
+  }
+  double wine_peak_flops() const {
+    return wine_chips * wine_chip_gflops * 1e9;
+  }
+  double mdgrape_sustained_flops() const {
+    return mdgrape_peak_flops() * mdgrape_efficiency;
+  }
+  double wine_sustained_flops() const {
+    return wine_peak_flops() * wine_efficiency;
+  }
+  double peak_flops() const {
+    return conventional ? host_flops
+                        : mdgrape_peak_flops() + wine_peak_flops();
+  }
+
+  /// The machine of the July-2000 measurement: 64 MDGRAPE-2 chips (1 Tflops)
+  /// + 2,240 WINE-2 chips (45 Tflops). Efficiencies from Table 5.
+  static MachineModel mdm_current();
+  /// End-of-2000 target: 1,536 + 2,688 chips, 25 + 54 Tflops, ~50% eff.
+  static MachineModel mdm_future();
+  /// General-purpose computer with the same *effective* speed as the
+  /// current MDM (the paper's Table 4 comparison column).
+  static MachineModel conventional_equivalent(double flops = 1.34e12);
+};
+
+/// Predicted timing of one MD step for a machine/workload pair.
+struct StepTiming {
+  double real_seconds = 0.0;        ///< real-space force part
+  double wavenumber_seconds = 0.0;  ///< wavenumber force part
+  double host_seconds = 0.0;        ///< O(N) integration etc.
+  double comm_seconds = 0.0;        ///< host<->board + network traffic
+
+  /// WINE-2 and MDGRAPE-2 are independent backends fed the same positions
+  /// (sec. 3.1), so their work overlaps; the host/O(N) parts serialize.
+  /// A conventional machine runs both parts on the same CPUs (sum).
+  bool concurrent_backends = true;
+  double total_seconds() const {
+    const double backend =
+        concurrent_backends ? std::max(real_seconds, wavenumber_seconds)
+                            : real_seconds + wavenumber_seconds;
+    return backend + host_seconds + comm_seconds;
+  }
+};
+
+/// Predict one step of an N-particle Ewald MD run at the given parameters.
+StepTiming predict_step(const MachineModel& machine, double n_particles,
+                        double box, const EwaldParameters& params);
+
+/// The alpha this machine prefers (sec. 5: "optimized for our hardware").
+double optimal_alpha(const MachineModel& machine, double n_particles,
+                     const EwaldAccuracy& accuracy = {});
+
+}  // namespace mdm::perf

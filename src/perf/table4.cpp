@@ -1,0 +1,131 @@
+#include "perf/table4.hpp"
+
+namespace mdm::perf {
+
+Table4Column make_column(const std::string& name, const PaperWorkload& w,
+                         double alpha, bool grape_counting,
+                         double sec_per_step, double min_total_flops) {
+  Table4Column col;
+  col.system = name;
+  col.n = w.n_particles;
+  col.alpha = alpha;
+  const auto params = parameters_from_alpha(alpha, w.box, w.accuracy);
+  col.r_cut = params.r_cut;
+  col.lk_cut = params.lk_cut;
+  const auto flops = ewald_step_flops(w.n_particles, w.box, params);
+  col.n_int = flops.n_int;
+  col.n_wv = flops.n_wv;
+  col.grape_counting = grape_counting;
+  if (grape_counting) {
+    col.n_int_g = flops.n_int_g;
+    col.real_flops = flops.real_grape;
+  } else {
+    col.real_flops = flops.real_host;
+  }
+  col.wavenumber_flops = flops.wavenumber;
+  col.total_flops = col.real_flops + col.wavenumber_flops;
+  col.sec_per_step = sec_per_step;
+  col.calc_speed_tflops = col.total_flops / sec_per_step / 1e12;
+  col.effective_speed_tflops = min_total_flops / sec_per_step / 1e12;
+  return col;
+}
+
+namespace {
+
+Table4 build(const PaperWorkload& w, double alpha_current,
+             double alpha_conventional, double alpha_future,
+             double sec_current, double sec_future) {
+  // The minimum operation count (conventional computer at the balanced
+  // alpha) defines the effective speed of every column.
+  const auto conv_params =
+      parameters_from_alpha(alpha_conventional, w.box, w.accuracy);
+  const auto conv_flops = ewald_step_flops(w.n_particles, w.box, conv_params);
+  const double min_total = conv_flops.total_host();
+
+  Table4 t;
+  t.workload = w;
+  t.columns.push_back(make_column("MDM current", w, alpha_current,
+                                  /*grape=*/true, sec_current, min_total));
+  t.columns.push_back(make_column("Conventional system", w,
+                                  alpha_conventional,
+                                  /*grape=*/false, sec_current, min_total));
+  t.columns.push_back(make_column("MDM future", w, alpha_future,
+                                  /*grape=*/true, sec_future, min_total));
+  return t;
+}
+
+}  // namespace
+
+Table4 table4_paper() {
+  const PaperWorkload w;
+  return build(w, 85.0, 30.1, 50.3, kMeasuredSecondsPerStep,
+               kFutureSecondsPerStep);
+}
+
+Table4 table4_modeled() {
+  const PaperWorkload w;
+  const auto current = MachineModel::mdm_current();
+  const auto future = MachineModel::mdm_future();
+
+  const double a_current = optimal_alpha(current, w.n_particles, w.accuracy);
+  const double a_conv = balanced_alpha(w.n_particles, w.accuracy);
+  const double a_future = optimal_alpha(future, w.n_particles, w.accuracy);
+
+  const double sec_current =
+      predict_step(current, w.n_particles, w.box,
+                   parameters_from_alpha(a_current, w.box, w.accuracy))
+          .total_seconds();
+  const double sec_future =
+      predict_step(future, w.n_particles, w.box,
+                   parameters_from_alpha(a_future, w.box, w.accuracy))
+          .total_seconds();
+  return build(w, a_current, a_conv, a_future, sec_current, sec_future);
+}
+
+AsciiTable Table4::render(const std::string& title) const {
+  AsciiTable t(title);
+  std::vector<std::string> header{"Quantity"};
+  for (const auto& c : columns) header.push_back(c.system);
+  t.set_header(header);
+
+  auto row = [&](const std::string& label, auto getter, auto format) {
+    std::vector<std::string> cells{label};
+    for (const auto& c : columns) cells.push_back(format(getter(c)));
+    t.add_row(cells);
+  };
+  auto fixed1 = [](double v) { return format_fixed(v, 1); };
+  auto sci3 = [](double v) { return format_sci(v, 3); };
+
+  row("N", [](const Table4Column& c) { return c.n; }, sci3);
+  row("alpha", [](const Table4Column& c) { return c.alpha; }, fixed1);
+  row("r_cut (A)", [](const Table4Column& c) { return c.r_cut; }, fixed1);
+  row("L k_cut", [](const Table4Column& c) { return c.lk_cut; }, fixed1);
+  row("N_int", [](const Table4Column& c) { return c.n_int; }, sci3);
+  t.add_row({"N_int_g", columns[0].grape_counting
+                            ? format_sci(columns[0].n_int_g, 3)
+                            : "-",
+             "-",
+             columns.size() > 2 && columns[2].grape_counting
+                 ? format_sci(columns[2].n_int_g, 3)
+                 : "-"});
+  row("N_wv", [](const Table4Column& c) { return c.n_wv; }, sci3);
+  t.add_rule();
+  row("Real-space flops/step",
+      [](const Table4Column& c) { return c.real_flops; }, sci3);
+  row("Wavenumber flops/step",
+      [](const Table4Column& c) { return c.wavenumber_flops; }, sci3);
+  row("Total flops/step",
+      [](const Table4Column& c) { return c.total_flops; }, sci3);
+  t.add_rule();
+  row("sec/step", [](const Table4Column& c) { return c.sec_per_step; },
+      [](double v) { return format_fixed(v, 2); });
+  row("Calculation speed (Tflops)",
+      [](const Table4Column& c) { return c.calc_speed_tflops; },
+      [](double v) { return format_fixed(v, 2); });
+  row("Effective speed (Tflops)",
+      [](const Table4Column& c) { return c.effective_speed_tflops; },
+      [](double v) { return format_fixed(v, 2); });
+  return t;
+}
+
+}  // namespace mdm::perf

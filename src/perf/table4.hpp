@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file table4.hpp
+/// Regeneration of the paper's Table 4 ("Performance of simulation"): for
+/// each machine column the Ewald parameters, interaction counts, per-step
+/// operation counts, step time and the calculation/effective speeds.
+///
+/// Two variants are produced:
+///  * paper()  - the paper's own inputs (alpha = 85 / 30.1 / 50.3, measured
+///    43.8 s/step for the current machine, estimated 4.48 s for the future
+///    one); every derived number should match the published table.
+///  * modeled() - alpha chosen by our optimizer and step time predicted by
+///    the machine model; shows the same shape without using any measured
+///    input.
+
+#include <string>
+#include <vector>
+
+#include "perf/machine_model.hpp"
+#include "util/table.hpp"
+
+namespace mdm::perf {
+
+/// The workload of sec. 5.
+struct PaperWorkload {
+  double n_particles = 18821096.0;
+  double box = 850.0;
+  EwaldAccuracy accuracy{};
+};
+
+struct Table4Column {
+  std::string system;
+  double n = 0.0;
+  double alpha = 0.0;
+  double r_cut = 0.0;
+  double lk_cut = 0.0;
+  double n_int = 0.0;
+  double n_int_g = 0.0;  ///< 0 for the conventional column
+  double n_wv = 0.0;
+  bool grape_counting = false;
+  double real_flops = 0.0;
+  double wavenumber_flops = 0.0;
+  double total_flops = 0.0;
+  double sec_per_step = 0.0;
+  double calc_speed_tflops = 0.0;
+  double effective_speed_tflops = 0.0;
+};
+
+struct Table4 {
+  PaperWorkload workload;
+  std::vector<Table4Column> columns;  ///< current, conventional, future
+
+  /// Render in the paper's layout (rows = quantities, columns = machines).
+  AsciiTable render(const std::string& title) const;
+};
+
+/// Build one column for a machine at a given alpha and step time.
+Table4Column make_column(const std::string& name, const PaperWorkload& w,
+                         double alpha, bool grape_counting,
+                         double sec_per_step, double min_total_flops);
+
+/// The published table (paper alphas and step times).
+Table4 table4_paper();
+
+/// Fully model-derived variant (optimizer alphas, predicted step times).
+Table4 table4_modeled();
+
+/// The paper's measured wall clock for the current machine.
+inline constexpr double kMeasuredSecondsPerStep = 43.8;
+/// The paper's estimate for the future machine.
+inline constexpr double kFutureSecondsPerStep = 4.48;
+
+}  // namespace mdm::perf

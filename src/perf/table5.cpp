@@ -1,0 +1,60 @@
+#include "perf/table5.hpp"
+
+namespace mdm::perf {
+
+AsciiTable table5(const std::vector<MachineModel>& machines,
+                  const std::string& title) {
+  AsciiTable t(title);
+  std::vector<std::string> header{"System"};
+  for (const auto& m : machines) header.push_back(m.name);
+  t.set_header(header);
+
+  auto row = [&](const std::string& label, auto getter, auto format) {
+    std::vector<std::string> cells{label};
+    for (const auto& m : machines) cells.push_back(format(getter(m)));
+    t.add_row(cells);
+  };
+  row("Number of MDGRAPE-2 chips",
+      [](const MachineModel& m) { return m.mdgrape_chips; },
+      [](int v) { return format_int(v); });
+  row("Number of WINE-2 chips",
+      [](const MachineModel& m) { return m.wine_chips; },
+      [](int v) { return format_int(v); });
+  row("Peak performance of MDGRAPE-2 (Tflops)",
+      [](const MachineModel& m) { return m.mdgrape_peak_flops() / 1e12; },
+      [](double v) { return format_fixed(v, 1); });
+  row("Peak performance of WINE-2 (Tflops)",
+      [](const MachineModel& m) { return m.wine_peak_flops() / 1e12; },
+      [](double v) { return format_fixed(v, 1); });
+  row("Efficiency of MDGRAPE-2 (%)",
+      [](const MachineModel& m) { return 100.0 * m.mdgrape_efficiency; },
+      [](double v) { return format_fixed(v, 0); });
+  row("Efficiency of WINE-2 (%)",
+      [](const MachineModel& m) { return 100.0 * m.wine_efficiency; },
+      [](double v) { return format_fixed(v, 0); });
+  return t;
+}
+
+AsciiTable table5_paper() {
+  return table5({MachineModel::mdm_current(), MachineModel::mdm_future()},
+                "Table 5: Comparison of current and future versions of MDM");
+}
+
+AsciiTable table1_components() {
+  AsciiTable t("Table 1: Components of the MDM system");
+  t.set_header({"Component", "Product", "Manufacturer"});
+  t.add_row({"Node computer", "Enterprise 4500", "Sun Microsystems"});
+  t.add_row({"CPU", "Ultra SPARC-II 400 MHz", "Sun Microsystems"});
+  t.add_row({"Network switch", "Myrinet 16-port LAN switch", "Myricom"});
+  t.add_row({"Network card", "Myrinet LAN PCI card (LANai 4.3)", "Myricom"});
+  t.add_row({"Link", "Bus bridge, PCI host card / (Compact)PCI",
+             "SBS Technologies"});
+  t.add_row({"Bus", "CompactPCI (WINE-2) / PCI rev 2.1 (MDGRAPE-2)", "-"});
+  t.add_row({"WINE-2 chip", "LCB500K 0.5um 3.3V, 8 pipelines, ~20 Gflops",
+             "LSI Logic"});
+  t.add_row({"MDGRAPE-2 chip", "SA-12 0.25um 2.5V, 4 pipelines, ~16 Gflops",
+             "IBM"});
+  return t;
+}
+
+}  // namespace mdm::perf

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table5.hpp
+/// Regeneration of the paper's Table 5 ("Comparison of current and future
+/// versions of MDM") plus Table 1 ("Components of the MDM system").
+
+#include <string>
+#include <vector>
+
+#include "perf/machine_model.hpp"
+#include "util/table.hpp"
+
+namespace mdm::perf {
+
+/// Table 5 rows for a list of machines.
+AsciiTable table5(const std::vector<MachineModel>& machines,
+                  const std::string& title);
+
+/// The paper's pair (current vs future).
+AsciiTable table5_paper();
+
+/// Table 1: static component inventory of the MDM system.
+AsciiTable table1_components();
+
+/// Topology facts used by Table 1 / sec. 3 (exposed for tests).
+struct MdmTopology {
+  int node_count = 4;
+  int wine_clusters_per_node = 5;
+  int wine_boards_per_cluster = 7;
+  int wine_chips_per_board = 16;
+  int mdgrape_clusters_per_node = 4;
+  int mdgrape_boards_per_cluster = 2;
+  int mdgrape_chips_per_board = 2;
+
+  int wine_chips() const {
+    return node_count * wine_clusters_per_node * wine_boards_per_cluster *
+           wine_chips_per_board;
+  }
+  int mdgrape_chips() const {
+    return node_count * mdgrape_clusters_per_node *
+           mdgrape_boards_per_cluster * mdgrape_chips_per_board;
+  }
+};
+
+}  // namespace mdm::perf

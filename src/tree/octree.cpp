@@ -1,0 +1,153 @@
+#include "tree/octree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdm::tree {
+
+Octree::Octree(std::span<const Vec3> positions,
+               std::span<const double> charges, TreeConfig config)
+    : config_(config) {
+  if (positions.empty() || positions.size() != charges.size())
+    throw std::invalid_argument("Octree: bad input arrays");
+  if (config_.leaf_capacity < 1 || config_.max_depth < 1)
+    throw std::invalid_argument("Octree: bad config");
+
+  const std::size_t n = positions.size();
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    order_[i] = static_cast<std::uint32_t>(i);
+  positions_.assign(positions.begin(), positions.end());
+  charges_.assign(charges.begin(), charges.end());
+
+  // Root cube: tight bounding box expanded to a cube with a small margin.
+  Vec3 lo = positions[0], hi = positions[0];
+  for (const auto& r : positions) {
+    lo.x = std::min(lo.x, r.x);
+    lo.y = std::min(lo.y, r.y);
+    lo.z = std::min(lo.z, r.z);
+    hi.x = std::max(hi.x, r.x);
+    hi.y = std::max(hi.y, r.y);
+    hi.z = std::max(hi.z, r.z);
+  }
+  Node root;
+  root.center = 0.5 * (lo + hi);
+  root.half_width =
+      0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-12}) *
+      1.0001;
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(n);
+  nodes_.push_back(root);
+  build(0, 0);
+}
+
+void Octree::build(int node_index, int depth) {
+  depth_ = std::max(depth_, depth);
+  // Monopole of this node.
+  {
+    Node& node = nodes_[node_index];
+    Vec3 weighted;
+    double q = 0.0, absq = 0.0;
+    for (auto s = node.begin; s < node.end; ++s) {
+      q += charges_[s];
+      absq += std::fabs(charges_[s]);
+      weighted += std::fabs(charges_[s]) * positions_[s];
+    }
+    node.charge = q;
+    node.abs_charge = absq;
+    // Neutral-aggregate fallback: geometric mean of member positions.
+    if (absq > 0.0) {
+      node.centroid = weighted / absq;
+    } else {
+      Vec3 mean;
+      for (auto s = node.begin; s < node.end; ++s) mean += positions_[s];
+      node.centroid = mean / static_cast<double>(node.count());
+    }
+  }
+
+  const Node node = nodes_[node_index];  // copy: vector may reallocate
+  if (node.count() <= static_cast<std::uint32_t>(config_.leaf_capacity) ||
+      depth >= config_.max_depth)
+    return;
+
+  // Partition the slot range into the 8 octants (three stable partitions).
+  auto octant_of = [&node](const Vec3& r) {
+    return (r.x >= node.center.x ? 1 : 0) | (r.y >= node.center.y ? 2 : 0) |
+           (r.z >= node.center.z ? 4 : 0);
+  };
+  // Count and bucket.
+  std::array<std::vector<std::uint32_t>, 8> slots_by_octant;
+  std::array<std::vector<Vec3>, 8> pos_by_octant;
+  std::array<std::vector<double>, 8> q_by_octant;
+  for (auto s = node.begin; s < node.end; ++s) {
+    const int o = octant_of(positions_[s]);
+    slots_by_octant[o].push_back(order_[s]);
+    pos_by_octant[o].push_back(positions_[s]);
+    q_by_octant[o].push_back(charges_[s]);
+  }
+  // Rewrite the range in octant order.
+  std::uint32_t cursor = node.begin;
+  std::array<std::uint32_t, 9> bounds{};
+  bounds[0] = node.begin;
+  for (int o = 0; o < 8; ++o) {
+    for (std::size_t k = 0; k < slots_by_octant[o].size(); ++k) {
+      order_[cursor] = slots_by_octant[o][k];
+      positions_[cursor] = pos_by_octant[o][k];
+      charges_[cursor] = q_by_octant[o][k];
+      ++cursor;
+    }
+    bounds[o + 1] = cursor;
+  }
+
+  const int first_child = static_cast<int>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+  const double child_half = 0.5 * node.half_width;
+  for (int o = 0; o < 8; ++o) {
+    Node child;
+    child.center = node.center + Vec3{(o & 1) ? child_half : -child_half,
+                                      (o & 2) ? child_half : -child_half,
+                                      (o & 4) ? child_half : -child_half};
+    child.half_width = child_half;
+    child.begin = bounds[o];
+    child.end = bounds[o + 1];
+    nodes_.push_back(child);
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (nodes_[first_child + o].count() > 0)
+      build(first_child + o, depth + 1);
+    else
+      nodes_[first_child + o].charge = 0.0;  // empty leaf
+  }
+}
+
+void Octree::interaction_list(const Vec3& target, double theta,
+                              std::uint32_t self_index,
+                              std::vector<PseudoParticle>& out) const {
+  // Iterative DFS with an explicit stack.
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    if (node.count() == 0) continue;
+    const double d = norm(target - node.centroid);
+    const double size = 2.0 * node.half_width;
+    if (!node.is_leaf() && size >= theta * d) {
+      for (int o = 0; o < 8; ++o) stack.push_back(node.first_child + o);
+      continue;
+    }
+    if (node.is_leaf()) {
+      for (auto s = node.begin; s < node.end; ++s) {
+        if (order_[s] == self_index) continue;
+        out.push_back({positions_[s], charges_[s]});
+      }
+    } else {
+      // Accepted internal node: its monopole stands in for the contents.
+      out.push_back({node.centroid, node.charge});
+    }
+  }
+}
+
+}  // namespace mdm::tree

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file octree.hpp
+/// Octree over an open-boundary particle set - the substrate of the
+/// Barnes-Hut O(N log N) method the paper discusses in sec. 6.3 as the
+/// main alternative to Ewald summation (and which Makino showed GRAPE-class
+/// hardware accelerates; our barnes_hut.cpp runs the interaction lists
+/// through the MDGRAPE-2 pipeline the same way).
+///
+/// Monopole-only expansion: each node carries its total charge (or mass)
+/// and charge-weighted centroid, the classic GRAPE-treecode choice.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace mdm::tree {
+
+struct TreeConfig {
+  int leaf_capacity = 8;  ///< split nodes above this occupancy
+  int max_depth = 32;
+};
+
+/// A source for the force evaluation: either a node's monopole or an
+/// individual particle from an opened leaf.
+struct PseudoParticle {
+  Vec3 position;
+  double charge = 0.0;
+};
+
+class Octree {
+ public:
+  /// Build over the given positions/charges (borrowed spans; the tree
+  /// stores copies of what it needs). Throws on empty input.
+  Octree(std::span<const Vec3> positions, std::span<const double> charges,
+         TreeConfig config = {});
+
+  struct Node {
+    Vec3 center;             ///< geometric centre of the cube
+    double half_width = 0.0;
+    Vec3 centroid;           ///< |charge|-weighted centroid of contents
+    double charge = 0.0;     ///< total charge (signed)
+    double abs_charge = 0.0; ///< total |charge| (centroid weight)
+    std::uint32_t begin = 0; ///< particle-index range (into order())
+    std::uint32_t end = 0;
+    int first_child = -1;    ///< index of first of 8 children; -1 for leaf
+    bool is_leaf() const { return first_child < 0; }
+    std::uint32_t count() const { return end - begin; }
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& root() const { return nodes_.front(); }
+  /// Particle ids sorted in tree order; each node's [begin, end) indexes
+  /// into this array.
+  std::span<const std::uint32_t> order() const { return order_; }
+
+  std::size_t size() const { return order_.size(); }
+  int depth() const { return depth_; }
+
+  /// Build the Barnes-Hut interaction list for a target position with
+  /// opening angle theta: nodes with half-width*2 / distance < theta enter
+  /// as monopoles, opened leaves contribute their particles (the particle
+  /// at `self_index` is skipped). The list is appended to `out`.
+  void interaction_list(const Vec3& target, double theta,
+                        std::uint32_t self_index,
+                        std::vector<PseudoParticle>& out) const;
+
+ private:
+  void build(int node_index, int depth);
+
+  TreeConfig config_;
+  std::vector<Vec3> positions_;   // tree-ordered copies
+  std::vector<double> charges_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace mdm::tree

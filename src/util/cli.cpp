@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mdm {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    Option opt;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opt.name = arg.substr(0, eq);
+      opt.value = arg.substr(eq + 1);
+    } else {
+      opt.name = arg;
+      // `--key value`: consume the next token as a value unless it is
+      // itself an option.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        opt.value = argv[++i];
+      }
+    }
+    options_.push_back(std::move(opt));
+  }
+}
+
+bool CommandLine::has(const std::string& name) const {
+  for (const auto& o : options_)
+    if (o.name == name) return true;
+  return false;
+}
+
+std::optional<std::string> CommandLine::value(const std::string& name) const {
+  for (const auto& o : options_)
+    if (o.name == name) return o.value;
+  return std::nullopt;
+}
+
+std::string CommandLine::get_string(const std::string& name,
+                                    const std::string& fallback) const {
+  const auto v = value(name);
+  return v ? *v : fallback;
+}
+
+long long CommandLine::get_int(const std::string& name,
+                               long long fallback) const {
+  const auto v = value(name);
+  if (!v || !v->size()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CommandLine::get_double(const std::string& name,
+                               double fallback) const {
+  const auto v = value(name);
+  if (!v || !v->size()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CommandLine::get_bool(const std::string& name, bool fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value(name);
+  if (!v || v->empty()) return true;
+  return *v != "0" && *v != "false" && *v != "no";
+}
+
+std::vector<long long> CommandLine::get_int_list(
+    const std::string& name, std::vector<long long> fallback) const {
+  const auto v = value(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  const std::string& s = *v;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const auto piece = s.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+    if (!piece.empty()) out.push_back(std::strtoll(piece.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mdm

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny declarative command-line parser for the example and benchmark
+/// binaries: `--flag`, `--key value` and `--key=value` forms.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdm {
+
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of `--name value` / `--name=value`, if present.
+  std::optional<std::string> value(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated integer list, e.g. `--sizes 512,4096`.
+  std::vector<long long> get_int_list(const std::string& name,
+                                      std::vector<long long> fallback) const;
+
+  /// Positional (non ``--``) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Option {
+    std::string name;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mdm

@@ -1,0 +1,71 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdm {
+
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse) {
+  if (!is_power_of_two(n))
+    throw std::invalid_argument("fft: length must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / double(len);
+    const Complex w_len(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        Complex& a = data[(i + j) * stride];
+        Complex& b = data[(i + j + len / 2) * stride];
+        const Complex t = b * w;
+        b = a - t;
+        a += t;
+        w *= w_len;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / double(n);
+    for (std::size_t i = 0; i < n; ++i) data[i * stride] *= scale;
+  }
+}
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  fft_strided(data.data(), data.size(), 1, inverse);
+}
+
+Grid3D::Grid3D(std::size_t k) : k_(k), data_(k * k * k) {
+  if (!is_power_of_two(k))
+    throw std::invalid_argument("Grid3D: K must be a power of two");
+}
+
+void Grid3D::clear() {
+  for (auto& v : data_) v = Complex{};
+}
+
+void Grid3D::transform(bool inverse) {
+  // x lines (contiguous).
+  for (std::size_t z = 0; z < k_; ++z)
+    for (std::size_t y = 0; y < k_; ++y)
+      fft_strided(&at(0, y, z), k_, 1, inverse);
+  // y lines (stride K).
+  for (std::size_t z = 0; z < k_; ++z)
+    for (std::size_t x = 0; x < k_; ++x)
+      fft_strided(&at(x, 0, z), k_, k_, inverse);
+  // z lines (stride K^2).
+  for (std::size_t y = 0; y < k_; ++y)
+    for (std::size_t x = 0; x < k_; ++x)
+      fft_strided(&at(x, y, 0), k_, k_ * k_, inverse);
+}
+
+}  // namespace mdm

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file fft.hpp
+/// Minimal self-contained FFT: iterative radix-2 Cooley-Tukey on
+/// power-of-two lengths, plus a 3D transform over a cubic grid. Built for
+/// the smooth particle-mesh Ewald solver (the O(N log N) alternative the
+/// paper cites as ref. [4] and proposes to compare against).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace mdm {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (and > 0).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place FFT of length-n power-of-two data; inverse = conjugate
+/// transform scaled by 1/n.
+void fft(std::vector<Complex>& data, bool inverse);
+
+/// In-place FFT on a strided view (used by the 3D transform).
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse);
+
+/// Cubic K x K x K grid of complex values, indexed [(z*K + y)*K + x].
+class Grid3D {
+ public:
+  explicit Grid3D(std::size_t k);
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return data_.size(); }
+
+  Complex& at(std::size_t x, std::size_t y, std::size_t z) {
+    return data_[(z * k_ + y) * k_ + x];
+  }
+  const Complex& at(std::size_t x, std::size_t y, std::size_t z) const {
+    return data_[(z * k_ + y) * k_ + x];
+  }
+  std::vector<Complex>& data() { return data_; }
+  const std::vector<Complex>& data() const { return data_; }
+
+  void clear();
+
+  /// In-place 3D FFT (inverse = conjugate transform scaled by 1/K^3).
+  void transform(bool inverse);
+
+ private:
+  std::size_t k_;
+  std::vector<Complex> data_;
+};
+
+}  // namespace mdm

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file random.hpp
+/// Small, fast, reproducible RNG (xoshiro256++) plus the distributions the MD
+/// engine needs. We avoid <random>'s engines for cross-platform determinism
+/// of streams: every simulation in the test and benchmark suites is seeded
+/// and must produce identical trajectories on any conforming compiler.
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/vec3.hpp"
+
+namespace mdm {
+
+__extension__ typedef unsigned __int128 uint128_t_mdm;
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator (public-domain algorithm by Blackman & Vigna).
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_below(std::uint64_t n) {
+    // Lemire's unbiased bounded generation.
+    uint128_t_mdm m = static_cast<uint128_t_mdm>(next_u64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<uint128_t_mdm>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * f;
+    have_cached_ = true;
+    return u * f;
+  }
+
+  /// Normal with mean/sigma.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Isotropic Gaussian 3-vector with per-component sigma.
+  Vec3 normal_vec3(double sigma) {
+    return {normal(0.0, sigma), normal(0.0, sigma), normal(0.0, sigma)};
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace mdm

@@ -1,0 +1,85 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdm {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double BlockAverager::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double BlockAverager::standard_error(int level) const {
+  const std::size_t block = std::size_t{1} << level;
+  const std::size_t nblocks = samples_.size() / block;
+  if (nblocks < 2) return 0.0;
+  RunningStats stats;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < block; ++i)
+      s += samples_[b * block + i];
+    stats.add(s / static_cast<double>(block));
+  }
+  return stats.stddev() / std::sqrt(static_cast<double>(nblocks));
+}
+
+double BlockAverager::plateau_standard_error() const {
+  double best = 0.0;
+  for (int level = 0;; ++level) {
+    const std::size_t block = std::size_t{1} << level;
+    if (samples_.size() / block < 8) break;
+    best = std::max(best, standard_error(level));
+  }
+  return best;
+}
+
+double relative_error(double a, double b, double floor) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), floor});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace mdm

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Streaming statistics used by the observables and the benchmark harness:
+/// Welford running mean/variance, min/max tracking, and block averaging for
+/// correlated MD time series.
+
+#include <cstddef>
+#include <vector>
+
+namespace mdm {
+
+/// Numerically stable streaming mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Block averaging: estimates the standard error of the mean of a correlated
+/// series by doubling block sizes until the error estimate plateaus.
+/// Standard practice for MD observables (Flyvbjerg & Petersen 1989).
+class BlockAverager {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const;
+
+  /// Standard error of the mean at a given blocking level (block length
+  /// 2^level). Returns 0 if there are fewer than 2 blocks.
+  double standard_error(int level) const;
+
+  /// Largest error over all blocking levels with >= 8 blocks; a practical
+  /// plateau estimate for short series.
+  double plateau_standard_error() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,floor); convenient for accuracy
+/// benches comparing hardware-pipeline output against a double reference.
+double relative_error(double a, double b, double floor = 1e-300);
+
+}  // namespace mdm

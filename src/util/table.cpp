@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mdm {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), false});
+}
+
+void AsciiTable::add_rule() { rows_.push_back({{}, true}); }
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  absorb(header_);
+  for (const auto& row : rows_)
+    if (!row.rule) absorb(row.cells);
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (auto w : widths) total += w;
+
+  auto print_rule = [&] { os << std::string(total, '-') << '\n'; };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    print_rule();
+  }
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.rule)
+      print_rule();
+    else
+      print_cells(row.cells);
+  }
+}
+
+std::string AsciiTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits - 1, v);
+  return buf;
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_int(long long v) {
+  std::string digits = std::to_string(std::llabs(v));
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return (v < 0 ? "-" : "") + out;
+}
+
+}  // namespace mdm

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table printer used by the benchmark harness to regenerate the
+/// paper's tables in a readable fixed-width layout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mdm {
+
+/// Column-aligned ASCII table. Rows are added as vectors of preformatted
+/// strings; `print` pads every column to its widest cell.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Horizontal rule between row groups.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers used throughout the bench binaries.
+std::string format_sci(double v, int digits = 3);   ///< e.g. 6.75e+14
+std::string format_fixed(double v, int digits = 2); ///< e.g. 43.80
+std::string format_int(long long v);                ///< e.g. 18,821,096
+
+}  // namespace mdm

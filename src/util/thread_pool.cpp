@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mdm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // Worker 0 is the calling thread; spawn the rest.
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(const Task& task, unsigned chunk, unsigned nchunks) {
+  const std::size_t n = task.n;
+  const std::size_t base = n / nchunks;
+  const std::size_t rem = n % nchunks;
+  // Chunks 0..rem-1 get base+1 items; the rest get base.
+  const std::size_t begin =
+      chunk * base + std::min<std::size_t>(chunk, rem);
+  const std::size_t end = begin + base + (chunk < rem ? 1 : 0);
+  if (begin < end) (*task.fn)(chunk, begin, end);
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      run_chunk(task, worker_index, size());
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned nchunks = size();
+  if (nchunks == 1 || n == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  Task task;
+  task.fn = &fn;
+  task.n = n;
+  {
+    std::lock_guard lock(mutex_);
+    task_ = task;
+    first_error_ = nullptr;
+    remaining_ = nchunks - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  std::exception_ptr my_error;
+  try {
+    run_chunk(task, 0, nchunks);
+  } catch (...) {
+    my_error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    if (!first_error_ && my_error) first_error_ = my_error;
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_each(std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(
+      n, [&fn](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+}  // namespace mdm

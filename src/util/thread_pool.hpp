@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Persistent worker pool with a `parallel_for` that splits an index range
+/// into contiguous chunks. Force loops in the MD engine and the hardware
+/// simulators use this instead of spawning threads per step.
+///
+/// Determinism: `parallel_for` assigns chunk c = [bounds) to worker c
+/// statically, so per-chunk partial results can be reduced in chunk order and
+/// a run is bit-reproducible regardless of scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdm {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers; 0 means hardware_concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(chunk_index, begin, end) over [0, n) split into size() contiguous
+  /// chunks. Blocks until all chunks finish. The calling thread executes
+  /// chunk 0 itself. Exceptions from chunks propagate (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(unsigned, std::size_t,
+                                             std::size_t)>& fn);
+
+  /// Shared process-wide pool (created on first use; size from
+  /// hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(unsigned, std::size_t, std::size_t)>* fn =
+        nullptr;
+    std::size_t n = 0;
+    std::size_t generation = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
+  static void run_chunk(const Task& task, unsigned chunk, unsigned nchunks);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::size_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience wrapper: element-wise parallel loop over [0, n) on the global
+/// pool; `fn(i)` is called for every index.
+void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace mdm

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock stopwatch for the benchmark harness.
+
+#include <chrono>
+
+namespace mdm {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdm

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file units.hpp
+/// Internal unit system of the library and the physical constants connecting
+/// it to SI. All modules use:
+///
+///   length  : angstrom (A)
+///   energy  : electron-volt (eV)
+///   charge  : elementary charge (e)
+///   mass    : unified atomic mass unit (amu)
+///   time    : femtosecond (fs)
+///   temperature : kelvin (K)
+///
+/// With these choices force is eV/A and the equation of motion needs the
+/// single conversion factor `kAccelUnit` below.
+
+namespace mdm::units {
+
+/// Coulomb constant 1/(4 pi eps0) in eV*A/e^2.
+inline constexpr double kCoulomb = 14.399645352;
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// Conversion for Newton's second law: a [A/fs^2] = kAccelUnit * F[eV/A] / m[amu].
+inline constexpr double kAccelUnit = 9.64853322e-3;
+
+/// 1 erg in eV (Tosi-Fumi parameters are tabulated in CGS).
+inline constexpr double kErg = 6.241509074e11;
+
+/// 1e-19 J in eV - the customary unit for the Tosi-Fumi `b` constant.
+inline constexpr double k1e19J = 0.6241509074;
+
+/// 1e-79 J*m^6 in eV*A^6 - customary unit of the c_ij dispersion constants.
+inline constexpr double kC6Unit = 0.6241509074;
+
+/// 1e-99 J*m^8 in eV*A^8 - customary unit of the d_ij dispersion constants.
+inline constexpr double kD8Unit = 0.6241509074;
+
+/// Masses of the ions simulated in the paper (amu).
+inline constexpr double kMassNa = 22.98976928;
+inline constexpr double kMassCl = 35.453;
+
+}  // namespace mdm::units

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-component double vector used throughout the MD engine and the
+/// hardware simulators. Kept as a plain aggregate so arrays of Vec3 are
+/// tightly packed and trivially copyable.
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace mdm {
+
+/// Three-component Cartesian vector (double precision).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return (*this) *= (1.0 / s); }
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+/// Component-wise product (useful for box scalings).
+constexpr Vec3 hadamard(const Vec3& a, const Vec3& b) {
+  return {a.x * b.x, a.y * b.y, a.z * b.z};
+}
+
+/// Wrap a coordinate into [0, L). Assumes |v| is within a few boxes of the
+/// primary cell, which holds for any finite-timestep MD move.
+inline double wrap_coordinate(double v, double box) {
+  v -= box * std::floor(v / box);
+  // floor() rounding can land exactly on `box`; fold that edge case back.
+  if (v >= box) v -= box;
+  if (v < 0.0) v += box;
+  return v;
+}
+
+/// Wrap a position into the primary cell [0, L)^3 of a cubic box.
+inline Vec3 wrap_position(Vec3 r, double box) {
+  r.x = wrap_coordinate(r.x, box);
+  r.y = wrap_coordinate(r.y, box);
+  r.z = wrap_coordinate(r.z, box);
+  return r;
+}
+
+/// Minimum-image displacement in a cubic box of side `box`:
+/// returns the periodic image of (a - b) with each component in
+/// [-box/2, box/2).
+inline Vec3 minimum_image(const Vec3& a, const Vec3& b, double box) {
+  Vec3 d = a - b;
+  d.x -= box * std::nearbyint(d.x / box);
+  d.y -= box * std::nearbyint(d.y / box);
+  d.z -= box * std::nearbyint(d.z / box);
+  return d;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace mdm

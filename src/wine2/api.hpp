@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file api.hpp
+/// The WINE-2 library interface of the paper's Table 2 (single-process
+/// flavour; the MPI-parallelized wrapper with wine2_set_MPI_community lives
+/// in the host module):
+///
+///   wine2_allocate_board    set the number of WINE-2 boards to acquire
+///   wine2_initialize_board  acquire WINE-2 boards
+///   wine2_set_nn            set the number of particles for each process
+///   calculate_force_and_pot_wavepart_nooffset
+///                           calculate the wavenumber-space part of force
+///   wine2_free_board        release WINE-2 boards
+
+#include <memory>
+
+#include "wine2/system.hpp"
+
+namespace mdm::wine2 {
+
+class Wine2Library {
+ public:
+  void wine2_allocate_board(int n_boards);
+  void wine2_initialize_board(WineFormats formats = WineFormats::paper());
+  void wine2_set_nn(std::size_t n_particles);
+
+  /// DFT + IDFT + reciprocal energy in one call. `forces` is accumulated
+  /// into; returns the reciprocal-space potential energy.
+  double calculate_force_and_pot_wavepart_nooffset(
+      std::span<const Vec3> positions, std::span<const double> charges,
+      double box, const KVectorTable& kvectors, std::span<Vec3> forces);
+
+  void wine2_free_board();
+
+  bool initialized() const { return system_ != nullptr; }
+  Wine2System* system() { return system_.get(); }
+
+ private:
+  int requested_boards_ = 7;  ///< one cluster by default
+  std::size_t expected_particles_ = 0;
+  std::unique_ptr<Wine2System> system_;
+};
+
+}  // namespace mdm::wine2

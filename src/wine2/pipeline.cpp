@@ -1,0 +1,89 @@
+#include "wine2/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "util/fixed_point.hpp"
+
+namespace mdm::wine2 {
+
+Pipeline::Pipeline(const WineFormats& formats, const TrigUnit& trig)
+    : formats_(formats), trig_(&trig) {
+  phase_mask_ = (std::uint64_t{1} << formats_.phase_bits) - 1;
+}
+
+void Pipeline::load_waves(std::vector<WaveSlot> waves) {
+  waves_ = std::move(waves);
+}
+
+std::uint64_t Pipeline::wave_phase(const WaveSlot& wave,
+                                   const WineParticle& particle) const {
+  // theta/2pi = (n_x u_x + n_y u_y + n_z u_z) mod 1: two's complement
+  // multiply-accumulate on the phase words wraps for free.
+  std::uint64_t acc = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto term = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(wave.n[axis]) *
+        static_cast<std::int64_t>(particle.phase[axis]));
+    acc += term;
+  }
+  return acc & phase_mask_;
+}
+
+std::vector<DftAccumulator> Pipeline::run_dft(
+    std::span<const WineParticle> particles) {
+  const QFormat prod{.int_bits = 2, .frac_bits = formats_.product_frac_bits};
+  std::vector<DftAccumulator> acc(waves_.size());
+  for (std::size_t w = 0; w < waves_.size(); ++w) {
+    double plus = 0.0;
+    double minus = 0.0;
+    for (const auto& p : particles) {
+      const std::uint64_t phase = wave_phase(waves_[w], p);
+      const double s = trig_->sine(phase);
+      const double c = trig_->cosine(phase);
+      const double qs = quantize(p.charge_norm * s, prod);
+      const double qc = quantize(p.charge_norm * c, prod);
+      // The wide accumulators add the product grid exactly.
+      plus += qs + qc;
+      minus += qs - qc;
+    }
+    acc[w].s_plus_c = plus;
+    acc[w].s_minus_c = minus;
+  }
+  ops_ += static_cast<std::uint64_t>(waves_.size()) * particles.size();
+  return acc;
+}
+
+Vec3 Pipeline::run_idft_particle(const WineParticle& particle) {
+  const QFormat prod{.int_bits = 2, .frac_bits = formats_.product_frac_bits};
+  Vec3 f;
+  for (const auto& wave : waves_) {
+    const std::uint64_t phase = wave_phase(wave, particle);
+    const double s = trig_->sine(phase);
+    const double c = trig_->cosine(phase);
+    const double cs = quantize(wave.c_norm * s, prod);
+    const double sc = quantize(wave.s_norm * c, prod);
+    const double t = quantize(wave.a_norm * (cs - sc), prod);
+    // Integer wave components scale the product exactly.
+    f.x += t * wave.n[0];
+    f.y += t * wave.n[1];
+    f.z += t * wave.n[2];
+  }
+  ops_ += waves_.size();
+  return f;
+}
+
+WineParticle make_wine_particle(const Vec3& position, double box,
+                                double charge, double charge_scale,
+                                const WineFormats& formats) {
+  if (!(charge_scale > 0.0))
+    throw std::invalid_argument("charge scale must be positive");
+  WineParticle p;
+  p.phase[0] = coordinate_phase(position.x, box, formats.phase_bits);
+  p.phase[1] = coordinate_phase(position.y, box, formats.phase_bits);
+  p.phase[2] = coordinate_phase(position.z, box, formats.phase_bits);
+  const QFormat coeff{.int_bits = 2, .frac_bits = formats.coeff_frac_bits};
+  p.charge_norm = quantize(charge / charge_scale, coeff);
+  return p;
+}
+
+}  // namespace mdm::wine2

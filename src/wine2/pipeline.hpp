@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// WINE-2 pipeline model (sec. 3.4.4, figs. 6-7). A pipeline owns a set of
+/// wavenumber vectors ("wavenumber vectors are loaded into a pipeline before
+/// starting the calculation") and runs in one of two modes:
+///
+///  * DFT mode: for each streamed particle j it computes the inner product
+///    theta = 2 pi k_n . r_j in cyclic fixed point, its sine/cosine, scales
+///    by q_j and accumulates S_n + C_n and S_n - C_n (the host reconstructs
+///    S_n and C_n, eq. 9-10).
+///  * IDFT mode: for each streamed particle i it evaluates
+///    sum_n a_n [C_n sin(theta) - S_n cos(theta)] k_n  (eq. 11).
+///
+/// Coefficients (q_j, a_n, S_n, C_n) are block-normalized into [-1, 1] by
+/// the driver before upload; the denormalization scales are carried
+/// alongside and applied by the host library after download. All pipeline
+/// registers are quantized to the configured Q-formats.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+#include "wine2/trig_unit.hpp"
+
+namespace mdm::wine2 {
+
+/// A particle as streamed to the pipelines: per-axis coordinate phases and
+/// the normalized charge.
+struct WineParticle {
+  std::uint64_t phase[3] = {0, 0, 0};
+  double charge_norm = 0.0;  ///< q / q_scale, on the coefficient grid
+};
+
+/// One wavenumber slot resident in a pipeline.
+struct WaveSlot {
+  int n[3] = {0, 0, 0};   ///< integer wave triple (k = n / L)
+  double a_norm = 0.0;    ///< a_n / a_scale (IDFT)
+  double s_norm = 0.0;    ///< S_n / sc_scale (IDFT)
+  double c_norm = 0.0;    ///< C_n / sc_scale (IDFT)
+};
+
+/// DFT accumulator pair of one wave slot (normalized by q_scale).
+struct DftAccumulator {
+  double s_plus_c = 0.0;
+  double s_minus_c = 0.0;
+};
+
+class Pipeline {
+ public:
+  /// `trig` is the shared sin/cos unit (one per system; pipelines hold a
+  /// reference so a 2,240-chip machine does not replicate the table).
+  Pipeline(const WineFormats& formats, const TrigUnit& trig);
+
+  void load_waves(std::vector<WaveSlot> waves);
+  std::size_t wave_count() const { return waves_.size(); }
+  std::span<const WaveSlot> waves() const { return waves_; }
+
+  /// DFT mode over a particle stream; returns one accumulator per loaded
+  /// wave. Increments the pair-operation counter by waves * particles.
+  std::vector<DftAccumulator> run_dft(std::span<const WineParticle> particles);
+
+  /// IDFT mode: the (normalized) force accumulation for one particle,
+  /// summed over this pipeline's waves.
+  Vec3 run_idft_particle(const WineParticle& particle);
+
+  std::uint64_t wave_particle_ops() const { return ops_; }
+  void reset_counter() { ops_ = 0; }
+
+  /// theta(n, particle) as a cyclic phase word (exposed for tests).
+  std::uint64_t wave_phase(const WaveSlot& wave,
+                           const WineParticle& particle) const;
+
+ private:
+  WineFormats formats_;
+  const TrigUnit* trig_;
+  std::vector<WaveSlot> waves_;
+  std::uint64_t phase_mask_;
+  std::uint64_t ops_ = 0;
+};
+
+/// Convert a position/charge to the pipeline's particle format.
+WineParticle make_wine_particle(const Vec3& position, double box,
+                                double charge, double charge_scale,
+                                const WineFormats& formats);
+
+}  // namespace mdm::wine2

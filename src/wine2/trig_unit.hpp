@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file trig_unit.hpp
+/// The pipeline's sine/cosine unit: a fixed-point lookup table over one full
+/// turn with linear interpolation. Phases arrive as unsigned fractions of a
+/// turn (the natural output of the cyclic inner-product multiplier), so
+/// quadrant handling is implicit in the table.
+
+#include <cstdint>
+#include <vector>
+
+#include "wine2/formats.hpp"
+
+namespace mdm::wine2 {
+
+class TrigUnit {
+ public:
+  explicit TrigUnit(const WineFormats& formats);
+
+  /// sin(2 pi * phase / 2^phase_bits), quantized to the trig format.
+  double sine(std::uint64_t phase) const;
+  /// cos(2 pi * phase / 2^phase_bits) via the quarter-turn phase shift.
+  double cosine(std::uint64_t phase) const;
+
+  const WineFormats& formats() const { return formats_; }
+
+ private:
+  WineFormats formats_;
+  std::vector<double> table_;  ///< quantized sin at 2^table_bits + 1 knots
+  std::uint64_t phase_mask_;
+  int index_shift_;
+};
+
+/// Quantize a position coordinate to an unsigned phase fraction (used for
+/// the per-axis base phases u = x / L).
+std::uint64_t coordinate_phase(double x, double box, int phase_bits);
+
+}  // namespace mdm::wine2

@@ -1,0 +1,99 @@
+/// System-level consistency: short NVE trajectories integrated with three
+/// different Coulomb backends (exact Ewald, smooth PME, the simulated MDM
+/// machine) must stay on the same orbit to each backend's force accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "ewald/pme.hpp"
+#include "host/mdm_force_field.hpp"
+
+namespace mdm {
+namespace {
+
+/// Integrate `steps` NVE steps; returns the final positions.
+std::vector<Vec3> trajectory(ParticleSystem sys, ForceField& field,
+                             int steps) {
+  SimulationConfig cfg;
+  cfg.nvt_steps = 0;
+  cfg.nve_steps = steps;
+  Simulation sim(sys, field, cfg);
+  sim.run();
+  return {sys.positions().begin(), sys.positions().end()};
+}
+
+TEST(BackendConsistency, ShortNveTrajectoriesAgree) {
+  auto initial = make_nacl_crystal(2);
+  assign_maxwell_velocities(initial, 1200.0, 55);
+  const auto params =
+      host::mdm_parameters(double(initial.size()), initial.box());
+  const int steps = 10;
+
+  // Exact Ewald + Tosi-Fumi (the reference orbit).
+  CompositeForceField exact;
+  exact.add(std::make_unique<EwaldCoulomb>(params, initial.box()));
+  exact.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut));
+  const auto ref = trajectory(initial, exact, steps);
+
+  // PME + Tosi-Fumi.
+  CompositeForceField pme_field;
+  pme_field.add(std::make_unique<SmoothPme>(
+      PmeParameters{params.alpha, params.r_cut, 32, 6}, initial.box()));
+  pme_field.add(std::make_unique<TosiFumiShortRange>(
+      TosiFumiParameters::nacl(), params.r_cut));
+  const auto pme = trajectory(initial, pme_field, steps);
+
+  // The simulated MDM machine.
+  host::MdmForceFieldConfig cfg;
+  cfg.ewald = params;
+  cfg.mdgrape = {.clusters = 1, .boards_per_cluster = 2};
+  cfg.wine = {.clusters = 1, .boards_per_cluster = 1, .chips_per_board = 2};
+  host::MdmForceField mdm(cfg, initial.box());
+  const auto machine = trajectory(initial, mdm, steps);
+
+  // Displacements over 10 steps are ~0.1 A; backend force differences are
+  // <= 1e-3 relative, so positions agree to well under 1e-3 A. The exact
+  // Ewald truncation tail (PME sums more modes) dominates the PME gap.
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_LT(norm(minimum_image(pme[i], ref[i], initial.box())), 2e-3)
+        << "pme " << i;
+    EXPECT_LT(norm(minimum_image(machine[i], ref[i], initial.box())), 2e-3)
+        << "mdm " << i;
+  }
+}
+
+TEST(BackendConsistency, EnergiesAgreeAcrossBackends) {
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 1200.0, 56);
+  const auto params =
+      host::mdm_parameters(double(sys.size()), sys.box());
+
+  auto potential_of = [&](ForceField& field) {
+    std::vector<Vec3> forces(sys.size());
+    return evaluate_forces(field, sys, forces).potential;
+  };
+
+  EwaldCoulomb exact(params, sys.box());
+  SmoothPme pme({params.alpha, params.r_cut, 32, 6}, sys.box());
+  host::MdmForceFieldConfig cfg;
+  cfg.ewald = params;
+  cfg.include_tosi_fumi = false;
+  cfg.mdgrape = {.clusters = 1, .boards_per_cluster = 1};
+  cfg.wine = {.clusters = 1, .boards_per_cluster = 1, .chips_per_board = 2};
+  host::MdmForceField mdm(cfg, sys.box());
+
+  const double e_exact = potential_of(exact);
+  EXPECT_NEAR(potential_of(pme), e_exact, 2e-3 * std::fabs(e_exact));
+  EXPECT_NEAR(potential_of(mdm), e_exact, 2e-3 * std::fabs(e_exact));
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,172 @@
+#include "core/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace mdm {
+namespace {
+
+std::vector<Vec3> random_positions(std::size_t n, double box,
+                                   std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Vec3> pos(n);
+  for (auto& r : pos)
+    r = {rng.uniform(0.0, box), rng.uniform(0.0, box), rng.uniform(0.0, box)};
+  return pos;
+}
+
+/// All unordered pairs within cutoff by brute force (minimum image).
+std::set<std::pair<std::uint32_t, std::uint32_t>> brute_force_pairs(
+    const std::vector<Vec3>& pos, double box, double cutoff) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t i = 0; i < pos.size(); ++i)
+    for (std::uint32_t j = i + 1; j < pos.size(); ++j)
+      if (norm2(minimum_image(pos[i], pos[j], box)) < cutoff * cutoff)
+        pairs.insert({i, j});
+  return pairs;
+}
+
+TEST(CellList, GridDimensions) {
+  CellList cells(10.0, 2.5);
+  EXPECT_EQ(cells.cells_per_side(), 4);
+  EXPECT_EQ(cells.cell_count(), 64);
+  EXPECT_DOUBLE_EQ(cells.cell_side(), 2.5);
+  // Cell side is always >= requested minimum.
+  CellList odd(10.0, 3.1);
+  EXPECT_EQ(odd.cells_per_side(), 3);
+  EXPECT_GE(odd.cell_side(), 3.1);
+}
+
+TEST(CellList, RejectsBadArguments) {
+  EXPECT_THROW(CellList(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CellList(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(CellList, EveryParticleAppearsExactlyOnce) {
+  const double box = 12.0;
+  const auto pos = random_positions(500, box, 1);
+  CellList cells(box, 3.0);
+  cells.build(pos);
+  std::vector<int> seen(pos.size(), 0);
+  for (int c = 0; c < cells.cell_count(); ++c)
+    for (auto i : cells.cell_particles(c)) seen[i]++;
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(CellList, ParticlesAreInTheirCell) {
+  const double box = 9.0;
+  const auto pos = random_positions(300, box, 2);
+  CellList cells(box, 3.0);
+  cells.build(pos);
+  for (int c = 0; c < cells.cell_count(); ++c)
+    for (auto i : cells.cell_particles(c)) EXPECT_EQ(cells.cell_of(pos[i]), c);
+}
+
+TEST(CellList, OrderIsContiguousPerCell) {
+  // The MDGRAPE-2 board requires contiguous particle indices per cell
+  // (sec. 2.2: "the indices of particles in a cell are contiguous").
+  const double box = 9.0;
+  const auto pos = random_positions(200, box, 3);
+  CellList cells(box, 3.0);
+  cells.build(pos);
+  std::uint32_t expected_begin = 0;
+  for (int c = 0; c < cells.cell_count(); ++c) {
+    const auto r = cells.cell_range(c);
+    EXPECT_EQ(r.begin, expected_begin);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(expected_begin, pos.size());
+}
+
+TEST(CellList, Neighbors27IncludesSelfAndWraps) {
+  CellList cells(12.0, 3.0);  // 4x4x4
+  const auto nb = cells.neighbors27(0);
+  std::set<int> unique(nb.begin(), nb.end());
+  EXPECT_EQ(unique.size(), 27u);  // all distinct on a 4-wide grid
+  EXPECT_TRUE(unique.count(0));
+  // Corner cell must see the periodic images on the far faces.
+  EXPECT_TRUE(unique.count(cells.cell_index(3, 3, 3)));
+}
+
+TEST(CellList, StencilUniqueFlag) {
+  EXPECT_TRUE(CellList(9.0, 3.0).stencil_unique());   // 3 cells/side
+  EXPECT_FALSE(CellList(9.0, 4.0).stencil_unique());  // 2 cells/side
+}
+
+class CellListPairSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(CellListPairSweep, FindsExactlyTheBruteForcePairs) {
+  const auto [n, box, cutoff] = GetParam();
+  const auto pos = random_positions(n, box, 1234 + n);
+  CellList cells(box, cutoff);
+  cells.build(pos);
+  const auto expected = brute_force_pairs(pos, box, cutoff);
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> found;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> times;
+  cells.for_each_pair_within(
+      pos, cutoff,
+      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        auto key = std::minmax(i, j);
+        found.insert({key.first, key.second});
+        times[{key.first, key.second}]++;
+        // Reported displacement/r2 must match minimum image.
+        const Vec3 ref = minimum_image(pos[i], pos[j], box);
+        EXPECT_NEAR(d.x, ref.x, 1e-12);
+        EXPECT_NEAR(r2, norm2(ref), 1e-12);
+      });
+  EXPECT_EQ(found, expected);
+  for (const auto& [pair, count] : times)
+    EXPECT_EQ(count, 1) << pair.first << "," << pair.second;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CellListPairSweep,
+    ::testing::Values(
+        std::tuple{100, 10.0, 2.0},   // many cells
+        std::tuple{100, 10.0, 3.3},   // 3 cells/side (stencil edge case)
+        std::tuple{100, 10.0, 4.0},   // 2 cells/side -> O(N^2) fallback
+        std::tuple{50, 10.0, 5.0},    // cutoff = L/2
+        std::tuple{256, 20.0, 2.5},   // larger sparse box
+        std::tuple{30, 6.0, 2.9}));   // dense tiny box
+
+TEST(CellList, CutoffSmallerThanCellSideStillCorrect) {
+  // Query cutoff below construction cell side must not lose pairs.
+  const double box = 12.0;
+  const auto pos = random_positions(200, box, 9);
+  CellList cells(box, 4.0);
+  cells.build(pos);
+  const double cutoff = 2.0;
+  const auto expected = brute_force_pairs(pos, box, cutoff);
+  std::size_t count = 0;
+  cells.for_each_pair_within(pos, cutoff,
+                             [&](std::uint32_t, std::uint32_t, const Vec3&,
+                                 double) { ++count; });
+  EXPECT_EQ(count, expected.size());
+}
+
+TEST(CellList, EmptyAndSingleParticle) {
+  CellList cells(10.0, 2.5);
+  cells.build(std::vector<Vec3>{});
+  int calls = 0;
+  cells.for_each_pair_within({}, 2.5,
+                             [&](std::uint32_t, std::uint32_t, const Vec3&,
+                                 double) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  const std::vector<Vec3> one{{1.0, 1.0, 1.0}};
+  cells.build(one);
+  cells.for_each_pair_within(one, 2.5,
+                             [&](std::uint32_t, std::uint32_t, const Vec3&,
+                                 double) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace mdm

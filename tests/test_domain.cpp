@@ -1,0 +1,110 @@
+#include "host/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace mdm::host {
+namespace {
+
+TEST(DomainGrid, PaperFactorization) {
+  const auto grid = DomainGrid::for_processes(16, 100.0);
+  // 16 -> 4 x 2 x 2 (near-cubic, largest along x by convention).
+  EXPECT_EQ(grid.nx(), 4);
+  EXPECT_EQ(grid.ny(), 2);
+  EXPECT_EQ(grid.nz(), 2);
+  EXPECT_EQ(grid.domain_count(), 16);
+}
+
+TEST(DomainGrid, OtherFactorizations) {
+  EXPECT_EQ(DomainGrid::for_processes(8, 10.0).nx(), 2);   // 2x2x2
+  EXPECT_EQ(DomainGrid::for_processes(1, 10.0).domain_count(), 1);
+  const auto g12 = DomainGrid::for_processes(12, 10.0);    // 3x2x2
+  EXPECT_EQ(g12.nx() * g12.ny() * g12.nz(), 12);
+  EXPECT_EQ(g12.nx(), 3);
+  EXPECT_THROW(DomainGrid::for_processes(0, 10.0), std::invalid_argument);
+}
+
+TEST(DomainGrid, EveryPointHasExactlyOneDomain) {
+  const DomainGrid grid(4, 2, 2, 20.0);
+  Random rng(1);
+  for (int rep = 0; rep < 500; ++rep) {
+    const Vec3 r{rng.uniform(0, 20), rng.uniform(0, 20), rng.uniform(0, 20)};
+    const int d = grid.domain_of(r);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, grid.domain_count());
+    Vec3 lo, hi;
+    grid.bounds(d, lo, hi);
+    EXPECT_GE(r.x, lo.x);
+    EXPECT_LT(r.x, hi.x + 1e-12);
+    EXPECT_GE(r.y, lo.y);
+    EXPECT_LT(r.y, hi.y + 1e-12);
+  }
+}
+
+TEST(DomainGrid, WrapsOutOfBoxPositions) {
+  const DomainGrid grid(2, 2, 2, 10.0);
+  EXPECT_EQ(grid.domain_of({1, 1, 1}), grid.domain_of({11, 1, 1}));
+  EXPECT_EQ(grid.domain_of({1, 1, 1}), grid.domain_of({-9, 1, 1}));
+}
+
+TEST(DomainGrid, BoundsTileTheBox) {
+  const DomainGrid grid(4, 2, 2, 16.0);
+  double volume = 0.0;
+  for (int d = 0; d < grid.domain_count(); ++d) {
+    Vec3 lo, hi;
+    grid.bounds(d, lo, hi);
+    volume += (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+  EXPECT_NEAR(volume, 16.0 * 16.0 * 16.0, 1e-9);
+}
+
+TEST(DomainGrid, DistanceZeroInsideOwnDomain) {
+  const DomainGrid grid(4, 2, 2, 20.0);
+  Random rng(2);
+  for (int rep = 0; rep < 200; ++rep) {
+    const Vec3 r{rng.uniform(0, 20), rng.uniform(0, 20), rng.uniform(0, 20)};
+    EXPECT_DOUBLE_EQ(grid.distance_to_domain(r, grid.domain_of(r)), 0.0);
+  }
+}
+
+TEST(DomainGrid, DistanceMatchesBruteForce) {
+  const DomainGrid grid(4, 2, 2, 12.0);
+  Random rng(3);
+  for (int rep = 0; rep < 100; ++rep) {
+    const Vec3 r{rng.uniform(0, 12), rng.uniform(0, 12), rng.uniform(0, 12)};
+    for (int d = 0; d < grid.domain_count(); ++d) {
+      // Brute force: sample the domain interior densely, take the smallest
+      // minimum-image distance.
+      Vec3 lo, hi;
+      grid.bounds(d, lo, hi);
+      double best = 1e300;
+      const int kSamples = 8;
+      for (int i = 0; i <= kSamples; ++i)
+        for (int j = 0; j <= kSamples; ++j)
+          for (int k = 0; k <= kSamples; ++k) {
+            const Vec3 p{lo.x + (hi.x - lo.x) * i / kSamples,
+                         lo.y + (hi.y - lo.y) * j / kSamples,
+                         lo.z + (hi.z - lo.z) * k / kSamples};
+            best = std::min(best, norm(minimum_image(r, p, 12.0)));
+          }
+      // The analytic distance is a lower bound and close to the sampled one.
+      const double got = grid.distance_to_domain(r, d);
+      EXPECT_LE(got, best + 1e-9);
+      EXPECT_GE(got, best - 12.0 / kSamples);
+    }
+  }
+}
+
+TEST(DomainGrid, PeriodicWrapAffectsDistance) {
+  // Domain at the far end of x is adjacent through the boundary.
+  const DomainGrid grid(4, 1, 1, 16.0);  // domains are 4 wide in x
+  const Vec3 r{0.5, 8.0, 8.0};           // inside domain 0
+  // Domain 3 spans x in [12, 16); through the boundary it is 0.5 away.
+  EXPECT_NEAR(grid.distance_to_domain(r, 3), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mdm::host

@@ -1,0 +1,299 @@
+#include "ewald/ewald.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "ewald/direct_sum.hpp"
+#include "ewald/parameters.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Random neutral two-species system (charges +-1).
+ParticleSystem random_ionic_system(std::size_t n_pairs, double box,
+                                   std::uint64_t seed) {
+  ParticleSystem sys(box);
+  const int plus = sys.add_species({"P", 20.0, +1.0});
+  const int minus = sys.add_species({"M", 30.0, -1.0});
+  Random rng(seed);
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    sys.add_particle(plus, {rng.uniform(0, box), rng.uniform(0, box),
+                            rng.uniform(0, box)});
+    sys.add_particle(minus, {rng.uniform(0, box), rng.uniform(0, box),
+                             rng.uniform(0, box)});
+  }
+  return sys;
+}
+
+double total_coulomb_energy(EwaldCoulomb& ewald, const ParticleSystem& sys) {
+  std::vector<Vec3> forces(sys.size());
+  return evaluate_forces(ewald, sys, forces).potential;
+}
+
+TEST(Ewald, MadelungConstantOfRockSalt) {
+  // Coulomb lattice energy of NaCl is -M k_e q^2 / d per ion pair with
+  // M = 1.7475646 and d the nearest-neighbour distance.
+  const auto sys = make_nacl_crystal(2);
+  const double d = kPaperLatticeConstant / 2.0;
+  const double expected =
+      -kMadelungNaCl * units::kCoulomb / d * (sys.size() / 2.0);
+
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(7.0, sys.box()), sys.box()),
+      sys.box());
+  const double energy = total_coulomb_energy(ewald, sys);
+  EXPECT_NEAR(energy, expected, 1e-3 * std::fabs(expected));
+}
+
+TEST(Ewald, MadelungHighAccuracy) {
+  const auto sys = make_nacl_crystal(2);
+  const double d = kPaperLatticeConstant / 2.0;
+  const double expected =
+      -kMadelungNaCl * units::kCoulomb / d * (sys.size() / 2.0);
+
+  const EwaldAccuracy tight{3.6, 3.8};
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(8.0, sys.box(), tight), sys.box()),
+      sys.box());
+  const double energy = total_coulomb_energy(ewald, sys);
+  EXPECT_NEAR(energy, expected, 2e-6 * std::fabs(expected));
+}
+
+TEST(Ewald, EnergyIndependentOfAlpha) {
+  const auto sys = random_ionic_system(20, 12.0, 99);
+  const EwaldAccuracy tight{3.6, 3.8};
+  std::vector<double> energies;
+  for (double alpha : {7.0, 9.0, 11.0}) {
+    EwaldCoulomb ewald(
+        clamp_to_box(parameters_from_alpha(alpha, sys.box(), tight),
+                     sys.box()),
+        sys.box());
+    energies.push_back(total_coulomb_energy(ewald, sys));
+  }
+  // The total is a near-cancelling sum for a random neutral gas, so compare
+  // with an absolute tolerance set by the per-pair truncation level
+  // (~erfc(3.6) * k_e * N).
+  EXPECT_NEAR(energies[0], energies[1], 5e-5);
+  EXPECT_NEAR(energies[1], energies[2], 5e-5);
+}
+
+TEST(Ewald, ForcesIndependentOfAlpha) {
+  const auto sys = random_ionic_system(15, 11.0, 7);
+  const EwaldAccuracy tight{3.6, 3.8};
+  std::vector<std::vector<Vec3>> runs;
+  for (double alpha : {7.0, 10.0}) {
+    EwaldCoulomb ewald(
+        clamp_to_box(parameters_from_alpha(alpha, sys.box(), tight),
+                     sys.box()),
+        sys.box());
+    std::vector<Vec3> forces(sys.size());
+    evaluate_forces(ewald, sys, forces);
+    runs.push_back(std::move(forces));
+  }
+  double fscale = 0.0;
+  for (const auto& f : runs[0]) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_NEAR(norm(runs[0][i] - runs[1][i]), 0.0, 2e-5 * fscale) << i;
+  }
+}
+
+TEST(Ewald, TotalForceIsZero) {
+  const auto sys = random_ionic_system(25, 14.0, 3);
+  EwaldCoulomb ewald(software_parameters(sys.size(), sys.box()), sys.box());
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(ewald, sys, forces);
+  Vec3 total;
+  double fscale = 0.0;
+  for (const auto& f : forces) {
+    total += f;
+    fscale = std::max(fscale, norm(f));
+  }
+  EXPECT_NEAR(norm(total), 0.0, 1e-9 * fscale * sys.size());
+}
+
+TEST(Ewald, ForcesMatchExplicitLatticeSum) {
+  // Perturbed small crystal; the cubic replica sum converges to the vacuum
+  // boundary condition = Ewald (tin-foil) minus the dipole term.
+  auto sys = make_nacl_crystal(1);
+  sys.positions()[0] += Vec3{0.31, -0.12, 0.22};
+  sys.positions()[3] += Vec3{-0.08, 0.05, -0.17};
+  sys.wrap_positions();
+  const double box = sys.box();
+  const double volume = box * box * box;
+
+  const EwaldAccuracy tight{3.6, 3.8};
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(7.0, box, tight), box), box);
+  std::vector<Vec3> ewald_forces(sys.size());
+  evaluate_forces(ewald, sys, ewald_forces);
+
+  // Cell dipole from the wrapped coordinates the replica sum uses.
+  Vec3 dipole;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    dipole += sys.charge(i) * sys.positions()[i];
+
+  double fscale = 0.0;
+  for (const auto& f : ewald_forces) fscale = std::max(fscale, norm(f));
+
+  // The cubic replica sum converges ~1/shells^2 (higher multipole shape
+  // terms); check it converges toward the dipole-corrected Ewald forces.
+  auto worst_error = [&](int shells) {
+    LatticeSumCoulomb lattice(shells);
+    std::vector<Vec3> lattice_forces(sys.size());
+    evaluate_forces(lattice, sys, lattice_forces);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Vec3 corrected =
+          ewald_forces[i] -
+          (4.0 * kPi * units::kCoulomb / (3.0 * volume)) * sys.charge(i) *
+              dipole;
+      worst = std::max(worst, norm(corrected - lattice_forces[i]));
+    }
+    return worst;
+  };
+  const double err4 = worst_error(4);
+  const double err8 = worst_error(8);
+  const double err16 = worst_error(16);
+  EXPECT_LT(err8, 0.6 * err4);
+  EXPECT_LT(err16, 0.5 * err8);         // ~1/s^2 decay
+  EXPECT_LT(err16, 6e-3 * fscale);      // already sub-percent at 16 shells
+}
+
+TEST(Ewald, VirialEqualsPotentialForPureCoulomb) {
+  // For a 1/r potential the pair virial sum equals the potential energy;
+  // this pins the reciprocal-space virial formula.
+  const auto sys = random_ionic_system(20, 12.0, 31);
+  const EwaldAccuracy tight{3.6, 3.8};
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(9.0, sys.box(), tight), sys.box()),
+      sys.box());
+  std::vector<Vec3> forces(sys.size());
+  const auto result = evaluate_forces(ewald, sys, forces);
+  EXPECT_NEAR(result.virial, result.potential,
+              1e-4 * std::fabs(result.potential));
+}
+
+TEST(Ewald, SelfEnergyFormula) {
+  const auto sys = random_ionic_system(5, 10.0, 1);
+  EwaldParameters p = parameters_from_alpha(8.0, sys.box());
+  EwaldCoulomb ewald(clamp_to_box(p, sys.box()), sys.box());
+  const double beta = p.alpha / sys.box();
+  EXPECT_DOUBLE_EQ(ewald.self_energy(sys),
+                   -units::kCoulomb * beta / std::sqrt(kPi) * 10.0);
+}
+
+TEST(Ewald, BackgroundEnergyZeroForNeutralSystem) {
+  const auto sys = random_ionic_system(8, 10.0, 2);
+  EwaldCoulomb ewald(software_parameters(sys.size(), sys.box()), sys.box());
+  EXPECT_DOUBLE_EQ(ewald.background_energy(sys), 0.0);
+}
+
+TEST(Ewald, BackgroundEnergyNonzeroForChargedSystem) {
+  ParticleSystem sys(10.0);
+  const int p = sys.add_species({"P", 1.0, +1.0});
+  sys.add_particle(p, {1, 1, 1});
+  sys.add_particle(p, {5, 5, 5});
+  EwaldCoulomb ewald(clamp_to_box(parameters_from_alpha(8.0, 10.0), 10.0),
+                     10.0);
+  EXPECT_LT(ewald.background_energy(sys), 0.0);
+}
+
+TEST(Ewald, StructureFactorsSingleParticleAtOrigin) {
+  EwaldCoulomb ewald(clamp_to_box(parameters_from_alpha(8.0, 10.0), 10.0),
+                     10.0);
+  const std::vector<Vec3> pos{{0.0, 0.0, 0.0}};
+  const std::vector<double> q{2.5};
+  const auto sf = ewald.structure_factors(pos, q);
+  for (std::size_t m = 0; m < sf.c.size(); ++m) {
+    EXPECT_NEAR(sf.c[m], 2.5, 1e-12);
+    EXPECT_NEAR(sf.s[m], 0.0, 1e-12);
+  }
+}
+
+TEST(Ewald, StructureFactorsMatchDirectTrigonometry) {
+  // Validates the per-axis phase recurrence against direct sin/cos.
+  const double box = 9.0;
+  EwaldCoulomb ewald(clamp_to_box(parameters_from_alpha(7.0, box), box), box);
+  Random rng(55);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 7; ++i) {
+    pos.push_back({rng.uniform(0, box), rng.uniform(0, box),
+                   rng.uniform(0, box)});
+    q.push_back(rng.uniform(-2.0, 2.0));
+  }
+  const auto sf = ewald.structure_factors(pos, q);
+  const auto& kvecs = ewald.kvectors().vectors();
+  for (std::size_t m = 0; m < kvecs.size(); ++m) {
+    double c = 0.0, s = 0.0;
+    for (std::size_t p = 0; p < pos.size(); ++p) {
+      const double theta = 2.0 * kPi * dot(kvecs[m].k, pos[p]);
+      c += q[p] * std::cos(theta);
+      s += q[p] * std::sin(theta);
+    }
+    EXPECT_NEAR(sf.c[m], c, 1e-9);
+    EXPECT_NEAR(sf.s[m], s, 1e-9);
+  }
+}
+
+TEST(Ewald, StructureFactorsAreLinearInParticles) {
+  // DFT over a partition of the particles sums to the full DFT - the
+  // property the 8-process WINE-2 decomposition relies on.
+  const auto sys = random_ionic_system(12, 10.0, 8);
+  EwaldCoulomb ewald(software_parameters(sys.size(), sys.box()), sys.box());
+  std::vector<double> charges(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) charges[i] = sys.charge(i);
+  const auto positions = sys.positions();
+
+  const auto full = ewald.structure_factors(positions, charges);
+  const std::size_t half = sys.size() / 2;
+  const auto part1 = ewald.structure_factors(
+      positions.subspan(0, half), std::span(charges).subspan(0, half));
+  const auto part2 = ewald.structure_factors(
+      positions.subspan(half), std::span(charges).subspan(half));
+  for (std::size_t m = 0; m < full.c.size(); ++m) {
+    EXPECT_NEAR(full.c[m], part1.c[m] + part2.c[m], 1e-10);
+    EXPECT_NEAR(full.s[m], part1.s[m] + part2.s[m], 1e-10);
+  }
+}
+
+TEST(Ewald, RejectsBadParameters) {
+  EXPECT_THROW(EwaldCoulomb({-1.0, 3.0, 5.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(EwaldCoulomb({8.0, 6.0, 5.0}, 10.0),
+               std::invalid_argument);  // r_cut > L/2
+}
+
+TEST(Ewald, WavenumberPartSmallerThanRealPartAtPaperAccuracy) {
+  // Sec. 3.4.4: "F(wn) is several times smaller than F(re)". This holds
+  // when beta * d_nn is small (the paper's beta = 85/850 = 0.1 1/A); use a
+  // box large enough to realize a comparable splitting.
+  auto sys = make_nacl_crystal(3);
+  Random rng(4);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  sys.wrap_positions();
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(4.0, sys.box()), sys.box()),
+      sys.box());
+  std::vector<Vec3> real_f(sys.size()), wn_f(sys.size());
+  ewald.add_real_space(sys, real_f);
+  ewald.add_wavenumber_space(sys, wn_f);
+  double real_rms = 0.0, wn_rms = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    real_rms += norm2(real_f[i]);
+    wn_rms += norm2(wn_f[i]);
+  }
+  EXPECT_LT(wn_rms, real_rms);
+}
+
+}  // namespace
+}  // namespace mdm

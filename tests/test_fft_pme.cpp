@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/lattice.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "ewald/direct_sum.hpp"
+#include "ewald/pme.hpp"
+#include "util/fft.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(6);
+  EXPECT_THROW(fft(data, false), std::invalid_argument);
+  EXPECT_THROW(Grid3D(12), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> data(8);
+  data[0] = 1.0;
+  fft(data, false);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  Random rng(1);
+  std::vector<Complex> data(64);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, MatchesDirectDft) {
+  Random rng(2);
+  const std::size_t n = 16;
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto direct = [&](std::size_t m) {
+    Complex sum{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * double(m * j) / n;
+      sum += data[j] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    return sum;
+  };
+  std::vector<Complex> expected(n);
+  for (std::size_t m = 0; m < n; ++m) expected[m] = direct(m);
+  fft(data, false);
+  for (std::size_t m = 0; m < n; ++m) {
+    EXPECT_NEAR(data[m].real(), expected[m].real(), 1e-10);
+    EXPECT_NEAR(data[m].imag(), expected[m].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalOnGrid3D) {
+  Random rng(3);
+  Grid3D grid(8);
+  double sum2 = 0.0;
+  for (auto& v : grid.data()) {
+    v = {rng.uniform(-1, 1), 0.0};
+    sum2 += std::norm(v);
+  }
+  grid.transform(false);
+  double spec2 = 0.0;
+  for (const auto& v : grid.data()) spec2 += std::norm(v);
+  EXPECT_NEAR(spec2, sum2 * double(grid.size()), 1e-8 * spec2);
+}
+
+TEST(Bspline, PartitionOfUnityAndSupport) {
+  for (int p : {3, 4, 6}) {
+    EXPECT_EQ(bspline(p, -0.5), 0.0);
+    EXPECT_EQ(bspline(p, p + 0.5), 0.0);
+    // sum_j M_p(t + j) == 1 for t in [0,1).
+    for (double t = 0.0; t < 1.0; t += 0.093) {
+      double sum = 0.0;
+      for (int j = 0; j < p; ++j) sum += bspline(p, t + j);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << p << " " << t;
+    }
+  }
+  // M_2 is the hat function.
+  EXPECT_DOUBLE_EQ(bspline(2, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bspline(2, 0.5), 0.5);
+  // M_4 at integer knots: the cubic B-spline values 1/6, 4/6, 1/6.
+  EXPECT_NEAR(bspline(4, 1.0), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(bspline(4, 2.0), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(bspline(4, 3.0), 1.0 / 6.0, 1e-12);
+}
+
+ParticleSystem melt(int n_cells, std::uint64_t seed) {
+  auto sys = make_nacl_crystal(n_cells);
+  Random rng(seed);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  sys.wrap_positions();
+  return sys;
+}
+
+TEST(SmoothPme, RejectsBadConfig) {
+  EXPECT_THROW(SmoothPme({0.0, 4.0, 32, 4}, 12.0), std::invalid_argument);
+  EXPECT_THROW(SmoothPme({6.0, 10.0, 32, 4}, 12.0),
+               std::invalid_argument);  // r_cut > L/2
+  EXPECT_THROW(SmoothPme({6.0, 4.0, 24, 4}, 12.0),
+               std::invalid_argument);  // grid not power of two
+  EXPECT_THROW(SmoothPme({6.0, 4.0, 32, 2}, 12.0),
+               std::invalid_argument);  // order too low
+  EXPECT_THROW(SmoothPme({6.0, 4.0, 4, 4}, 12.0),
+               std::invalid_argument);  // grid < 2*order
+}
+
+TEST(SmoothPme, ReciprocalMatchesExactEwald) {
+  const auto sys = melt(2, 77);
+  // Tight truncation: PME sums the full mode cube, so the exact reference
+  // must be converged (paper-accuracy truncation would differ by ~4e-3).
+  const auto params =
+      software_parameters(double(sys.size()), sys.box(), {3.6, 3.8});
+
+  EwaldCoulomb exact(params, sys.box());
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  const auto ref_result = exact.add_wavenumber_space(sys, ref);
+
+  SmoothPme pme({params.alpha, params.r_cut, 32, 6}, sys.box());
+  std::vector<Vec3> got(sys.size(), Vec3{});
+  const double energy = pme.add_reciprocal(sys, got);
+
+  EXPECT_NEAR(energy, ref_result.potential,
+              2e-4 * std::fabs(ref_result.potential));
+  double fscale = 0.0;
+  for (const auto& f : ref) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    EXPECT_NEAR(norm(got[i] - ref[i]), 0.0, 2e-3 * fscale) << i;
+}
+
+TEST(SmoothPme, TotalMatchesExactEwald) {
+  const auto sys = melt(2, 78);
+  const auto params =
+      software_parameters(double(sys.size()), sys.box(), {3.6, 3.8});
+
+  EwaldCoulomb exact(params, sys.box());
+  std::vector<Vec3> ref(sys.size());
+  const auto ref_result = evaluate_forces(exact, sys, ref);
+
+  SmoothPme pme({params.alpha, params.r_cut, 32, 6}, sys.box());
+  std::vector<Vec3> got(sys.size());
+  const auto got_result = evaluate_forces(pme, sys, got);
+
+  EXPECT_NEAR(got_result.potential, ref_result.potential,
+              1e-4 * std::fabs(ref_result.potential));
+  double fscale = 0.0;
+  for (const auto& f : ref) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    EXPECT_NEAR(norm(got[i] - ref[i]), 0.0, 2e-3 * fscale);
+}
+
+TEST(SmoothPme, MadelungConstant) {
+  const auto sys = make_nacl_crystal(2);
+  const double d = kPaperLatticeConstant / 2.0;
+  const double expected =
+      -kMadelungNaCl * units::kCoulomb / d * (sys.size() / 2.0);
+  const EwaldAccuracy tight{3.6, 3.8};
+  const auto params = clamp_to_box(
+      parameters_from_alpha(8.0, sys.box(), tight), sys.box());
+  SmoothPme pme({params.alpha, params.r_cut, 64, 6}, sys.box());
+  std::vector<Vec3> forces(sys.size());
+  const double energy = evaluate_forces(pme, sys, forces).potential;
+  EXPECT_NEAR(energy, expected, 1e-4 * std::fabs(expected));
+}
+
+TEST(SmoothPme, FinerGridConvergesToExact) {
+  const auto sys = melt(2, 79);
+  const auto params =
+      software_parameters(double(sys.size()), sys.box(), {3.6, 3.8});
+  EwaldCoulomb exact(params, sys.box());
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  exact.add_wavenumber_space(sys, ref);
+  double ref_rms = 0.0;
+  for (const auto& f : ref) ref_rms += norm2(f);
+
+  double prev = 1e300;
+  for (int grid : {16, 32, 64}) {
+    SmoothPme pme({params.alpha, params.r_cut, grid, 4}, sys.box());
+    std::vector<Vec3> got(sys.size(), Vec3{});
+    pme.add_reciprocal(sys, got);
+    double err = 0.0;
+    for (std::size_t i = 0; i < sys.size(); ++i)
+      err += norm2(got[i] - ref[i]);
+    const double rel = std::sqrt(err / ref_rms);
+    EXPECT_LT(rel, prev) << grid;
+    prev = rel;
+  }
+  EXPECT_LT(prev, 1e-3);  // 64^3 with order 4 is sub-0.1%
+}
+
+TEST(SmoothPme, TotalForceIsZero) {
+  const auto sys = melt(2, 80);
+  const auto params = software_parameters(double(sys.size()), sys.box());
+  SmoothPme pme({params.alpha, params.r_cut, 32, 4}, sys.box());
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(pme, sys, forces);
+  Vec3 total;
+  double fscale = 1e-12;
+  for (const auto& f : forces) {
+    total += f;
+    fscale = std::max(fscale, norm(f));
+  }
+  // Spline spreading conserves total charge -> net force ~ mesh noise.
+  EXPECT_LT(norm(total), 1e-9 * fscale * sys.size());
+}
+
+}  // namespace
+}  // namespace mdm

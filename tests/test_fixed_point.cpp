@@ -1,0 +1,127 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdm {
+namespace {
+
+TEST(QFormat, RangeAndLsb) {
+  const QFormat q{.int_bits = 4, .frac_bits = 4};  // Q4.4, 8-bit word
+  EXPECT_EQ(q.total_bits(), 8);
+  EXPECT_EQ(q.raw_max(), 127);
+  EXPECT_EQ(q.raw_min(), -128);
+  EXPECT_DOUBLE_EQ(q.lsb(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(q.max_value(), 127.0 / 16.0);
+  EXPECT_DOUBLE_EQ(q.min_value(), -8.0);
+  EXPECT_TRUE(q.valid());
+  EXPECT_FALSE((QFormat{.int_bits = 40, .frac_bits = 40}.valid()));
+}
+
+TEST(Fixed, RoundTripExactValues) {
+  const QFormat q{.int_bits = 8, .frac_bits = 8};
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.875, -7.0}) {
+    EXPECT_DOUBLE_EQ(Fixed::from_double(v, q).to_double(), v) << v;
+  }
+}
+
+TEST(Fixed, QuantizationErrorBoundedByHalfLsb) {
+  const QFormat q{.int_bits = 8, .frac_bits = 12};
+  for (double v = -3.0; v < 3.0; v += 0.01237) {
+    const double r = Fixed::from_double(v, q).to_double();
+    EXPECT_LE(std::fabs(r - v), 0.5 * q.lsb() + 1e-15) << v;
+  }
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+  const QFormat q{.int_bits = 4, .frac_bits = 4};
+  EXPECT_DOUBLE_EQ(Fixed::from_double(100.0, q).to_double(), q.max_value());
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-100.0, q).to_double(), q.min_value());
+  // Saturating add.
+  const Fixed big = Fixed::from_double(7.0, q);
+  EXPECT_DOUBLE_EQ(add(big, big).to_double(), q.max_value());
+  const Fixed low = Fixed::from_double(-8.0, q);
+  EXPECT_DOUBLE_EQ(add(low, low).to_double(), q.min_value());
+}
+
+TEST(Fixed, AddSubExact) {
+  const QFormat q{.int_bits = 16, .frac_bits = 16};
+  const Fixed a = Fixed::from_double(1.25, q);
+  const Fixed b = Fixed::from_double(-0.75, q);
+  EXPECT_DOUBLE_EQ(add(a, b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(sub(a, b).to_double(), 2.0);
+}
+
+TEST(Fixed, AddRejectsFormatMismatch) {
+  const Fixed a = Fixed::from_double(1.0, {.int_bits = 8, .frac_bits = 8});
+  const Fixed b = Fixed::from_double(1.0, {.int_bits = 8, .frac_bits = 9});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(Fixed, MulProducesRequestedFormat) {
+  const QFormat in{.int_bits = 8, .frac_bits = 8};
+  const QFormat out{.int_bits = 16, .frac_bits = 12};
+  const Fixed a = Fixed::from_double(1.5, in);
+  const Fixed b = Fixed::from_double(-2.25, in);
+  const Fixed p = mul(a, b, out);
+  EXPECT_EQ(p.format(), out);
+  EXPECT_NEAR(p.to_double(), -3.375, out.lsb());
+}
+
+TEST(Fixed, MulExactWhenRepresentable) {
+  const QFormat in{.int_bits = 8, .frac_bits = 8};
+  // 1.5 * -2.25 = -3.375 has 3 fraction bits -> exact in any f >= 3 format.
+  const Fixed p = mul(Fixed::from_double(1.5, in), Fixed::from_double(-2.25, in),
+                      {.int_bits = 8, .frac_bits = 16});
+  EXPECT_DOUBLE_EQ(p.to_double(), -3.375);
+}
+
+TEST(Fixed, ConvertBetweenFormats) {
+  const QFormat wide{.int_bits = 8, .frac_bits = 24};
+  const QFormat narrow{.int_bits = 8, .frac_bits = 8};
+  const Fixed x = Fixed::from_double(1.0 / 3.0, wide);
+  const Fixed y = x.convert(narrow);
+  EXPECT_NEAR(y.to_double(), 1.0 / 3.0, narrow.lsb());
+  // Widening back is exact.
+  EXPECT_DOUBLE_EQ(y.convert(wide).to_double(), y.to_double());
+}
+
+TEST(Fixed, ConvertSaturatesOnNarrowing) {
+  const Fixed x = Fixed::from_double(100.0, {.int_bits = 16, .frac_bits = 8});
+  const QFormat narrow{.int_bits = 4, .frac_bits = 4};
+  EXPECT_DOUBLE_EQ(x.convert(narrow).to_double(), narrow.max_value());
+}
+
+TEST(Fixed, QuantizeHelperMatchesClass) {
+  const QFormat q{.int_bits = 8, .frac_bits = 10};
+  for (double v = -2.0; v < 2.0; v += 0.0371) {
+    EXPECT_DOUBLE_EQ(quantize(v, q), Fixed::from_double(v, q).to_double());
+  }
+}
+
+/// Property sweep: add is associative-with-saturation monotone, and
+/// quantize(quantize(x)) == quantize(x) (idempotence).
+class FixedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPropertyTest, QuantizeIdempotent) {
+  const QFormat q{.int_bits = 8, .frac_bits = GetParam()};
+  for (double v = -7.9; v < 7.9; v += 0.137) {
+    const double once = quantize(v, q);
+    EXPECT_DOUBLE_EQ(quantize(once, q), once);
+  }
+}
+
+TEST_P(FixedPropertyTest, NegationIsExact) {
+  const QFormat q{.int_bits = 8, .frac_bits = GetParam()};
+  for (double v = -7.5; v < 7.5; v += 0.31) {
+    const Fixed x = Fixed::from_double(v, q);
+    EXPECT_DOUBLE_EQ((-x).to_double(), -x.to_double());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionBits, FixedPropertyTest,
+                         ::testing::Values(0, 4, 8, 16, 24, 32));
+
+}  // namespace
+}  // namespace mdm

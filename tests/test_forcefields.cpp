@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/force_field.hpp"
+#include "core/lattice.hpp"
+#include "core/lennard_jones.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(TosiFumi, NaClParameterValues) {
+  const auto p = TosiFumiParameters::nacl();
+  EXPECT_EQ(p.species_count, 2);
+  EXPECT_DOUBLE_EQ(p.rho, 0.317);
+  // Literature values of the Born-Mayer prefactors (DL_POLY's classic NaCl
+  // field quotes 424.097 / 1256.31 / 3488.9 eV for ++/+-/--).
+  EXPECT_NEAR(p.born_prefactor[0][0], 424.0, 4.0);
+  EXPECT_NEAR(p.born_prefactor[0][1], 1254.0, 12.0);
+  EXPECT_NEAR(p.born_prefactor[1][1], 3486.0, 35.0);
+  EXPECT_DOUBLE_EQ(p.born_prefactor[0][1], p.born_prefactor[1][0]);
+  // Dispersion in eV A^6 / eV A^8.
+  EXPECT_NEAR(p.c6[0][0], 1.049, 0.01);
+  EXPECT_NEAR(p.c6[1][1], 72.40, 0.5);
+  EXPECT_NEAR(p.d8[0][1], 8.676, 0.05);
+}
+
+TEST(TosiFumi, ForceIsMinusEnergyGradient) {
+  const auto p = TosiFumiParameters::nacl();
+  const double h = 1e-6;
+  for (int ti = 0; ti < 2; ++ti) {
+    for (int tj = ti; tj < 2; ++tj) {
+      for (double r : {2.0, 2.8, 3.5, 5.0, 8.0}) {
+        const double dphi =
+            (p.pair_energy(ti, tj, r + h) - p.pair_energy(ti, tj, r - h)) /
+            (2 * h);
+        EXPECT_NEAR(p.pair_force_over_r(ti, tj, r), -dphi / r,
+                    1e-5 * std::fabs(dphi / r) + 1e-12)
+            << ti << tj << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(TosiFumi, ShortRangeRepulsiveAtContactAttractiveFar) {
+  const auto p = TosiFumiParameters::nacl();
+  // Born-Mayer wall dominates at short range.
+  EXPECT_GT(p.pair_energy(0, 1, 1.5), 0.0);
+  // Dispersion dominates at large r (negative energy).
+  EXPECT_LT(p.pair_energy(1, 1, 6.0), 0.0);
+}
+
+TEST(TosiFumi, CrystalLatticeEnergyNearExperiment) {
+  // NaCl lattice (cohesive) energy is about 8.1 eV per ion pair; our
+  // Tosi-Fumi + Ewald should land close at the equilibrium (solid) lattice
+  // constant of 5.64 A.
+  const auto sys = make_nacl_crystal(2, 5.6402);
+  std::vector<Vec3> forces(sys.size());
+
+  EwaldCoulomb ewald(
+      clamp_to_box(parameters_from_alpha(7.0, sys.box(), {3.6, 3.8}),
+                   sys.box()),
+      sys.box());
+  TosiFumiShortRange sr(TosiFumiParameters::nacl(), 0.5 * sys.box());
+  const double total = evaluate_forces(ewald, sys, forces).potential +
+                       sr.add_forces(sys, forces).potential;
+  const double per_pair = total / (sys.size() / 2.0);
+  EXPECT_GT(per_pair, -8.4);
+  EXPECT_LT(per_pair, -7.5);
+}
+
+TEST(TosiFumi, CrystalIsNearEquilibriumAtSolidLatticeConstant) {
+  // At the experimental lattice constant the net force on every ion in the
+  // perfect crystal vanishes by symmetry, and the energy minimum over `a`
+  // should be near 5.64 A.
+  auto energy_at = [](double a) {
+    const auto sys = make_nacl_crystal(2, a);
+    std::vector<Vec3> forces(sys.size());
+    EwaldCoulomb ewald(
+        clamp_to_box(parameters_from_alpha(7.0, sys.box(), {3.6, 3.8}),
+                     sys.box()),
+        sys.box());
+    TosiFumiShortRange sr(TosiFumiParameters::nacl(), 0.45 * sys.box());
+    return evaluate_forces(ewald, sys, forces).potential +
+           sr.add_forces(sys, forces).potential;
+  };
+  const double e_lo = energy_at(5.30);
+  const double e_eq = energy_at(5.64);
+  const double e_hi = energy_at(6.00);
+  EXPECT_LT(e_eq, e_lo);
+  EXPECT_LT(e_eq, e_hi);
+}
+
+TEST(TosiFumi, NewtonThirdLawAndZeroNetForce) {
+  auto sys = make_nacl_crystal(2);
+  Random rng(17);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+              rng.uniform(-0.2, 0.2)};
+  sys.wrap_positions();
+  TosiFumiShortRange sr(TosiFumiParameters::nacl(), 6.0);
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(sr, sys, forces);
+  Vec3 total;
+  double fscale = 1e-12;
+  for (const auto& f : forces) {
+    total += f;
+    fscale = std::max(fscale, norm(f));
+  }
+  EXPECT_NEAR(norm(total), 0.0, 1e-10 * fscale * sys.size());
+}
+
+TEST(TosiFumi, VirialMatchesNumericalVolumeDerivative) {
+  auto sys = make_nacl_crystal(2);
+  Random rng(23);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.15, 0.15), rng.uniform(-0.15, 0.15),
+              rng.uniform(-0.15, 0.15)};
+  sys.wrap_positions();
+
+  auto energy_scaled = [&](double lambda) {
+    ParticleSystem scaled(sys.box() * lambda);
+    scaled.add_species({"Na", units::kMassNa, +1.0});
+    scaled.add_species({"Cl", units::kMassCl, -1.0});
+    for (std::size_t i = 0; i < sys.size(); ++i)
+      scaled.add_particle(sys.type(i), sys.positions()[i] * lambda);
+    TosiFumiShortRange sr(TosiFumiParameters::nacl(), 6.0 * lambda);
+    std::vector<Vec3> forces(scaled.size());
+    return evaluate_forces(sr, scaled, forces).potential;
+  };
+
+  TosiFumiShortRange sr(TosiFumiParameters::nacl(), 6.0);
+  std::vector<Vec3> forces(sys.size());
+  const auto result = evaluate_forces(sr, sys, forces);
+  const double h = 1e-5;
+  const double dE_dlambda = (energy_scaled(1 + h) - energy_scaled(1 - h)) /
+                            (2 * h);
+  // W = -dE/dlambda at lambda = 1.
+  EXPECT_NEAR(result.virial, -dE_dlambda,
+              1e-3 * std::fabs(dE_dlambda) + 1e-8);
+}
+
+TEST(LennardJones, MinimumAtR0) {
+  const auto p = LennardJonesParameters::single(0.5, 3.0);
+  const double r0 = 3.0 * std::pow(2.0, 1.0 / 6.0);
+  EXPECT_NEAR(p.pair_energy(0, 0, r0), -0.5, 1e-12);
+  EXPECT_NEAR(p.pair_force_over_r(0, 0, r0), 0.0, 1e-12);
+  EXPECT_NEAR(p.pair_energy(0, 0, 3.0), 0.0, 1e-12);
+}
+
+TEST(LennardJones, ForceIsMinusEnergyGradient) {
+  const auto p = LennardJonesParameters::single(0.3, 2.5);
+  const double h = 1e-7;
+  for (double r : {2.2, 2.8, 3.2, 4.5}) {
+    const double dphi =
+        (p.pair_energy(0, 0, r + h) - p.pair_energy(0, 0, r - h)) / (2 * h);
+    EXPECT_NEAR(p.pair_force_over_r(0, 0, r), -dphi / r,
+                1e-4 * std::fabs(dphi / r) + 1e-10);
+  }
+}
+
+TEST(LennardJones, MatchesPaperEq4Form) {
+  // Paper eq. 4: F = eps' [2 (sigma/r)^14 - (sigma/r)^8] r_vec with
+  // eps' = 24 eps / sigma^2; our pair_force_over_r must equal that factor.
+  const double eps = 0.7, sigma = 2.9;
+  const auto p = LennardJonesParameters::single(eps, sigma);
+  for (double r : {2.5, 3.1, 4.0}) {
+    const double sr = sigma / r;
+    const double paper = 24.0 * eps / (sigma * sigma) *
+                         (2.0 * std::pow(sr, 14) - std::pow(sr, 8));
+    EXPECT_NEAR(p.pair_force_over_r(0, 0, r), paper,
+                1e-12 + 1e-9 * std::fabs(paper));
+  }
+}
+
+TEST(LennardJones, LorentzBerthelotMixing) {
+  const double eps[] = {0.4, 0.9};
+  const double sig[] = {2.0, 3.0};
+  const auto p = LennardJonesParameters::lorentz_berthelot(eps, sig);
+  EXPECT_DOUBLE_EQ(p.epsilon[0][1], std::sqrt(0.36));
+  EXPECT_DOUBLE_EQ(p.sigma[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(p.epsilon[1][0], p.epsilon[0][1]);
+}
+
+TEST(LennardJones, DimerForceDirection) {
+  ParticleSystem sys(20.0);
+  const int a = sys.add_species({"A", 1.0, 0.0});
+  sys.add_particle(a, {5.0, 5.0, 5.0});
+  sys.add_particle(a, {7.5, 5.0, 5.0});  // closer than r0 -> repulsion
+  LennardJones lj(LennardJonesParameters::single(1.0, 2.5), 8.0);
+  std::vector<Vec3> forces(2);
+  evaluate_forces(lj, sys, forces);
+  EXPECT_LT(forces[0].x, 0.0);
+  EXPECT_GT(forces[1].x, 0.0);
+  EXPECT_NEAR(forces[0].x + forces[1].x, 0.0, 1e-12);
+}
+
+TEST(CompositeForceField, SumsContributions) {
+  ParticleSystem sys(20.0);
+  const int a = sys.add_species({"A", 1.0, 0.0});
+  sys.add_particle(a, {5.0, 5.0, 5.0});
+  sys.add_particle(a, {8.0, 5.0, 5.0});
+
+  auto composite = std::make_unique<CompositeForceField>();
+  composite->add(
+      std::make_unique<LennardJones>(LennardJonesParameters::single(1.0, 2.5),
+                                     8.0));
+  composite->add(
+      std::make_unique<LennardJones>(LennardJonesParameters::single(1.0, 2.5),
+                                     8.0));
+  std::vector<Vec3> once(2), twice(2);
+  LennardJones single(LennardJonesParameters::single(1.0, 2.5), 8.0);
+  const auto r1 = evaluate_forces(single, sys, once);
+  const auto r2 = evaluate_forces(*composite, sys, twice);
+  EXPECT_NEAR(r2.potential, 2.0 * r1.potential, 1e-12);
+  EXPECT_NEAR(twice[0].x, 2.0 * once[0].x, 1e-12);
+  EXPECT_NE(composite->name().find("lennard-jones"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,121 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/lattice.hpp"
+
+namespace mdm {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mdm_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, XyzFrameFormat) {
+  auto sys = make_nacl_crystal(1);
+  write_xyz_frame(path("t.xyz"), sys, "frame 0");
+  std::ifstream in(path("t.xyz"));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "8");
+  std::getline(in, line);
+  EXPECT_EQ(line, "frame 0");
+  int na = 0, cl = 0, rows = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string el;
+    double x, y, z;
+    ASSERT_TRUE(static_cast<bool>(ss >> el >> x >> y >> z)) << line;
+    ++rows;
+    if (el == "Na") ++na;
+    if (el == "Cl") ++cl;
+  }
+  EXPECT_EQ(rows, 8);
+  EXPECT_EQ(na, 4);
+  EXPECT_EQ(cl, 4);
+}
+
+TEST_F(IoTest, XyzAppendAddsSecondFrame) {
+  auto sys = make_nacl_crystal(1);
+  write_xyz_frame(path("t.xyz"), sys, "a");
+  write_xyz_frame(path("t.xyz"), sys, "b", /*append=*/true);
+  std::ifstream in(path("t.xyz"));
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("a\n"), std::string::npos);
+  EXPECT_NE(all.find("b\n"), std::string::npos);
+}
+
+TEST_F(IoTest, SamplesCsv) {
+  std::vector<Sample> samples;
+  samples.push_back({0, 0.0, 1200.0, 1.0, -2.0, -1.0, 0.5});
+  samples.push_back({1, 0.002, 1190.0, 1.1, -2.1, -1.0, 0.6});
+  write_samples_csv(path("s.csv"), samples);
+  std::ifstream in(path("s.csv"));
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "step,time_ps,temperature_K,kinetic_eV,potential_eV,total_eV,"
+            "pressure_GPa");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row.substr(0, 2), "0,");
+  int rows = 1;
+  while (std::getline(in, row))
+    if (!row.empty()) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+TEST_F(IoTest, CheckpointRoundTrip) {
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 800.0, 4);
+  save_checkpoint(path("c.bin"), sys);
+
+  auto restored = make_nacl_crystal(2);
+  load_checkpoint(path("c.bin"), restored);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(restored.positions()[i], sys.positions()[i]);
+    EXPECT_EQ(restored.velocities()[i], sys.velocities()[i]);
+  }
+}
+
+TEST_F(IoTest, CheckpointRejectsMismatchedSystem) {
+  auto sys = make_nacl_crystal(2);
+  save_checkpoint(path("c.bin"), sys);
+  auto other = make_nacl_crystal(3);
+  EXPECT_THROW(load_checkpoint(path("c.bin"), other), std::runtime_error);
+}
+
+TEST_F(IoTest, CheckpointRejectsGarbageFile) {
+  {
+    std::ofstream out(path("bad.bin"), std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  auto sys = make_nacl_crystal(1);
+  EXPECT_THROW(load_checkpoint(path("bad.bin"), sys), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  auto sys = make_nacl_crystal(1);
+  EXPECT_THROW(load_checkpoint(path("nope.bin"), sys), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,92 @@
+#include "ewald/kvectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "ewald/flops.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(KVectors, HalfSpacePredicate) {
+  EXPECT_TRUE(in_half_space(1, 0, 0));
+  EXPECT_FALSE(in_half_space(-1, 0, 0));
+  EXPECT_TRUE(in_half_space(0, 1, 0));
+  EXPECT_FALSE(in_half_space(0, -1, 0));
+  EXPECT_TRUE(in_half_space(5, -3, 1));
+  EXPECT_FALSE(in_half_space(5, -3, -1));
+  EXPECT_FALSE(in_half_space(0, 0, 0));
+}
+
+TEST(KVectors, NoVectorAndItsNegativeBothPresent) {
+  KVectorTable table(10.0, 8.0, 5.0);
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& kv : table.vectors()) {
+    const auto n = std::tuple{int(kv.n.x), int(kv.n.y), int(kv.n.z)};
+    const auto neg = std::tuple{-int(kv.n.x), -int(kv.n.y), -int(kv.n.z)};
+    EXPECT_FALSE(seen.count(neg)) << int(kv.n.x);
+    EXPECT_TRUE(seen.insert(n).second);  // also no duplicates
+  }
+}
+
+TEST(KVectors, AllWithinCutoffAndComplete) {
+  const double lk_cut = 4.3;
+  KVectorTable table(10.0, 8.0, lk_cut);
+  // Every stored |n| <= lk_cut.
+  for (const auto& kv : table.vectors())
+    EXPECT_LE(norm(kv.n), lk_cut + 1e-12);
+  // Count equals the exact half-space lattice count.
+  int expected = 0;
+  const int lim = 5;
+  for (int x = -lim; x <= lim; ++x)
+    for (int y = -lim; y <= lim; ++y)
+      for (int z = -lim; z <= lim; ++z)
+        if (in_half_space(x, y, z) &&
+            x * x + y * y + z * z <= lk_cut * lk_cut)
+          ++expected;
+  EXPECT_EQ(static_cast<int>(table.size()), expected);
+}
+
+TEST(KVectors, CountApproximatesNwvFormula) {
+  // N_wv ~ (2 pi / 3) (L k_cut)^3 (eq. 13); exact lattice count converges
+  // to this for large cutoffs.
+  const double lk_cut = 12.0;
+  KVectorTable table(10.0, 30.0, lk_cut);
+  const double predicted = n_wv(lk_cut);
+  EXPECT_NEAR(static_cast<double>(table.size()), predicted,
+              0.02 * predicted);
+}
+
+TEST(KVectors, DampingCoefficientMatchesEq12) {
+  const double box = 17.0;
+  const double alpha = 9.0;
+  KVectorTable table(box, alpha, 4.0);
+  for (const auto& kv : table.vectors()) {
+    const double k2 = dot(kv.n, kv.n) / (box * box);
+    const double expected =
+        std::exp(-M_PI * M_PI * box * box * k2 / (alpha * alpha)) / k2;
+    EXPECT_NEAR(kv.a, expected, 1e-12 * expected);
+    EXPECT_NEAR(kv.k2, k2, 1e-15);
+  }
+}
+
+TEST(KVectors, NmaxBoundsComponents) {
+  KVectorTable table(10.0, 8.0, 6.7);
+  EXPECT_EQ(table.n_max(), 6);
+  for (const auto& kv : table.vectors()) {
+    EXPECT_LE(std::abs(kv.n.x), table.n_max());
+    EXPECT_LE(std::abs(kv.n.y), table.n_max());
+    EXPECT_LE(std::abs(kv.n.z), table.n_max());
+  }
+}
+
+TEST(KVectors, RejectsEmptySet) {
+  EXPECT_THROW(KVectorTable(10.0, 8.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(KVectorTable(10.0, -1.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,192 @@
+#include "mdgrape2/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/units.hpp"
+
+namespace mdm::mdgrape2 {
+namespace {
+
+TEST(CyclicCoord, RoundTripResolution) {
+  const double box = 100.0;
+  Random rng(1);
+  for (int rep = 0; rep < 1000; ++rep) {
+    const Vec3 r{rng.uniform(0, box), rng.uniform(0, box),
+                 rng.uniform(0, box)};
+    const auto c = to_cyclic(r, box);
+    const Vec3 back = cyclic_delta(c, to_cyclic({0, 0, 0}, box), box);
+    // 40-bit resolution: box / 2^40 ~ 9e-11 A; wrap can map x near box to
+    // a negative minimum image, so compare modulo box.
+    const double lsb = box / std::ldexp(1.0, kCoordBits);
+    EXPECT_NEAR(wrap_coordinate(back.x, box), wrap_coordinate(r.x, box),
+                1.01 * lsb);
+  }
+}
+
+TEST(CyclicCoord, ModularSubtractionIsMinimumImage) {
+  const double box = 50.0;
+  Random rng(2);
+  for (int rep = 0; rep < 2000; ++rep) {
+    const Vec3 a{rng.uniform(0, box), rng.uniform(0, box),
+                 rng.uniform(0, box)};
+    const Vec3 b{rng.uniform(0, box), rng.uniform(0, box),
+                 rng.uniform(0, box)};
+    const Vec3 hw = cyclic_delta(to_cyclic(a, box), to_cyclic(b, box), box);
+    const Vec3 ref = minimum_image(a, b, box);
+    const double lsb = box / std::ldexp(1.0, kCoordBits);
+    EXPECT_NEAR(hw.x, ref.x, 2.1 * lsb);
+    EXPECT_NEAR(hw.y, ref.y, 2.1 * lsb);
+    EXPECT_NEAR(hw.z, ref.z, 2.1 * lsb);
+  }
+}
+
+TEST(CyclicCoord, ZeroDistanceIsExactlyZero) {
+  const double box = 30.0;
+  const Vec3 r{12.3456, 0.0001, 29.9999};
+  const auto c = to_cyclic(r, box);
+  const Vec3 d = cyclic_delta(c, c, box);
+  EXPECT_EQ(d.x, 0.0);
+  EXPECT_EQ(d.y, 0.0);
+  EXPECT_EQ(d.z, 0.0);
+}
+
+/// Coulomb real-space pass on a pair, compared against the double formula.
+TEST(Pipeline, CoulombPairForceAccuracy) {
+  const double box = 40.0;
+  const double beta = 0.25;
+  const double r_cut = 12.0;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass = make_coulomb_real_pass(beta, r_cut, charges);
+
+  Pipeline pipe;
+  pipe.load(&pass);
+
+  Random rng(3);
+  RunningStats err;
+  for (int rep = 0; rep < 500; ++rep) {
+    const Vec3 ri{rng.uniform(0, box), rng.uniform(0, box),
+                  rng.uniform(0, box)};
+    // Random displacement within [1.2, 0.9 r_cut].
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir /= norm(dir);
+    const double r = rng.uniform(1.2, 0.9 * r_cut);
+    const Vec3 rj = ri + r * dir;
+
+    StoredParticle i{to_cyclic(ri, box), 0};
+    StoredParticle j{to_cyclic(wrap_position(rj, box), box), 1};
+    Vec3 force{};
+    pipe.accumulate_force(i, {&j, 1}, box, force);
+
+    // Reference: F = k_e q_i q_j [erfc(br)/r^3 + 2b exp(-b^2r^2)/(sqrt(pi) r^2)] d.
+    const Vec3 d = minimum_image(ri, wrap_position(rj, box), box);
+    const double rr = norm(d);
+    const double qq = units::kCoulomb * charges[0] * charges[1];
+    const double s =
+        qq * (std::erfc(beta * rr) / (rr * rr * rr) +
+              2.0 * beta / std::sqrt(M_PI) * std::exp(-beta * beta * rr * rr) /
+                  (rr * rr));
+    const Vec3 ref = s * d;
+    err.add(relative_error(force.x, ref.x, 1e-10));
+    err.add(relative_error(force.y, ref.y, 1e-10));
+    err.add(relative_error(force.z, ref.z, 1e-10));
+  }
+  // Paper: "The relative accuracy of a pairwise force is about 1e-7".
+  EXPECT_LT(err.mean(), 2e-7);
+  EXPECT_LT(err.max(), 5e-6);  // worst case includes near-cutoff tiny forces
+}
+
+TEST(Pipeline, SelfInteractionContributesNothing) {
+  const double box = 20.0;
+  const double charges[1] = {1.0};
+  const auto pass = make_coulomb_real_pass(0.3, 8.0, charges);
+  Pipeline pipe;
+  pipe.load(&pass);
+  StoredParticle p{to_cyclic({5, 5, 5}, box), 0};
+  Vec3 force{};
+  pipe.accumulate_force(p, {&p, 1}, box, force);
+  EXPECT_EQ(force.x, 0.0);
+  EXPECT_EQ(force.y, 0.0);
+  EXPECT_EQ(force.z, 0.0);
+  double pot = 0.0;
+  pipe.accumulate_potential(p, {&p, 1}, box, pot);
+  EXPECT_EQ(pot, 0.0);
+}
+
+TEST(Pipeline, BeyondCutoffContributesNothing) {
+  // "MDGRAPE-2 does not skip the force calculation even if the distance
+  // between two particles are larger than r_cut" - the zero table tail
+  // discards the result instead.
+  const double box = 60.0;
+  const double charges[1] = {1.0};
+  const double r_cut = 10.0;
+  const auto pass = make_coulomb_real_pass(0.3, r_cut, charges);
+  Pipeline pipe;
+  pipe.load(&pass);
+  StoredParticle i{to_cyclic({5, 5, 5}, box), 0};
+  StoredParticle j{to_cyclic({5.0 + r_cut + 0.5, 5, 5}, box), 0};
+  Vec3 force{};
+  const auto pairs = pipe.accumulate_force(i, {&j, 1}, box, force);
+  EXPECT_EQ(pairs.evaluated, 1u);  // the evaluation happened...
+  EXPECT_EQ(pairs.useful, 0u);     // ...outside the table domain...
+  EXPECT_EQ(force.x, 0.0);         // ...and produced zero
+}
+
+TEST(Pipeline, PotentialModeMatchesReference) {
+  const double box = 30.0;
+  const double beta = 0.3;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass = make_coulomb_real_potential_pass(beta, 10.0, charges);
+  Pipeline pipe;
+  pipe.load(&pass);
+
+  const Vec3 ri{10, 10, 10};
+  const Vec3 rj{13.3, 10, 10};
+  StoredParticle i{to_cyclic(ri, box), 0};
+  StoredParticle j{to_cyclic(rj, box), 1};
+  double pot = 0.0;
+  pipe.accumulate_potential(i, {&j, 1}, box, pot);
+  const double r = 3.3;
+  const double expected =
+      units::kCoulomb * charges[0] * charges[1] * std::erfc(beta * r) / r;
+  EXPECT_NEAR(pot, expected, 1e-6 * std::fabs(expected));
+}
+
+TEST(Pipeline, RequiresLoadedPass) {
+  Pipeline pipe;
+  StoredParticle p{};
+  Vec3 f{};
+  EXPECT_THROW(pipe.accumulate_force(p, {&p, 1}, 10.0, f), std::logic_error);
+}
+
+TEST(Pipeline, AccumulatesOverStream) {
+  // Force from a stream equals the sum of single-pair evaluations.
+  const double box = 25.0;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass = make_coulomb_real_pass(0.35, 9.0, charges);
+  Pipeline pipe;
+  pipe.load(&pass);
+
+  Random rng(9);
+  const Vec3 ri{12, 12, 12};
+  StoredParticle i{to_cyclic(ri, box), 0};
+  std::vector<StoredParticle> js;
+  for (int k = 0; k < 20; ++k) {
+    const Vec3 rj{rng.uniform(0, box), rng.uniform(0, box),
+                  rng.uniform(0, box)};
+    js.push_back({to_cyclic(rj, box), k % 2});
+  }
+  Vec3 streamed{};
+  pipe.accumulate_force(i, js, box, streamed);
+  Vec3 summed{};
+  for (const auto& j : js) pipe.accumulate_force(i, {&j, 1}, box, summed);
+  EXPECT_NEAR(streamed.x, summed.x, 1e-12);
+  EXPECT_NEAR(streamed.y, summed.y, 1e-12);
+  EXPECT_NEAR(streamed.z, summed.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace mdm::mdgrape2

@@ -1,0 +1,171 @@
+#include "host/mdm_force_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "util/random.hpp"
+
+namespace mdm::host {
+namespace {
+
+ParticleSystem melt_like_crystal(int n_cells, std::uint64_t seed) {
+  auto sys = make_nacl_crystal(n_cells);
+  Random rng(seed);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  sys.wrap_positions();
+  return sys;
+}
+
+MdmForceFieldConfig small_machine_config(const ParticleSystem& sys) {
+  MdmForceFieldConfig cfg;
+  cfg.ewald = mdm_parameters(double(sys.size()), sys.box());
+  cfg.mdgrape = {.clusters = 2, .boards_per_cluster = 2};
+  cfg.wine = {.clusters = 1, .boards_per_cluster = 1, .chips_per_board = 4};
+  return cfg;
+}
+
+/// Double-precision reference of the same physics (Ewald + Tosi-Fumi).
+std::unique_ptr<CompositeForceField> reference_field(
+    const ParticleSystem& sys, const EwaldParameters& params) {
+  auto field = std::make_unique<CompositeForceField>();
+  field->add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field->add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                  params.r_cut));
+  return field;
+}
+
+TEST(MdmParameters, RespectsCellIndexConstraint) {
+  for (double n : {64.0, 512.0, 4096.0, 110592.0}) {
+    const double box = std::cbrt(n / 0.030645);
+    const auto p = mdm_parameters(n, box);
+    EXPECT_LE(p.r_cut, box / 3.0 + 1e-9) << n;
+    EXPECT_GT(p.lk_cut, 1.0);
+  }
+}
+
+TEST(MdmForceField, MatchesDoubleReference) {
+  const auto sys = melt_like_crystal(2, 31);
+  const auto cfg = small_machine_config(sys);
+  MdmForceField mdm(cfg, sys.box());
+
+  std::vector<Vec3> hw(sys.size());
+  const auto hw_result = evaluate_forces(mdm, sys, hw);
+
+  auto ref_field = reference_field(sys, cfg.ewald);
+  std::vector<Vec3> ref(sys.size());
+  const auto ref_result = evaluate_forces(*ref_field, sys, ref);
+
+  // WINE-2's 1e-4.5 dominates the machine error budget.
+  double fscale = 0.0;
+  for (const auto& f : ref) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    EXPECT_NEAR(norm(hw[i] - ref[i]), 0.0, 5e-4 * fscale) << i;
+  EXPECT_NEAR(hw_result.potential, ref_result.potential,
+              1e-3 * std::fabs(ref_result.potential));
+}
+
+TEST(MdmForceField, PotentialBreakdownIsConsistent) {
+  const auto sys = melt_like_crystal(2, 32);
+  const auto cfg = small_machine_config(sys);
+  MdmForceField mdm(cfg, sys.box());
+  std::vector<Vec3> forces(sys.size());
+  const auto result = evaluate_forces(mdm, sys, forces);
+  const auto& pb = mdm.last_potential();
+  EXPECT_DOUBLE_EQ(result.potential, pb.total());
+  EXPECT_LT(pb.self_energy, 0.0);
+  EXPECT_DOUBLE_EQ(pb.background, 0.0);  // neutral system
+  EXPECT_GT(pb.wavenumber, 0.0);         // sum of positive terms
+  EXPECT_EQ(result.virial, 0.0);         // hardware provides no virial
+}
+
+TEST(MdmForceField, PotentialIntervalCachesExpensivePasses) {
+  const auto sys = melt_like_crystal(2, 33);
+  auto cfg = small_machine_config(sys);
+  cfg.potential_interval = 100;  // the paper's sampling interval
+  MdmForceField mdm(cfg, sys.box());
+
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(mdm, sys, forces);
+  const auto ops_after_first = mdm.mdgrape_pair_operations();
+  evaluate_forces(mdm, sys, forces);
+  const auto ops_after_second = mdm.mdgrape_pair_operations();
+  // First call: 4 force passes + 4 potential passes. Second call: only the
+  // 4 force passes -> half the pair work.
+  EXPECT_EQ(ops_after_second - ops_after_first, ops_after_first / 2);
+}
+
+TEST(MdmForceField, CountersTrackBothBackends) {
+  const auto sys = melt_like_crystal(2, 34);
+  const auto cfg = small_machine_config(sys);
+  MdmForceField mdm(cfg, sys.box());
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(mdm, sys, forces);
+  EXPECT_GT(mdm.mdgrape_pair_operations(), 0u);
+  // DFT + IDFT: 2 * N * N_wv.
+  EXPECT_EQ(mdm.wine_wave_particle_operations(),
+            2 * sys.size() * mdm.kvectors().size());
+}
+
+TEST(MdmForceField, RejectsBadSetups) {
+  const auto sys = melt_like_crystal(2, 35);
+  auto cfg = small_machine_config(sys);
+  cfg.ewald.r_cut = sys.box();  // violates box >= 3 r_cut
+  EXPECT_THROW(MdmForceField(cfg, sys.box()), std::invalid_argument);
+
+  auto good = small_machine_config(sys);
+  MdmForceField mdm(good, sys.box());
+  std::vector<Vec3> wrong(3);
+  EXPECT_THROW(mdm.add_forces(sys, wrong), std::invalid_argument);
+}
+
+TEST(MdmForceField, CoulombOnlyModeMatchesEwaldAlone) {
+  // include_tosi_fumi = false: the machine computes only the Ewald pieces.
+  const auto sys = melt_like_crystal(2, 37);
+  auto cfg = small_machine_config(sys);
+  cfg.include_tosi_fumi = false;
+  MdmForceField mdm(cfg, sys.box());
+  std::vector<Vec3> hw(sys.size());
+  const auto hw_result = evaluate_forces(mdm, sys, hw);
+
+  EwaldCoulomb ewald(cfg.ewald, sys.box());
+  std::vector<Vec3> ref(sys.size());
+  const auto ref_result = evaluate_forces(ewald, sys, ref);
+
+  double fscale = 0.0;
+  for (const auto& f : ref) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    EXPECT_NEAR(norm(hw[i] - ref[i]), 0.0, 5e-4 * fscale);
+  EXPECT_NEAR(hw_result.potential, ref_result.potential,
+              1e-3 * std::fabs(ref_result.potential));
+  EXPECT_DOUBLE_EQ(mdm.last_potential().short_range, 0.0);
+}
+
+TEST(MdmForceField, DrivesAFullSimulationProtocol) {
+  // End-to-end: the paper's protocol (NVT velocity scaling then NVE) on the
+  // full simulated machine.
+  auto sys = melt_like_crystal(2, 36);
+  assign_maxwell_velocities(sys, 1200.0, 99);
+  auto cfg = small_machine_config(sys);
+  MdmForceField mdm(cfg, sys.box());
+
+  SimulationConfig protocol;
+  protocol.nvt_steps = 10;
+  protocol.nve_steps = 30;
+  Simulation sim(sys, mdm, protocol);
+  sim.run();
+  EXPECT_EQ(sim.samples().size(), 41u);
+  // NVT end holds the target.
+  EXPECT_NEAR(sim.samples()[10].temperature_K, 1200.0, 1e-6);
+  // NVE conserves energy to the machine's force accuracy. The Tosi-Fumi
+  // tail truncation and WINE-2 fixed-point noise set the floor.
+  EXPECT_LT(sim.nve_energy_drift(), 5e-3);
+}
+
+}  // namespace
+}  // namespace mdm::host

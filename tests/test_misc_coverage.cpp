@@ -1,0 +1,163 @@
+/// Odds-and-ends coverage: defaults that encode paper constants, small API
+/// paths not exercised elsewhere, and degenerate configurations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/lattice.hpp"
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/parameters.hpp"
+#include "host/domain.hpp"
+#include "host/mdm_force_field.hpp"
+#include "host/parallel_app.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(PaperConstants, SimulationDefaultsMatchSection5) {
+  const SimulationConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.dt_fs, 2.0);           // "time-step of 2 fsec"
+  EXPECT_EQ(cfg.nvt_steps, 2000);             // "first 2,000 time-steps NVT"
+  EXPECT_EQ(cfg.nve_steps, 1000);             // "last 1,000 time-steps NVE"
+  EXPECT_DOUBLE_EQ(cfg.temperature_K, 1200.0);  // "temperature of 1200 K"
+}
+
+TEST(PaperConstants, PhysicalConstants) {
+  // k_e * kB consistency: e^2/(4 pi eps0 * 1 A) / kB ~ 1.671e5 K.
+  EXPECT_NEAR(units::kCoulomb / units::kBoltzmann, 1.671e5, 1e2);
+  // Thermal velocity of Na at 1200 K ~ 0.0066 A/fs (sanity of unit wiring).
+  const double v = std::sqrt(units::kBoltzmann * 1200.0 *
+                             units::kAccelUnit / units::kMassNa);
+  EXPECT_NEAR(v, 0.0066, 5e-4);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.5, -2.0, 0.25};
+  EXPECT_EQ(os.str(), "(1.5, -2, 0.25)");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = t.seconds();
+  EXPECT_GE(first, 0.015);
+  t.reset();
+  EXPECT_LT(t.seconds(), first);
+}
+
+TEST(Observables, PressureOfStationaryIdealPair) {
+  ParticleSystem sys(10.0);
+  const int a = sys.add_species({"A", 1.0, 0.0});
+  sys.add_particle(a, {1, 1, 1});
+  sys.add_particle(a, {5, 5, 5});
+  // No motion, no virial -> zero pressure.
+  EXPECT_DOUBLE_EQ(pressure(sys, 0.0), 0.0);
+  // Pure kinetic: P V = 2/3 KE.
+  sys.velocities()[0] = {0.1, 0.0, 0.0};
+  const double expected = 2.0 * sys.kinetic_energy() / (3.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(pressure(sys, 0.0), expected);
+  // Virial adds W / 3V.
+  EXPECT_DOUBLE_EQ(pressure(sys, 30.0), expected + 30.0 / 3000.0);
+}
+
+TEST(Observables, CrystalPressureIsNearZeroAtEquilibriumConstant) {
+  // At the solid equilibrium lattice constant the configurational pressure
+  // roughly vanishes (that is what equilibrium means).
+  const auto sys = make_nacl_crystal(2, 5.6402);
+  const auto params =
+      software_parameters(double(sys.size()), sys.box(), {3.6, 3.8});
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut));
+  std::vector<Vec3> forces(sys.size());
+  const auto result = evaluate_forces(field, sys, forces);
+  const double p_gpa = pressure(sys, result.virial) * kEvPerA3InGPa;
+  // Within ~2 GPa of zero (the Tosi-Fumi model's equilibrium is close to
+  // but not exactly at the experimental lattice constant).
+  EXPECT_LT(std::fabs(p_gpa), 2.0);
+}
+
+TEST(Simulation, RecordsPressureForReferenceBackend) {
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 1200.0, 1);
+  const auto params = software_parameters(double(sys.size()), sys.box());
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut, true));
+  SimulationConfig cfg;
+  cfg.nvt_steps = 3;
+  cfg.nve_steps = 0;
+  Simulation sim(sys, field, cfg);
+  sim.run();
+  // The expanded melt-density crystal is under tension/compression of a
+  // few GPa; the sample must carry a finite value.
+  EXPECT_NE(sim.samples().back().pressure_GPa, 0.0);
+  EXPECT_LT(std::fabs(sim.samples().back().pressure_GPa), 50.0);
+}
+
+TEST(CompositeForceField, AccessorsAndEmpty) {
+  CompositeForceField composite;
+  EXPECT_EQ(composite.count(), 0u);
+  ParticleSystem sys(10.0);
+  sys.add_species({"A", 1.0, 0.0});
+  sys.add_particle(0, {1, 1, 1});
+  std::vector<Vec3> forces(1);
+  const auto result = evaluate_forces(composite, sys, forces);
+  EXPECT_DOUBLE_EQ(result.potential, 0.0);
+  composite.add(std::make_unique<TosiFumiShortRange>(
+      TosiFumiParameters::nacl(), 3.0));
+  EXPECT_EQ(composite.count(), 1u);
+  EXPECT_EQ(composite.field(0).name(), "tosi-fumi-short-range");
+}
+
+TEST(ParallelApp, SingleRealProcessDegeneratesGracefully) {
+  // One domain = no halo exchange, no migration targets; the app must
+  // still agree with itself and produce samples.
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 1200.0, 21);
+  host::ParallelAppConfig cfg;
+  cfg.real_processes = 1;
+  cfg.wn_processes = 1;
+  cfg.protocol.nvt_steps = 2;
+  cfg.protocol.nve_steps = 2;
+  cfg.ewald = host::mdm_parameters(double(sys.size()), sys.box());
+  cfg.mdgrape_boards_per_process = 1;
+  cfg.wine_boards_per_process = 1;
+  host::MdmParallelApp app(cfg);
+  const auto result = app.run(sys);
+  EXPECT_EQ(result.samples.size(), 5u);
+  EXPECT_EQ(result.positions.size(), sys.size());
+}
+
+TEST(DomainGrid, SingleDomainOwnsEverything) {
+  const auto grid = host::DomainGrid::for_processes(1, 10.0);
+  EXPECT_EQ(grid.domain_of({9.9, 0.1, 5.0}), 0);
+  EXPECT_DOUBLE_EQ(grid.distance_to_domain({3, 3, 3}, 0), 0.0);
+}
+
+TEST(Lattice, RejectsBadCellCount) {
+  EXPECT_THROW(make_nacl_crystal(0), std::invalid_argument);
+}
+
+TEST(EwaldAccuracy, FastPresetIsCheaper) {
+  const auto paper = software_parameters(4096.0, 50.0);
+  const auto fast =
+      software_parameters(4096.0, 50.0, EwaldAccuracy::fast());
+  // Same alpha scale but smaller cutoffs -> less work at lower accuracy.
+  EXPECT_LT(fast.r_cut * fast.lk_cut, paper.r_cut * paper.lk_cut);
+  EXPECT_GT(EwaldAccuracy::fast().real_space_error(),
+            EwaldAccuracy{}.real_space_error());
+}
+
+}  // namespace
+}  // namespace mdm

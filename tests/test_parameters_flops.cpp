@@ -1,0 +1,146 @@
+/// Tests pinning the Ewald parameter/operation-count model to the numbers of
+/// the paper's Table 4 (N = 18,821,096, L = 850 A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ewald/flops.hpp"
+#include "ewald/parameters.hpp"
+
+namespace mdm {
+namespace {
+
+constexpr double kPaperN = 18821096.0;
+constexpr double kPaperL = 850.0;
+
+TEST(EwaldAccuracy, TruncationErrorEstimates) {
+  const EwaldAccuracy acc;
+  EXPECT_NEAR(acc.real_space_error(), std::erfc(2.636), 1e-12);
+  EXPECT_LT(acc.real_space_error(), 3e-4);
+  EXPECT_LT(acc.wavenumber_error(), 4e-3);
+}
+
+TEST(Parameters, Table4CutoffsFromAlpha) {
+  // MDM current column: alpha = 85 -> r_cut 26.4 A, L k_cut 63.9.
+  const auto current = parameters_from_alpha(85.0, kPaperL);
+  EXPECT_NEAR(current.r_cut, 26.4, 0.3);
+  EXPECT_NEAR(current.lk_cut, 63.9, 0.7);
+  // Conventional column: alpha = 30.1 -> 74.4 A, 22.7.
+  const auto conv = parameters_from_alpha(30.1, kPaperL);
+  EXPECT_NEAR(conv.r_cut, 74.4, 0.5);
+  EXPECT_NEAR(conv.lk_cut, 22.7, 0.3);
+  // Future column: alpha = 50.3 -> 44.5 A, 37.9.
+  const auto future = parameters_from_alpha(50.3, kPaperL);
+  EXPECT_NEAR(future.r_cut, 44.5, 0.3);
+  EXPECT_NEAR(future.lk_cut, 37.9, 0.4);
+}
+
+TEST(Parameters, BalancedAlphaReproducesConventionalColumn) {
+  EXPECT_NEAR(balanced_alpha(kPaperN), 30.1, 0.2);
+}
+
+TEST(Parameters, BalancedAlphaScalesAsNSixth) {
+  const double a1 = balanced_alpha(1e5);
+  const double a2 = balanced_alpha(64e5);
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-9);  // 64^(1/6) = 2
+}
+
+TEST(Parameters, MachineOptimalAlphaNearPaperChoices) {
+  // Current MDM: MDGRAPE-2 1 Tflops at 26%, WINE-2 45 Tflops at 29%
+  // (Table 5). Paper picked alpha = 85.
+  const double current = machine_optimal_alpha(
+      kPaperN, 1e12 * 0.26, 45e12 * 0.29);
+  EXPECT_GT(current, 75.0);
+  EXPECT_LT(current, 95.0);
+  // Future MDM: 25 vs 54 Tflops; paper picked alpha = 50.3.
+  const double future = machine_optimal_alpha(kPaperN, 25e12, 54e12);
+  EXPECT_GT(future, 45.0);
+  EXPECT_LT(future, 58.0);
+  // A machine with equal speeds and host-style counting reduces to the
+  // balanced alpha.
+  const double even =
+      machine_optimal_alpha(kPaperN, 1e12, 1e12, {}, /*grape=*/false);
+  EXPECT_NEAR(even, balanced_alpha(kPaperN), 1e-9);
+}
+
+TEST(Parameters, ClampRespectsBox) {
+  auto p = parameters_from_alpha(2.0, 20.0);  // r_cut would be 26 A
+  EXPECT_GT(p.r_cut, 10.0);
+  p = clamp_to_box(p, 20.0);
+  EXPECT_DOUBLE_EQ(p.r_cut, 10.0);
+}
+
+TEST(Flops, NintMatchesTable4) {
+  // Conventional column: N_int = 2.65e4 at r_cut = 74.4.
+  EXPECT_NEAR(n_int(kPaperN, kPaperL, 74.4), 2.65e4, 0.02e4);
+  // N_int_g: 1.52e4 at 26.4 (current), 7.32e4 at 44.5 (future).
+  EXPECT_NEAR(n_int_g(kPaperN, kPaperL, 26.4), 1.52e4, 0.02e4);
+  EXPECT_NEAR(n_int_g(kPaperN, kPaperL, 44.5), 7.32e4, 0.06e4);
+  // N_int_g / N_int = 27 / (2 pi / 3) ~ 12.9 ("about 13 times larger").
+  EXPECT_NEAR(n_int_g(kPaperN, kPaperL, 30.0) / n_int(kPaperN, kPaperL, 30.0),
+              12.89, 0.01);
+}
+
+TEST(Flops, NwvMatchesTable4) {
+  EXPECT_NEAR(n_wv(63.9), 5.46e5, 0.01e5);  // current
+  EXPECT_NEAR(n_wv(22.7), 2.44e4, 0.06e4);  // conventional
+  EXPECT_NEAR(n_wv(37.9), 1.14e5, 0.01e5);  // future
+}
+
+TEST(Flops, Table4OperationCounts) {
+  // MDM current: 59 N N_int_g = 1.69e13, 64 N N_wv = 6.58e14,
+  // total 6.75e14 (using the paper's quoted cutoffs).
+  const EwaldParameters current{85.0, 26.4, 63.9};
+  const auto fc = ewald_step_flops(kPaperN, kPaperL, current);
+  EXPECT_NEAR(fc.real_grape, 1.69e13, 0.03e13);
+  EXPECT_NEAR(fc.wavenumber, 6.58e14, 0.01e14);
+  EXPECT_NEAR(fc.total_grape(), 6.75e14, 0.01e14);
+
+  // Conventional: both parts 2.94e13, total 5.88e13.
+  const EwaldParameters conv{30.1, 74.4, 22.7};
+  const auto fv = ewald_step_flops(kPaperN, kPaperL, conv);
+  EXPECT_NEAR(fv.real_host, 2.94e13, 0.03e13);
+  EXPECT_NEAR(fv.wavenumber, 2.94e13, 0.07e13);
+  EXPECT_NEAR(fv.total_host(), 5.88e13, 0.1e13);
+
+  // Future: 8.13e13 and 1.37e14, total 2.18e14.
+  const EwaldParameters fut{50.3, 44.5, 37.9};
+  const auto ff = ewald_step_flops(kPaperN, kPaperL, fut);
+  EXPECT_NEAR(ff.real_grape, 8.13e13, 0.12e13);
+  EXPECT_NEAR(ff.wavenumber, 1.37e14, 0.01e14);
+  EXPECT_NEAR(ff.total_grape(), 2.18e14, 0.02e14);
+}
+
+TEST(Flops, SpeedsDerivedFromTable4) {
+  // 6.75e14 flops in 43.8 s -> 15.4 Tflops calculation speed; effective
+  // speed 5.88e13 / 43.8 = 1.34 Tflops - the paper's headline.
+  const EwaldParameters current{85.0, 26.4, 63.9};
+  const EwaldParameters conv{30.1, 74.4, 22.7};
+  const double calc =
+      ewald_step_flops(kPaperN, kPaperL, current).total_grape() / 43.8;
+  const double effective =
+      ewald_step_flops(kPaperN, kPaperL, conv).total_host() / 43.8;
+  EXPECT_NEAR(calc / 1e12, 15.4, 0.2);
+  EXPECT_NEAR(effective / 1e12, 1.34, 0.03);
+}
+
+TEST(Flops, OperationConventions) {
+  EXPECT_DOUBLE_EQ(OperationCounts::kRealPair, 59.0);
+  EXPECT_DOUBLE_EQ(OperationCounts::kDftPerWave, 29.0);
+  EXPECT_DOUBLE_EQ(OperationCounts::kIdftPerWave, 35.0);
+  EXPECT_DOUBLE_EQ(OperationCounts::kWavePair, 64.0);
+}
+
+TEST(Parameters, SoftwareParametersAreValid) {
+  for (double n : {512.0, 4096.0, 110592.0}) {
+    const double box = std::cbrt(n / 0.030645);
+    const auto p = software_parameters(n, box);
+    EXPECT_GT(p.alpha, 0.0);
+    EXPECT_LE(p.r_cut, 0.5 * box + 1e-12);
+    EXPECT_GE(p.lk_cut, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mdm

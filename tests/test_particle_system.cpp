@@ -1,0 +1,146 @@
+#include "core/particle_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lattice.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+ParticleSystem two_particle_system() {
+  ParticleSystem sys(10.0);
+  const int a = sys.add_species({"A", 2.0, +1.0});
+  const int b = sys.add_species({"B", 4.0, -1.0});
+  sys.add_particle(a, {1.0, 1.0, 1.0}, {0.1, 0.0, 0.0});
+  sys.add_particle(b, {2.0, 2.0, 2.0}, {-0.05, 0.0, 0.0});
+  return sys;
+}
+
+TEST(ParticleSystem, BasicAccessors) {
+  auto sys = two_particle_system();
+  EXPECT_EQ(sys.size(), 2u);
+  EXPECT_DOUBLE_EQ(sys.box(), 10.0);
+  EXPECT_EQ(sys.species_count(), 2);
+  EXPECT_DOUBLE_EQ(sys.charge(0), 1.0);
+  EXPECT_DOUBLE_EQ(sys.charge(1), -1.0);
+  EXPECT_DOUBLE_EQ(sys.mass(1), 4.0);
+  EXPECT_DOUBLE_EQ(sys.number_density(), 2.0 / 1000.0);
+}
+
+TEST(ParticleSystem, RejectsInvalidInput) {
+  EXPECT_THROW(ParticleSystem(-1.0), std::invalid_argument);
+  ParticleSystem sys(5.0);
+  EXPECT_THROW(sys.add_particle(0, {0, 0, 0}), std::out_of_range);
+}
+
+TEST(ParticleSystem, WrapsPositionsOnAdd) {
+  ParticleSystem sys(10.0);
+  const int a = sys.add_species({"A", 1.0, 0.0});
+  sys.add_particle(a, {-1.0, 11.0, 25.0});
+  const Vec3 r = sys.positions()[0];
+  EXPECT_DOUBLE_EQ(r.x, 9.0);
+  EXPECT_DOUBLE_EQ(r.y, 1.0);
+  EXPECT_DOUBLE_EQ(r.z, 5.0);
+}
+
+TEST(ParticleSystem, ChargeSums) {
+  auto sys = two_particle_system();
+  EXPECT_DOUBLE_EQ(sys.total_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(sys.total_charge_squared(), 2.0);
+}
+
+TEST(ParticleSystem, MomentumAndZeroing) {
+  auto sys = two_particle_system();
+  const Vec3 p = sys.total_momentum();
+  EXPECT_DOUBLE_EQ(p.x, 2.0 * 0.1 - 4.0 * 0.05);
+  sys.zero_momentum();
+  EXPECT_NEAR(norm(sys.total_momentum()), 0.0, 1e-14);
+}
+
+TEST(ParticleSystem, KineticEnergyUnits) {
+  ParticleSystem sys(10.0);
+  const int a = sys.add_species({"A", 3.0, 0.0});
+  sys.add_particle(a, {0, 0, 0}, {0.2, 0.0, 0.0});
+  // KE = 0.5 m v^2 / kAccelUnit.
+  EXPECT_DOUBLE_EQ(sys.kinetic_energy(),
+                   0.5 * 3.0 * 0.04 / units::kAccelUnit);
+}
+
+TEST(ParticleSystem, TemperatureDefinition) {
+  auto sys = two_particle_system();
+  const double ke = sys.kinetic_energy();
+  // dof = 3N - 3 with drift removal.
+  EXPECT_DOUBLE_EQ(sys.temperature(),
+                   2.0 * ke / (3.0 * units::kBoltzmann));
+  EXPECT_DOUBLE_EQ(sys.temperature(false),
+                   2.0 * ke / (6.0 * units::kBoltzmann));
+}
+
+TEST(Lattice, IonCountAndNeutrality) {
+  const auto sys = make_nacl_crystal(3);
+  EXPECT_EQ(sys.size(), 8u * 27u);
+  EXPECT_EQ(sys.size(), static_cast<std::size_t>(nacl_ion_count(3)));
+  EXPECT_DOUBLE_EQ(sys.total_charge(), 0.0);
+}
+
+TEST(Lattice, PaperDensityAndBox) {
+  const auto sys = make_nacl_crystal(4);
+  EXPECT_NEAR(sys.number_density(), 0.030645, 1e-4);
+  EXPECT_NEAR(sys.box(), 4 * kPaperLatticeConstant, 1e-12);
+  // The paper's 18.8M-particle run is the n=133 supercell with L = 850 A.
+  EXPECT_EQ(nacl_ion_count(133), 18821096);
+  EXPECT_NEAR(133 * kPaperLatticeConstant, 850.0, 0.05);
+  EXPECT_EQ(nacl_ion_count(24), 110592);   // paper's smallest run
+  EXPECT_EQ(nacl_ion_count(57), 1481544);  // paper's middle run
+}
+
+TEST(Lattice, NearestNeighborDistance) {
+  const auto sys = make_nacl_crystal(2);
+  // Rock salt: nearest Na-Cl distance is a/2.
+  double min_dist = 1e300;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const Vec3 d =
+          minimum_image(sys.positions()[i], sys.positions()[j], sys.box());
+      min_dist = std::min(min_dist, norm(d));
+    }
+  }
+  EXPECT_NEAR(min_dist, kPaperLatticeConstant / 2.0, 1e-9);
+}
+
+TEST(Lattice, OppositeChargesAtContact) {
+  const auto sys = make_nacl_crystal(2);
+  // Every nearest-neighbour pair (distance a/2) must be Na-Cl, not like-like.
+  const double contact = kPaperLatticeConstant / 2.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const double r = norm(
+          minimum_image(sys.positions()[i], sys.positions()[j], sys.box()));
+      if (r < contact * 1.01) {
+        EXPECT_LT(sys.charge(i) * sys.charge(j), 0.0)
+            << "like charges at contact: " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Lattice, MaxwellVelocities) {
+  auto sys = make_nacl_crystal(3);
+  assign_maxwell_velocities(sys, 1200.0, 42);
+  EXPECT_NEAR(sys.temperature(), 1200.0, 1e-9);
+  EXPECT_NEAR(norm(sys.total_momentum()), 0.0, 1e-10);
+  // Deterministic for a given seed.
+  auto sys2 = make_nacl_crystal(3);
+  assign_maxwell_velocities(sys2, 1200.0, 42);
+  EXPECT_EQ(sys.velocities()[17].x, sys2.velocities()[17].x);
+  // Different seed differs.
+  auto sys3 = make_nacl_crystal(3);
+  assign_maxwell_velocities(sys3, 1200.0, 43);
+  EXPECT_NE(sys.velocities()[17].x, sys3.velocities()[17].x);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,223 @@
+/// Cross-backend property suite: physical invariants that must hold for
+/// every force provider in the library - the double-precision references,
+/// both hardware simulators, and the composed MDM machine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/lattice.hpp"
+#include "core/lennard_jones.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "host/mdm_force_field.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+namespace {
+
+ParticleSystem melt(int n_cells, std::uint64_t seed) {
+  auto sys = make_nacl_crystal(n_cells);
+  Random rng(seed);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  sys.wrap_positions();
+  return sys;
+}
+
+/// Factory for each backend under test.
+using FieldFactory =
+    std::function<std::unique_ptr<ForceField>(const ParticleSystem&)>;
+
+std::unique_ptr<ForceField> make_ewald(const ParticleSystem& sys) {
+  return std::make_unique<EwaldCoulomb>(
+      software_parameters(double(sys.size()), sys.box()), sys.box());
+}
+
+std::unique_ptr<ForceField> make_tosi_fumi(const ParticleSystem& sys) {
+  return std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                              0.3 * sys.box());
+}
+
+std::unique_ptr<ForceField> make_lj(const ParticleSystem& sys) {
+  const double eps[2] = {0.01, 0.012};
+  const double sig[2] = {2.3, 3.0};
+  return std::make_unique<LennardJones>(
+      LennardJonesParameters::lorentz_berthelot(eps, sig), 0.3 * sys.box());
+}
+
+std::unique_ptr<ForceField> make_mdm(const ParticleSystem& sys) {
+  host::MdmForceFieldConfig cfg;
+  cfg.ewald = host::mdm_parameters(double(sys.size()), sys.box());
+  cfg.mdgrape = {.clusters = 1, .boards_per_cluster = 2};
+  cfg.wine = {.clusters = 1, .boards_per_cluster = 1, .chips_per_board = 2};
+  return std::make_unique<host::MdmForceField>(cfg, sys.box());
+}
+
+struct Backend {
+  const char* name;
+  FieldFactory factory;
+  double tolerance;  ///< relative force tolerance for invariants
+};
+
+class ForceFieldProperty : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ForceFieldProperty, TotalForceVanishes) {
+  const auto& backend = GetParam();
+  const auto sys = melt(2, 101);
+  auto field = backend.factory(sys);
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(*field, sys, forces);
+  Vec3 total;
+  double fscale = 1e-12;
+  for (const auto& f : forces) {
+    total += f;
+    fscale = std::max(fscale, norm(f));
+  }
+  EXPECT_LT(norm(total), backend.tolerance * fscale * sys.size())
+      << backend.name;
+}
+
+TEST_P(ForceFieldProperty, InvariantUnderLatticeTranslation) {
+  // Shifting every particle by the same vector (mod L) leaves forces
+  // unchanged (up to backend precision).
+  const auto& backend = GetParam();
+  const auto sys = melt(2, 102);
+  auto field = backend.factory(sys);
+  std::vector<Vec3> base(sys.size());
+  evaluate_forces(*field, sys, base);
+
+  ParticleSystem shifted(sys.box());
+  for (int t = 0; t < sys.species_count(); ++t)
+    shifted.add_species(sys.species(t));
+  const Vec3 shift{3.71, -1.23, 7.9};
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    shifted.add_particle(sys.type(i), sys.positions()[i] + shift);
+
+  auto field2 = backend.factory(shifted);
+  std::vector<Vec3> moved(sys.size());
+  evaluate_forces(*field2, shifted, moved);
+
+  double fscale = 1e-12;
+  for (const auto& f : base) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_LT(norm(moved[i] - base[i]), backend.tolerance * fscale)
+        << backend.name << " particle " << i;
+  }
+}
+
+TEST_P(ForceFieldProperty, InvariantUnderParticleRelabeling) {
+  // Reversing the particle order must permute forces identically.
+  const auto& backend = GetParam();
+  const auto sys = melt(2, 103);
+  auto field = backend.factory(sys);
+  std::vector<Vec3> base(sys.size());
+  const auto base_result = evaluate_forces(*field, sys, base);
+
+  ParticleSystem reversed(sys.box());
+  for (int t = 0; t < sys.species_count(); ++t)
+    reversed.add_species(sys.species(t));
+  for (std::size_t i = sys.size(); i-- > 0;)
+    reversed.add_particle(sys.type(i), sys.positions()[i]);
+
+  auto field2 = backend.factory(reversed);
+  std::vector<Vec3> perm(sys.size());
+  const auto perm_result = evaluate_forces(*field2, reversed, perm);
+
+  double fscale = 1e-12;
+  for (const auto& f : base) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_LT(norm(perm[sys.size() - 1 - i] - base[i]),
+              backend.tolerance * fscale)
+        << backend.name;
+  }
+  EXPECT_NEAR(perm_result.potential, base_result.potential,
+              backend.tolerance * std::fabs(base_result.potential) + 1e-9);
+}
+
+TEST_P(ForceFieldProperty, DeterministicAcrossEvaluations) {
+  const auto& backend = GetParam();
+  const auto sys = melt(2, 104);
+  auto field = backend.factory(sys);
+  std::vector<Vec3> first(sys.size()), second(sys.size());
+  evaluate_forces(*field, sys, first);
+  evaluate_forces(*field, sys, second);
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    EXPECT_EQ(first[i], second[i]) << backend.name;
+}
+
+TEST_P(ForceFieldProperty, OppositePairForcesForIsolatedDimer) {
+  // Two particles only: F_0 = -F_1 exactly in the reference backends and to
+  // datapath precision on the machine.
+  const auto& backend = GetParam();
+  ParticleSystem dimer(make_nacl_crystal(2).box());
+  dimer.add_species({"Na", units::kMassNa, +1.0});
+  dimer.add_species({"Cl", units::kMassCl, -1.0});
+  dimer.add_particle(0, {3.0, 3.0, 3.0});
+  dimer.add_particle(1, {5.5, 3.7, 3.1});
+  auto field = backend.factory(dimer);
+  std::vector<Vec3> forces(2);
+  evaluate_forces(*field, dimer, forces);
+  const double fscale = std::max(norm(forces[0]), 1e-12);
+  EXPECT_LT(norm(forces[0] + forces[1]), 10.0 * backend.tolerance * fscale)
+      << backend.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ForceFieldProperty,
+    ::testing::Values(Backend{"ewald", &make_ewald, 1e-9},
+                      Backend{"tosi-fumi", &make_tosi_fumi, 1e-12},
+                      Backend{"lennard-jones", &make_lj, 1e-12},
+                      Backend{"mdm-machine", &make_mdm, 2e-4}),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      std::string name = info.param.name;
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(EnergyForceConsistency, NumericalGradientSweep) {
+  // F = -dE/dr along random directions, for the composed reference field.
+  auto sys = melt(2, 105);
+  const auto params =
+      software_parameters(double(sys.size()), sys.box(), {3.6, 3.8});
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut, true));
+  std::vector<Vec3> forces(sys.size());
+  evaluate_forces(field, sys, forces);
+
+  Random rng(7);
+  const double h = 1e-5;
+  for (int probe = 0; probe < 5; ++probe) {
+    const auto i = rng.uniform_below(sys.size());
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir /= norm(dir);
+
+    auto energy_at = [&](double offset) {
+      ParticleSystem moved(sys.box());
+      for (int t = 0; t < sys.species_count(); ++t)
+        moved.add_species(sys.species(t));
+      for (std::size_t k = 0; k < sys.size(); ++k) {
+        Vec3 r = sys.positions()[k];
+        if (k == i) r += offset * dir;
+        moved.add_particle(sys.type(k), r);
+      }
+      std::vector<Vec3> scratch(moved.size());
+      return evaluate_forces(field, moved, scratch).potential;
+    };
+    const double dE = (energy_at(h) - energy_at(-h)) / (2 * h);
+    EXPECT_NEAR(dot(forces[i], dir), -dE,
+                1e-4 * std::fabs(dE) + 1e-6)
+        << "probe " << probe;
+  }
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,104 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/statistics.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(Random, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformMeanAndVariance) {
+  Random rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Random, UniformBelowIsInRangeAndCoversAll) {
+  Random rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, NormalMomentsMatchStandardGaussian) {
+  Random rng(23);
+  RunningStats stats;
+  double m4 = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    stats.add(x);
+    m4 += x * x * x * x;
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+  EXPECT_NEAR(m4 / kSamples, 3.0, 0.1);  // Gaussian kurtosis
+}
+
+TEST(Random, NormalScaleAndShift) {
+  Random rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Random, NormalVec3ComponentsIndependent) {
+  Random rng(17);
+  RunningStats x, y, z;
+  double xy = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Vec3 v = rng.normal_vec3(1.5);
+    x.add(v.x);
+    y.add(v.y);
+    z.add(v.z);
+    xy += v.x * v.y;
+  }
+  EXPECT_NEAR(x.stddev(), 1.5, 0.03);
+  EXPECT_NEAR(y.stddev(), 1.5, 0.03);
+  EXPECT_NEAR(z.stddev(), 1.5, 0.03);
+  EXPECT_NEAR(xy / kSamples, 0.0, 0.03);  // no correlation
+}
+
+TEST(Random, ReseedRestartsStream) {
+  Random rng(9);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(9);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace mdm

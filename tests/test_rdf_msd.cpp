@@ -1,0 +1,171 @@
+#include "core/rdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "util/random.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(RadialDistribution, RejectsBadArguments) {
+  EXPECT_THROW(RadialDistribution(0.0, 10, 2), std::invalid_argument);
+  EXPECT_THROW(RadialDistribution(5.0, 0, 2), std::invalid_argument);
+  RadialDistribution rdf(6.0, 10, 2);
+  ParticleSystem small(10.0);  // r_max > L/2
+  small.add_species({"A", 1.0, 0.0});
+  EXPECT_THROW(rdf.accumulate(small), std::invalid_argument);
+}
+
+TEST(RadialDistribution, IdealGasIsFlat) {
+  const double box = 16.0;
+  ParticleSystem gas(box);
+  const int a = gas.add_species({"A", 1.0, 0.0});
+  Random rng(9);
+  for (int i = 0; i < 400; ++i)
+    gas.add_particle(a, {rng.uniform(0, box), rng.uniform(0, box),
+                         rng.uniform(0, box)});
+  RadialDistribution rdf(0.5 * box, 16, 1);
+  for (int frame = 0; frame < 30; ++frame) {
+    // Re-randomize each frame: independent ideal-gas samples.
+    auto pos = gas.positions();
+    for (auto& r : pos)
+      r = {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)};
+    rdf.accumulate(gas);
+  }
+  const auto g = rdf.total();
+  // Skip the first bin (few counts); the rest hovers around 1.
+  for (int bin = 2; bin < rdf.bins(); ++bin)
+    EXPECT_NEAR(g[bin], 1.0, 0.15) << bin;
+}
+
+TEST(RadialDistribution, CrystalShellsAtLatticeDistances) {
+  const auto crystal = make_nacl_crystal(3);
+  const double a = kPaperLatticeConstant;
+  RadialDistribution rdf(0.45 * crystal.box(), 160, 2);
+  rdf.accumulate(crystal);
+
+  const auto g_total = rdf.total();
+  const auto g_nacl = rdf.partial(0, 1);
+  const auto g_nana = rdf.partial(0, 0);
+  const double bin_width = rdf.r_max() / rdf.bins();
+  auto bin_of = [&](double r) { return static_cast<int>(r / bin_width); };
+
+  // First shell: Na-Cl contact at a/2; it appears in the Na-Cl partial and
+  // not in the Na-Na partial.
+  EXPECT_GT(g_nacl[bin_of(a / 2)], 10.0);
+  EXPECT_EQ(g_nana[bin_of(a / 2)], 0.0);
+  // Second shell: like-ion distance a/sqrt(2).
+  EXPECT_GT(g_nana[bin_of(a / std::sqrt(2.0))], 10.0);
+  // Nothing below the contact distance.
+  for (int bin = 0; bin < bin_of(a / 2) - 1; ++bin)
+    EXPECT_EQ(g_total[bin], 0.0) << bin;
+}
+
+TEST(RadialDistribution, PartialsAreSymmetric) {
+  const auto crystal = make_nacl_crystal(2);
+  RadialDistribution rdf(0.45 * crystal.box(), 40, 2);
+  rdf.accumulate(crystal);
+  const auto ab = rdf.partial(0, 1);
+  const auto ba = rdf.partial(1, 0);
+  for (int bin = 0; bin < rdf.bins(); ++bin)
+    EXPECT_DOUBLE_EQ(ab[bin], ba[bin]);
+}
+
+TEST(RadialDistribution, MeltBroadensTheShells) {
+  // After a short 1200 K run the crystal's delta-like shells broaden: the
+  // first-peak height drops and the deep minima fill in.
+  auto system = make_nacl_crystal(2);
+  assign_maxwell_velocities(system, 1200.0, 3);
+  const auto params =
+      software_parameters(double(system.size()), system.box(), {3.0, 3.0});
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, system.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut, true));
+  RadialDistribution cold(0.45 * system.box(), 60, 2);
+  cold.accumulate(system);
+
+  SimulationConfig protocol;
+  protocol.nvt_steps = 80;
+  protocol.nve_steps = 0;
+  Simulation sim(system, field, protocol);
+  sim.run();
+
+  RadialDistribution hot(0.45 * system.box(), 60, 2);
+  hot.accumulate(system);
+
+  const auto g_cold = hot.total(), g_cold_ref = cold.total();
+  double cold_peak = 0.0, hot_peak = 0.0;
+  for (int bin = 0; bin < 60; ++bin) {
+    cold_peak = std::max(cold_peak, g_cold_ref[bin]);
+    hot_peak = std::max(hot_peak, g_cold[bin]);
+  }
+  EXPECT_LT(hot_peak, 0.7 * cold_peak);
+  EXPECT_GT(hot_peak, 1.5);  // still strongly structured
+}
+
+TEST(Msd, ZeroWithoutMotion) {
+  const auto crystal = make_nacl_crystal(2);
+  MeanSquaredDisplacement msd(crystal);
+  EXPECT_DOUBLE_EQ(msd.update(crystal), 0.0);
+  EXPECT_DOUBLE_EQ(msd.value(), 0.0);
+}
+
+TEST(Msd, TracksUniformTranslationAcrossWrap) {
+  auto system = make_nacl_crystal(2);
+  MeanSquaredDisplacement msd(system);
+  // Translate everything by 0.4 A per step for 50 steps: total displacement
+  // 20 A > L (12.8 A), so the trajectory wraps - MSD must keep growing.
+  const Vec3 step{0.4, 0.0, 0.0};
+  for (int s = 1; s <= 50; ++s) {
+    for (auto& r : system.positions()) r += step;
+    system.wrap_positions();
+    msd.update(system);
+  }
+  EXPECT_NEAR(msd.value(), 20.0 * 20.0, 1e-9);
+}
+
+TEST(Msd, DiffusionEstimate) {
+  auto system = make_nacl_crystal(1);
+  MeanSquaredDisplacement msd(system);
+  for (auto& r : system.positions()) r += Vec3{0.3, 0.0, 0.0};
+  system.wrap_positions();
+  msd.update(system);
+  // MSD = 0.09 after t fs: D = MSD / 6t.
+  EXPECT_NEAR(msd.diffusion(100.0), 0.09 / 600.0, 1e-12);
+  EXPECT_DOUBLE_EQ(msd.diffusion(0.0), 0.0);
+}
+
+TEST(Msd, SolidIonsStayCaged) {
+  // In the crystal at modest temperature ions vibrate but do not diffuse:
+  // MSD stays below a fraction of the nearest-neighbour distance squared.
+  auto system = make_nacl_crystal(2);
+  assign_maxwell_velocities(system, 300.0, 5);
+  const auto params =
+      software_parameters(double(system.size()), system.box(), {3.0, 3.0});
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, system.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                 params.r_cut, true));
+  SimulationConfig protocol;
+  protocol.temperature_K = 300.0;
+  protocol.nvt_steps = 40;
+  protocol.nve_steps = 40;
+  MeanSquaredDisplacement msd(system);
+  Simulation sim(system, field, protocol);
+  sim.run();
+  msd.update(system);
+  const double cage = kPaperLatticeConstant / 2.0;
+  EXPECT_LT(msd.value(), 0.2 * cage * cage);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,118 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace mdm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSeries) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Random rng(77);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(BlockAverager, MeanMatches) {
+  BlockAverager b;
+  for (int i = 1; i <= 10; ++i) b.add(i);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.5);
+}
+
+TEST(BlockAverager, UncorrelatedSeriesPlateauMatchesNaiveError) {
+  Random rng(5);
+  BlockAverager b;
+  RunningStats s;
+  constexpr int kSamples = 4096;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    b.add(x);
+    s.add(x);
+  }
+  const double naive = s.stddev() / std::sqrt(double(kSamples));
+  // For white noise the plateau estimate should be within ~3x of naive.
+  EXPECT_GT(b.plateau_standard_error(), 0.3 * naive);
+  EXPECT_LT(b.plateau_standard_error(), 3.0 * naive);
+}
+
+TEST(BlockAverager, CorrelatedSeriesInflatesError) {
+  Random rng(6);
+  BlockAverager b;
+  RunningStats s;
+  double x = 0.0;
+  constexpr int kSamples = 8192;
+  for (int i = 0; i < kSamples; ++i) {
+    // AR(1) with strong correlation.
+    x = 0.95 * x + rng.normal();
+    b.add(x);
+    s.add(x);
+  }
+  const double naive = s.stddev() / std::sqrt(double(kSamples));
+  EXPECT_GT(b.plateau_standard_error(), 2.0 * naive);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  // Floor prevents division blow-up near zero.
+  EXPECT_LE(relative_error(1e-320, 0.0, 1e-12), 1e-300);
+}
+
+}  // namespace
+}  // namespace mdm

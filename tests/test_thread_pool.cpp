@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mdm {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrdered) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks(pool.size());
+  pool.parallel_for(100, [&](unsigned c, std::size_t b, std::size_t e) {
+    chunks[c] = {b, e};
+  });
+  std::size_t expected_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_GE(e, b);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 100u);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](unsigned, std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](unsigned, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DeterministicChunkReduction) {
+  ThreadPool pool(4);
+  // Partial sums reduced in chunk order must be identical across runs.
+  auto run = [&] {
+    std::vector<double> partial(pool.size(), 0.0);
+    pool.parallel_for(10000, [&](unsigned c, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i)
+        partial[c] += 1.0 / static_cast<double>(i + 1);
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run(), first);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](unsigned, std::size_t b, std::size_t) {
+                          if (b > 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](unsigned, std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(2);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(64, [&](unsigned, std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, ParallelForEachHelper) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_each(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int count = 0;
+  pool.parallel_for(10, [&](unsigned c, std::size_t b, std::size_t e) {
+    EXPECT_EQ(c, 0u);
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,259 @@
+#include "tree/barnes_hut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/units.hpp"
+
+namespace mdm::tree {
+namespace {
+
+struct Cloud {
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+};
+
+/// Clustered Plummer-like charge cloud (both signs).
+Cloud random_cloud(std::size_t n, std::uint64_t seed, bool neutral = false) {
+  Random rng(seed);
+  Cloud c;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 r;
+    do {
+      r = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    } while (norm2(r) > 1.0);
+    c.positions.push_back(10.0 * r);
+    c.charges.push_back(neutral ? (i % 2 ? 1.0 : -1.0)
+                                : rng.uniform(0.2, 1.5));
+  }
+  return c;
+}
+
+/// Direct O(N^2) open-boundary Coulomb reference.
+void direct_forces(const Cloud& c, std::vector<Vec3>& forces,
+                   double& potential) {
+  forces.assign(c.positions.size(), Vec3{});
+  potential = 0.0;
+  for (std::size_t i = 0; i < c.positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.positions.size(); ++j) {
+      const Vec3 d = c.positions[i] - c.positions[j];
+      const double r2 = norm2(d);
+      const double r = std::sqrt(r2);
+      const double s =
+          units::kCoulomb * c.charges[i] * c.charges[j] / (r2 * r);
+      forces[i] += s * d;
+      forces[j] -= s * d;
+      potential += units::kCoulomb * c.charges[i] * c.charges[j] / r;
+    }
+  }
+}
+
+TEST(Octree, RejectsBadInput) {
+  EXPECT_THROW(Octree({}, {}), std::invalid_argument);
+  const std::vector<Vec3> one{{0, 0, 0}};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(Octree(one, two), std::invalid_argument);
+}
+
+TEST(Octree, EveryParticleInExactlyOneLeaf) {
+  const auto c = random_cloud(500, 1);
+  Octree tree(c.positions, c.charges);
+  std::set<std::uint32_t> seen;
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) continue;
+    for (auto s = node.begin; s < node.end; ++s)
+      EXPECT_TRUE(seen.insert(tree.order()[s]).second);
+  }
+  EXPECT_EQ(seen.size(), c.positions.size());
+}
+
+TEST(Octree, NodesContainTheirParticlesGeometrically) {
+  const auto c = random_cloud(300, 2);
+  Octree tree(c.positions, c.charges);
+  for (const auto& node : tree.nodes()) {
+    for (auto s = node.begin; s < node.end; ++s) {
+      const Vec3 r = c.positions[tree.order()[s]];
+      EXPECT_LE(std::fabs(r.x - node.center.x), node.half_width * 1.0001);
+      EXPECT_LE(std::fabs(r.y - node.center.y), node.half_width * 1.0001);
+      EXPECT_LE(std::fabs(r.z - node.center.z), node.half_width * 1.0001);
+    }
+  }
+}
+
+TEST(Octree, MonopolesAreConsistent) {
+  const auto c = random_cloud(400, 3);
+  Octree tree(c.positions, c.charges);
+  // Root monopole = total charge and |q|-weighted centroid.
+  double q = 0.0;
+  Vec3 centroid;
+  for (std::size_t i = 0; i < c.charges.size(); ++i) {
+    q += c.charges[i];
+    centroid += std::fabs(c.charges[i]) * c.positions[i];
+  }
+  const auto& root = tree.root();
+  EXPECT_NEAR(root.charge, q, 1e-9);
+  EXPECT_NEAR(norm(root.centroid - centroid / root.abs_charge), 0.0, 1e-9);
+  // Every internal node's charge equals the sum of its children.
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    double child_q = 0.0;
+    for (int o = 0; o < 8; ++o)
+      child_q += tree.nodes()[node.first_child + o].charge;
+    EXPECT_NEAR(node.charge, child_q, 1e-9);
+  }
+}
+
+TEST(Octree, LeafCapacityRespected) {
+  const auto c = random_cloud(600, 4);
+  TreeConfig cfg;
+  cfg.leaf_capacity = 4;
+  Octree tree(c.positions, c.charges, cfg);
+  for (const auto& node : tree.nodes())
+    if (node.is_leaf())
+      EXPECT_LE(node.count(),
+                static_cast<std::uint32_t>(cfg.leaf_capacity));
+}
+
+TEST(Octree, ThetaZeroListIsAllOtherParticles) {
+  const auto c = random_cloud(100, 5);
+  Octree tree(c.positions, c.charges);
+  std::vector<PseudoParticle> list;
+  tree.interaction_list(c.positions[7], 0.0, 7, list);
+  EXPECT_EQ(list.size(), c.positions.size() - 1);
+}
+
+TEST(Octree, ListShrinksWithTheta) {
+  const auto c = random_cloud(1000, 6);
+  Octree tree(c.positions, c.charges);
+  std::size_t prev = c.positions.size();
+  for (double theta : {0.3, 0.6, 1.0}) {
+    std::vector<PseudoParticle> list;
+    tree.interaction_list(c.positions[0], theta, 0, list);
+    EXPECT_LT(list.size(), prev);
+    prev = list.size();
+  }
+}
+
+TEST(Octree, ListGrowsLogarithmically) {
+  // O(log N) per-particle work: an 8x larger system must grow the mean
+  // list far less than 8x.
+  auto mean_list = [](std::size_t n) {
+    const auto c = random_cloud(n, 7);
+    Octree tree(c.positions, c.charges);
+    std::size_t total = 0;
+    std::vector<PseudoParticle> list;
+    for (std::size_t i = 0; i < 50; ++i) {
+      list.clear();
+      tree.interaction_list(c.positions[i], 0.6,
+                            static_cast<std::uint32_t>(i), list);
+      total += list.size();
+    }
+    return static_cast<double>(total) / 50.0;
+  };
+  const double small = mean_list(500);
+  const double large = mean_list(4000);
+  EXPECT_LT(large, 3.0 * small);
+}
+
+TEST(BarnesHut, ThetaZeroMatchesDirectSum) {
+  const auto c = random_cloud(200, 8);
+  std::vector<Vec3> ref;
+  double ref_pot;
+  direct_forces(c, ref, ref_pot);
+
+  BarnesHutCoulomb bh(0.0);
+  std::vector<Vec3> forces(c.positions.size(), Vec3{});
+  const auto stats = bh.compute(c.positions, c.charges, forces);
+  double fscale = 0.0;
+  for (const auto& f : ref) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < forces.size(); ++i)
+    EXPECT_NEAR(norm(forces[i] - ref[i]), 0.0, 1e-10 * fscale);
+  EXPECT_NEAR(stats.potential, ref_pot, 1e-9 * std::fabs(ref_pot));
+}
+
+TEST(BarnesHut, AccuracyDegradesGracefullyWithTheta) {
+  const auto c = random_cloud(600, 9);
+  std::vector<Vec3> ref;
+  double ref_pot;
+  direct_forces(c, ref, ref_pot);
+  double ref_rms = 0.0;
+  for (const auto& f : ref) ref_rms += norm2(f);
+
+  double prev_err = 0.0;
+  for (double theta : {0.3, 0.6, 1.0}) {
+    BarnesHutCoulomb bh(theta);
+    std::vector<Vec3> forces(c.positions.size(), Vec3{});
+    bh.compute(c.positions, c.charges, forces);
+    double err = 0.0;
+    for (std::size_t i = 0; i < forces.size(); ++i)
+      err += norm2(forces[i] - ref[i]);
+    const double rel = std::sqrt(err / ref_rms);
+    EXPECT_GT(rel, prev_err);  // monotone in theta
+    prev_err = rel;
+  }
+  EXPECT_LT(prev_err, 0.05);  // even theta = 1 is a few percent
+  // theta = 0.5, the classic choice, is sub-percent.
+  BarnesHutCoulomb bh(0.5);
+  std::vector<Vec3> forces(c.positions.size(), Vec3{});
+  bh.compute(c.positions, c.charges, forces);
+  double err = 0.0;
+  for (std::size_t i = 0; i < forces.size(); ++i)
+    err += norm2(forces[i] - ref[i]);
+  EXPECT_LT(std::sqrt(err / ref_rms), 0.01);
+}
+
+TEST(BarnesHut, WorkShrinksAgainstDirectSum) {
+  const auto c = random_cloud(3000, 10);
+  BarnesHutCoulomb bh(0.6);
+  std::vector<Vec3> forces(c.positions.size(), Vec3{});
+  const auto stats = bh.compute(c.positions, c.charges, forces);
+  const double direct_pairs =
+      double(c.positions.size()) * double(c.positions.size() - 1);
+  EXPECT_LT(double(stats.interactions), 0.25 * direct_pairs);
+}
+
+TEST(BarnesHut, MdgrapeBackendMatchesSoftwareTraversal) {
+  // Same tree, same lists; the only difference is the chip's
+  // single-precision table datapath (~1e-6 relative).
+  const auto c = random_cloud(300, 11, /*neutral=*/true);
+  BarnesHutCoulomb bh(0.5);
+
+  std::vector<Vec3> sw(c.positions.size(), Vec3{});
+  const auto sw_stats = bh.compute(c.positions, c.charges, sw);
+
+  mdgrape2::Chip chip;
+  std::vector<Vec3> hw(c.positions.size(), Vec3{});
+  const auto hw_stats =
+      bh.compute_on_mdgrape(c.positions, c.charges, chip, hw);
+
+  EXPECT_EQ(hw_stats.interactions, sw_stats.interactions);
+  double fscale = 0.0;
+  for (const auto& f : sw) fscale = std::max(fscale, norm(f));
+  for (std::size_t i = 0; i < sw.size(); ++i)
+    EXPECT_NEAR(norm(hw[i] - sw[i]), 0.0, 5e-6 * fscale) << i;
+  // The chip actually did the work.
+  EXPECT_EQ(chip.pair_operations(), hw_stats.interactions);
+}
+
+TEST(BarnesHut, NeutralSystemForceSumSmall) {
+  const auto c = random_cloud(400, 12, /*neutral=*/true);
+  BarnesHutCoulomb bh(0.5);
+  std::vector<Vec3> forces(c.positions.size(), Vec3{});
+  bh.compute(c.positions, c.charges, forces);
+  Vec3 total;
+  double fscale = 0.0;
+  for (const auto& f : forces) {
+    total += f;
+    fscale = std::max(fscale, norm(f));
+  }
+  // Monopole approximation breaks exact pairwise cancellation, but the
+  // residual is at the approximation level, not O(F).
+  EXPECT_LT(norm(total), 0.05 * fscale * std::sqrt(double(forces.size())));
+}
+
+}  // namespace
+}  // namespace mdm::tree

@@ -1,0 +1,90 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdm {
+namespace {
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 5.0, 0.5};
+  EXPECT_EQ(a + b, Vec3(-3.0, 7.0, 3.5));
+  EXPECT_EQ(a - b, Vec3(5.0, -3.0, 2.5));
+  EXPECT_EQ(2.0 * a, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, Vec3(2.0, 3.0, 4.0));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3.0, 6.0, 9.0));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(cross(x, y), Vec3(0.0, 0.0, 1.0));
+  const Vec3 v{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 169.0);
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{7.0, 8.0, 9.0};
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[2] = -1.0;
+  EXPECT_DOUBLE_EQ(v.z, -1.0);
+}
+
+TEST(Vec3, WrapCoordinate) {
+  EXPECT_DOUBLE_EQ(wrap_coordinate(0.5, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(10.5, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(-0.5, 10.0), 9.5);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(-20.5, 10.0), 9.5);
+  // Result is always inside [0, box).
+  for (double v : {-1e-9, 10.0 - 1e-16, 10.0, 1e3, -1e3}) {
+    const double w = wrap_coordinate(v, 10.0);
+    EXPECT_GE(w, 0.0) << v;
+    EXPECT_LT(w, 10.0) << v;
+  }
+}
+
+TEST(Vec3, MinimumImageIsNearestPeriodicCopy) {
+  const double box = 10.0;
+  const Vec3 a{9.5, 0.1, 5.0};
+  const Vec3 b{0.5, 9.9, 5.0};
+  const Vec3 d = minimum_image(a, b, box);
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.2, 1e-12);
+  EXPECT_NEAR(d.z, 0.0, 1e-12);
+  // Components always within [-box/2, box/2].
+  EXPECT_LE(std::fabs(d.x), box / 2);
+  EXPECT_LE(std::fabs(d.y), box / 2);
+}
+
+TEST(Vec3, MinimumImageAntisymmetric) {
+  const double box = 7.3;
+  const Vec3 a{6.9, 3.3, 0.2};
+  const Vec3 b{0.4, 3.0, 7.1};
+  const Vec3 dab = minimum_image(a, b, box);
+  const Vec3 dba = minimum_image(b, a, box);
+  EXPECT_NEAR(dab.x, -dba.x, 1e-12);
+  EXPECT_NEAR(dab.y, -dba.y, 1e-12);
+  EXPECT_NEAR(dab.z, -dba.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace mdm

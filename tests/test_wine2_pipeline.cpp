@@ -1,0 +1,236 @@
+#include "wine2/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+
+namespace mdm::wine2 {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(WineFormats, Validation) {
+  EXPECT_TRUE(WineFormats::paper().valid());
+  WineFormats bad;
+  bad.table_bits = 30;  // table cannot exceed phase resolution
+  EXPECT_FALSE(bad.valid());
+  bad = {};
+  bad.phase_bits = 2;
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(TrigUnit, MatchesSineToTableResolution) {
+  const WineFormats fmt = WineFormats::paper();
+  TrigUnit trig(fmt);
+  // Linear interpolation of a 1024-entry table: error <= (2pi/1024)^2/8
+  // plus output quantization.
+  const double bound = kTwoPi * kTwoPi /
+                           std::pow(2.0, 2.0 * fmt.table_bits) / 8.0 +
+                       2.0 * std::ldexp(1.0, -fmt.trig_frac_bits);
+  Random rng(1);
+  for (int rep = 0; rep < 5000; ++rep) {
+    const auto phase = rng.next_u64() &
+                       ((std::uint64_t{1} << fmt.phase_bits) - 1);
+    const double angle =
+        kTwoPi * static_cast<double>(phase) / std::ldexp(1.0, fmt.phase_bits);
+    EXPECT_NEAR(trig.sine(phase), std::sin(angle), bound);
+    EXPECT_NEAR(trig.cosine(phase), std::cos(angle), bound);
+  }
+}
+
+TEST(TrigUnit, ExactAtQuadrantPoints) {
+  TrigUnit trig(WineFormats::paper());
+  const std::uint64_t turn = std::uint64_t{1} << WineFormats::paper().phase_bits;
+  EXPECT_DOUBLE_EQ(trig.sine(0), 0.0);
+  EXPECT_DOUBLE_EQ(trig.sine(turn / 4), 1.0);
+  EXPECT_DOUBLE_EQ(trig.sine(turn / 2), 0.0);
+  EXPECT_DOUBLE_EQ(trig.cosine(0), 1.0);
+  EXPECT_DOUBLE_EQ(trig.cosine(turn / 2), -1.0);
+}
+
+TEST(TrigUnit, PhaseWrapsCyclically) {
+  TrigUnit trig(WineFormats::paper());
+  const std::uint64_t turn = std::uint64_t{1} << WineFormats::paper().phase_bits;
+  Random rng(2);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::uint64_t p = rng.next_u64() & (turn - 1);
+    EXPECT_EQ(trig.sine(p), trig.sine(p + turn));
+    EXPECT_EQ(trig.sine(p), trig.sine(p + 7 * turn));
+  }
+}
+
+TEST(CoordinatePhase, FractionOfBox) {
+  const int bits = 24;
+  EXPECT_EQ(coordinate_phase(0.0, 10.0, bits), 0u);
+  EXPECT_EQ(coordinate_phase(5.0, 10.0, bits),
+            std::uint64_t{1} << (bits - 1));
+  // Wraps outside the box.
+  EXPECT_EQ(coordinate_phase(15.0, 10.0, bits),
+            coordinate_phase(5.0, 10.0, bits));
+}
+
+TEST(Pipeline, WavePhaseIsInnerProductModOne) {
+  const WineFormats fmt = WineFormats::paper();
+  TrigUnit trig(fmt);
+  Pipeline pipe(fmt, trig);
+  const double box = 17.0;
+  Random rng(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    const Vec3 r{rng.uniform(0, box), rng.uniform(0, box),
+                 rng.uniform(0, box)};
+    WaveSlot wave;
+    wave.n[0] = static_cast<int>(rng.uniform_below(13)) - 6;
+    wave.n[1] = static_cast<int>(rng.uniform_below(13)) - 6;
+    wave.n[2] = static_cast<int>(rng.uniform_below(13)) - 6;
+    const auto p = make_wine_particle(r, box, 1.0, 1.0, fmt);
+    const auto phase = pipe.wave_phase(wave, p);
+    const double got =
+        static_cast<double>(phase) / std::ldexp(1.0, fmt.phase_bits);
+    double expected = (wave.n[0] * r.x + wave.n[1] * r.y + wave.n[2] * r.z) /
+                      box;
+    expected -= std::floor(expected);
+    // Compare as cyclic values.
+    double diff = std::fabs(got - expected);
+    diff = std::min(diff, 1.0 - diff);
+    // Each axis phase is rounded to 2^-24 and scaled by |n| <= 6.
+    EXPECT_LT(diff, 20.0 * std::ldexp(1.0, -fmt.phase_bits)) << rep;
+  }
+}
+
+TEST(Pipeline, DftMatchesDoubleReference) {
+  const WineFormats fmt = WineFormats::paper();
+  TrigUnit trig(fmt);
+  Pipeline pipe(fmt, trig);
+  const double box = 12.0;
+  Random rng(4);
+
+  std::vector<WaveSlot> waves;
+  for (int k = 1; k <= 4; ++k) {
+    WaveSlot w;
+    w.n[0] = k;
+    w.n[1] = -k + 2;
+    w.n[2] = 1;
+    waves.push_back(w);
+  }
+  pipe.load_waves(waves);
+
+  std::vector<WineParticle> particles;
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+  for (int i = 0; i < 50; ++i) {
+    positions.push_back({rng.uniform(0, box), rng.uniform(0, box),
+                         rng.uniform(0, box)});
+    charges.push_back(i % 2 ? 1.0 : -1.0);
+    particles.push_back(
+        make_wine_particle(positions.back(), box, charges.back(), 1.0, fmt));
+  }
+
+  const auto acc = pipe.run_dft(particles);
+  ASSERT_EQ(acc.size(), waves.size());
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    double s = 0.0, c = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const double theta =
+          kTwoPi *
+          (waves[w].n[0] * positions[i].x + waves[w].n[1] * positions[i].y +
+           waves[w].n[2] * positions[i].z) /
+          box;
+      s += charges[i] * std::sin(theta);
+      c += charges[i] * std::cos(theta);
+    }
+    const double got_s = 0.5 * (acc[w].s_plus_c + acc[w].s_minus_c);
+    const double got_c = 0.5 * (acc[w].s_plus_c - acc[w].s_minus_c);
+    // Fixed-point noise ~ sqrt(N) * table error.
+    EXPECT_NEAR(got_s, s, 5e-4) << w;
+    EXPECT_NEAR(got_c, c, 5e-4) << w;
+  }
+  EXPECT_EQ(pipe.wave_particle_ops(), waves.size() * particles.size());
+}
+
+TEST(Pipeline, IdftMatchesDoubleReference) {
+  const WineFormats fmt = WineFormats::paper();
+  TrigUnit trig(fmt);
+  Pipeline pipe(fmt, trig);
+  const double box = 9.0;
+  Random rng(5);
+
+  std::vector<WaveSlot> waves;
+  std::vector<double> a_vals, s_vals, c_vals;
+  for (int k = 0; k < 6; ++k) {
+    WaveSlot w;
+    w.n[0] = static_cast<int>(rng.uniform_below(9)) - 4;
+    w.n[1] = static_cast<int>(rng.uniform_below(9)) - 4;
+    w.n[2] = static_cast<int>(rng.uniform_below(4)) + 1;
+    a_vals.push_back(rng.uniform(0.05, 0.9));
+    s_vals.push_back(rng.uniform(-0.8, 0.8));
+    c_vals.push_back(rng.uniform(-0.8, 0.8));
+    w.a_norm = a_vals.back();
+    w.s_norm = s_vals.back();
+    w.c_norm = c_vals.back();
+    waves.push_back(w);
+  }
+  pipe.load_waves(waves);
+
+  const Vec3 r{2.7, 8.1, 0.4};
+  const auto particle = make_wine_particle(r, box, 1.0, 1.0, fmt);
+  const Vec3 got = pipe.run_idft_particle(particle);
+
+  Vec3 expected;
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    const double theta = kTwoPi *
+                         (waves[w].n[0] * r.x + waves[w].n[1] * r.y +
+                          waves[w].n[2] * r.z) /
+                         box;
+    const double t = a_vals[w] * (c_vals[w] * std::sin(theta) -
+                                  s_vals[w] * std::cos(theta));
+    expected += t * Vec3{double(waves[w].n[0]), double(waves[w].n[1]),
+                         double(waves[w].n[2])};
+  }
+  EXPECT_NEAR(got.x, expected.x, 2e-4);
+  EXPECT_NEAR(got.y, expected.y, 2e-4);
+  EXPECT_NEAR(got.z, expected.z, 2e-4);
+}
+
+TEST(Pipeline, CoarserFormatsAreLessAccurate) {
+  // Word-width ablation: 12-bit phases / 6-bit table must degrade the DFT
+  // accuracy by orders of magnitude vs the paper configuration.
+  auto dft_error = [](const WineFormats& fmt) {
+    TrigUnit trig(fmt);
+    Pipeline pipe(fmt, trig);
+    const double box = 11.0;
+    WaveSlot w;
+    w.n[0] = 3;
+    w.n[1] = -2;
+    w.n[2] = 5;
+    pipe.load_waves({w});
+    Random rng(6);
+    std::vector<WineParticle> particles;
+    double s_ref = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 r{rng.uniform(0, box), rng.uniform(0, box),
+                   rng.uniform(0, box)};
+      const double q = i % 2 ? 1.0 : -1.0;
+      particles.push_back(make_wine_particle(r, box, q, 1.0, fmt));
+      s_ref += q * std::sin(kTwoPi * (3 * r.x - 2 * r.y + 5 * r.z) / box);
+    }
+    const auto acc = pipe.run_dft(particles);
+    const double got = 0.5 * (acc[0].s_plus_c + acc[0].s_minus_c);
+    return std::fabs(got - s_ref);
+  };
+  WineFormats coarse;
+  coarse.phase_bits = 12;
+  coarse.table_bits = 6;
+  coarse.trig_frac_bits = 8;
+  coarse.coeff_frac_bits = 8;
+  coarse.product_frac_bits = 8;
+  const double err_paper = dft_error(WineFormats::paper());
+  const double err_coarse = dft_error(coarse);
+  EXPECT_GT(err_coarse, 30.0 * err_paper);
+}
+
+}  // namespace
+}  // namespace mdm::wine2
