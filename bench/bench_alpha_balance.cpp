@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "obs/bench_report.hpp"
 #include "perf/machine_model.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -52,14 +53,22 @@ int main(int argc, char** argv) {
               "30.1), MDM-current time at %.1f (paper 85), MDM-future time "
               "at %.1f (paper 50.3)\n",
               alpha_conv, alpha_current, alpha_future);
+  const double inflation =
+      ewald_step_flops(n, box, parameters_from_alpha(85.0, box))
+          .total_grape() /
+      ewald_step_flops(n, box, parameters_from_alpha(alpha_conv, box))
+          .total_host();
   std::printf("\nflop inflation of the hardware-optimal alpha: %.1fx over "
               "the conventional minimum (sec. 5: \"about 10 times\"), which "
               "is exactly the 15.4 -> 1.34 Tflops effective-speed "
               "correction.\n",
-              ewald_step_flops(n, box, parameters_from_alpha(85.0, box))
-                      .total_grape() /
-                  ewald_step_flops(n, box, parameters_from_alpha(alpha_conv,
-                                                                 box))
-                      .total_host());
+              inflation);
+
+  obs::BenchReport report("alpha_balance");
+  report.add("alpha_conventional", alpha_conv, "1");
+  report.add("alpha_mdm_current", alpha_current, "1");
+  report.add("alpha_mdm_future", alpha_future, "1");
+  report.add("flop_inflation", inflation, "1");
+  report.write();
   return 0;
 }

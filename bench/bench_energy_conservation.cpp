@@ -18,6 +18,7 @@
 #include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
 #include "host/mdm_force_field.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
 
   AsciiTable table("Max |E(t)-E(0)| / |E(0)| over the NVE phase");
   table.set_header({"backend", "truncation", "drift", "s/step"});
+  obs::BenchReport report("energy_conservation");
 
   {
     // Paper-accuracy software path.
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
     const auto r = run(system, field, nvt, nve);
     table.add_row({"software Ewald (double)", "paper accuracy",
                    format_sci(r.drift, 2), format_fixed(r.seconds_per_step, 3)});
+    report.add("software_drift", r.drift, "1");
+    report.add("software_s_per_step", r.seconds_per_step, "s");
   }
   {
     // Tight-truncation software path - approaches the paper's 5e-7.
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
     const auto r = run(system, field, nvt, nve);
     table.add_row({"software Ewald (double)", "tight (s1=3.6, s2=3.8)",
                    format_sci(r.drift, 2), format_fixed(r.seconds_per_step, 3)});
+    report.add("software_tight_drift", r.drift, "1");
+    report.add("software_tight_s_per_step", r.seconds_per_step, "s");
   }
   {
     // The simulated machine.
@@ -94,10 +100,13 @@ int main(int argc, char** argv) {
     const auto r = run(system, machine, nvt, nve);
     table.add_row({"simulated MDM machine", "paper accuracy",
                    format_sci(r.drift, 2), format_fixed(r.seconds_per_step, 3)});
+    report.add("mdm_drift", r.drift, "1");
+    report.add("mdm_s_per_step", r.seconds_per_step, "s");
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("paper claim: < 5e-7 relative at N = 1.88e7 (fluctuations "
               "shrink with N; small boxes see larger per-particle "
               "truncation noise).\n");
+  report.write();
   return 0;
 }

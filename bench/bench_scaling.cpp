@@ -15,6 +15,7 @@
 #include "ewald/direct_sum.hpp"
 #include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -80,13 +81,23 @@ int main(int argc, char** argv) {
                    format_fixed(ewald_time, 4), format_fixed(direct_time, 4)});
   }
   std::printf("%s\n", table.str().c_str());
+  const double ewald_exp = fit_exponent(ns, t_ewald);
+  const double direct_exp = fit_exponent(ns, t_direct);
   std::printf("fitted exponents: Ewald t ~ N^%.2f (theory 1.5), "
               "direct t ~ N^%.2f (theory 2.0)\n",
-              fit_exponent(ns, t_ewald), fit_exponent(ns, t_direct));
+              ewald_exp, direct_exp);
   std::printf("crossover: the Ewald advantage grows as sqrt(N); at the "
               "paper's N = 1.88e7 the direct method would need ~%.0fx more "
               "operations.\n",
               std::sqrt(18821096.0) / std::sqrt(ns.front()) *
                   (t_direct.front() / t_ewald.front()));
+
+  obs::BenchReport report("scaling");
+  report.add("ewald_exponent", ewald_exp, "1");
+  report.add("direct_exponent", direct_exp, "1");
+  report.add("largest_n", ns.back(), "count");
+  report.add("ewald_s_per_eval_at_largest_n", t_ewald.back(), "s");
+  report.add("direct_s_per_eval_at_largest_n", t_direct.back(), "s");
+  report.write();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "obs/bench_report.hpp"
 #include "perf/machine_model.hpp"
 #include "perf/table5.hpp"
 
@@ -38,5 +39,13 @@ int main() {
               "1 Tflops -> reproduced: %d / %.1f, %d / %.1f\n",
               topo.wine_chips(), current.wine_peak_flops() / 1e12,
               topo.mdgrape_chips(), current.mdgrape_peak_flops() / 1e12);
+
+  obs::BenchReport report("table1_components");
+  report.add("wine_chips", topo.wine_chips(), "count");
+  report.add("mdgrape_chips", topo.mdgrape_chips(), "count");
+  report.add("wine_peak_tflops", current.wine_peak_flops() / 1e12, "Tflops");
+  report.add("mdgrape_peak_tflops", current.mdgrape_peak_flops() / 1e12,
+             "Tflops");
+  report.write();
   return 0;
 }

@@ -41,25 +41,25 @@ int main() {
     Timer t;
     lib.wine2_allocate_board(7);
     t2.add_row({"Initialization", "wine2_allocate_board",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     t.reset();
     lib.wine2_initialize_board();
     t2.add_row({"Initialization", "wine2_initialize_board",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     t.reset();
     lib.wine2_set_nn(system.size());
     t2.add_row({"Initialization", "wine2_set_nn",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     std::vector<Vec3> forces(system.size(), Vec3{});
     t.reset();
     const double pot = lib.calculate_force_and_pot_wavepart_nooffset(
         system.positions(), charges, system.box(), kvectors, forces);
     t2.add_row({"Force calculation", "calculate_force_and_pot_wavepart"
-                "_nooffset", format_fixed(t.seconds() * 1e3, 3)});
+                "_nooffset", format_fixed(t.elapsed_ms(), 3)});
     t.reset();
     lib.wine2_free_board();
     t2.add_row({"Finalization", "wine2_free_board",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     std::printf("%s\nwavenumber potential: %.4f eV\n\n", t2.str().c_str(),
                 pot);
   }
@@ -88,7 +88,7 @@ int main() {
       lib.wine2_free_board();
     });
     std::printf("wine2_set_MPI_community + 4-rank parallel force call: "
-                "%.1f ms total\n\n", t.seconds() * 1e3);
+                "%.1f ms total\n\n", t.elapsed_ms());
   }
 
   // --- Table 3: MDGRAPE-2 routines ----------------------------------------
@@ -100,26 +100,26 @@ int main() {
     Timer t;
     lib.MR1allocateboard(4);
     t3.add_row({"Initialization", "MR1allocateboard",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     t.reset();
     lib.MR1init();
     t3.add_row({"Initialization", "MR1init",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     const double species_q[2] = {+1.0, -1.0};
     t.reset();
     lib.MR1SetTable(
         mdgrape2::make_coulomb_real_pass(beta, params.r_cut, species_q));
     t3.add_row({"Initialization", "MR1SetTable (fits 1024 quartics)",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     std::vector<Vec3> forces(system.size(), Vec3{});
     t.reset();
     const auto stats = lib.MR1calcvdw_block2(system, params.r_cut, forces);
     t3.add_row({"Force calculation", "MR1calcvdw_block2",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     t.reset();
     lib.MR1free();
     t3.add_row({"Finalization", "MR1free",
-                format_fixed(t.seconds() * 1e3, 3)});
+                format_fixed(t.elapsed_ms(), 3)});
     std::printf("%s\ncell-index pair operations: %llu (N_int_g scan, "
                 "no cutoff skip, no Newton's 3rd law)\n",
                 t3.str().c_str(),

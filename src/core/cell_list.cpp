@@ -1,7 +1,11 @@
 #include "core/cell_list.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mdm {
 
@@ -31,6 +35,7 @@ int CellList::cell_of(const Vec3& r) const {
 }
 
 void CellList::build(std::span<const Vec3> positions) {
+  MDM_TRACE_SCOPE("cell_list.build");
   const std::size_t n = positions.size();
   std::vector<std::uint32_t> cell_of_particle(n);
   std::vector<std::uint32_t> counts(ranges_.size(), 0);
@@ -41,10 +46,21 @@ void CellList::build(std::span<const Vec3> positions) {
   }
   // Prefix sums -> per-cell ranges.
   std::uint32_t offset = 0;
+  std::uint32_t max_count = 0;
   for (std::size_t c = 0; c < ranges_.size(); ++c) {
     ranges_[c].begin = offset;
     offset += counts[c];
     ranges_[c].end = offset;
+    max_count = std::max(max_count, counts[c]);
+  }
+  {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& rebuilds = reg.counter("cell_list.rebuilds");
+    static obs::Gauge& mean_occ = reg.gauge("cell_list.mean_occupancy");
+    static obs::Gauge& max_occ = reg.gauge("cell_list.max_occupancy");
+    rebuilds.add(1);
+    mean_occ.set(static_cast<double>(n) / static_cast<double>(ranges_.size()));
+    max_occ.set(max_count);
   }
   // Stable counting sort of particle ids by cell.
   order_.assign(n, 0);

@@ -1,14 +1,18 @@
 #include "core/integrator.hpp"
 
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace mdm {
 
-void VelocityVerlet::prime(ParticleSystem& system) {
-  if (valid_ && forces_.size() == system.size()) return;
+bool VelocityVerlet::prime(ParticleSystem& system) {
+  if (valid_ && forces_.size() == system.size()) return false;
   forces_.assign(system.size(), Vec3{});
+  obs::TraceSpan span("force.eval");
   last_ = field_->add_forces(system, forces_);
   valid_ = true;
+  return true;
 }
 
 ForceResult VelocityVerlet::step(ParticleSystem& system, double dt_fs) {
@@ -17,22 +21,33 @@ ForceResult VelocityVerlet::step(ParticleSystem& system, double dt_fs) {
   auto velocities = system.velocities();
   const std::size_t n = system.size();
 
-  // First half kick + drift.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
-    velocities[i] += c * forces_[i];
-    positions[i] += dt_fs * velocities[i];
+  {
+    // First half kick + drift.
+    obs::ScopedPhase host_phase(obs::Phase::kHost);
+    obs::TraceSpan span("integrate.kick_drift");
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
+      velocities[i] += c * forces_[i];
+      positions[i] += dt_fs * velocities[i];
+    }
+    system.wrap_positions();
   }
-  system.wrap_positions();
 
-  // Forces at the new positions.
-  for (auto& f : forces_) f = Vec3{};
-  last_ = field_->add_forces(system, forces_);
+  {
+    // Forces at the new positions.
+    obs::TraceSpan span("force.eval");
+    for (auto& f : forces_) f = Vec3{};
+    last_ = field_->add_forces(system, forces_);
+  }
 
-  // Second half kick.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
-    velocities[i] += c * forces_[i];
+  {
+    // Second half kick.
+    obs::ScopedPhase host_phase(obs::Phase::kHost);
+    obs::TraceSpan span("integrate.kick");
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = 0.5 * dt_fs * units::kAccelUnit / system.mass(i);
+      velocities[i] += c * forces_[i];
+    }
   }
   return last_;
 }
@@ -40,6 +55,7 @@ ForceResult VelocityVerlet::step(ParticleSystem& system, double dt_fs) {
 ForceResult Leapfrog::step(ParticleSystem& system, double dt_fs) {
   if (!valid_ || forces_.size() != system.size()) {
     forces_.assign(system.size(), Vec3{});
+    obs::TraceSpan span("force.eval");
     field_->add_forces(system, forces_);
     valid_ = true;
   }
@@ -47,15 +63,20 @@ ForceResult Leapfrog::step(ParticleSystem& system, double dt_fs) {
   auto velocities = system.velocities();
   const std::size_t n = system.size();
 
-  // v(t+dt/2) = v(t-dt/2) + a(t) dt ; r(t+dt) = r(t) + v(t+dt/2) dt.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double c = dt_fs * units::kAccelUnit / system.mass(i);
-    velocities[i] += c * forces_[i];
-    positions[i] += dt_fs * velocities[i];
+  {
+    // v(t+dt/2) = v(t-dt/2) + a(t) dt ; r(t+dt) = r(t) + v(t+dt/2) dt.
+    obs::ScopedPhase host_phase(obs::Phase::kHost);
+    obs::TraceSpan span("integrate.kick_drift");
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = dt_fs * units::kAccelUnit / system.mass(i);
+      velocities[i] += c * forces_[i];
+      positions[i] += dt_fs * velocities[i];
+    }
+    system.wrap_positions();
   }
-  system.wrap_positions();
 
   for (auto& f : forces_) f = Vec3{};
+  obs::TraceSpan span("force.eval");
   return field_->add_forces(system, forces_);
 }
 

@@ -34,8 +34,9 @@ class VelocityVerlet {
   void invalidate() { valid_ = false; }
 
   /// Ensure forces are evaluated for the current configuration (also fills
-  /// potential()); used before sampling step 0.
-  void prime(ParticleSystem& system);
+  /// potential()); used before sampling step 0. Returns true when a force
+  /// evaluation actually ran (false when the cache was already valid).
+  bool prime(ParticleSystem& system);
 
  private:
   ForceField* field_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/observables.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 
 namespace mdm {
 
@@ -16,6 +18,8 @@ Simulation::Simulation(ParticleSystem& system, ForceField& field,
 }
 
 void Simulation::record(int step) {
+  obs::ScopedPhase phase(obs::Phase::kHost);
+  obs::TraceSpan span("sim.sample");
   Sample s;
   s.step = step;
   s.time_ps = step * config_.dt_fs * 1e-3;
@@ -29,15 +33,26 @@ void Simulation::record(int step) {
 }
 
 void Simulation::run(const std::function<void(const Sample&)>& observer) {
-  integrator_.prime(*system_);
-  record(0);
+  {
+    // prime() evaluates the forces once before the loop — count it as step
+    // 0 so the Table-1 phase accumulators line up with the step count.
+    obs::TraceSpan span("sim.step");
+    const std::uint64_t t0 = obs::Trace::now_ns();
+    integrator_.prime(*system_);
+    record(0);
+    obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
+  }
   if (observer) observer(samples_.back());
 
   const int total = config_.nvt_steps + config_.nve_steps;
   for (int step = 1; step <= total; ++step) {
+    obs::TraceSpan span("sim.step");
+    const std::uint64_t t0 = obs::Trace::now_ns();
     integrator_.step(*system_, config_.dt_fs);
     const bool nvt_phase = step <= config_.nvt_steps;
     if (nvt_phase && step % config_.rescale_interval == 0) {
+      obs::ScopedPhase thermostat_phase(obs::Phase::kHost);
+      obs::TraceSpan thermostat_span("sim.thermostat");
       const double target = config_.temperature_schedule
                                 ? config_.temperature_schedule(step)
                                 : config_.temperature_K;
@@ -47,23 +62,32 @@ void Simulation::run(const std::function<void(const Sample&)>& observer) {
       record(step);
       if (observer) observer(samples_.back());
     }
+    obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
 }
 
 void Simulation::run_nve(int steps,
                          const std::function<void(const Sample&)>& observer) {
-  integrator_.prime(*system_);
-  if (samples_.empty()) {
-    record(0);
-    if (observer) observer(samples_.back());
+  {
+    obs::TraceSpan span("sim.step");
+    const std::uint64_t t0 = obs::Trace::now_ns();
+    const bool primed = integrator_.prime(*system_);
+    if (samples_.empty()) record(0);
+    if (primed)
+      obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
+  if (!samples_.empty() && samples_.back().step == 0 && observer)
+    observer(samples_.back());
   const int start = samples_.empty() ? 0 : samples_.back().step;
   for (int step = start + 1; step <= start + steps; ++step) {
+    obs::TraceSpan span("sim.step");
+    const std::uint64_t t0 = obs::Trace::now_ns();
     integrator_.step(*system_, config_.dt_fs);
     if (step % config_.sample_interval == 0) {
       record(step);
       if (observer) observer(samples_.back());
     }
+    obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
 }
 

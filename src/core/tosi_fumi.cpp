@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "core/cell_list.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace mdm {
@@ -62,6 +65,8 @@ ForceResult TosiFumiShortRange::add_forces(const ParticleSystem& system,
                                            std::span<Vec3> forces) {
   if (forces.size() != system.size())
     throw std::invalid_argument("force array size mismatch");
+  obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
+  MDM_TRACE_SCOPE("tosi_fumi.short_range");
   const auto positions = system.positions();
   const auto types = system.types();
 
@@ -69,9 +74,11 @@ ForceResult TosiFumiShortRange::add_forces(const ParticleSystem& system,
   cells.build(positions);
 
   ForceResult result;
+  std::uint64_t pairs = 0;
   cells.for_each_pair_within(
       positions, r_cut_,
       [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        ++pairs;
         const double r = std::sqrt(r2);
         const int ti = types[i];
         const int tj = types[j];
@@ -82,6 +89,9 @@ ForceResult TosiFumiShortRange::add_forces(const ParticleSystem& system,
         result.potential += params_.pair_energy(ti, tj, r) - shift_[ti][tj];
         result.virial += s * r2;
       });
+  static obs::Counter& pair_counter =
+      obs::Registry::global().counter("core.short_range_pairs");
+  pair_counter.add(pairs);
   return result;
 }
 

@@ -5,6 +5,10 @@
 #include <stdexcept>
 
 #include "core/cell_list.hpp"
+#include "ewald/flops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace mdm {
@@ -74,14 +78,18 @@ EwaldCoulomb::EwaldCoulomb(EwaldParameters params, double box)
 
 ForceResult EwaldCoulomb::add_real_space(const ParticleSystem& system,
                                          std::span<Vec3> forces) const {
+  obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
+  MDM_TRACE_SCOPE("ewald.real_space");
   const auto positions = system.positions();
   CellList cells(box_, params_.r_cut);
   cells.build(positions);
 
   ForceResult result;
+  std::uint64_t pairs = 0;
   cells.for_each_pair_within(
       positions, params_.r_cut,
       [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+        ++pairs;
         const double r = std::sqrt(r2);
         const double qq = units::kCoulomb * system.charge(i) * system.charge(j);
         const double erfc_term = std::erfc(beta_ * r);
@@ -95,12 +103,29 @@ ForceResult EwaldCoulomb::add_real_space(const ParticleSystem& system,
         result.potential += qq * erfc_term / r;
         result.virial += s * r2;
       });
+  {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& pair_counter = reg.counter("ewald.real_pairs");
+    static obs::Counter& flops = reg.counter("ewald.flops.real");
+    pair_counter.add(pairs);
+    flops.add(static_cast<std::uint64_t>(OperationCounts::kRealPair) * pairs);
+  }
   return result;
 }
 
 StructureFactors EwaldCoulomb::structure_factors(
     std::span<const Vec3> positions, std::span<const double> charges) const {
+  obs::ScopedPhase wave_phase(obs::Phase::kWavenumber);
+  MDM_TRACE_SCOPE("ewald.kspace.dft");
   const auto& kvecs = kvectors_.vectors();
+  {
+    auto& reg = obs::Registry::global();
+    static obs::Gauge& kvector_gauge = reg.gauge("ewald.kvectors");
+    static obs::Counter& flops = reg.counter("ewald.flops.dft");
+    kvector_gauge.set(static_cast<double>(kvecs.size()));
+    flops.add(static_cast<std::uint64_t>(OperationCounts::kDftPerWave) *
+              positions.size() * kvecs.size());
+  }
   StructureFactors sf;
   sf.s.assign(kvecs.size(), 0.0);
   sf.c.assign(kvecs.size(), 0.0);
@@ -123,7 +148,7 @@ StructureFactors EwaldCoulomb::structure_factors(
     }
   };
 
-  if (pool_ && pool_->size() > 1 && positions.size() > 1) {
+  if (pool_ && positions.size() > 1) {
     // Per-chunk partials, reduced in chunk order (deterministic for a
     // fixed pool size).
     std::vector<std::vector<double>> s_part(pool_->size()),
@@ -152,9 +177,17 @@ ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
                                       std::span<const double> charges,
                                       const StructureFactors& sf,
                                       std::span<Vec3> forces) const {
+  obs::ScopedPhase wave_phase(obs::Phase::kWavenumber);
+  MDM_TRACE_SCOPE("ewald.kspace.idft");
   const auto& kvecs = kvectors_.vectors();
   if (sf.s.size() != kvecs.size() || forces.size() != positions.size())
     throw std::invalid_argument("idft_forces: size mismatch");
+  {
+    static obs::Counter& flops =
+        obs::Registry::global().counter("ewald.flops.idft");
+    flops.add(static_cast<std::uint64_t>(OperationCounts::kIdftPerWave) *
+              positions.size() * kvecs.size());
+  }
 
   const double l3 = box_ * box_ * box_;
   // F_i = (4 k_e q_i / L^4) sum_half a_n n_vec [C_n sin_i - S_n cos_i].
@@ -176,7 +209,7 @@ ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
       forces[p] += (force_pref * charges[p]) * acc;
     }
   };
-  if (pool_ && pool_->size() > 1 && positions.size() > 1) {
+  if (pool_ && positions.size() > 1) {
     // Independent per-particle work: bit-identical to the serial loop.
     pool_->parallel_for(positions.size(),
                         [&](unsigned, std::size_t begin, std::size_t end) {

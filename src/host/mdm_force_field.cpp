@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "mdgrape2/gtables.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace mdm::host {
@@ -67,8 +69,11 @@ ForceResult MdmForceField::add_forces(const ParticleSystem& system,
 
   // 2. Host -> WINE-2: DFT then IDFT (eqs. 9-11).
   std::vector<double> charges(system.size());
-  for (std::size_t i = 0; i < system.size(); ++i)
-    charges[i] = system.charge(i);
+  {
+    obs::ScopedPhase host_phase(obs::Phase::kHost);
+    for (std::size_t i = 0; i < system.size(); ++i)
+      charges[i] = system.charge(i);
+  }
   wine_.set_particles(system.positions(), charges, box_);
   const auto sf = wine_.run_dft();
   wine_.run_idft(sf, forces);
@@ -98,6 +103,8 @@ ForceResult MdmForceField::add_forces(const ParticleSystem& system,
   }
   // The wavenumber energy is a cheap host-side sum over the structure
   // factors, so it is refreshed every step.
+  obs::ScopedPhase host_phase(obs::Phase::kHost);
+  MDM_TRACE_SCOPE("mdm.host_energies");
   potential_.wavenumber = wine_.reciprocal_energy(sf);
   const double beta = config_.ewald.alpha / box_;
   potential_.self_energy = -units::kCoulomb * beta /

@@ -8,6 +8,9 @@
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
 #include "mdgrape2/gtables.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace mdm::host {
@@ -65,6 +68,10 @@ double charge_of(const Shared& shared, int type) {
   return shared.species[type].charge;
 }
 
+double ms_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::Trace::now_ns() - start_ns) * 1e-6;
+}
+
 /// ---------------- wavenumber process ------------------------------------
 
 void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
@@ -87,11 +94,15 @@ void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
     // One (possibly empty) batch from every real rank.
     std::vector<WnRec> local;
     std::vector<int> owner;  // real rank per local particle
-    for (int r = 0; r < R; ++r) {
-      const auto batch = comm.recv<WnRec>(r, kToWine);
-      for (const auto& rec : batch) {
-        local.push_back(rec);
-        owner.push_back(r);
+    {
+      obs::ScopedPhase comm_phase(obs::Phase::kComm);
+      MDM_TRACE_SCOPE("parallel.wn_recv");
+      for (int r = 0; r < R; ++r) {
+        const auto batch = comm.recv<WnRec>(r, kToWine);
+        for (const auto& rec : batch) {
+          local.push_back(rec);
+          owner.push_back(r);
+        }
       }
     }
 
@@ -106,6 +117,8 @@ void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
         positions, charges, shared.box, kvectors, forces);
 
     // Return forces to the owning real ranks.
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.wn_send");
     std::vector<std::vector<IdForce>> outgoing(R);
     for (std::size_t i = 0; i < local.size(); ++i)
       outgoing[owner[i]].push_back({local[i].id, forces[i]});
@@ -193,6 +206,9 @@ class RealProcess {
   /// Halo exchange: ship to each other real rank the particles within r_cut
   /// of that rank's domain cuboid; receive the same from everyone.
   std::vector<PRec> exchange_halos() {
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.halo_exchange");
+    const std::uint64_t t0 = obs::Trace::now_ns();
     const double r_cut = shared_.config.ewald.r_cut;
     for (int d = 0; d < real_count(); ++d) {
       if (d == rank()) continue;
@@ -207,11 +223,13 @@ class RealProcess {
       const auto part = comm_.recv<PRec>(d, kHalo);
       halo.insert(halo.end(), part.begin(), part.end());
     }
+    halo_ms_ += ms_since(t0);
     return halo;
   }
 
   void compute_forces() {
     const auto halo = exchange_halos();
+    const std::uint64_t t_force = obs::Trace::now_ns();
 
     // Local particle image: owned first, then halo (MDGRAPE-2 j-set).
     ParticleSystem local(shared_.box);
@@ -238,8 +256,13 @@ class RealProcess {
         local_potential_ += 0.5 * pot[i];
     }
 
+    mdgrape_ms_ += ms_since(t_force);
+
     // Wavenumber part: partition the owned particles over the 8 wavenumber
     // processes by particle id.
+    const std::uint64_t t_wine = obs::Trace::now_ns();
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.wine_exchange");
     std::vector<std::vector<WnRec>> to_wine(wn_count());
     for (const auto& p : my_)
       to_wine[p.id % wn_count()].push_back({p.id, p.type, p.pos});
@@ -262,6 +285,7 @@ class RealProcess {
     }
     if (rank() == 0)
       wn_energy_ = comm_.recv_value<double>(real_count(), kWineEnergy);
+    wine_ms_ += ms_since(t_wine);
   }
 
   void half_kick() {
@@ -281,6 +305,9 @@ class RealProcess {
   }
 
   void migrate() {
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.migrate");
+    const std::uint64_t t0 = obs::Trace::now_ns();
     std::vector<std::vector<PRec>> buckets(real_count());
     for (const auto& p : my_) buckets[grid_.domain_of(p.pos)].push_back(p);
     my_ = std::move(buckets[rank()]);
@@ -296,6 +323,7 @@ class RealProcess {
     // Deterministic ownership order regardless of arrival order.
     std::sort(my_.begin(), my_.end(),
               [](const PRec& a, const PRec& b) { return a.id < b.id; });
+    migrate_ms_ += ms_since(t0);
   }
 
   /// Global kinetic energy (eV) via allreduce over the real group.
@@ -324,6 +352,7 @@ class RealProcess {
   /// Sum-allreduce one double over the real-process group (point-to-point;
   /// tags distinct from the collective helpers).
   double real_allreduce(double v) {
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
     if (rank() == 0) {
       for (int r = 1; r < real_count(); ++r)
         v += comm_.recv_value<double>(r, 9001);
@@ -352,7 +381,20 @@ class RealProcess {
     samples.push_back(s);
   }
 
+  /// Publish this rank's accumulated phase timings as gauges so a run can
+  /// inspect per-rank load balance (Table-1's "communication" row is the
+  /// spread between these).
+  void flush_rank_metrics() {
+    auto& reg = obs::Registry::global();
+    const std::string prefix = "parallel.rank" + std::to_string(rank()) + ".";
+    reg.gauge(prefix + "halo_ms").set(halo_ms_);
+    reg.gauge(prefix + "mdgrape_ms").set(mdgrape_ms_);
+    reg.gauge(prefix + "wine_ms").set(wine_ms_);
+    reg.gauge(prefix + "migrate_ms").set(migrate_ms_);
+  }
+
   void gather_final() {
+    flush_rank_metrics();
     // Gather over the real-process subgroup only (the wavenumber ranks have
     // already finished their rounds).
     std::vector<int> real_ranks(real_count());
@@ -377,6 +419,12 @@ class RealProcess {
   std::vector<PRec> my_;
   double local_potential_ = 0.0;
   double wn_energy_ = 0.0;  // rank 0 only
+
+  // Per-rank accumulated phase timings (flushed at the end of the run).
+  double halo_ms_ = 0.0;
+  double mdgrape_ms_ = 0.0;
+  double wine_ms_ = 0.0;
+  double migrate_ms_ = 0.0;
 };
 
 }  // namespace

@@ -2,7 +2,29 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
+
 namespace mdm::mdgrape2 {
+namespace {
+
+/// One pass's worth of board counters into the global registry. Each
+/// streamed j-particle costs one g-table interpolation in the pipeline, so
+/// table lookups track pair operations one-to-one.
+void report_pass(const PassStats& stats) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& passes = reg.counter("mdgrape2.passes");
+  static obs::Counter& pair_ops = reg.counter("mdgrape2.pair_ops");
+  static obs::Counter& useful = reg.counter("mdgrape2.useful_pairs");
+  static obs::Counter& lookups = reg.counter("mdgrape2.table_lookups");
+  passes.add(1);
+  pair_ops.add(stats.pair_operations);
+  useful.add(stats.useful_pairs);
+  lookups.add(stats.pair_operations);
+}
+
+}  // namespace
 
 Mdgrape2System::Mdgrape2System(SystemConfig config) : config_(config) {
   if (config_.clusters < 1 || config_.boards_per_cluster < 1)
@@ -17,6 +39,8 @@ Mdgrape2System::Mdgrape2System(SystemConfig config) : config_(config) {
 
 void Mdgrape2System::load_particles(const ParticleSystem& system,
                                     double r_cut) {
+  obs::ScopedPhase host_phase(obs::Phase::kHost);
+  MDM_TRACE_SCOPE("mdgrape2.load_particles");
   box_ = system.box();
   cells_ = std::make_unique<CellList>(box_, r_cut * config_.cell_margin);
   if (cells_->cells_per_side() < 3)
@@ -50,6 +74,8 @@ PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
     throw std::invalid_argument("Mdgrape2System: force array size mismatch");
   if (pass.potential_mode)
     throw std::invalid_argument("Mdgrape2System: pass is potential-mode");
+  obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
+  MDM_TRACE_SCOPE("mdgrape2.force_pass");
 
   PassStats stats;
   const std::size_t n = stored_.size();
@@ -75,6 +101,7 @@ PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
   }
   for (std::size_t slot = 0; slot < n; ++slot)
     forces[original_index_[slot]] += slot_forces[slot];
+  report_pass(stats);
   return stats;
 }
 
@@ -86,6 +113,8 @@ PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
         "Mdgrape2System: potential array size mismatch");
   if (!pass.potential_mode)
     throw std::invalid_argument("Mdgrape2System: pass is force-mode");
+  obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
+  MDM_TRACE_SCOPE("mdgrape2.potential_pass");
 
   PassStats stats;
   const std::size_t n = stored_.size();
@@ -110,6 +139,7 @@ PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
   }
   for (std::size_t slot = 0; slot < n; ++slot)
     potentials[original_index_[slot]] += slot_pot[slot];
+  report_pass(stats);
   return stats;
 }
 

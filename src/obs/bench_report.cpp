@@ -1,0 +1,65 @@
+#include "obs/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mdm::obs {
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << ' ';
+    else
+      os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void BenchReport::add(std::string metric, double value, std::string unit) {
+  results_.push_back({std::move(metric), value, std::move(unit)});
+}
+
+std::string BenchReport::json() const {
+  std::ostringstream os;
+  os << "{\"bench\": ";
+  json_string(os, name_);
+  os << ", \"results\": [";
+  char buf[64];
+  bool first = true;
+  for (const auto& r : results_) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"name\": ";
+    json_string(os, r.name);
+    os << ", \"value\": ";
+    if (std::isfinite(r.value)) {
+      std::snprintf(buf, sizeof buf, "%.17g", r.value);
+      os << buf;
+    } else {
+      os << 0;
+    }
+    os << ", \"unit\": ";
+    json_string(os, r.unit);
+    os << '}';
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) return false;
+  os << json();
+  return static_cast<bool>(os);
+}
+
+}  // namespace mdm::obs

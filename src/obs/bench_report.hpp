@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_report.hpp
+/// Machine-readable benchmark output. Each bench program builds one
+/// BenchReport and writes `BENCH_<name>.json` next to its human-readable
+/// stdout, so the perf trajectory can be tracked across PRs:
+///
+///   {"bench": "table1_components", "results": [
+///     {"name": "wavenumber_ms", "value": 12.5, "unit": "ms"}, ...]}
+
+#include <string>
+#include <vector>
+
+namespace mdm::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string metric, double value, std::string unit);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return results_.size(); }
+
+  std::string json() const;
+
+  /// Write BENCH_<name>.json into `dir`; returns false on I/O failure.
+  bool write(const std::string& dir = ".") const;
+
+ private:
+  struct Result {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Result> results_;
+};
+
+}  // namespace mdm::obs

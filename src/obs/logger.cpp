@@ -1,0 +1,96 @@
+#include "obs/logger.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdm::obs {
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("MDM_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (Logger::parse_level(env, parsed)) return parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int>* slot =
+      new std::atomic<int>(static_cast<int>(initial_level()));
+  return *slot;
+}
+
+std::atomic<std::uint64_t>& emitted_slot() {
+  static std::atomic<std::uint64_t>* slot = new std::atomic<std::uint64_t>(0);
+  return *slot;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] - 'A' + 'a') : a[i];
+    if (ca != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LogLevel Logger::level() noexcept {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool Logger::parse_level(std::string_view name, LogLevel& out) noexcept {
+  if (iequals(name, "debug"))
+    out = LogLevel::kDebug;
+  else if (iequals(name, "info"))
+    out = LogLevel::kInfo;
+  else if (iequals(name, "warn") || iequals(name, "warning"))
+    out = LogLevel::kWarn;
+  else if (iequals(name, "error"))
+    out = LogLevel::kError;
+  else if (iequals(name, "off") || iequals(name, "none"))
+    out = LogLevel::kOff;
+  else
+    return false;
+  return true;
+}
+
+const char* Logger::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::uint64_t Logger::messages_emitted() noexcept {
+  return emitted_slot().load(std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel lvl, const char* fmt, ...) noexcept {
+  if (lvl < level() || lvl == LogLevel::kOff) return;
+  char line[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof line, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[mdm:%s] %s\n", level_name(lvl), line);
+  emitted_slot().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mdm::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file logger.hpp
+/// Leveled logging for the simulator. Messages go to stderr with a
+/// level tag; the threshold is switchable at runtime (`Logger::set_level`,
+/// the MDM_LOG_LEVEL environment variable, or `--log-level` via
+/// `apply_observability_cli` in util/cli). The macros skip argument
+/// evaluation entirely when the level is filtered out, so debug logging in
+/// hot paths costs one relaxed atomic load.
+///
+///   MDM_LOG_WARN("cell list rebuilt %d times in one step", n);
+
+#include <cstdint>
+#include <string_view>
+
+namespace mdm::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+class Logger {
+ public:
+  /// Current threshold; messages below it are dropped. Defaults to kWarn,
+  /// or to MDM_LOG_LEVEL (debug|info|warn|error|off) when set.
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Case-insensitive name -> level; returns false on unknown names.
+  static bool parse_level(std::string_view name, LogLevel& out) noexcept;
+  static const char* level_name(LogLevel level) noexcept;
+
+  /// Messages actually written (after filtering) since process start.
+  static std::uint64_t messages_emitted() noexcept;
+
+  /// printf-style sink; prefer the MDM_LOG_* macros.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  static void
+  log(LogLevel level, const char* fmt, ...) noexcept;
+};
+
+#define MDM_LOG_AT(lvl, ...)                        \
+  do {                                              \
+    if (::mdm::obs::Logger::level() <= (lvl))       \
+      ::mdm::obs::Logger::log((lvl), __VA_ARGS__);  \
+  } while (0)
+
+#define MDM_LOG_DEBUG(...) MDM_LOG_AT(::mdm::obs::LogLevel::kDebug, __VA_ARGS__)
+#define MDM_LOG_INFO(...) MDM_LOG_AT(::mdm::obs::LogLevel::kInfo, __VA_ARGS__)
+#define MDM_LOG_WARN(...) MDM_LOG_AT(::mdm::obs::LogLevel::kWarn, __VA_ARGS__)
+#define MDM_LOG_ERROR(...) MDM_LOG_AT(::mdm::obs::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mdm::obs

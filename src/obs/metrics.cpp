@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mdm::obs {
+namespace {
+
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << ' ';
+    else
+      os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+int Histogram::bucket_of(double v) noexcept {
+  if (!(v > kMinValue)) return 0;
+  const int b =
+      static_cast<int>(std::log2(v / kMinValue) * kBucketsPerOctave);
+  return b < 0 ? 0 : (b >= kBuckets ? kBuckets - 1 : b);
+}
+
+double Histogram::bucket_mid(int b) noexcept {
+  // Geometric midpoint of bucket b's bounds.
+  return kMinValue *
+         std::exp2((static_cast<double>(b) + 0.5) / kBucketsPerOctave);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!(v >= 0.0)) return;  // ignore negative / NaN
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  if (n == 0) {
+    // First sample seeds min/max; racing observers fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum) >= target) {
+      const double v = bucket_mid(b);
+      // Clamp into the exact observed range so p0/p100 stay sane.
+      return v < min() ? min() : (v > max() ? max() : v);
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: worker threads may update instruments during static
+  // destruction (the global ThreadPool outlives most statics).
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << c->value();
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": ";
+    json_number(os, g->value());
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"count\": " << h->count() << ", \"sum\": ";
+    json_number(os, h->sum());
+    os << ", \"min\": ";
+    json_number(os, h->min());
+    os << ", \"max\": ";
+    json_number(os, h->max());
+    os << ", \"mean\": ";
+    json_number(os, h->mean());
+    os << ", \"p50\": ";
+    json_number(os, h->percentile(50.0));
+    os << ", \"p95\": ";
+    json_number(os, h->percentile(95.0));
+    os << '}';
+  }
+  os << "\n  }\n}\n";
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+bool Registry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "kind,name,count,value,min,max,p50,p95\n";
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  };
+  for (const auto& [name, c] : counters_)
+    os << "counter," << name << ",," << c->value() << ",,,,\n";
+  for (const auto& [name, g] : gauges_)
+    os << "gauge," << name << ",," << num(g->value()) << ",,,,\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << ',' << h->count() << ',' << num(h->sum());
+    os << ',' << num(h->min());
+    os << ',' << num(h->max());
+    os << ',' << num(h->percentile(50.0));
+    os << ',' << num(h->percentile(95.0)) << '\n';
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace mdm::obs

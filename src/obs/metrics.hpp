@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide metrics registry: monotone counters, gauges and latency
+/// histograms with percentile queries, dumped as JSON or CSV. This is the
+/// quantitative side of the observability layer — the paper's Tables 1/4/5
+/// are exactly this kind of data (operation counts and per-phase seconds),
+/// so every subsystem reports its work here at runtime.
+///
+/// Hot paths hold a reference once and update lock-free:
+///
+///   static auto& pairs = obs::Registry::global().counter("mdgrape2.pair_ops");
+///   pairs.add(stats.pair_operations);
+///
+/// Instruments are never destroyed (the registry leaks on exit by design),
+/// so references stay valid even from detached worker threads.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mdm::obs {
+
+/// Monotonically increasing event count (resettable for tests/benches).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. current cell occupancy, worker count).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free histogram over positive values (latencies, sizes) with
+/// geometric buckets: 8 per octave covering [1e-9, ~1e6), i.e. a relative
+/// resolution of about 4.5% — ample for p50/p95 reporting. min/max/sum are
+/// tracked exactly.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kBuckets = 400;  // 50 octaves from kMinValue
+  static constexpr double kMinValue = 1e-9;
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const auto n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  /// Smallest / largest observed value (0 when empty).
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Approximate percentile, p in [0, 100]; exact at the extremes.
+  double percentile(double p) const noexcept;
+  void reset() noexcept;
+
+ private:
+  static int bucket_of(double v) noexcept;
+  static double bucket_mid(int b) noexcept;
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid once count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Named instrument registry. Lookup takes a mutex (do it once per call
+/// site); the instruments themselves are lock-free.
+class Registry {
+ public:
+  /// The process-wide registry (leaked on exit; see file comment).
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value lookups without creating the instrument; 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  /// nullptr when absent.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, mean, p50, p95}}}
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+  bool write_json_file(const std::string& path) const;
+  /// One row per instrument: kind,name,count,sum/value,min,max,p50,p95.
+  void write_csv(std::ostream& os) const;
+
+  /// Zero every instrument (registrations and references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mdm::obs

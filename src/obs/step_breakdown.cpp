@@ -1,0 +1,105 @@
+#include "obs/step_breakdown.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mdm::obs {
+namespace {
+
+const char* const kPhaseNames[kPhaseCount] = {"real_space", "wavenumber",
+                                              "host", "comm"};
+const char* const kPhaseCounterNames[kPhaseCount] = {
+    "phase.real_space_ns", "phase.wavenumber_ns", "phase.host_ns",
+    "phase.comm_ns"};
+
+Counter& phase_counter(Phase p) noexcept {
+  static Counter* counters[kPhaseCount] = {
+      &Registry::global().counter(kPhaseCounterNames[0]),
+      &Registry::global().counter(kPhaseCounterNames[1]),
+      &Registry::global().counter(kPhaseCounterNames[2]),
+      &Registry::global().counter(kPhaseCounterNames[3]),
+  };
+  return *counters[static_cast<int>(p)];
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) noexcept {
+  return kPhaseNames[static_cast<int>(p)];
+}
+
+void add_phase_ns(Phase p, std::uint64_t ns) noexcept {
+  phase_counter(p).add(ns);
+}
+
+ScopedPhase::ScopedPhase(Phase p) noexcept
+    : phase_(p), start_ns_(Trace::now_ns()) {}
+
+ScopedPhase::~ScopedPhase() {
+  const std::uint64_t end = Trace::now_ns();
+  if (end > start_ns_) phase_counter(phase_).add(end - start_ns_);
+}
+
+void record_step(double wall_ms) noexcept {
+  static Counter& steps = Registry::global().counter("sim.steps");
+  static Histogram& step_ms = Registry::global().histogram("sim.step_ms");
+  steps.add(1);
+  step_ms.observe(wall_ms);
+}
+
+double StepBreakdown::component_sum_ms() const noexcept {
+  double sum = 0.0;
+  for (const double ms : phase_ms) sum += ms;
+  return sum;
+}
+
+double StepBreakdown::coverage() const noexcept {
+  return wall_mean_ms > 0.0 ? component_sum_ms() / wall_mean_ms : 0.0;
+}
+
+StepBreakdown StepBreakdown::collect() {
+  auto& reg = Registry::global();
+  StepBreakdown b;
+  b.steps = reg.counter_value("sim.steps");
+  if (b.steps == 0) return b;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const auto ns = reg.counter_value(kPhaseCounterNames[p]);
+    b.phase_ms[p] =
+        static_cast<double>(ns) * 1e-6 / static_cast<double>(b.steps);
+  }
+  if (const Histogram* h = reg.find_histogram("sim.step_ms")) {
+    b.wall_mean_ms = h->mean();
+    b.wall_p50_ms = h->percentile(50.0);
+    b.wall_p95_ms = h->percentile(95.0);
+    b.wall_max_ms = h->max();
+  }
+  return b;
+}
+
+std::string StepBreakdown::format() const {
+  char line[160];
+  std::string out;
+  out += "Per-step time breakdown (Table-1 style)\n";
+  std::snprintf(line, sizeof line, "  steps measured      %12llu\n",
+                static_cast<unsigned long long>(steps));
+  out += line;
+  const double wall = wall_mean_ms;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const double pct = wall > 0.0 ? 100.0 * phase_ms[p] / wall : 0.0;
+    std::snprintf(line, sizeof line, "  %-18s %12.3f ms/step  (%5.1f%%)\n",
+                  kPhaseNames[p], phase_ms[p], pct);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  %-18s %12.3f ms/step  (%5.1f%%)\n",
+                "component sum", component_sum_ms(), 100.0 * coverage());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  %-18s %12.3f ms/step  (p50 %.3f, p95 %.3f, max %.3f)\n",
+                "wall", wall_mean_ms, wall_p50_ms, wall_p95_ms, wall_max_ms);
+  out += line;
+  return out;
+}
+
+}  // namespace mdm::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file step_breakdown.hpp
+/// Live reproduction of the paper's Table 1: per-step wall time decomposed
+/// into wavenumber-space (WINE-2), real-space (MDGRAPE-2 / Ewald real sum),
+/// host and communication phases. Subsystems attribute their *leaf-level*
+/// work to a phase with a `ScopedPhase` (metrics-only RAII, always compiled
+/// in); the step loop calls `record_step()` once per step; `StepBreakdown::
+/// collect()` then divides the accumulated phase time by the step count.
+///
+/// Attribution rule: only leaf kernels open a ScopedPhase — wrappers that
+/// merely dispatch (e.g. `add_wavenumber_space`) must not, or time would be
+/// counted twice and coverage would exceed 100%.
+
+#include <cstdint>
+#include <string>
+
+namespace mdm::obs {
+
+enum class Phase : int {
+  kRealSpace = 0,   // pairwise kernels: MDGRAPE-2 passes, Ewald real sum
+  kWavenumber = 1,  // DFT/IDFT kernels: WINE-2, software k-space sums
+  kHost = 2,        // integration, bookkeeping, load/store to boards
+  kComm = 3,        // halo exchange, allreduce, board I/O marshalling
+};
+inline constexpr int kPhaseCount = 4;
+
+const char* phase_name(Phase p) noexcept;
+
+/// Add `ns` to the phase accumulator (counter "phase.<name>_ns").
+void add_phase_ns(Phase p, std::uint64_t ns) noexcept;
+
+/// RAII phase attribution for a leaf kernel. Unlike TraceSpan this is
+/// always on — it feeds the Table-1 breakdown, not the trace file.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p) noexcept;
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  std::uint64_t start_ns_;
+};
+
+/// Count one completed simulation step of `wall_ms` milliseconds
+/// (counter "sim.steps", histogram "sim.step_ms").
+void record_step(double wall_ms) noexcept;
+
+/// Snapshot of the decomposition, averaged over recorded steps.
+struct StepBreakdown {
+  std::uint64_t steps = 0;
+  double phase_ms[kPhaseCount] = {};  // mean ms/step per phase
+  double wall_mean_ms = 0.0;
+  double wall_p50_ms = 0.0;
+  double wall_p95_ms = 0.0;
+  double wall_max_ms = 0.0;
+
+  double component_sum_ms() const noexcept;
+  /// component_sum / wall_mean; 1.0 means the phases explain all wall time.
+  double coverage() const noexcept;
+
+  /// Read the current accumulators from Registry::global().
+  static StepBreakdown collect();
+
+  /// Table-1-style text report.
+  std::string format() const;
+};
+
+}  // namespace mdm::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mdm::obs {
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+};
+
+/// Cap per thread (~24 MB worst case) so a runaway loop with tracing left on
+/// cannot exhaust memory; overflow is counted, not silently ignored.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended except during export/clear
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct Recorder {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> dropped{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+
+  Recorder() {
+    const char* env = std::getenv("MDM_TRACE");
+    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+      enabled.store(true, std::memory_order_relaxed);
+  }
+};
+
+/// Leaked on purpose: worker threads (e.g. the global ThreadPool) may still
+/// record during static destruction.
+Recorder& recorder() {
+  static Recorder* r = new Recorder;
+  return *r;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    auto& rec = recorder();
+    auto owned = std::make_unique<ThreadBuffer>();
+    t_buffer = owned.get();
+    std::lock_guard lock(rec.registry_mutex);
+    owned->tid = static_cast<int>(rec.buffers.size()) + 1;
+    rec.buffers.push_back(std::move(owned));
+  }
+  return *t_buffer;
+}
+
+void escape_into(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << ' ';
+    else
+      os << c;
+  }
+}
+
+}  // namespace
+
+bool Trace::enabled() noexcept {
+  return recorder().enabled.load(std::memory_order_relaxed);
+}
+
+void Trace::set_enabled(bool on) noexcept {
+  recorder().enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Trace::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - recorder().epoch)
+          .count());
+}
+
+void Trace::record_complete(const char* name, std::uint64_t start_ns,
+                            std::uint64_t end_ns) {
+  if (!enabled()) return;
+  auto& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    recorder().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back({name, start_ns, end_ns});
+}
+
+std::size_t Trace::event_count() {
+  auto& rec = recorder();
+  std::lock_guard lock(rec.registry_mutex);
+  std::size_t n = 0;
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::size_t Trace::thread_buffer_count() {
+  auto& rec = recorder();
+  std::lock_guard lock(rec.registry_mutex);
+  return rec.buffers.size();
+}
+
+std::uint64_t Trace::dropped_events() {
+  return recorder().dropped.load(std::memory_order_relaxed);
+}
+
+void Trace::clear() {
+  auto& rec = recorder();
+  std::lock_guard lock(rec.registry_mutex);
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  rec.dropped.store(0, std::memory_order_relaxed);
+}
+
+void Trace::write_chrome_json(std::ostream& os) {
+  auto& rec = recorder();
+  std::lock_guard lock(rec.registry_mutex);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    for (const auto& e : buf->events) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"";
+      escape_into(os, e.name);
+      os << "\",\"cat\":\"mdm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buf->tid;
+      // Timestamps/durations in microseconds with ns resolution.
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(e.start_ns) * 1e-3);
+      os << ",\"ts\":" << num;
+      const std::uint64_t dur =
+          e.end_ns >= e.start_ns ? e.end_ns - e.start_ns : 0;
+      std::snprintf(num, sizeof num, "%.3f", static_cast<double>(dur) * 1e-3);
+      os << ",\"dur\":" << num << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::string Trace::chrome_json() {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+bool Trace::write_chrome_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace mdm::obs

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file trace.hpp
+/// Thread-safe scoped-span tracing with a chrome://tracing-compatible JSON
+/// exporter. Spans are recorded into per-thread buffers (one uncontended
+/// mutex each) and merged at export time, so instrumenting the MD step loop
+/// costs two clock reads and one push_back per span while enabled and a
+/// single relaxed atomic load while disabled.
+///
+/// Two gates control the cost:
+///  * compile time — `MDM_ENABLE_TRACING` (CMake option) sets
+///    `MDM_TRACING_ENABLED`; when 0 the `MDM_TRACE_SCOPE` macro expands to
+///    nothing so fine-grained spans vanish from Release hot paths. The
+///    runtime API below always exists, so coarse per-step spans and the
+///    exporters keep working in every build.
+///  * run time — `Trace::set_enabled` (or the MDM_TRACE=1 environment
+///    variable, or `--trace` via `apply_observability_cli`).
+///
+/// Open the exported file in chrome://tracing or https://ui.perfetto.dev.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#ifndef MDM_TRACING_ENABLED
+#define MDM_TRACING_ENABLED 1
+#endif
+
+namespace mdm::obs {
+
+class Trace {
+ public:
+  /// Runtime switch; off by default unless the MDM_TRACE environment
+  /// variable is set to a non-empty value other than "0".
+  static bool enabled() noexcept;
+  static void set_enabled(bool on) noexcept;
+
+  /// Nanoseconds since the recorder's epoch (process start, steady clock).
+  static std::uint64_t now_ns() noexcept;
+
+  /// Record one complete span on the calling thread. `name` must outlive
+  /// the recorder (the macros pass string literals). No-op while disabled.
+  static void record_complete(const char* name, std::uint64_t start_ns,
+                              std::uint64_t end_ns);
+
+  /// Total recorded events across all thread buffers.
+  static std::size_t event_count();
+  /// Number of per-thread buffers ever registered (a disabled-mode span must
+  /// not register one — see the zero-allocation test).
+  static std::size_t thread_buffer_count();
+  /// Events discarded because a thread buffer hit its cap.
+  static std::uint64_t dropped_events();
+  /// Drop all recorded events (buffers stay registered).
+  static void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" phase events,
+  /// timestamps in microseconds).
+  static void write_chrome_json(std::ostream& os);
+  static std::string chrome_json();
+  /// Returns false if the file could not be opened.
+  static bool write_chrome_json_file(const std::string& path);
+};
+
+/// RAII span: records [construction, destruction) under `name` (a string
+/// literal). Near-zero cost when tracing is disabled at runtime.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(name), active_(Trace::enabled()) {
+    if (active_) start_ns_ = Trace::now_ns();
+  }
+  ~TraceSpan() {
+    if (active_) Trace::record_complete(name_, start_ns_, Trace::now_ns());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+#if MDM_TRACING_ENABLED
+#define MDM_TRACE_CONCAT2(a, b) a##b
+#define MDM_TRACE_CONCAT(a, b) MDM_TRACE_CONCAT2(a, b)
+#define MDM_TRACE_SCOPE(name) \
+  ::mdm::obs::TraceSpan MDM_TRACE_CONCAT(mdm_trace_scope_, __LINE__)(name)
+#else
+#define MDM_TRACE_SCOPE(name) static_cast<void>(0)
+#endif
+
+}  // namespace mdm::obs

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/logger.hpp"
+#include "obs/trace.hpp"
+
 namespace mdm {
 
 CommandLine::CommandLine(int argc, const char* const* argv) {
@@ -87,6 +90,19 @@ std::vector<long long> CommandLine::get_int_list(
     pos = comma + 1;
   }
   return out;
+}
+
+void apply_observability_cli(const CommandLine& cli) {
+  if (const auto level = cli.value("log-level")) {
+    obs::LogLevel parsed;
+    if (level && obs::Logger::parse_level(*level, parsed)) {
+      obs::Logger::set_level(parsed);
+    } else {
+      MDM_LOG_WARN("unknown --log-level '%s' (want debug|info|warn|error|off)",
+                   level ? level->c_str() : "");
+    }
+  }
+  if (cli.has("trace")) obs::Trace::set_enabled(cli.get_bool("trace", true));
 }
 
 }  // namespace mdm

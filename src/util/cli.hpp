@@ -46,4 +46,10 @@ class CommandLine {
   std::vector<std::string> positional_;
 };
 
+/// Apply the shared observability switches:
+///   --log-level debug|info|warn|error|off  (obs::Logger threshold)
+///   --trace / --trace=0                    (runtime span recording)
+/// Unrecognized values emit a warning and are ignored.
+void apply_observability_cli(const CommandLine& cli);
+
 }  // namespace mdm

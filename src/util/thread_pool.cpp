@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mdm {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -11,6 +14,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   for (unsigned i = 1; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  obs::Registry::global().gauge("thread_pool.workers").set(threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,14 +38,18 @@ void ThreadPool::run_chunk(const Task& task, unsigned chunk, unsigned nchunks) {
 }
 
 void ThreadPool::worker_loop(unsigned worker_index) {
+  static obs::Counter& idle_ns =
+      obs::Registry::global().counter("thread_pool.idle_ns");
   std::size_t seen_generation = 0;
   for (;;) {
     Task task;
     {
+      const std::uint64_t wait_start = obs::Trace::now_ns();
       std::unique_lock lock(mutex_);
       cv_start_.wait(lock, [&] {
         return stop_ || generation_ != seen_generation;
       });
+      idle_ns.add(obs::Trace::now_ns() - wait_start);
       if (stop_) return;
       seen_generation = generation_;
       task = task_;
@@ -64,7 +72,16 @@ void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  static obs::Counter& tasks =
+      obs::Registry::global().counter("thread_pool.tasks");
+  static obs::Counter& chunks =
+      obs::Registry::global().counter("thread_pool.chunks");
+  static obs::Gauge& fanout =
+      obs::Registry::global().gauge("thread_pool.last_fanout");
   const unsigned nchunks = size();
+  tasks.add(1);
+  chunks.add(nchunks == 1 || n == 1 ? 1 : nchunks);
+  fanout.set(nchunks == 1 || n == 1 ? 1 : nchunks);
   if (nchunks == 1 || n == 1) {
     fn(0, 0, n);
     return;

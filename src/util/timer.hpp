@@ -18,6 +18,9 @@ class Timer {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Milliseconds since construction or last reset().
+  double elapsed_ms() const { return seconds() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -15,6 +15,11 @@ void Pipeline::load_waves(std::vector<WaveSlot> waves) {
   waves_ = std::move(waves);
 }
 
+double Pipeline::quantize_counting(double v, const QFormat& fmt) {
+  if (v > fmt.max_value() || v < fmt.min_value()) ++saturations_;
+  return quantize(v, fmt);
+}
+
 std::uint64_t Pipeline::wave_phase(const WaveSlot& wave,
                                    const WineParticle& particle) const {
   // theta/2pi = (n_x u_x + n_y u_y + n_z u_z) mod 1: two's complement
@@ -40,8 +45,8 @@ std::vector<DftAccumulator> Pipeline::run_dft(
       const std::uint64_t phase = wave_phase(waves_[w], p);
       const double s = trig_->sine(phase);
       const double c = trig_->cosine(phase);
-      const double qs = quantize(p.charge_norm * s, prod);
-      const double qc = quantize(p.charge_norm * c, prod);
+      const double qs = quantize_counting(p.charge_norm * s, prod);
+      const double qc = quantize_counting(p.charge_norm * c, prod);
       // The wide accumulators add the product grid exactly.
       plus += qs + qc;
       minus += qs - qc;
@@ -60,9 +65,9 @@ Vec3 Pipeline::run_idft_particle(const WineParticle& particle) {
     const std::uint64_t phase = wave_phase(wave, particle);
     const double s = trig_->sine(phase);
     const double c = trig_->cosine(phase);
-    const double cs = quantize(wave.c_norm * s, prod);
-    const double sc = quantize(wave.s_norm * c, prod);
-    const double t = quantize(wave.a_norm * (cs - sc), prod);
+    const double cs = quantize_counting(wave.c_norm * s, prod);
+    const double sc = quantize_counting(wave.s_norm * c, prod);
+    const double t = quantize_counting(wave.a_norm * (cs - sc), prod);
     // Integer wave components scale the product exactly.
     f.x += t * wave.n[0];
     f.y += t * wave.n[1];

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "util/fixed_point.hpp"
 #include "util/vec3.hpp"
 #include "wine2/trig_unit.hpp"
 
@@ -66,18 +67,27 @@ class Pipeline {
   Vec3 run_idft_particle(const WineParticle& particle);
 
   std::uint64_t wave_particle_ops() const { return ops_; }
-  void reset_counter() { ops_ = 0; }
+  /// Products that fell outside the Q-format range and were clamped
+  /// (hardware saturation, sec. 3.4.4).
+  std::uint64_t saturation_count() const { return saturations_; }
+  void reset_counter() {
+    ops_ = 0;
+    saturations_ = 0;
+  }
 
   /// theta(n, particle) as a cyclic phase word (exposed for tests).
   std::uint64_t wave_phase(const WaveSlot& wave,
                            const WineParticle& particle) const;
 
  private:
+  double quantize_counting(double v, const QFormat& fmt);
+
   WineFormats formats_;
   const TrigUnit* trig_;
   std::vector<WaveSlot> waves_;
   std::uint64_t phase_mask_;
   std::uint64_t ops_ = 0;
+  std::uint64_t saturations_ = 0;
 };
 
 /// Convert a position/charge to the pipeline's particle format.

@@ -4,6 +4,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
 #include "util/fixed_point.hpp"
 #include "util/units.hpp"
 
@@ -68,6 +71,12 @@ std::uint64_t Chip::wave_particle_ops() const {
   return n;
 }
 
+std::uint64_t Chip::saturation_count() const {
+  std::uint64_t n = 0;
+  for (const auto& p : pipelines_) n += p.saturation_count();
+  return n;
+}
+
 void Chip::reset_counters() {
   for (auto& p : pipelines_) p.reset_counter();
 }
@@ -110,8 +119,6 @@ void Wine2System::load_waves(const KVectorTable& table) {
   }
 
   // Load DFT-mode slots (integer waves only).
-  const QFormat coeff{.int_bits = 2,
-                      .frac_bits = config_.formats.coeff_frac_bits};
   for (std::size_t c = 0; c < n_chips; ++c) {
     std::vector<WaveSlot> slots;
     slots.reserve(chip_input[c].size());
@@ -133,6 +140,8 @@ void Wine2System::set_particles(std::span<const Vec3> positions,
                                 std::span<const double> charges, double box) {
   if (positions.size() != charges.size())
     throw std::invalid_argument("Wine2System: position/charge size mismatch");
+  obs::ScopedPhase host_phase(obs::Phase::kHost);
+  MDM_TRACE_SCOPE("wine2.set_particles");
   const std::size_t boards = static_cast<std::size_t>(config_.clusters) *
                              config_.boards_per_cluster;
   (void)boards;
@@ -154,6 +163,10 @@ StructureFactors Wine2System::run_dft() {
   if (!kvectors_) throw std::logic_error("Wine2System: waves not loaded");
   if (particles_.empty())
     throw std::logic_error("Wine2System: particles not loaded");
+  obs::ScopedPhase wave_phase(obs::Phase::kWavenumber);
+  MDM_TRACE_SCOPE("wine2.dft");
+  const std::uint64_t ops_before = wave_particle_ops();
+  const std::uint64_t sat_before = saturation_count();
 
   std::vector<DftAccumulator> acc;
   acc.reserve(wave_order_.size());
@@ -170,6 +183,11 @@ StructureFactors Wine2System::run_dft() {
     sf.c[m] = 0.5 * (acc[slot].s_plus_c - acc[slot].s_minus_c) *
               charge_scale_;
   }
+  auto& reg = obs::Registry::global();
+  static obs::Counter& dft_ops = reg.counter("wine2.dft_ops");
+  static obs::Counter& saturations = reg.counter("wine2.saturations");
+  dft_ops.add(wave_particle_ops() - ops_before);
+  saturations.add(saturation_count() - sat_before);
   return sf;
 }
 
@@ -180,6 +198,10 @@ void Wine2System::run_idft(const StructureFactors& sf,
     throw std::invalid_argument("Wine2System: force array size mismatch");
   if (sf.s.size() != kvectors_->size())
     throw std::invalid_argument("Wine2System: structure factor mismatch");
+  obs::ScopedPhase wave_phase(obs::Phase::kWavenumber);
+  MDM_TRACE_SCOPE("wine2.idft");
+  const std::uint64_t ops_before = wave_particle_ops();
+  const std::uint64_t sat_before = saturation_count();
 
   // Block-normalize the structure factors and reload the slots in IDFT mode.
   double sc_max = 0.0;
@@ -218,6 +240,12 @@ void Wine2System::run_idft(const StructureFactors& sf,
 
   // Restore DFT-mode slots so a subsequent run_dft works unchanged.
   load_waves(*kvectors_);
+
+  auto& reg = obs::Registry::global();
+  static obs::Counter& idft_ops = reg.counter("wine2.idft_ops");
+  static obs::Counter& saturations = reg.counter("wine2.saturations");
+  idft_ops.add(wave_particle_ops() - ops_before);
+  saturations.add(saturation_count() - sat_before);
 }
 
 double Wine2System::reciprocal_energy(const StructureFactors& sf) const {
@@ -233,6 +261,12 @@ double Wine2System::reciprocal_energy(const StructureFactors& sf) const {
 std::uint64_t Wine2System::wave_particle_ops() const {
   std::uint64_t n = 0;
   for (const auto& chip : chips_) n += chip.wave_particle_ops();
+  return n;
+}
+
+std::uint64_t Wine2System::saturation_count() const {
+  std::uint64_t n = 0;
+  for (const auto& chip : chips_) n += chip.saturation_count();
   return n;
 }
 

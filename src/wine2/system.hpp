@@ -50,6 +50,7 @@ class Chip {
   Vec3 run_idft_particle(const WineParticle& particle);
 
   std::uint64_t wave_particle_ops() const;
+  std::uint64_t saturation_count() const;
   void reset_counters();
 
  private:
@@ -86,6 +87,8 @@ class Wine2System {
   double reciprocal_energy(const StructureFactors& sf) const;
 
   std::uint64_t wave_particle_ops() const;
+  /// Fixed-point saturations across every pipeline in the machine.
+  std::uint64_t saturation_count() const;
   void reset_counters();
 
  private:

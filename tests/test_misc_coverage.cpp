@@ -49,8 +49,18 @@ TEST(Timer, MeasuresElapsedTime) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   const double first = t.seconds();
   EXPECT_GE(first, 0.015);
+  EXPECT_NEAR(t.elapsed_ms(), t.seconds() * 1e3, 1.0);
   t.reset();
   EXPECT_LT(t.seconds(), first);
+}
+
+TEST(Timer, ElapsedMsMatchesSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double ms = t.elapsed_ms();
+  EXPECT_GE(ms, 4.0);
+  t.reset();
+  EXPECT_LT(t.elapsed_ms(), ms);
 }
 
 TEST(Observables, PressureOfStationaryIdealPair) {

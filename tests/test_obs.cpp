@@ -1,0 +1,308 @@
+/// Observability layer: trace spans (nesting, threads, disabled-mode cost),
+/// metrics registry (counter atomicity, histogram percentiles, JSON dump),
+/// the Table-1 step breakdown, the logger and the bench report.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/step_breakdown.hpp"
+#include "obs/trace.hpp"
+
+namespace mdm::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  auto& counter = Registry::global().counter("test.obs.atomicity");
+  counter.reset();
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.value(),
+            std::uint64_t{kThreads} * std::uint64_t{kAddsPerThread});
+}
+
+TEST(Gauge, ConcurrentAddsAreLossless) {
+  auto& gauge = Registry::global().gauge("test.obs.gauge");
+  gauge.reset();
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) gauge.add(1.0);
+    });
+  for (auto& w : workers) w.join();
+  // Integers of this size are exact in double, so the CAS loop must not
+  // lose a single increment.
+  EXPECT_DOUBLE_EQ(gauge.value(), double(kThreads) * kAddsPerThread);
+  gauge.set(-3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.5);
+}
+
+TEST(Histogram, PercentilesOfUniformRamp) {
+  auto& h = Registry::global().histogram("test.obs.ramp");
+  h.reset();
+  for (int i = 1; i <= 1000; ++i) h.observe(double(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Geometric buckets give ~4.5% relative resolution.
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 0.06 * 500.0);
+  EXPECT_NEAR(h.percentile(95.0), 950.0, 0.06 * 950.0);
+  // Exact at the extremes by contract.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsItsOwnPercentile) {
+  auto& h = Registry::global().histogram("test.obs.single");
+  h.reset();
+  h.observe(0.125);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.125);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.125);
+}
+
+TEST(Registry, LookupsWithoutCreation) {
+  auto& reg = Registry::global();
+  EXPECT_EQ(reg.counter_value("test.obs.never_created"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("test.obs.never_created"), 0.0);
+  EXPECT_EQ(reg.find_histogram("test.obs.never_created"), nullptr);
+  reg.counter("test.obs.exists").add(7);
+  EXPECT_EQ(reg.counter_value("test.obs.exists"), 7u);
+  // Same name -> same instrument.
+  EXPECT_EQ(&reg.counter("test.obs.exists"), &reg.counter("test.obs.exists"));
+}
+
+TEST(Registry, JsonDumpContainsAllKinds) {
+  auto& reg = Registry::global();
+  reg.counter("test.obs.json_counter").add(42);
+  reg.gauge("test.obs.json_gauge").set(2.5);
+  reg.histogram("test.obs.json_hist").observe(1.0);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_counter\": 42"), std::string::npos);
+  EXPECT_NE(json.find("test.obs.json_gauge"), std::string::npos);
+  EXPECT_NE(json.find("test.obs.json_hist"), std::string::npos);
+  // Structurally sane: balanced braces/brackets, no trailing comma.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(Trace, NestedSpansAcrossThreads) {
+  Trace::set_enabled(true);
+  Trace::clear();
+  {
+    TraceSpan outer("test.outer");
+    TraceSpan inner("test.inner");
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t)
+    workers.emplace_back([] {
+      TraceSpan outer("test.worker.outer");
+      { TraceSpan inner("test.worker.inner"); }
+    });
+  for (auto& w : workers) w.join();
+  Trace::set_enabled(false);
+
+  EXPECT_EQ(Trace::event_count(), 6u);  // 2 main + 2 per worker
+  EXPECT_GE(Trace::thread_buffer_count(), 3u);
+  const std::string json = Trace::chrome_json();
+  EXPECT_NE(json.find("test.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.inner"), std::string::npos);
+  EXPECT_NE(json.find("test.worker.inner"), std::string::npos);
+  Trace::clear();
+  EXPECT_EQ(Trace::event_count(), 0u);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  Trace::set_enabled(true);
+  Trace::clear();
+  // Known interval: 1000 ns -> 3500 ns is ts=1.000 us, dur=2.500 us.
+  Trace::record_complete("shape.span", 1000, 3500);
+  // A name needing escaping must come out as valid JSON.
+  Trace::record_complete("quote\"back\\slash", 0, 1);
+  Trace::set_enabled(false);
+
+  const std::string json = Trace::chrome_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"shape.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mdm\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  Trace::clear();
+}
+
+TEST(Trace, DisabledSpansRegisterNothing) {
+  Trace::set_enabled(false);
+  const std::size_t buffers_before = Trace::thread_buffer_count();
+  const std::size_t events_before = Trace::event_count();
+  // A fresh thread is the strict check: it has no thread-local buffer yet,
+  // so any allocation/registration by a disabled span would show up here.
+  std::thread worker([] {
+    for (int i = 0; i < 100; ++i) {
+      TraceSpan span("test.disabled");
+      MDM_TRACE_SCOPE("test.disabled.macro");
+    }
+  });
+  worker.join();
+  EXPECT_EQ(Trace::thread_buffer_count(), buffers_before);
+  EXPECT_EQ(Trace::event_count(), events_before);
+}
+
+TEST(Trace, DurationClampsNegativeToZero) {
+  Trace::set_enabled(true);
+  Trace::clear();
+  Trace::record_complete("backwards", 500, 100);
+  Trace::set_enabled(false);
+  const std::string json = Trace::chrome_json();
+  EXPECT_NE(json.find("\"dur\":0.000"), std::string::npos);
+  Trace::clear();
+}
+
+// ---------------------------------------------------------- step breakdown
+
+TEST(StepBreakdown, CollectAveragesPhasesOverSteps) {
+  auto& reg = Registry::global();
+  reg.counter("phase.real_space_ns").reset();
+  reg.counter("phase.wavenumber_ns").reset();
+  reg.counter("phase.host_ns").reset();
+  reg.counter("phase.comm_ns").reset();
+  reg.counter("sim.steps").reset();
+  reg.histogram("sim.step_ms").reset();
+
+  add_phase_ns(Phase::kRealSpace, 3'000'000);   // 3 ms over 3 steps
+  add_phase_ns(Phase::kWavenumber, 1'500'000);  // 1.5 ms
+  add_phase_ns(Phase::kHost, 1'500'000);        // 1.5 ms
+  for (int i = 0; i < 3; ++i) record_step(2.0);
+
+  const auto b = StepBreakdown::collect();
+  EXPECT_EQ(b.steps, 3u);
+  EXPECT_DOUBLE_EQ(b.phase_ms[int(Phase::kRealSpace)], 1.0);
+  EXPECT_DOUBLE_EQ(b.phase_ms[int(Phase::kWavenumber)], 0.5);
+  EXPECT_DOUBLE_EQ(b.phase_ms[int(Phase::kHost)], 0.5);
+  EXPECT_DOUBLE_EQ(b.phase_ms[int(Phase::kComm)], 0.0);
+  EXPECT_DOUBLE_EQ(b.component_sum_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(b.wall_mean_ms, 2.0);
+  EXPECT_NEAR(b.coverage(), 1.0, 1e-12);
+  EXPECT_NEAR(b.wall_p50_ms, 2.0, 0.06 * 2.0);
+
+  const std::string table = b.format();
+  EXPECT_NE(table.find("real_space"), std::string::npos);
+  EXPECT_NE(table.find("wavenumber"), std::string::npos);
+  EXPECT_NE(table.find("host"), std::string::npos);
+  EXPECT_NE(table.find("comm"), std::string::npos);
+}
+
+TEST(StepBreakdown, ScopedPhaseAccumulatesElapsedTime) {
+  auto& comm_ns = Registry::global().counter("phase.comm_ns");
+  comm_ns.reset();
+  {
+    ScopedPhase phase(Phase::kComm);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(comm_ns.value(), 4'000'000u);  // at least ~4 ms in ns
+}
+
+TEST(StepBreakdown, PhaseNames) {
+  EXPECT_STREQ(phase_name(Phase::kRealSpace), "real_space");
+  EXPECT_STREQ(phase_name(Phase::kWavenumber), "wavenumber");
+  EXPECT_STREQ(phase_name(Phase::kHost), "host");
+  EXPECT_STREQ(phase_name(Phase::kComm), "comm");
+}
+
+// ----------------------------------------------------------------- logger
+
+TEST(Logger, ParseAndNameRoundTrip) {
+  const LogLevel levels[] = {LogLevel::kDebug, LogLevel::kInfo,
+                             LogLevel::kWarn, LogLevel::kError,
+                             LogLevel::kOff};
+  for (const LogLevel lvl : levels) {
+    LogLevel parsed = LogLevel::kOff;
+    EXPECT_TRUE(Logger::parse_level(Logger::level_name(lvl), parsed));
+    EXPECT_EQ(parsed, lvl);
+  }
+  LogLevel parsed = LogLevel::kOff;
+  EXPECT_TRUE(Logger::parse_level("WARN", parsed));  // case-insensitive
+  EXPECT_EQ(parsed, LogLevel::kWarn);
+  EXPECT_FALSE(Logger::parse_level("verbose", parsed));
+}
+
+TEST(Logger, FilteringSkipsEmission) {
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  const std::uint64_t before = Logger::messages_emitted();
+  MDM_LOG_DEBUG("dropped %d", 1);
+  MDM_LOG_INFO("dropped %d", 2);
+  MDM_LOG_WARN("dropped %d", 3);
+  EXPECT_EQ(Logger::messages_emitted(), before);
+  MDM_LOG_ERROR("emitted %d", 4);
+  EXPECT_EQ(Logger::messages_emitted(), before + 1);
+  Logger::set_level(saved);
+}
+
+// ----------------------------------------------------------- bench report
+
+TEST(BenchReport, JsonSchema) {
+  BenchReport report("unit_test");
+  report.add("pairs_per_s", 1.5e9, "1/s");
+  report.add("step_ms", 12.5, "ms");
+  EXPECT_EQ(report.size(), 2u);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"pairs_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"1/s\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 12.5"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(BenchReport, WriteCreatesNamedFile) {
+  BenchReport report("obs_selftest");
+  report.add("metric", 1.0, "count");
+  ASSERT_TRUE(report.write("."));
+  std::ifstream in("BENCH_obs_selftest.json");
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, report.json());
+}
+
+}  // namespace
+}  // namespace mdm::obs
