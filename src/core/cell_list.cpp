@@ -37,21 +37,23 @@ int CellList::cell_of(const Vec3& r) const {
 void CellList::build(std::span<const Vec3> positions) {
   MDM_TRACE_SCOPE("cell_list.build");
   const std::size_t n = positions.size();
-  std::vector<std::uint32_t> cell_of_particle(n);
-  std::vector<std::uint32_t> counts(ranges_.size(), 0);
+  // Scratch buffers are members reused across rebuilds: the integrator loop
+  // rebuilds every step and steady-state rebuilds must not allocate.
+  build_cell_of_.resize(n);
+  build_counts_.assign(ranges_.size(), 0);
   for (std::size_t i = 0; i < n; ++i) {
     const int c = cell_of(positions[i]);
-    cell_of_particle[i] = static_cast<std::uint32_t>(c);
-    ++counts[c];
+    build_cell_of_[i] = static_cast<std::uint32_t>(c);
+    ++build_counts_[c];
   }
   // Prefix sums -> per-cell ranges.
   std::uint32_t offset = 0;
   std::uint32_t max_count = 0;
   for (std::size_t c = 0; c < ranges_.size(); ++c) {
     ranges_[c].begin = offset;
-    offset += counts[c];
+    offset += build_counts_[c];
     ranges_[c].end = offset;
-    max_count = std::max(max_count, counts[c]);
+    max_count = std::max(max_count, build_counts_[c]);
   }
   {
     auto& reg = obs::Registry::global();
@@ -63,12 +65,12 @@ void CellList::build(std::span<const Vec3> positions) {
     max_occ.set(max_count);
   }
   // Stable counting sort of particle ids by cell.
-  order_.assign(n, 0);
-  std::vector<std::uint32_t> cursor(ranges_.size());
+  order_.resize(n);
+  build_cursor_.resize(ranges_.size());
   for (std::size_t c = 0; c < ranges_.size(); ++c)
-    cursor[c] = ranges_[c].begin;
+    build_cursor_[c] = ranges_[c].begin;
   for (std::size_t i = 0; i < n; ++i)
-    order_[cursor[cell_of_particle[i]]++] = static_cast<std::uint32_t>(i);
+    order_[build_cursor_[build_cell_of_[i]]++] = static_cast<std::uint32_t>(i);
 }
 
 std::span<const std::uint32_t> CellList::cell_particles(int c) const {
@@ -87,62 +89,6 @@ std::array<int, 27> CellList::neighbors27(int c) const {
       for (int dx = -1; dx <= 1; ++dx)
         out[k++] = cell_index(ix + dx, iy + dy, iz + dz);
   return out;
-}
-
-void CellList::for_each_pair_within(
-    std::span<const Vec3> positions, double cutoff,
-    const std::function<void(std::uint32_t, std::uint32_t, const Vec3&,
-                             double)>& fn) const {
-  const double cutoff2 = cutoff * cutoff;
-  const std::size_t n = positions.size();
-
-  if (!stencil_unique() || cell_side() < cutoff) {
-    // Grid unusable for the half stencil: plain O(N^2) minimum-image loop.
-    for (std::uint32_t i = 0; i < n; ++i) {
-      for (std::uint32_t j = i + 1; j < n; ++j) {
-        const Vec3 d = minimum_image(positions[i], positions[j], box_);
-        const double r2 = norm2(d);
-        if (r2 < cutoff2) fn(i, j, d, r2);
-      }
-    }
-    return;
-  }
-
-  // Half stencil: 13 of the 26 neighbour offsets, chosen so each unordered
-  // cell pair is visited once.
-  static constexpr int kHalf[13][3] = {
-      {1, 0, 0},  {1, 1, 0},   {0, 1, 0},  {-1, 1, 0}, {1, 0, 1},
-      {1, 1, 1},  {0, 1, 1},   {-1, 1, 1}, {1, -1, 1}, {0, -1, 1},
-      {-1, -1, 1}, {0, 0, 1},  {-1, 0, 1}};
-
-  for (int c = 0; c < cell_count(); ++c) {
-    const auto own = cell_particles(c);
-    // Pairs within the cell.
-    for (std::size_t a = 0; a < own.size(); ++a) {
-      for (std::size_t b = a + 1; b < own.size(); ++b) {
-        const std::uint32_t i = own[a];
-        const std::uint32_t j = own[b];
-        const Vec3 d = minimum_image(positions[i], positions[j], box_);
-        const double r2 = norm2(d);
-        if (r2 < cutoff2) fn(i, j, d, r2);
-      }
-    }
-    // Pairs with the 13 forward neighbour cells.
-    const int ix = c % m_;
-    const int iy = (c / m_) % m_;
-    const int iz = c / (m_ * m_);
-    for (const auto& off : kHalf) {
-      const int nc = cell_index(ix + off[0], iy + off[1], iz + off[2]);
-      const auto other = cell_particles(nc);
-      for (const std::uint32_t i : own) {
-        for (const std::uint32_t j : other) {
-          const Vec3 d = minimum_image(positions[i], positions[j], box_);
-          const double r2 = norm2(d);
-          if (r2 < cutoff2) fn(i, j, d, r2);
-        }
-      }
-    }
-  }
 }
 
 }  // namespace mdm

@@ -9,19 +9,88 @@
 ///
 /// The same structure also backs the fast software force loops, where a
 /// half stencil restores Newton's third law (which the hardware forgoes).
+///
+/// Pair iteration comes in two forms:
+///  * `for_each_pair_within(positions, cutoff, fn)` — serial, templated on
+///    the visitor so the pair kernel inlines into the traversal (no
+///    std::function indirection on the hottest loop in the repo);
+///  * `parallel_for_each_pair(pool, scratch, positions, cutoff, forces,
+///    kernel)` — the same traversal partitioned over a fixed set of cell
+///    chunks executed on a ThreadPool, with per-chunk force scratch buffers
+///    reduced in chunk order. The chunk partition depends only on the grid
+///    (never on the pool size), so forces and tallies are bit-identical for
+///    ANY pool size, including the inline serial path (pool == nullptr).
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "util/thread_pool.hpp"
 #include "util/vec3.hpp"
 
 namespace mdm {
 
+/// Per-chunk scalar sums of a pair sweep, reduced in fixed chunk order.
+struct PairTally {
+  double potential = 0.0;
+  double virial = 0.0;
+  std::uint64_t pairs = 0;
+
+  PairTally& operator+=(const PairTally& o) {
+    potential += o.potential;
+    virial += o.virial;
+    pairs += o.pairs;
+    return *this;
+  }
+};
+
+/// Reusable scratch arena for `CellList::parallel_for_each_pair`: one force
+/// buffer + tally per logical chunk, sized once and reused across steps (the
+/// steady-state step loop performs no allocations). Buffers are kept
+/// all-zero outside each chunk's dirty slot range, so only the touched
+/// ranges are reduced and re-zeroed after every sweep.
+class PairScratch {
+ public:
+  /// Ensure capacity for `chunks` buffers of `slots` entries each. Only
+  /// grows (or first-time sizes) storage; steady-state calls are no-ops.
+  void ensure(int chunks, std::size_t slots) {
+    if (chunks == chunks_ && slots == slots_) return;
+    chunks_ = chunks;
+    slots_ = slots;
+    forces_.assign(static_cast<std::size_t>(chunks) * slots, Vec3{});
+    dirty_.assign(static_cast<std::size_t>(chunks), {0, 0});
+    tally_.assign(static_cast<std::size_t>(chunks), PairTally{});
+  }
+
+  int chunks() const { return chunks_; }
+  std::size_t slots() const { return slots_; }
+
+ private:
+  friend class CellList;
+
+  std::span<Vec3> chunk_forces(int c) {
+    return {forces_.data() + static_cast<std::size_t>(c) * slots_, slots_};
+  }
+
+  int chunks_ = 0;
+  std::size_t slots_ = 0;
+  std::vector<Vec3> forces_;  ///< [chunk * slots + slot], zero outside dirty
+  /// Half-open slot range each chunk wrote this sweep.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dirty_;
+  std::vector<PairTally> tally_;
+};
+
 class CellList {
  public:
+  /// Logical chunk count of the parallel pair sweep. Fixed (independent of
+  /// the pool size) so the chunk-ordered reduction gives bit-identical
+  /// results at any thread count; small enough that the scratch arena stays
+  /// a few hundred bytes per particle.
+  static constexpr int kPairChunks = 16;
+
   /// Range [begin, end) into order() listing one cell's particles.
   struct Range {
     std::uint32_t begin = 0;
@@ -36,6 +105,8 @@ class CellList {
 
   /// Bin the given positions. Positions may be slightly outside the box;
   /// they are wrapped when binned. Must be called before any query.
+  /// Internal buffers are reused across rebuilds (the integrator loop
+  /// rebuilds every step), so steady-state rebuilds allocate nothing.
   void build(std::span<const Vec3> positions);
 
   int cells_per_side() const { return m_; }
@@ -69,17 +140,199 @@ class CellList {
   /// Visit every unordered pair (i, j) with minimum-image distance below
   /// `cutoff` exactly once: fn(i, j, delta, r2) where delta = ri - rj
   /// (minimum image) and r2 = |delta|^2. Falls back to the O(N^2) double
-  /// loop when the grid is too small for the half stencil.
-  void for_each_pair_within(
-      std::span<const Vec3> positions, double cutoff,
-      const std::function<void(std::uint32_t, std::uint32_t, const Vec3&,
-                               double)>& fn) const;
+  /// loop when the grid is too small for the half stencil. Templated on the
+  /// visitor so the pair kernel inlines into the traversal.
+  template <typename Fn>
+  void for_each_pair_within(std::span<const Vec3> positions, double cutoff,
+                            Fn&& fn) const {
+    const double cutoff2 = cutoff * cutoff;
+    if (use_n2_fallback(cutoff)) {
+      visit_n2_range(positions, cutoff2, 0, positions.size(),
+                     [&fn](std::uint32_t i, std::uint32_t j, std::uint32_t,
+                           std::uint32_t, const Vec3& d, double r2) {
+                       fn(i, j, d, r2);
+                     });
+      return;
+    }
+    visit_cell_range(positions, cutoff2, 0, cell_count(),
+                     [&fn](std::uint32_t i, std::uint32_t j, std::uint32_t,
+                           std::uint32_t, const Vec3& d, double r2) {
+                       fn(i, j, d, r2);
+                     });
+  }
+
+  /// Parallel half-stencil pair sweep. The kernel sees each in-range pair
+  /// exactly once:
+  ///
+  ///   kernel(i, j, delta, r2, f, tally)
+  ///
+  /// and must write the pair force on i into `f` (the engine adds f to i
+  /// and -f to j, Newton's third law) and may add scalars to `tally`
+  /// (potential/virial; `tally.pairs` is counted by the engine). Forces are
+  /// accumulated into per-chunk scratch buffers and reduced into `forces`
+  /// (indexed like `positions`) in fixed chunk order; the chunk partition is
+  /// a pure function of the grid, so the result is bit-identical for any
+  /// pool size. `pool == nullptr` runs the identical chunked computation
+  /// inline. Returns the chunk-order-reduced tally.
+  template <typename Kernel>
+  PairTally parallel_for_each_pair(ThreadPool* pool, PairScratch& scratch,
+                                   std::span<const Vec3> positions,
+                                   double cutoff, std::span<Vec3> forces,
+                                   Kernel&& kernel) const {
+    const double cutoff2 = cutoff * cutoff;
+    const std::size_t n = positions.size();
+    const bool n2 = use_n2_fallback(cutoff);
+    const std::size_t units = n2 ? n : static_cast<std::size_t>(cell_count());
+    const int chunks =
+        static_cast<int>(std::min<std::size_t>(kPairChunks, units ? units : 1));
+    scratch.ensure(chunks, n);
+
+    auto run_chunk = [&](std::size_t k) {
+      auto buf = scratch.chunk_forces(static_cast<int>(k));
+      // Track the touched slot range so reduction and re-zeroing only walk
+      // slots this chunk wrote.
+      std::uint32_t lo = static_cast<std::uint32_t>(n);
+      std::uint32_t hi = 0;
+      PairTally tally;
+      auto sink = [&](std::uint32_t i, std::uint32_t j, std::uint32_t slot_i,
+                      std::uint32_t slot_j, const Vec3& d, double r2) {
+        Vec3 f{};
+        kernel(i, j, d, r2, f, tally);
+        buf[slot_i] += f;
+        buf[slot_j] -= f;
+        lo = std::min({lo, slot_i, slot_j});
+        hi = std::max({hi, slot_i + 1, slot_j + 1});
+        ++tally.pairs;
+      };
+      if (n2) {
+        const std::size_t begin = k * n / chunks;
+        const std::size_t end = (k + 1) * n / chunks;
+        visit_n2_range(positions, cutoff2, begin, end, sink);
+      } else {
+        const int c_begin = static_cast<int>(k * units / chunks);
+        const int c_end = static_cast<int>((k + 1) * units / chunks);
+        visit_cell_range(positions, cutoff2, c_begin, c_end, sink);
+      }
+      scratch.dirty_[k] = {lo, lo < hi ? hi : lo};
+      scratch.tally_[k] = tally;
+    };
+
+    if (pool && pool->size() > 1) {
+      pool_for(
+          *pool, static_cast<std::size_t>(chunks),
+          [&](unsigned, std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) run_chunk(k);
+          },
+          /*min_parallel=*/0);
+    } else {
+      for (std::size_t k = 0; k < static_cast<std::size_t>(chunks); ++k)
+        run_chunk(k);
+    }
+
+    // Chunk-ordered reduction; buffers are re-zeroed for the next sweep.
+    PairTally total;
+    for (int k = 0; k < chunks; ++k) {
+      auto buf = scratch.chunk_forces(k);
+      const auto [lo, hi] = scratch.dirty_[k];
+      if (n2) {
+        for (std::uint32_t s = lo; s < hi; ++s) {
+          forces[s] += buf[s];
+          buf[s] = Vec3{};
+        }
+      } else {
+        for (std::uint32_t s = lo; s < hi; ++s) {
+          forces[order_[s]] += buf[s];
+          buf[s] = Vec3{};
+        }
+      }
+      total += scratch.tally_[k];
+    }
+    return total;
+  }
 
  private:
+  /// Grid unusable for the half stencil: plain O(N^2) minimum-image loop.
+  bool use_n2_fallback(double cutoff) const {
+    return !stencil_unique() || cell_side() < cutoff;
+  }
+
+  /// O(N^2) fallback over i in [i_begin, i_end), j > i. The sink receives
+  /// (i, j, slot_i, slot_j, delta, r2); slots equal particle ids here.
+  template <typename Sink>
+  void visit_n2_range(std::span<const Vec3> positions, double cutoff2,
+                      std::size_t i_begin, std::size_t i_end,
+                      Sink&& sink) const {
+    const std::size_t n = positions.size();
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const Vec3 d = minimum_image(positions[i], positions[j], box_);
+        const double r2 = norm2(d);
+        if (r2 < cutoff2)
+          sink(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+               static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+               d, r2);
+      }
+    }
+  }
+
+  /// Half-stencil traversal of cells [c_begin, c_end). The sink receives
+  /// (i, j, slot_i, slot_j, delta, r2) where slots index order().
+  template <typename Sink>
+  void visit_cell_range(std::span<const Vec3> positions, double cutoff2,
+                        int c_begin, int c_end, Sink&& sink) const {
+    // Half stencil: 13 of the 26 neighbour offsets, chosen so each unordered
+    // cell pair is visited once.
+    static constexpr int kHalf[13][3] = {
+        {1, 0, 0},  {1, 1, 0},   {0, 1, 0},  {-1, 1, 0}, {1, 0, 1},
+        {1, 1, 1},  {0, 1, 1},   {-1, 1, 1}, {1, -1, 1}, {0, -1, 1},
+        {-1, -1, 1}, {0, 0, 1},  {-1, 0, 1}};
+
+    for (int c = c_begin; c < c_end; ++c) {
+      const Range own_range = ranges_[c];
+      const auto own = cell_particles(c);
+      // Pairs within the cell.
+      for (std::size_t a = 0; a < own.size(); ++a) {
+        for (std::size_t b = a + 1; b < own.size(); ++b) {
+          const std::uint32_t i = own[a];
+          const std::uint32_t j = own[b];
+          const Vec3 d = minimum_image(positions[i], positions[j], box_);
+          const double r2 = norm2(d);
+          if (r2 < cutoff2)
+            sink(i, j, own_range.begin + static_cast<std::uint32_t>(a),
+                 own_range.begin + static_cast<std::uint32_t>(b), d, r2);
+        }
+      }
+      // Pairs with the 13 forward neighbour cells.
+      const int ix = c % m_;
+      const int iy = (c / m_) % m_;
+      const int iz = c / (m_ * m_);
+      for (const auto& off : kHalf) {
+        const int nc = cell_index(ix + off[0], iy + off[1], iz + off[2]);
+        const Range other_range = ranges_[nc];
+        const auto other = cell_particles(nc);
+        for (std::size_t a = 0; a < own.size(); ++a) {
+          const std::uint32_t i = own[a];
+          for (std::size_t b = 0; b < other.size(); ++b) {
+            const std::uint32_t j = other[b];
+            const Vec3 d = minimum_image(positions[i], positions[j], box_);
+            const double r2 = norm2(d);
+            if (r2 < cutoff2)
+              sink(i, j, own_range.begin + static_cast<std::uint32_t>(a),
+                   other_range.begin + static_cast<std::uint32_t>(b), d, r2);
+          }
+        }
+      }
+    }
+  }
+
   double box_;
   int m_;
   std::vector<std::uint32_t> order_;
   std::vector<Range> ranges_;
+  /// build() scratch, reused across rebuilds.
+  std::vector<std::uint32_t> build_cell_of_;
+  std::vector<std::uint32_t> build_counts_;
+  std::vector<std::uint32_t> build_cursor_;
 };
 
 }  // namespace mdm

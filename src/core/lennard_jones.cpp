@@ -58,21 +58,23 @@ ForceResult LennardJones::add_forces(const ParticleSystem& system,
   const auto positions = system.positions();
   const auto types = system.types();
 
-  CellList cells(system.box(), r_cut_);
-  cells.build(positions);
+  if (!cells_ || cells_->box() != system.box())
+    cells_.emplace(system.box(), r_cut_);
+  cells_->build(positions);
 
-  ForceResult result;
-  cells.for_each_pair_within(
-      positions, r_cut_,
-      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+  const PairTally tally = cells_->parallel_for_each_pair(
+      pool_, scratch_, positions, r_cut_, forces,
+      [this, types](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2,
+                    Vec3& f, PairTally& t) {
         const double r = std::sqrt(r2);
         const double s = params_.pair_force_over_r(types[i], types[j], r);
-        const Vec3 f = s * d;
-        forces[i] += f;
-        forces[j] -= f;
-        result.potential += params_.pair_energy(types[i], types[j], r);
-        result.virial += s * r2;
+        f = s * d;
+        t.potential += params_.pair_energy(types[i], types[j], r);
+        t.virial += s * r2;
       });
+  ForceResult result;
+  result.potential = tally.potential;
+  result.virial = tally.virial;
   return result;
 }
 

@@ -12,8 +12,11 @@
 /// double-precision reference for that hardware path.
 
 #include <array>
+#include <optional>
 
+#include "core/cell_list.hpp"
 #include "core/force_field.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdm {
 
@@ -48,9 +51,17 @@ class LennardJones final : public ForceField {
   double r_cut() const { return r_cut_; }
   const LennardJonesParameters& parameters() const { return params_; }
 
+  /// Run the pair sweep on a thread pool (nullptr = serial); forces are
+  /// bit-identical to serial at any pool size.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   LennardJonesParameters params_;
   double r_cut_;
+  ThreadPool* pool_ = nullptr;
+  /// Persistent cell list + force scratch, reused across steps.
+  std::optional<CellList> cells_;
+  PairScratch scratch_;
 };
 
 }  // namespace mdm

@@ -70,28 +70,28 @@ ForceResult TosiFumiShortRange::add_forces(const ParticleSystem& system,
   const auto positions = system.positions();
   const auto types = system.types();
 
-  CellList cells(system.box(), r_cut_);
-  cells.build(positions);
+  if (!cells_ || cells_->box() != system.box())
+    cells_.emplace(system.box(), r_cut_);
+  cells_->build(positions);
 
-  ForceResult result;
-  std::uint64_t pairs = 0;
-  cells.for_each_pair_within(
-      positions, r_cut_,
-      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
-        ++pairs;
+  const PairTally tally = cells_->parallel_for_each_pair(
+      pool_, scratch_, positions, r_cut_, forces,
+      [this, types](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2,
+                    Vec3& f, PairTally& t) {
         const double r = std::sqrt(r2);
         const int ti = types[i];
         const int tj = types[j];
         const double s = params_.pair_force_over_r(ti, tj, r);
-        const Vec3 f = s * d;  // force on i; Newton's third law for j
-        forces[i] += f;
-        forces[j] -= f;
-        result.potential += params_.pair_energy(ti, tj, r) - shift_[ti][tj];
-        result.virial += s * r2;
+        f = s * d;  // force on i; Newton's third law applied by the engine
+        t.potential += params_.pair_energy(ti, tj, r) - shift_[ti][tj];
+        t.virial += s * r2;
       });
   static obs::Counter& pair_counter =
       obs::Registry::global().counter("core.short_range_pairs");
-  pair_counter.add(pairs);
+  pair_counter.add(tally.pairs);
+  ForceResult result;
+  result.potential = tally.potential;
+  result.virial = tally.virial;
   return result;
 }
 

@@ -15,8 +15,11 @@
 /// as the reference for those passes.
 
 #include <array>
+#include <optional>
 
+#include "core/cell_list.hpp"
 #include "core/force_field.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdm {
 
@@ -66,10 +69,20 @@ class TosiFumiShortRange final : public ForceField {
   bool shift_energy() const { return shift_energy_; }
   const TosiFumiParameters& parameters() const { return params_; }
 
+  /// Run the pair sweep on a thread pool (nullptr = serial). Forces are
+  /// bit-identical to the serial sweep at any pool size (fixed-chunk
+  /// reduction, see CellList::parallel_for_each_pair).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   TosiFumiParameters params_;
   double r_cut_;
   bool shift_energy_;
+  ThreadPool* pool_ = nullptr;
+  /// Persistent cell list + force scratch, reused across steps (rebuilt if
+  /// the system's box changes). Steady-state steps allocate nothing.
+  std::optional<CellList> cells_;
+  PairScratch scratch_;
   /// phi_sr(r_cut) per type pair, subtracted when shift_energy_ is set.
   std::array<std::array<double, TosiFumiParameters::kMaxSpecies>,
              TosiFumiParameters::kMaxSpecies>

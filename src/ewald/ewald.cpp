@@ -4,7 +4,6 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "core/cell_list.hpp"
 #include "ewald/flops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/step_breakdown.hpp"
@@ -17,104 +16,63 @@ namespace {
 constexpr double kPi = std::numbers::pi;
 const double kTwoOverSqrtPi = 2.0 / std::sqrt(kPi);
 
-/// Per-axis complex phase tables e^{i 2 pi n u / L} for n = 0..n_max,
-/// built by recurrence (the "addition formula" of sec. 2.3).
-struct PhaseTable {
-  std::vector<double> cos_t;  ///< [axis * (n_max+1) + n]
-  std::vector<double> sin_t;
-  int stride = 0;
-
-  void build(const Vec3& r, double box, int n_max) {
-    stride = n_max + 1;
-    cos_t.resize(3 * stride);
-    sin_t.resize(3 * stride);
-    const double u[3] = {r.x, r.y, r.z};
-    for (int axis = 0; axis < 3; ++axis) {
-      const double theta = 2.0 * kPi * u[axis] / box;
-      const double c1 = std::cos(theta);
-      const double s1 = std::sin(theta);
-      double c = 1.0;
-      double s = 0.0;
-      for (int n = 0; n <= n_max; ++n) {
-        cos_t[axis * stride + n] = c;
-        sin_t[axis * stride + n] = s;
-        const double cn = c * c1 - s * s1;
-        s = c * s1 + s * c1;
-        c = cn;
-      }
-    }
-  }
-
-  /// cos/sin of 2 pi (nx x + ny y + nz z) / L for possibly negative n.
-  void phase(int nx, int ny, int nz, double& c, double& s) const {
-    auto axis_cs = [this](int axis, int n, double& ca, double& sa) {
-      const int a = std::abs(n);
-      ca = cos_t[axis * stride + a];
-      sa = n >= 0 ? sin_t[axis * stride + a] : -sin_t[axis * stride + a];
-    };
-    double cx, sx, cy, sy, cz, sz;
-    axis_cs(0, nx, cx, sx);
-    axis_cs(1, ny, cy, sy);
-    axis_cs(2, nz, cz, sz);
-    const double cxy = cx * cy - sx * sy;
-    const double sxy = sx * cy + cx * sy;
-    c = cxy * cz - sxy * sz;
-    s = sxy * cz + cxy * sz;
-  }
-};
-
-}  // namespace
-
-EwaldCoulomb::EwaldCoulomb(EwaldParameters params, double box)
-    : params_(params),
-      box_(box),
-      beta_(params.alpha / box),
-      kvectors_(box, params.alpha, params.lk_cut) {
+EwaldParameters checked(EwaldParameters params, double box) {
   if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
     throw std::invalid_argument("EwaldCoulomb: bad parameters");
   if (params.r_cut > 0.5 * box + 1e-12)
     throw std::invalid_argument("EwaldCoulomb: r_cut must be <= L/2");
+  return params;
 }
+
+}  // namespace
+
+EwaldCoulomb::EwaldCoulomb(EwaldParameters params, double box)
+    : params_(checked(params, box)),
+      box_(box),
+      beta_(params.alpha / box),
+      kvectors_(box, params.alpha, params.lk_cut),
+      real_cells_(box, params.r_cut) {}
 
 ForceResult EwaldCoulomb::add_real_space(const ParticleSystem& system,
                                          std::span<Vec3> forces) const {
   obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
   MDM_TRACE_SCOPE("ewald.real_space");
   const auto positions = system.positions();
-  CellList cells(box_, params_.r_cut);
-  cells.build(positions);
+  real_cells_.build(positions);
 
-  ForceResult result;
-  std::uint64_t pairs = 0;
-  cells.for_each_pair_within(
-      positions, params_.r_cut,
-      [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
-        ++pairs;
+  const double beta = beta_;
+  const PairTally tally = real_cells_.parallel_for_each_pair(
+      pool_, real_scratch_, positions, params_.r_cut, forces,
+      [&system, beta](std::uint32_t i, std::uint32_t j, const Vec3& d,
+                      double r2, Vec3& f, PairTally& t) {
         const double r = std::sqrt(r2);
         const double qq = units::kCoulomb * system.charge(i) * system.charge(j);
-        const double erfc_term = std::erfc(beta_ * r);
+        const double erfc_term = std::erfc(beta * r);
         const double gauss =
-            kTwoOverSqrtPi * beta_ * r * std::exp(-beta_ * beta_ * r2);
+            kTwoOverSqrtPi * beta * r * std::exp(-beta * beta * r2);
         // F_i = k_e q_i q_j [erfc(br)/r + (2b/sqrt(pi)) r exp(-b^2 r^2)] d/r^3
         const double s = qq * (erfc_term + gauss) / (r2 * r);
-        const Vec3 f = s * d;
-        forces[i] += f;
-        forces[j] -= f;
-        result.potential += qq * erfc_term / r;
-        result.virial += s * r2;
+        f = s * d;
+        t.potential += qq * erfc_term / r;
+        t.virial += s * r2;
       });
   {
     auto& reg = obs::Registry::global();
     static obs::Counter& pair_counter = reg.counter("ewald.real_pairs");
     static obs::Counter& flops = reg.counter("ewald.flops.real");
-    pair_counter.add(pairs);
-    flops.add(static_cast<std::uint64_t>(OperationCounts::kRealPair) * pairs);
+    pair_counter.add(tally.pairs);
+    flops.add(static_cast<std::uint64_t>(OperationCounts::kRealPair) *
+              tally.pairs);
   }
+  ForceResult result;
+  result.potential = tally.potential;
+  result.virial = tally.virial;
   return result;
 }
 
-StructureFactors EwaldCoulomb::structure_factors(
-    std::span<const Vec3> positions, std::span<const double> charges) const {
+void EwaldCoulomb::structure_factors(std::span<const Vec3> positions,
+                                     std::span<const double> charges,
+                                     StructureFactors& out) const {
   obs::ScopedPhase wave_phase(obs::Phase::kWavenumber);
   MDM_TRACE_SCOPE("ewald.kspace.dft");
   const auto& kvecs = kvectors_.vectors();
@@ -126,14 +84,13 @@ StructureFactors EwaldCoulomb::structure_factors(
     flops.add(static_cast<std::uint64_t>(OperationCounts::kDftPerWave) *
               positions.size() * kvecs.size());
   }
-  StructureFactors sf;
-  sf.s.assign(kvecs.size(), 0.0);
-  sf.c.assign(kvecs.size(), 0.0);
+  out.s.assign(kvecs.size(), 0.0);
+  out.c.assign(kvecs.size(), 0.0);
 
-  auto accumulate = [&](std::size_t begin, std::size_t end,
+  auto accumulate = [&](unsigned chunk, std::size_t begin, std::size_t end,
                         std::vector<double>& s_out,
                         std::vector<double>& c_out) {
-    PhaseTable table;
+    detail::PhaseTable& table = phase_tables_[chunk];
     for (std::size_t p = begin; p < end; ++p) {
       table.build(positions[p], box_, kvectors_.n_max());
       const double q = charges[p];
@@ -150,26 +107,37 @@ StructureFactors EwaldCoulomb::structure_factors(
 
   if (pool_ && positions.size() > 1) {
     // Per-chunk partials, reduced in chunk order (deterministic for a
-    // fixed pool size).
-    std::vector<std::vector<double>> s_part(pool_->size()),
-        c_part(pool_->size());
-    pool_->parallel_for(positions.size(), [&](unsigned chunk,
-                                              std::size_t begin,
-                                              std::size_t end) {
-      s_part[chunk].assign(kvecs.size(), 0.0);
-      c_part[chunk].assign(kvecs.size(), 0.0);
-      accumulate(begin, end, s_part[chunk], c_part[chunk]);
-    });
-    for (unsigned chunk = 0; chunk < pool_->size(); ++chunk) {
-      if (s_part[chunk].empty()) continue;
+    // fixed pool size). Partial buffers and phase tables are member scratch
+    // reused across steps; every chunk is zeroed before dispatch because a
+    // short range may run inline and touch chunk 0 only.
+    const unsigned nw = pool_->size();
+    if (s_part_.size() < nw) s_part_.resize(nw);
+    if (c_part_.size() < nw) c_part_.resize(nw);
+    if (phase_tables_.size() < nw) phase_tables_.resize(nw);
+    for (unsigned chunk = 0; chunk < nw; ++chunk) {
+      s_part_[chunk].assign(kvecs.size(), 0.0);
+      c_part_[chunk].assign(kvecs.size(), 0.0);
+    }
+    pool_for(*pool_, positions.size(),
+             [&](unsigned chunk, std::size_t begin, std::size_t end) {
+               accumulate(chunk, begin, end, s_part_[chunk], c_part_[chunk]);
+             });
+    for (unsigned chunk = 0; chunk < nw; ++chunk) {
       for (std::size_t m = 0; m < kvecs.size(); ++m) {
-        sf.s[m] += s_part[chunk][m];
-        sf.c[m] += c_part[chunk][m];
+        out.s[m] += s_part_[chunk][m];
+        out.c[m] += c_part_[chunk][m];
       }
     }
   } else {
-    accumulate(0, positions.size(), sf.s, sf.c);
+    if (phase_tables_.empty()) phase_tables_.resize(1);
+    accumulate(0, 0, positions.size(), out.s, out.c);
   }
+}
+
+StructureFactors EwaldCoulomb::structure_factors(
+    std::span<const Vec3> positions, std::span<const double> charges) const {
+  StructureFactors sf;
+  structure_factors(positions, charges, sf);
   return sf;
 }
 
@@ -193,8 +161,8 @@ ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
   // F_i = (4 k_e q_i / L^4) sum_half a_n n_vec [C_n sin_i - S_n cos_i].
   const double force_pref = 4.0 * units::kCoulomb / (l3 * box_);
 
-  auto idft_range = [&](std::size_t begin, std::size_t end) {
-    PhaseTable table;
+  auto idft_range = [&](unsigned chunk, std::size_t begin, std::size_t end) {
+    detail::PhaseTable& table = phase_tables_[chunk];
     for (std::size_t p = begin; p < end; ++p) {
       table.build(positions[p], box_, kvectors_.n_max());
       Vec3 acc;
@@ -211,12 +179,15 @@ ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
   };
   if (pool_ && positions.size() > 1) {
     // Independent per-particle work: bit-identical to the serial loop.
-    pool_->parallel_for(positions.size(),
-                        [&](unsigned, std::size_t begin, std::size_t end) {
-                          idft_range(begin, end);
-                        });
+    if (phase_tables_.size() < pool_->size())
+      phase_tables_.resize(pool_->size());
+    pool_for(*pool_, positions.size(),
+             [&](unsigned chunk, std::size_t begin, std::size_t end) {
+               idft_range(chunk, begin, end);
+             });
   } else {
-    idft_range(0, positions.size());
+    if (phase_tables_.empty()) phase_tables_.resize(1);
+    idft_range(0, 0, positions.size());
   }
 
   // Reciprocal energy E = (k_e / (pi L^3)) sum_half a_n (C^2 + S^2) and its
@@ -237,11 +208,11 @@ ForceResult EwaldCoulomb::idft_forces(std::span<const Vec3> positions,
 
 ForceResult EwaldCoulomb::add_wavenumber_space(const ParticleSystem& system,
                                                std::span<Vec3> forces) const {
-  std::vector<double> charges(system.size());
+  charges_scratch_.resize(system.size());
   for (std::size_t i = 0; i < system.size(); ++i)
-    charges[i] = system.charge(i);
-  const auto sf = structure_factors(system.positions(), charges);
-  return idft_forces(system.positions(), charges, sf, forces);
+    charges_scratch_[i] = system.charge(i);
+  structure_factors(system.positions(), charges_scratch_, sf_scratch_);
+  return idft_forces(system.positions(), charges_scratch_, sf_scratch_, forces);
 }
 
 double EwaldCoulomb::self_energy(const ParticleSystem& system) const {

@@ -13,9 +13,12 @@
 /// rejects it at N = 1.9e7 for needing > 20 GB).
 
 #include <span>
+#include <vector>
 
+#include "core/cell_list.hpp"
 #include "core/force_field.hpp"
 #include "ewald/kvectors.hpp"
+#include "ewald/phase_table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mdm {
@@ -45,10 +48,11 @@ class EwaldCoulomb final : public ForceField {
   const EwaldParameters& parameters() const { return params_; }
   const KVectorTable& kvectors() const { return kvectors_; }
 
-  /// Run the wavenumber-space loops on a thread pool (nullptr = serial).
-  /// The IDFT is embarrassingly parallel over particles (bit-identical to
-  /// serial); the DFT reduces per-chunk partial structure factors in chunk
-  /// order, so results are deterministic for a fixed pool size.
+  /// Run the force loops on a thread pool (nullptr = serial). The real-space
+  /// pair sweep uses fixed logical chunks (bit-identical to serial at any
+  /// pool size); the IDFT is embarrassingly parallel over particles
+  /// (bit-identical to serial); the DFT reduces per-chunk partial structure
+  /// factors in chunk order, so it is deterministic for a fixed pool size.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Individual pieces, exposed for tests and for validating the hardware
@@ -66,6 +70,13 @@ class EwaldCoulomb final : public ForceField {
   StructureFactors structure_factors(std::span<const Vec3> positions,
                                      std::span<const double> charges) const;
 
+  /// Allocation-free DFT: fills `out` in place (storage is reused across
+  /// steps once sized). The step loop uses this form via
+  /// `add_wavenumber_space`; the returning overload above delegates here.
+  void structure_factors(std::span<const Vec3> positions,
+                         std::span<const double> charges,
+                         StructureFactors& out) const;
+
   /// IDFT step (eq. 11): forces and reciprocal energy from precomputed
   /// structure factors. Exposed so the host module can split DFT/IDFT
   /// between "processes" exactly like the WINE-2 library does.
@@ -80,6 +91,18 @@ class EwaldCoulomb final : public ForceField {
   double beta_;  ///< alpha / L, 1/A
   KVectorTable kvectors_;
   ThreadPool* pool_ = nullptr;
+
+  // Reusable scratch, sized on first use and reused across steps so the
+  // steady-state step loop performs no allocations. Mutable because the
+  // force evaluators are logically const; a single EwaldCoulomb must not be
+  // driven from several threads at once (the pool fan-out happens inside).
+  mutable CellList real_cells_;
+  mutable PairScratch real_scratch_;
+  mutable std::vector<std::vector<double>> s_part_;  ///< per-chunk DFT S_n
+  mutable std::vector<std::vector<double>> c_part_;  ///< per-chunk DFT C_n
+  mutable std::vector<detail::PhaseTable> phase_tables_;  ///< per chunk
+  mutable StructureFactors sf_scratch_;
+  mutable std::vector<double> charges_scratch_;
 };
 
 }  // namespace mdm

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file phase_table.hpp
+/// Per-axis complex phase tables e^{i 2 pi n u / L} for n = 0..n_max, built
+/// by recurrence (the "addition formula" of sec. 2.3). One table is built
+/// per particle and queried once per k-vector; the DFT/IDFT loops keep one
+/// table per worker chunk as reusable scratch so the steady-state step loop
+/// performs no allocations.
+
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace mdm::detail {
+
+struct PhaseTable {
+  std::vector<double> cos_t;  ///< [axis * (n_max+1) + n]
+  std::vector<double> sin_t;
+  int stride = 0;
+
+  /// Rebuild for one particle; reuses storage when n_max is unchanged.
+  void build(const Vec3& r, double box, int n_max) {
+    stride = n_max + 1;
+    cos_t.resize(3 * static_cast<std::size_t>(stride));
+    sin_t.resize(3 * static_cast<std::size_t>(stride));
+    const double u[3] = {r.x, r.y, r.z};
+    for (int axis = 0; axis < 3; ++axis) {
+      const double theta = 2.0 * std::numbers::pi * u[axis] / box;
+      const double c1 = std::cos(theta);
+      const double s1 = std::sin(theta);
+      double c = 1.0;
+      double s = 0.0;
+      for (int n = 0; n <= n_max; ++n) {
+        cos_t[axis * stride + n] = c;
+        sin_t[axis * stride + n] = s;
+        const double cn = c * c1 - s * s1;
+        s = c * s1 + s * c1;
+        c = cn;
+      }
+    }
+  }
+
+  /// cos/sin of 2 pi (nx x + ny y + nz z) / L for possibly negative n.
+  void phase(int nx, int ny, int nz, double& c, double& s) const {
+    auto axis_cs = [this](int axis, int n, double& ca, double& sa) {
+      const int a = std::abs(n);
+      ca = cos_t[axis * stride + a];
+      sa = n >= 0 ? sin_t[axis * stride + a] : -sin_t[axis * stride + a];
+    };
+    double cx, sx, cy, sy, cz, sz;
+    axis_cs(0, nx, cx, sx);
+    axis_cs(1, ny, cy, sy);
+    axis_cs(2, nz, cz, sz);
+    const double cxy = cx * cy - sx * sy;
+    const double sxy = sx * cy + cx * sy;
+    c = cxy * cz - sxy * sz;
+    s = sxy * cz + cxy * sz;
+  }
+};
+
+}  // namespace mdm::detail

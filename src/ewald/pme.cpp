@@ -15,6 +15,20 @@ constexpr double kPi = std::numbers::pi;
 /// Signed alias of a grid frequency index: n in [0,K) -> [-K/2, K/2).
 int signed_index(int n, int k) { return n <= k / 2 ? n : n - k; }
 
+PmeParameters checked(PmeParameters params, double box) {
+  if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
+    throw std::invalid_argument("SmoothPme: bad parameters");
+  if (params.r_cut > 0.5 * box + 1e-12)
+    throw std::invalid_argument("SmoothPme: r_cut must be <= L/2");
+  if (params.order < 3 || params.order > 10)
+    throw std::invalid_argument("SmoothPme: order must be in [3, 10]");
+  if (!is_power_of_two(static_cast<std::size_t>(params.grid)))
+    throw std::invalid_argument("SmoothPme: grid must be a power of two");
+  if (params.grid < 2 * params.order)
+    throw std::invalid_argument("SmoothPme: grid too small for the order");
+  return params;
+}
+
 }  // namespace
 
 double bspline(int p, double x) {
@@ -26,20 +40,11 @@ double bspline(int p, double x) {
 }
 
 SmoothPme::SmoothPme(PmeParameters params, double box)
-    : params_(params),
+    : params_(checked(params, box)),
       box_(box),
       beta_(params.alpha / box),
-      grid_(static_cast<std::size_t>(params.grid)) {
-  if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
-    throw std::invalid_argument("SmoothPme: bad parameters");
-  if (params.r_cut > 0.5 * box + 1e-12)
-    throw std::invalid_argument("SmoothPme: r_cut must be <= L/2");
-  if (params.order < 3 || params.order > 10)
-    throw std::invalid_argument("SmoothPme: order must be in [3, 10]");
-  if (!is_power_of_two(static_cast<std::size_t>(params.grid)))
-    throw std::invalid_argument("SmoothPme: grid must be a power of two");
-  if (params.grid < 2 * params.order)
-    throw std::invalid_argument("SmoothPme: grid too small for the order");
+      grid_(static_cast<std::size_t>(params.grid)),
+      real_cells_(box, params.r_cut) {
   build_influence();
 }
 
@@ -87,13 +92,8 @@ double SmoothPme::add_reciprocal(const ParticleSystem& system,
   const auto positions = system.positions();
   const std::size_t n = system.size();
 
-  // Per-particle spline weights and derivative weights per axis.
-  struct Spread {
-    int base[3];            // floor(u) per axis
-    double w[3][10];        // M_p(t + j), j = 0..p-1 (grid point floor(u)-j)
-    double dw[3][10];       // dM_p/du at the same points
-  };
-  std::vector<Spread> spread(n);
+  spread_.resize(n);
+  auto& spread = spread_;
 
   grid_.clear();
   for (std::size_t i = 0; i < n; ++i) {
@@ -148,7 +148,8 @@ double SmoothPme::add_reciprocal(const ParticleSystem& system,
   // level); the customary fix, applied below, subtracts the mean force.
   const double phi_pref = units::kCoulomb / (kPi * box_);
   const double scale = static_cast<double>(k) / box_;
-  std::vector<Vec3> recip(n, Vec3{});
+  recip_.assign(n, Vec3{});
+  auto& recip = recip_;
   for (std::size_t i = 0; i < n; ++i) {
     const double q = system.charge(i);
     const Spread& s = spread[i];
@@ -184,25 +185,27 @@ ForceResult SmoothPme::add_forces(const ParticleSystem& system,
   // Real-space erfc part (same sum as the exact Ewald solver).
   {
     const auto positions = system.positions();
-    CellList cells(box_, params_.r_cut);
-    cells.build(positions);
+    real_cells_.build(positions);
     const double two_over_sqrt_pi = 2.0 / std::sqrt(kPi);
-    cells.for_each_pair_within(
-        positions, params_.r_cut,
-        [&](std::uint32_t i, std::uint32_t j, const Vec3& d, double r2) {
+    const double beta = beta_;
+    const PairTally tally = real_cells_.parallel_for_each_pair(
+        pool_, real_scratch_, positions, params_.r_cut, forces,
+        [&system, beta, two_over_sqrt_pi](std::uint32_t i, std::uint32_t j,
+                                          const Vec3& d, double r2, Vec3& f,
+                                          PairTally& t) {
           const double r = std::sqrt(r2);
           const double qq =
               units::kCoulomb * system.charge(i) * system.charge(j);
-          const double erfc_term = std::erfc(beta_ * r);
+          const double erfc_term = std::erfc(beta * r);
           const double gauss =
-              two_over_sqrt_pi * beta_ * r * std::exp(-beta_ * beta_ * r2);
+              two_over_sqrt_pi * beta * r * std::exp(-beta * beta * r2);
           const double s = qq * (erfc_term + gauss) / (r2 * r);
-          const Vec3 f = s * d;
-          forces[i] += f;
-          forces[j] -= f;
-          result.potential += qq * erfc_term / r;
-          result.virial += s * r2;
+          f = s * d;
+          t.potential += qq * erfc_term / r;
+          t.virial += s * r2;
         });
+    result.potential = tally.potential;
+    result.virial = tally.virial;
   }
 
   result.potential += add_reciprocal(system, forces);

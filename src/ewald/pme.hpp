@@ -16,8 +16,10 @@
 /// Conventions match ewald.hpp: paper-style dimensionless alpha
 /// (beta = alpha/L), integer wavevectors n, phases 2 pi n.r / L.
 
+#include "core/cell_list.hpp"
 #include "core/force_field.hpp"
 #include "util/fft.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdm {
 
@@ -38,6 +40,11 @@ class SmoothPme final : public ForceField {
 
   const PmeParameters& parameters() const { return params_; }
 
+  /// Run the real-space pair sweep on a thread pool (nullptr = serial);
+  /// forces are bit-identical to serial at any pool size. The mesh part
+  /// stays serial (the FFT dominates and is not parallelised here).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Reciprocal-space piece alone (spread + FFT + convolution + gather);
   /// exposed for the accuracy comparison against the exact Ewald
   /// wavenumber part. Returns the reciprocal energy; the virial is not
@@ -53,11 +60,25 @@ class SmoothPme final : public ForceField {
  private:
   void build_influence();
 
+  /// Per-particle spline weights and derivative weights per axis, kept as
+  /// reusable scratch between the spread and gather passes.
+  struct Spread {
+    int base[3];      ///< floor(u) per axis
+    double w[3][10];  ///< M_p(t + j), j = 0..p-1 (grid point floor(u)-j)
+    double dw[3][10];  ///< dM_p/du at the same points
+  };
+
   PmeParameters params_;
   double box_;
   double beta_;
   Grid3D grid_;
   std::vector<double> influence_;  ///< theta-hat per grid point (n = 0 -> 0)
+  ThreadPool* pool_ = nullptr;
+  // Reusable step scratch (no steady-state allocations).
+  CellList real_cells_;
+  PairScratch real_scratch_;
+  std::vector<Spread> spread_;
+  std::vector<Vec3> recip_;
 };
 
 /// Cardinal B-spline M_p(x) on [0, p] (zero outside); p >= 2.

@@ -68,13 +68,13 @@ ForceResult MdmForceField::add_forces(const ParticleSystem& system,
     mdgrape_.run_force_pass(pass, forces);
 
   // 2. Host -> WINE-2: DFT then IDFT (eqs. 9-11).
-  std::vector<double> charges(system.size());
+  charges_scratch_.resize(system.size());
   {
     obs::ScopedPhase host_phase(obs::Phase::kHost);
     for (std::size_t i = 0; i < system.size(); ++i)
-      charges[i] = system.charge(i);
+      charges_scratch_[i] = system.charge(i);
   }
-  wine_.set_particles(system.positions(), charges, box_);
+  wine_.set_particles(system.positions(), charges_scratch_, box_);
   const auto sf = wine_.run_dft();
   wine_.run_idft(sf, forces);
 
@@ -85,19 +85,19 @@ ForceResult MdmForceField::add_forces(const ParticleSystem& system,
       evaluations_ % config_.potential_interval == 0;
   ++evaluations_;
   if (sample_potential) {
-    std::vector<double> per_particle(system.size(), 0.0);
-    mdgrape_.run_potential_pass(coulomb_potential_pass_, per_particle);
+    per_particle_scratch_.assign(system.size(), 0.0);
+    mdgrape_.run_potential_pass(coulomb_potential_pass_, per_particle_scratch_);
     double real = 0.0;
-    for (const double p : per_particle) real += p;
+    for (const double p : per_particle_scratch_) real += p;
     potential_.real_space = 0.5 * real;  // both-sides double counting
 
     potential_.short_range = 0.0;
     if (config_.include_tosi_fumi) {
-      std::vector<double> sr(system.size(), 0.0);
+      short_range_scratch_.assign(system.size(), 0.0);
       for (const auto& pass : tf_potential_passes_)
-        mdgrape_.run_potential_pass(pass, sr);
+        mdgrape_.run_potential_pass(pass, short_range_scratch_);
       double total = 0.0;
-      for (const double p : sr) total += p;
+      for (const double p : short_range_scratch_) total += p;
       potential_.short_range = 0.5 * total;
     }
   }

@@ -72,6 +72,14 @@ class MdmForceField final : public ForceField {
   };
   const PotentialBreakdown& last_potential() const { return potential_; }
 
+  /// Forward a thread pool (nullptr = serial) to both simulated backends:
+  /// MDGRAPE-2 fans out over boards and WINE-2 over chips/particles, all
+  /// bit-identical to the serial passes at any pool size.
+  void set_thread_pool(ThreadPool* pool) {
+    mdgrape_.set_thread_pool(pool);
+    wine_.set_thread_pool(pool);
+  }
+
  private:
   void build_passes(const ParticleSystem& system);
 
@@ -89,6 +97,11 @@ class MdmForceField final : public ForceField {
 
   std::uint64_t evaluations_ = 0;
   PotentialBreakdown potential_;
+
+  /// Per-step scratch, reused across steps (no steady-state allocations).
+  std::vector<double> charges_scratch_;
+  std::vector<double> per_particle_scratch_;
+  std::vector<double> short_range_scratch_;
 };
 
 }  // namespace mdm::host

@@ -77,30 +77,49 @@ PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
   obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
   MDM_TRACE_SCOPE("mdgrape2.force_pass");
 
-  PassStats stats;
   const std::size_t n = stored_.size();
   const std::size_t nb = boards_.size();
-  std::vector<Vec3> slot_forces(n, Vec3{});
-  for (std::size_t b = 0; b < nb; ++b) {
+  slot_forces_.assign(n, Vec3{});
+  board_pairs_.assign(nb, 0);
+  board_useful_.assign(nb, 0);
+
+  // Each board owns a contiguous i-slice (block partition over cell-sorted
+  // slots) and is fully self-contained, so boards run concurrently and the
+  // result is bit-identical to the serial loop.
+  auto run_board = [&](std::size_t b) {
     Board& board = *boards_[b];
     const std::uint64_t before = board.pair_operations();
     const std::uint64_t useful_before = board.useful_pair_operations();
     board.load_pass(pass);
-    // Contiguous i-slice per board (block partition over cell-sorted slots).
     const std::size_t begin = b * n / nb;
     const std::size_t end = (b + 1) * n / nb;
-    if (begin == end) continue;
+    if (begin == end) return;
     board.calc_cell_forces(
         std::span(stored_).subspan(begin, end - begin),
         std::span(cell_of_slot_).subspan(begin, end - begin), box_,
-        std::span(slot_forces).subspan(begin, end - begin));
-    const std::uint64_t did = board.pair_operations() - before;
-    stats.pair_operations += did;
-    stats.useful_pairs += board.useful_pair_operations() - useful_before;
-    stats.max_board_pairs = std::max(stats.max_board_pairs, did);
+        std::span(slot_forces_).subspan(begin, end - begin));
+    board_pairs_[b] = board.pair_operations() - before;
+    board_useful_[b] = board.useful_pair_operations() - useful_before;
+  };
+  if (pool_ && pool_->size() > 1) {
+    pool_for(
+        *pool_, nb,
+        [&](unsigned, std::size_t begin, std::size_t end) {
+          for (std::size_t b = begin; b < end; ++b) run_board(b);
+        },
+        /*min_parallel=*/0);
+  } else {
+    for (std::size_t b = 0; b < nb; ++b) run_board(b);
+  }
+
+  PassStats stats;
+  for (std::size_t b = 0; b < nb; ++b) {
+    stats.pair_operations += board_pairs_[b];
+    stats.useful_pairs += board_useful_[b];
+    stats.max_board_pairs = std::max(stats.max_board_pairs, board_pairs_[b]);
   }
   for (std::size_t slot = 0; slot < n; ++slot)
-    forces[original_index_[slot]] += slot_forces[slot];
+    forces[original_index_[slot]] += slot_forces_[slot];
   report_pass(stats);
   return stats;
 }
@@ -116,29 +135,46 @@ PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
   obs::ScopedPhase real_phase(obs::Phase::kRealSpace);
   MDM_TRACE_SCOPE("mdgrape2.potential_pass");
 
-  PassStats stats;
   const std::size_t n = stored_.size();
   const std::size_t nb = boards_.size();
-  std::vector<double> slot_pot(n, 0.0);
-  for (std::size_t b = 0; b < nb; ++b) {
+  slot_potentials_.assign(n, 0.0);
+  board_pairs_.assign(nb, 0);
+  board_useful_.assign(nb, 0);
+
+  auto run_board = [&](std::size_t b) {
     Board& board = *boards_[b];
     const std::uint64_t before = board.pair_operations();
     const std::uint64_t useful_before = board.useful_pair_operations();
     board.load_pass(pass);
     const std::size_t begin = b * n / nb;
     const std::size_t end = (b + 1) * n / nb;
-    if (begin == end) continue;
+    if (begin == end) return;
     board.calc_cell_potentials(
         std::span(stored_).subspan(begin, end - begin),
         std::span(cell_of_slot_).subspan(begin, end - begin), box_,
-        std::span(slot_pot).subspan(begin, end - begin));
-    const std::uint64_t did = board.pair_operations() - before;
-    stats.pair_operations += did;
-    stats.useful_pairs += board.useful_pair_operations() - useful_before;
-    stats.max_board_pairs = std::max(stats.max_board_pairs, did);
+        std::span(slot_potentials_).subspan(begin, end - begin));
+    board_pairs_[b] = board.pair_operations() - before;
+    board_useful_[b] = board.useful_pair_operations() - useful_before;
+  };
+  if (pool_ && pool_->size() > 1) {
+    pool_for(
+        *pool_, nb,
+        [&](unsigned, std::size_t begin, std::size_t end) {
+          for (std::size_t b = begin; b < end; ++b) run_board(b);
+        },
+        /*min_parallel=*/0);
+  } else {
+    for (std::size_t b = 0; b < nb; ++b) run_board(b);
+  }
+
+  PassStats stats;
+  for (std::size_t b = 0; b < nb; ++b) {
+    stats.pair_operations += board_pairs_[b];
+    stats.useful_pairs += board_useful_[b];
+    stats.max_board_pairs = std::max(stats.max_board_pairs, board_pairs_[b]);
   }
   for (std::size_t slot = 0; slot < n; ++slot)
-    potentials[original_index_[slot]] += slot_pot[slot];
+    potentials[original_index_[slot]] += slot_potentials_[slot];
   report_pass(stats);
   return stats;
 }

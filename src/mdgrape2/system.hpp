@@ -12,6 +12,7 @@
 
 #include "core/particle_system.hpp"
 #include "mdgrape2/board.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdm::mdgrape2 {
 
@@ -64,6 +65,12 @@ class Mdgrape2System {
   std::uint64_t useful_pair_operations() const;
   void reset_counters();
 
+  /// Run passes with the boards fanned out over a thread pool (nullptr =
+  /// serial). Boards own disjoint contiguous i-slices and are fully
+  /// self-contained, so the parallel pass is bit-identical to the serial
+  /// one at any pool size.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   SystemConfig config_;
   std::vector<std::unique_ptr<Board>> boards_;
@@ -73,6 +80,12 @@ class Mdgrape2System {
   std::vector<StoredParticle> stored_;
   std::vector<std::uint32_t> original_index_;
   std::vector<int> cell_of_slot_;
+  ThreadPool* pool_ = nullptr;
+  /// Per-pass scratch, reused across steps (no steady-state allocations).
+  std::vector<Vec3> slot_forces_;
+  std::vector<double> slot_potentials_;
+  std::vector<std::uint64_t> board_pairs_;
+  std::vector<std::uint64_t> board_useful_;
 };
 
 }  // namespace mdm::mdgrape2

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -34,7 +35,7 @@ void ThreadPool::run_chunk(const Task& task, unsigned chunk, unsigned nchunks) {
   const std::size_t begin =
       chunk * base + std::min<std::size_t>(chunk, rem);
   const std::size_t end = begin + base + (chunk < rem ? 1 : 0);
-  if (begin < end) (*task.fn)(chunk, begin, end);
+  if (begin < end) task.raw(task.ctx, chunk, begin, end);
 }
 
 void ThreadPool::worker_loop(unsigned worker_index) {
@@ -70,7 +71,20 @@ void ThreadPool::worker_loop(unsigned worker_index) {
 
 void ThreadPool::parallel_for(
     std::size_t n,
-    const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
+    const std::function<void(unsigned, std::size_t, std::size_t)>& fn,
+    std::size_t min_parallel) {
+  parallel_for_raw(
+      n,
+      [](void* ctx, unsigned chunk, std::size_t begin, std::size_t end) {
+        (*static_cast<const std::function<void(unsigned, std::size_t,
+                                               std::size_t)>*>(ctx))(
+            chunk, begin, end);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)), min_parallel);
+}
+
+void ThreadPool::parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
+                                  std::size_t min_parallel) {
   if (n == 0) return;
   static obs::Counter& tasks =
       obs::Registry::global().counter("thread_pool.tasks");
@@ -79,15 +93,17 @@ void ThreadPool::parallel_for(
   static obs::Gauge& fanout =
       obs::Registry::global().gauge("thread_pool.last_fanout");
   const unsigned nchunks = size();
+  const bool inline_run = nchunks == 1 || n == 1 || n < min_parallel;
   tasks.add(1);
-  chunks.add(nchunks == 1 || n == 1 ? 1 : nchunks);
-  fanout.set(nchunks == 1 || n == 1 ? 1 : nchunks);
-  if (nchunks == 1 || n == 1) {
-    fn(0, 0, n);
+  chunks.add(inline_run ? 1 : nchunks);
+  fanout.set(inline_run ? 1 : nchunks);
+  if (inline_run) {
+    raw(ctx, 0, 0, n);
     return;
   }
   Task task;
-  task.fn = &fn;
+  task.raw = raw;
+  task.ctx = ctx;
   task.n = n;
   {
     std::lock_guard lock(mutex_);
@@ -118,7 +134,15 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // MDM_THREADS overrides hardware_concurrency for the shared pool (the
+  // per-instance constructor argument is unaffected).
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MDM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
   return pool;
 }
 

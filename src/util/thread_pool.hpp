@@ -8,18 +8,28 @@
 /// Determinism: `parallel_for` assigns chunk c = [bounds) to worker c
 /// statically, so per-chunk partial results can be reduced in chunk order and
 /// a run is bit-reproducible regardless of scheduling.
+///
+/// Tiny ranges run inline on the calling thread (no condition-variable
+/// wakeup): below `min_parallel` items the whole range executes as chunk 0.
+/// Callers whose per-item work is heavy can pass min_parallel = 0 to force
+/// fan-out even for short ranges.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mdm {
 
 class ThreadPool {
  public:
+  /// Ranges shorter than this run inline by default (a pool wakeup costs
+  /// more than scanning a few dozen items, e.g. small k-vector sets).
+  static constexpr std::size_t kDefaultGrain = 32;
+
   /// Create a pool with `threads` workers; 0 means hardware_concurrency.
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -32,18 +42,30 @@ class ThreadPool {
   /// Run fn(chunk_index, begin, end) over [0, n) split into size() contiguous
   /// chunks. Blocks until all chunks finish. The calling thread executes
   /// chunk 0 itself. Exceptions from chunks propagate (first one wins).
+  /// Ranges with n < min_parallel run inline as fn(0, 0, n).
   void parallel_for(std::size_t n,
                     const std::function<void(unsigned, std::size_t,
-                                             std::size_t)>& fn);
+                                             std::size_t)>& fn,
+                    std::size_t min_parallel = kDefaultGrain);
 
-  /// Shared process-wide pool (created on first use; size from
-  /// hardware_concurrency).
+  /// Allocation-free variant: `raw(ctx, chunk_index, begin, end)`. The hot
+  /// force loops use this form (constructing a std::function from a
+  /// capturing lambda may heap-allocate on every step). `ctx` must stay
+  /// valid until the call returns; the call blocks like parallel_for.
+  using RawFn = void (*)(void* ctx, unsigned chunk, std::size_t begin,
+                         std::size_t end);
+  void parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
+                        std::size_t min_parallel = kDefaultGrain);
+
+  /// Shared process-wide pool (created on first use). Size comes from the
+  /// MDM_THREADS environment variable when set (>= 1), otherwise from
+  /// hardware_concurrency.
   static ThreadPool& global();
 
  private:
   struct Task {
-    const std::function<void(unsigned, std::size_t, std::size_t)>* fn =
-        nullptr;
+    RawFn raw = nullptr;
+    void* ctx = nullptr;
     std::size_t n = 0;
     std::size_t generation = 0;
   };
@@ -65,5 +87,19 @@ class ThreadPool {
 /// Convenience wrapper: element-wise parallel loop over [0, n) on the global
 /// pool; `fn(i)` is called for every index.
 void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Dispatch a capturing lambda `fn(chunk, begin, end)` over the pool through
+/// parallel_for_raw — no std::function, no allocation. The lambda outlives
+/// the (blocking) call, so passing its address is safe.
+template <typename Fn>
+void pool_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+              std::size_t min_parallel = ThreadPool::kDefaultGrain) {
+  pool.parallel_for_raw(
+      n,
+      [](void* ctx, unsigned chunk, std::size_t begin, std::size_t end) {
+        (*static_cast<std::remove_reference_t<Fn>*>(ctx))(chunk, begin, end);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)), min_parallel);
+}
 
 }  // namespace mdm

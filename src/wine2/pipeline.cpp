@@ -16,7 +16,8 @@ void Pipeline::load_waves(std::vector<WaveSlot> waves) {
 }
 
 double Pipeline::quantize_counting(double v, const QFormat& fmt) {
-  if (v > fmt.max_value() || v < fmt.min_value()) ++saturations_;
+  if (v > fmt.max_value() || v < fmt.min_value())
+    saturations_.fetch_add(1, std::memory_order_relaxed);
   return quantize(v, fmt);
 }
 
@@ -36,8 +37,16 @@ std::uint64_t Pipeline::wave_phase(const WaveSlot& wave,
 
 std::vector<DftAccumulator> Pipeline::run_dft(
     std::span<const WineParticle> particles) {
-  const QFormat prod{.int_bits = 2, .frac_bits = formats_.product_frac_bits};
   std::vector<DftAccumulator> acc(waves_.size());
+  run_dft_into(particles, acc);
+  return acc;
+}
+
+void Pipeline::run_dft_into(std::span<const WineParticle> particles,
+                            std::span<DftAccumulator> out) {
+  if (out.size() != waves_.size())
+    throw std::invalid_argument("Pipeline: DFT output size mismatch");
+  const QFormat prod{.int_bits = 2, .frac_bits = formats_.product_frac_bits};
   for (std::size_t w = 0; w < waves_.size(); ++w) {
     double plus = 0.0;
     double minus = 0.0;
@@ -51,11 +60,11 @@ std::vector<DftAccumulator> Pipeline::run_dft(
       plus += qs + qc;
       minus += qs - qc;
     }
-    acc[w].s_plus_c = plus;
-    acc[w].s_minus_c = minus;
+    out[w].s_plus_c = plus;
+    out[w].s_minus_c = minus;
   }
-  ops_ += static_cast<std::uint64_t>(waves_.size()) * particles.size();
-  return acc;
+  ops_.fetch_add(static_cast<std::uint64_t>(waves_.size()) * particles.size(),
+                 std::memory_order_relaxed);
 }
 
 Vec3 Pipeline::run_idft_particle(const WineParticle& particle) {
@@ -73,7 +82,7 @@ Vec3 Pipeline::run_idft_particle(const WineParticle& particle) {
     f.y += t * wave.n[1];
     f.z += t * wave.n[2];
   }
-  ops_ += waves_.size();
+  ops_.fetch_add(waves_.size(), std::memory_order_relaxed);
   return f;
 }
 

@@ -17,6 +17,7 @@
 /// alongside and applied by the host library after download. All pipeline
 /// registers are quantized to the configured Q-formats.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -54,6 +55,27 @@ class Pipeline {
   /// reference so a 2,240-chip machine does not replicate the table).
   Pipeline(const WineFormats& formats, const TrigUnit& trig);
 
+  // Movable so pipelines can live in a std::vector; the op counters are
+  // atomics (see below) and are carried over by value.
+  Pipeline(Pipeline&& o) noexcept
+      : formats_(o.formats_),
+        trig_(o.trig_),
+        waves_(std::move(o.waves_)),
+        phase_mask_(o.phase_mask_),
+        ops_(o.ops_.load(std::memory_order_relaxed)),
+        saturations_(o.saturations_.load(std::memory_order_relaxed)) {}
+  Pipeline& operator=(Pipeline&& o) noexcept {
+    formats_ = o.formats_;
+    trig_ = o.trig_;
+    waves_ = std::move(o.waves_);
+    phase_mask_ = o.phase_mask_;
+    ops_.store(o.ops_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    saturations_.store(o.saturations_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
   void load_waves(std::vector<WaveSlot> waves);
   std::size_t wave_count() const { return waves_.size(); }
   std::span<const WaveSlot> waves() const { return waves_; }
@@ -62,17 +84,26 @@ class Pipeline {
   /// wave. Increments the pair-operation counter by waves * particles.
   std::vector<DftAccumulator> run_dft(std::span<const WineParticle> particles);
 
+  /// Allocation-free DFT: writes one accumulator per loaded wave into `out`
+  /// (out.size() must equal wave_count()). The step loop uses this form.
+  void run_dft_into(std::span<const WineParticle> particles,
+                    std::span<DftAccumulator> out);
+
   /// IDFT mode: the (normalized) force accumulation for one particle,
   /// summed over this pipeline's waves.
   Vec3 run_idft_particle(const WineParticle& particle);
 
-  std::uint64_t wave_particle_ops() const { return ops_; }
+  std::uint64_t wave_particle_ops() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
   /// Products that fell outside the Q-format range and were clamped
   /// (hardware saturation, sec. 3.4.4).
-  std::uint64_t saturation_count() const { return saturations_; }
+  std::uint64_t saturation_count() const {
+    return saturations_.load(std::memory_order_relaxed);
+  }
   void reset_counter() {
-    ops_ = 0;
-    saturations_ = 0;
+    ops_.store(0, std::memory_order_relaxed);
+    saturations_.store(0, std::memory_order_relaxed);
   }
 
   /// theta(n, particle) as a cyclic phase word (exposed for tests).
@@ -86,8 +117,11 @@ class Pipeline {
   const TrigUnit* trig_;
   std::vector<WaveSlot> waves_;
   std::uint64_t phase_mask_;
-  std::uint64_t ops_ = 0;
-  std::uint64_t saturations_ = 0;
+  /// Atomic (relaxed) because the parallel IDFT streams different particles
+  /// through the same pipeline from several threads; the totals are
+  /// interleaving-independent.
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> saturations_{0};
 };
 
 /// Convert a position/charge to the pipeline's particle format.

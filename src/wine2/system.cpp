@@ -50,11 +50,14 @@ std::size_t Chip::wave_count() const {
   return n;
 }
 
-void Chip::run_dft(std::span<const WineParticle> particles,
-                   std::vector<DftAccumulator>& out) {
+void Chip::run_dft_into(std::span<const WineParticle> particles,
+                        std::span<DftAccumulator> out) {
+  if (out.size() != wave_count())
+    throw std::invalid_argument("Chip: DFT output size mismatch");
+  std::size_t offset = 0;
   for (auto& p : pipelines_) {
-    const auto acc = p.run_dft(particles);
-    out.insert(out.end(), acc.begin(), acc.end());
+    p.run_dft_into(particles, out.subspan(offset, p.wave_count()));
+    offset += p.wave_count();
   }
 }
 
@@ -168,9 +171,32 @@ StructureFactors Wine2System::run_dft() {
   const std::uint64_t ops_before = wave_particle_ops();
   const std::uint64_t sat_before = saturation_count();
 
-  std::vector<DftAccumulator> acc;
-  acc.reserve(wave_order_.size());
-  for (auto& chip : chips_) chip.run_dft(particles_, acc);
+  // Each chip owns a disjoint range of the shared accumulator array, so
+  // chips run concurrently and the result is bit-identical to the serial
+  // scan. The array and offsets are member scratch reused across steps.
+  const std::size_t n_chips = chips_.size();
+  chip_offsets_.resize(n_chips + 1);
+  chip_offsets_[0] = 0;
+  for (std::size_t c = 0; c < n_chips; ++c)
+    chip_offsets_[c + 1] = chip_offsets_[c] + chips_[c].wave_count();
+  dft_acc_.resize(chip_offsets_[n_chips]);
+  auto run_chips = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c)
+      chips_[c].run_dft_into(
+          particles_, std::span(dft_acc_)
+                          .subspan(chip_offsets_[c], chips_[c].wave_count()));
+  };
+  if (pool_ && pool_->size() > 1) {
+    pool_for(
+        *pool_, n_chips,
+        [&](unsigned, std::size_t begin, std::size_t end) {
+          run_chips(begin, end);
+        },
+        /*min_parallel=*/0);
+  } else {
+    run_chips(0, n_chips);
+  }
+  const auto& acc = dft_acc_;
 
   StructureFactors sf;
   sf.s.assign(kvectors_->size(), 0.0);
@@ -212,7 +238,9 @@ void Wine2System::run_idft(const StructureFactors& sf,
   const QFormat coeff{.int_bits = 2,
                       .frac_bits = config_.formats.coeff_frac_bits};
   const std::size_t n_chips = chips_.size();
-  std::vector<std::vector<WaveSlot>> chip_slots(n_chips);
+  chip_slots_.resize(n_chips);
+  for (auto& slots : chip_slots_) slots.clear();  // keeps capacity
+  auto& chip_slots = chip_slots_;
   for (std::size_t m = 0; m < kvectors_->size(); ++m) {
     const auto& kv = kvectors_->vectors()[m];
     WaveSlot slot;
@@ -229,13 +257,27 @@ void Wine2System::run_idft(const StructureFactors& sf,
     chips_[c].load_waves(chip_slots[c]);
 
   // F_i = (4 k_e q_i / L^4) * a_scale * sc_scale * sum over the machine.
+  // Particles own disjoint force slots, so the loop fans out over the pool
+  // bit-identically to the serial scan (the chips' op counters are relaxed
+  // atomics; their totals are interleaving-independent).
   const double pref =
       4.0 * units::kCoulomb / (box_ * box_ * box_ * box_) * a_scale_ *
       sc_scale;
-  for (std::size_t i = 0; i < particles_.size(); ++i) {
-    Vec3 partial;
-    for (auto& chip : chips_) partial += chip.run_idft_particle(particles_[i]);
-    forces[i] += (pref * charges_[i]) * partial;
+  auto idft_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Vec3 partial;
+      for (auto& chip : chips_)
+        partial += chip.run_idft_particle(particles_[i]);
+      forces[i] += (pref * charges_[i]) * partial;
+    }
+  };
+  if (pool_ && pool_->size() > 1) {
+    pool_for(*pool_, particles_.size(),
+             [&](unsigned, std::size_t begin, std::size_t end) {
+               idft_range(begin, end);
+             });
+  } else {
+    idft_range(0, particles_.size());
   }
 
   // Restore DFT-mode slots so a subsequent run_dft works unchanged.

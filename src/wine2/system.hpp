@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ewald/ewald.hpp"
+#include "util/thread_pool.hpp"
 #include "wine2/pipeline.hpp"
 
 namespace mdm::wine2 {
@@ -41,10 +42,12 @@ class Chip {
   void load_waves(std::span<const WaveSlot> waves);
   std::size_t wave_count() const;
 
-  /// DFT over the particle stream; appends accumulators in this chip's wave
-  /// order (pipeline 0's slots, then pipeline 1's, ...).
-  void run_dft(std::span<const WineParticle> particles,
-               std::vector<DftAccumulator>& out);
+  /// DFT over the particle stream into `out` (out.size() must equal
+  /// wave_count()), in this chip's wave order (pipeline 0's slots, then
+  /// pipeline 1's, ...). Writes only into `out`, so chips with disjoint
+  /// output ranges can run concurrently.
+  void run_dft_into(std::span<const WineParticle> particles,
+                    std::span<DftAccumulator> out);
 
   /// IDFT partial force for one particle over this chip's waves.
   Vec3 run_idft_particle(const WineParticle& particle);
@@ -91,6 +94,12 @@ class Wine2System {
   std::uint64_t saturation_count() const;
   void reset_counters();
 
+  /// Fan the DFT out over chips and the IDFT over particles on a thread
+  /// pool (nullptr = serial). Chips write disjoint accumulator ranges and
+  /// particles own disjoint force slots, so both passes are bit-identical
+  /// to the serial loops at any pool size.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   SystemConfig config_;
   std::unique_ptr<TrigUnit> trig_;
@@ -104,6 +113,12 @@ class Wine2System {
   double charge_scale_ = 1.0;
   std::vector<WineParticle> particles_;
   std::vector<double> charges_;
+
+  ThreadPool* pool_ = nullptr;
+  /// Per-step scratch, reused across steps.
+  std::vector<DftAccumulator> dft_acc_;
+  std::vector<std::size_t> chip_offsets_;  ///< accumulator offset per chip
+  std::vector<std::vector<WaveSlot>> chip_slots_;  ///< IDFT reload staging
 };
 
 }  // namespace mdm::wine2

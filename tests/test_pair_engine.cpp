@@ -1,0 +1,217 @@
+/// Unit tests of the templated cell-list pair traversal and the parallel
+/// pair engine: coverage vs a brute-force reference (including the
+/// <3-cells-per-side fallback) and bitwise determinism across pool sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/cell_list.hpp"
+#include "util/random.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm {
+namespace {
+
+std::vector<Vec3> random_positions(std::size_t n, double box,
+                                   std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Vec3> r(n);
+  for (auto& p : r)
+    p = Vec3{rng.uniform(0.0, box), rng.uniform(0.0, box),
+             rng.uniform(0.0, box)};
+  return r;
+}
+
+/// All unordered in-range pairs by brute force, with i < j.
+std::set<std::pair<std::uint32_t, std::uint32_t>> brute_force_pairs(
+    std::span<const Vec3> r, double box, double cutoff) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t i = 0; i < r.size(); ++i)
+    for (std::uint32_t j = i + 1; j < r.size(); ++j)
+      if (norm2(minimum_image(r[i], r[j], box)) < cutoff * cutoff)
+        pairs.insert({i, j});
+  return pairs;
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> traversal_pairs(
+    const CellList& cells, std::span<const Vec3> r, double cutoff) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  cells.for_each_pair_within(
+      r, cutoff, [&](std::uint32_t i, std::uint32_t j, const Vec3&, double) {
+        const auto key = std::minmax(i, j);
+        const bool fresh = pairs.insert({key.first, key.second}).second;
+        EXPECT_TRUE(fresh) << "pair visited twice: " << i << "," << j;
+      });
+  return pairs;
+}
+
+TEST(PairEngine, TemplatedTraversalMatchesBruteForce) {
+  const double box = 20.0;
+  const double cutoff = 4.0;  // 5 cells per side: grid path
+  const auto r = random_positions(150, box, 42);
+  CellList cells(box, cutoff);
+  ASSERT_GE(cells.cells_per_side(), 3);
+  cells.build(r);
+  EXPECT_EQ(traversal_pairs(cells, r, cutoff),
+            brute_force_pairs(r, box, cutoff));
+}
+
+TEST(PairEngine, FallbackWhenGridTooSmall) {
+  const double box = 10.0;
+  const double cutoff = 4.0;  // floor(10/4) = 2 cells per side: N^2 fallback
+  const auto r = random_positions(80, box, 43);
+  CellList cells(box, cutoff);
+  ASSERT_LT(cells.cells_per_side(), 3);
+  cells.build(r);
+  EXPECT_EQ(traversal_pairs(cells, r, cutoff),
+            brute_force_pairs(r, box, cutoff));
+}
+
+TEST(PairEngine, FallbackWhenCutoffExceedsCellSide) {
+  const double box = 20.0;
+  CellList cells(box, 4.0);  // 5 cells of side 4
+  const auto r = random_positions(100, box, 44);
+  cells.build(r);
+  // Query with a cutoff above the cell side: the half stencil would miss
+  // pairs, so the traversal must take the N^2 fallback and still be exact.
+  const double cutoff = 6.0;
+  EXPECT_EQ(traversal_pairs(cells, r, cutoff),
+            brute_force_pairs(r, box, cutoff));
+}
+
+/// Toy kernel used by the determinism tests below.
+void toy_kernel(std::uint32_t, std::uint32_t, const Vec3& d, double r2,
+                Vec3& f, PairTally& t) {
+  const double inv_r2 = 1.0 / r2;
+  f = inv_r2 * d;
+  t.potential += std::sqrt(inv_r2);
+  t.virial += inv_r2 * r2;
+}
+
+struct SweepResult {
+  std::vector<Vec3> forces;
+  PairTally tally;
+};
+
+SweepResult run_sweep(const CellList& cells, std::span<const Vec3> r,
+                      double cutoff, ThreadPool* pool, PairScratch& scratch) {
+  SweepResult out;
+  out.forces.assign(r.size(), Vec3{});
+  out.tally =
+      cells.parallel_for_each_pair(pool, scratch, r, cutoff, out.forces,
+                                   toy_kernel);
+  return out;
+}
+
+class PairEnginePools : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PairEnginePools, ParallelForcesBitIdenticalToSerial) {
+  const double box = 20.0;
+  const double cutoff = 4.0;
+  const auto r = random_positions(200, box, 45);
+  CellList cells(box, cutoff);
+  cells.build(r);
+
+  PairScratch serial_scratch;
+  const auto ref = run_sweep(cells, r, cutoff, nullptr, serial_scratch);
+
+  ThreadPool pool(GetParam());
+  PairScratch scratch;
+  const auto got = run_sweep(cells, r, cutoff, &pool, scratch);
+
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(got.forces[i], ref.forces[i]);
+  EXPECT_EQ(got.tally.potential, ref.tally.potential);
+  EXPECT_EQ(got.tally.virial, ref.tally.virial);
+  EXPECT_EQ(got.tally.pairs, ref.tally.pairs);
+}
+
+TEST_P(PairEnginePools, FallbackPathBitIdenticalToSerial) {
+  const double box = 10.0;
+  const double cutoff = 4.0;  // 2 cells per side: N^2 fallback
+  const auto r = random_positions(120, box, 46);
+  CellList cells(box, cutoff);
+  ASSERT_LT(cells.cells_per_side(), 3);
+  cells.build(r);
+
+  PairScratch serial_scratch;
+  const auto ref = run_sweep(cells, r, cutoff, nullptr, serial_scratch);
+
+  ThreadPool pool(GetParam());
+  PairScratch scratch;
+  const auto got = run_sweep(cells, r, cutoff, &pool, scratch);
+
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(got.forces[i], ref.forces[i]);
+  EXPECT_EQ(got.tally.pairs, ref.tally.pairs);
+}
+
+TEST_P(PairEnginePools, ScratchReuseAcrossSweepsIsClean) {
+  // A second sweep over different positions must not inherit forces from
+  // the first (dirty ranges are re-zeroed after reduction).
+  const double box = 20.0;
+  const double cutoff = 4.0;
+  CellList cells(box, cutoff);
+  ThreadPool pool(GetParam());
+  PairScratch scratch;
+
+  const auto r1 = random_positions(180, box, 47);
+  cells.build(r1);
+  (void)run_sweep(cells, r1, cutoff, &pool, scratch);
+
+  const auto r2 = random_positions(180, box, 48);
+  cells.build(r2);
+  const auto got = run_sweep(cells, r2, cutoff, &pool, scratch);
+
+  PairScratch fresh;
+  const auto ref = run_sweep(cells, r2, cutoff, nullptr, fresh);
+  for (std::size_t i = 0; i < r2.size(); ++i)
+    EXPECT_EQ(got.forces[i], ref.forces[i]);
+}
+
+TEST(PairEngine, TallyMatchesSerialAccumulation) {
+  const double box = 20.0;
+  const double cutoff = 4.0;
+  const auto r = random_positions(150, box, 49);
+  CellList cells(box, cutoff);
+  cells.build(r);
+
+  std::uint64_t pairs = 0;
+  double potential = 0.0;
+  cells.for_each_pair_within(r, cutoff, [&](std::uint32_t, std::uint32_t,
+                                            const Vec3&, double r2) {
+    ++pairs;
+    potential += 1.0 / std::sqrt(r2);
+  });
+
+  PairScratch scratch;
+  std::vector<Vec3> forces(r.size(), Vec3{});
+  const auto tally = cells.parallel_for_each_pair(nullptr, scratch, r, cutoff,
+                                                  forces, toy_kernel);
+  EXPECT_EQ(tally.pairs, pairs);
+  EXPECT_NEAR(tally.potential, potential, 1e-12 * std::fabs(potential));
+}
+
+TEST(PairEngine, NewtonThirdLawForceSumIsTiny) {
+  const double box = 20.0;
+  const double cutoff = 4.0;
+  const auto r = random_positions(150, box, 50);
+  CellList cells(box, cutoff);
+  cells.build(r);
+  PairScratch scratch;
+  std::vector<Vec3> forces(r.size(), Vec3{});
+  cells.parallel_for_each_pair(nullptr, scratch, r, cutoff, forces,
+                               toy_kernel);
+  Vec3 net;
+  for (const auto& f : forces) net += f;
+  EXPECT_LT(norm(net), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, PairEnginePools,
+                         ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,179 @@
+/// End-to-end determinism of the parallel engines: forces produced with a
+/// thread pool must be bitwise identical to the serial ones at every tested
+/// pool size, for the software force fields and both hardware simulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "mdgrape2/api.hpp"
+#include "mdgrape2/system.hpp"
+#include "util/random.hpp"
+#include "wine2/system.hpp"
+
+namespace mdm {
+namespace {
+
+ParticleSystem melt(int n_cells, std::uint64_t seed) {
+  auto sys = make_nacl_crystal(n_cells);
+  Random rng(seed);
+  for (auto& r : sys.positions())
+    r += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+              rng.uniform(-0.3, 0.3)};
+  sys.wrap_positions();
+  return sys;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelDeterminism, EwaldRealSpaceBitIdentical) {
+  const auto sys = melt(2, 401);
+  const auto params = software_parameters(double(sys.size()), sys.box());
+
+  EwaldCoulomb serial(params, sys.box());
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  const auto ref_result = serial.add_real_space(sys, ref);
+
+  ThreadPool pool(GetParam());
+  EwaldCoulomb threaded(params, sys.box());
+  threaded.set_thread_pool(&pool);
+  std::vector<Vec3> got(sys.size(), Vec3{});
+  const auto got_result = threaded.add_real_space(sys, got);
+
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+  EXPECT_EQ(got_result.potential, ref_result.potential);
+  EXPECT_EQ(got_result.virial, ref_result.virial);
+}
+
+TEST_P(ParallelDeterminism, TosiFumiBitIdentical) {
+  auto sys = melt(2, 402);
+  const double r_cut = sys.box() / 3.5;
+
+  TosiFumiShortRange serial(TosiFumiParameters::nacl(), r_cut);
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  const auto ref_result = serial.add_forces(sys, ref);
+
+  ThreadPool pool(GetParam());
+  TosiFumiShortRange threaded(TosiFumiParameters::nacl(), r_cut);
+  threaded.set_thread_pool(&pool);
+  std::vector<Vec3> got(sys.size(), Vec3{});
+  const auto got_result = threaded.add_forces(sys, got);
+
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+  EXPECT_EQ(got_result.potential, ref_result.potential);
+  EXPECT_EQ(got_result.virial, ref_result.virial);
+}
+
+TEST_P(ParallelDeterminism, MdgrapeForcePassBitIdentical) {
+  const auto sys = melt(3, 403);
+  const double box = sys.box();
+  const double alpha = 8.0;
+  const double r_cut = 2.636 * box / alpha;
+  const double beta = alpha / box;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass = mdgrape2::make_coulomb_real_pass(beta, r_cut, charges);
+
+  mdgrape2::Mdgrape2System serial({.clusters = 2, .boards_per_cluster = 2});
+  serial.load_particles(sys, r_cut);
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  const auto ref_stats = serial.run_force_pass(pass, ref);
+
+  ThreadPool pool(GetParam());
+  mdgrape2::Mdgrape2System threaded({.clusters = 2, .boards_per_cluster = 2});
+  threaded.set_thread_pool(&pool);
+  threaded.load_particles(sys, r_cut);
+  std::vector<Vec3> got(sys.size(), Vec3{});
+  const auto got_stats = threaded.run_force_pass(pass, got);
+
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+  EXPECT_EQ(got_stats.pair_operations, ref_stats.pair_operations);
+  EXPECT_EQ(got_stats.useful_pairs, ref_stats.useful_pairs);
+  EXPECT_EQ(got_stats.max_board_pairs, ref_stats.max_board_pairs);
+}
+
+TEST_P(ParallelDeterminism, MdgrapePotentialPassBitIdentical) {
+  const auto sys = melt(3, 404);
+  const double box = sys.box();
+  const double alpha = 8.0;
+  const double r_cut = 2.636 * box / alpha;
+  const double beta = alpha / box;
+  const double charges[2] = {+1.0, -1.0};
+  const auto pass =
+      mdgrape2::make_coulomb_real_potential_pass(beta, r_cut, charges);
+
+  mdgrape2::Mdgrape2System serial({.clusters = 2, .boards_per_cluster = 2});
+  serial.load_particles(sys, r_cut);
+  std::vector<double> ref(sys.size(), 0.0);
+  serial.run_potential_pass(pass, ref);
+
+  ThreadPool pool(GetParam());
+  mdgrape2::Mdgrape2System threaded({.clusters = 2, .boards_per_cluster = 2});
+  threaded.set_thread_pool(&pool);
+  threaded.load_particles(sys, r_cut);
+  std::vector<double> got(sys.size(), 0.0);
+  threaded.run_potential_pass(pass, got);
+
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+}
+
+TEST_P(ParallelDeterminism, Wine2DftAndIdftBitIdentical) {
+  const auto sys = melt(2, 405);
+  const double box = sys.box();
+  const KVectorTable table(box, 8.0, 4.0);
+  std::vector<double> charges(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) charges[i] = sys.charge(i);
+  const wine2::SystemConfig cfg{
+      .clusters = 2, .boards_per_cluster = 1, .chips_per_board = 2};
+
+  wine2::Wine2System serial(cfg);
+  serial.load_waves(table);
+  serial.set_particles(sys.positions(), charges, box);
+  const auto ref_sf = serial.run_dft();
+  std::vector<Vec3> ref(sys.size(), Vec3{});
+  serial.run_idft(ref_sf, ref);
+
+  ThreadPool pool(GetParam());
+  wine2::Wine2System threaded(cfg);
+  threaded.set_thread_pool(&pool);
+  threaded.load_waves(table);
+  threaded.set_particles(sys.positions(), charges, box);
+  const auto got_sf = threaded.run_dft();
+  ASSERT_EQ(got_sf.s.size(), ref_sf.s.size());
+  for (std::size_t m = 0; m < ref_sf.s.size(); ++m) {
+    // Chips own disjoint wave slots: the DFT is bitwise reproducible too.
+    EXPECT_EQ(got_sf.s[m], ref_sf.s[m]);
+    EXPECT_EQ(got_sf.c[m], ref_sf.c[m]);
+  }
+  std::vector<Vec3> got(sys.size(), Vec3{});
+  threaded.run_idft(got_sf, got);
+  for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+}
+
+TEST_P(ParallelDeterminism, RepeatedStepsBitIdentical) {
+  // Same positions swept repeatedly through one engine instance (scratch
+  // reuse) must reproduce the first step exactly.
+  const auto sys = melt(2, 406);
+  const auto params = software_parameters(double(sys.size()), sys.box());
+  ThreadPool pool(GetParam());
+  EwaldCoulomb field(params, sys.box());
+  field.set_thread_pool(&pool);
+
+  std::vector<Vec3> first(sys.size(), Vec3{});
+  field.add_real_space(sys, first);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<Vec3> again(sys.size(), Vec3{});
+    field.add_real_space(sys, again);
+    for (std::size_t i = 0; i < sys.size(); ++i) EXPECT_EQ(again[i], first[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelDeterminism,
+                         ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace mdm
