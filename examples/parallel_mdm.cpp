@@ -6,8 +6,15 @@
 /// scaled down in workload.
 ///
 ///   ./parallel_mdm [--cells 2] [--real 16] [--wn 8] [--nvt 6] [--nve 6]
+///                  [--boards 2]
+///
+/// Fault-tolerance demo (DESIGN.md "Failure model of the virtual fabric"):
+///   MDM_FAULT_SPEC="drop:tag=200,count=1" ./parallel_mdm     # retransmit
+///   MDM_FAULT_SPEC="failboard:rank=1,board=0,step=3" ...     # degrade
+///   MDM_FAULT_SPEC="failrank:rank=5,step=4" ...              # clean error
 
 #include <cstdio>
+#include <exception>
 
 #include "core/lattice.hpp"
 #include "host/mdm_force_field.hpp"
@@ -29,7 +36,8 @@ int main(int argc, char** argv) {
   config.protocol.nvt_steps = static_cast<int>(cli.get_int("nvt", 6));
   config.protocol.nve_steps = static_cast<int>(cli.get_int("nve", 6));
   config.ewald = host::mdm_parameters(double(system.size()), system.box());
-  config.mdgrape_boards_per_process = 1;
+  config.mdgrape_boards_per_process =
+      static_cast<int>(cli.get_int("boards", 2));
   config.wine_boards_per_process = 1;
 
   std::printf("MDM parallel application: %d real-space + %d wavenumber "
@@ -43,7 +51,15 @@ int main(int argc, char** argv) {
 
   Timer timer;
   host::MdmParallelApp app(config);
-  const auto result = app.run(system);
+  host::ParallelRunResult result;
+  try {
+    result = app.run(system);
+  } catch (const std::exception& e) {
+    // A failed rank (injected or real) surfaces here as the original error
+    // instead of a hung world.
+    std::fprintf(stderr, "parallel_mdm: run failed: %s\n", e.what());
+    return 1;
+  }
   std::printf("\n%6s %9s %12s %14s\n", "step", "time/ps", "T/K", "E_tot/eV");
   for (const auto& s : result.samples)
     std::printf("%6d %9.4f %12.2f %14.4f\n", s.step, s.time_ps,

@@ -1,13 +1,17 @@
 #include "host/parallel_app.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <numbers>
 #include <stdexcept>
 
+#include "host/fault_injector.hpp"
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
 #include "mdgrape2/gtables.hpp"
+#include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/step_breakdown.hpp"
 #include "obs/trace.hpp"
@@ -62,7 +66,16 @@ struct Shared {
   double self_energy = 0.0;
   double background_energy = 0.0;
   int total_steps = 0;
+  vmpi::FaultInjector* injector = nullptr;  ///< not owned; may be null
 };
+
+/// Injected rank failure: the rank throws at its fault step, exactly like a
+/// crashed MPI process; vmpi propagates it to every peer.
+void maybe_fail_rank(const Shared& shared, int rank, int step) {
+  if (shared.injector && shared.injector->should_fail_rank(rank, step))
+    throw std::runtime_error("injected fault: rank " + std::to_string(rank) +
+                             " failed at step " + std::to_string(step));
+}
 
 double charge_of(const Shared& shared, int type) {
   return shared.species[type].charge;
@@ -91,6 +104,8 @@ void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
 
   const int rounds = shared.total_steps + 1;  // one per force evaluation
   for (int round = 0; round < rounds; ++round) {
+    // Round k serves the force evaluation of step k.
+    maybe_fail_rank(shared, comm.rank(), round);
     // One (possibly empty) batch from every real rank.
     std::vector<WnRec> local;
     std::vector<int> owner;  // real rank per local particle
@@ -161,10 +176,12 @@ class RealProcess {
 
   void main() {
     scatter_initial();
+    apply_injected_faults(0);
     compute_forces();
     record_sample(0);  // collective: every real rank joins the reductions
     const auto& cfg = shared_.config.protocol;
     for (int step = 1; step <= shared_.total_steps; ++step) {
+      apply_injected_faults(step);
       half_kick();
       drift();
       migrate();
@@ -190,6 +207,27 @@ class RealProcess {
     return shared_.species[p.type].mass;
   }
 
+  /// Poll the fault injector at the top of each step: an injected rank
+  /// failure throws (and poisons the fabric); an injected board failure
+  /// degrades this rank's MDGRAPE-2 cluster onto its surviving boards.
+  void apply_injected_faults(int step) {
+    auto* injector = shared_.injector;
+    if (!injector) return;
+    maybe_fail_rank(shared_, rank(), step);
+    const int board = injector->board_to_fail(rank(), step);
+    if (board < 0) return;
+    if (board >= mdgrape_.board_count() || mdgrape_.board_failed(board))
+      return;
+    MDM_LOG_WARN(
+        "parallel: rank %d loses MDGRAPE-2 board %d at step %d; degrading "
+        "to %d boards",
+        rank(), board, step, mdgrape_.alive_board_count() - 1);
+    mdgrape_.fail_board(board);
+    static obs::Counter& failures =
+        obs::Registry::global().counter("parallel.board_failures");
+    failures.add(1);
+  }
+
   void scatter_initial() {
     if (rank() == 0) {
       std::vector<std::vector<PRec>> buckets(real_count());
@@ -201,6 +239,16 @@ class RealProcess {
     } else {
       my_ = comm_.recv<PRec>(0, kScatter);
     }
+    rebuild_id_index();
+  }
+
+  /// Rebuild the id -> my_ slot map; owned particle ids are a subset of the
+  /// dense global 0..N-1 ids, so a flat vector beats a hash map. Must run
+  /// after every ownership change (scatter, migration).
+  void rebuild_id_index() {
+    id_slot_.assign(shared_.n_particles, -1);
+    for (std::size_t i = 0; i < my_.size(); ++i)
+      id_slot_[my_[i].id] = static_cast<std::int32_t>(i);
   }
 
   /// Halo exchange: ship to each other real rank the particles within r_cut
@@ -275,13 +323,12 @@ class RealProcess {
       returned.insert(returned.end(), part.begin(), part.end());
     }
     for (const auto& idf : returned) {
-      const auto it = std::find_if(
-          my_.begin(), my_.end(),
-          [&](const PRec& p) { return p.id == idf.id; });
-      if (it == my_.end())
+      const std::int32_t slot =
+          idf.id < id_slot_.size() ? id_slot_[idf.id] : -1;
+      if (slot < 0)
         throw std::runtime_error("parallel app: wavenumber force for a "
                                  "particle this rank does not own");
-      it->force += idf.force;
+      my_[static_cast<std::size_t>(slot)].force += idf.force;
     }
     if (rank() == 0)
       wn_energy_ = comm_.recv_value<double>(real_count(), kWineEnergy);
@@ -323,6 +370,7 @@ class RealProcess {
     // Deterministic ownership order regardless of arrival order.
     std::sort(my_.begin(), my_.end(),
               [](const PRec& a, const PRec& b) { return a.id < b.id; });
+    rebuild_id_index();
     migrate_ms_ += ms_since(t0);
   }
 
@@ -417,6 +465,7 @@ class RealProcess {
   std::vector<mdgrape2::ForcePass> force_passes_;
   std::vector<mdgrape2::ForcePass> potential_passes_;
   std::vector<PRec> my_;
+  std::vector<std::int32_t> id_slot_;  ///< id -> index in my_ (-1 not owned)
   double local_potential_ = 0.0;
   double wn_energy_ = 0.0;  // rank 0 only
 
@@ -458,8 +507,27 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
   shared.total_steps =
       config_.protocol.nvt_steps + config_.protocol.nve_steps;
 
+  // Fault-tolerance wiring: explicit injector wins; otherwise the
+  // MDM_FAULT_SPEC/MDM_FAULT_SEED environment knobs apply. Dropped
+  // messages are retransmitted with bounded backoff so a transient fabric
+  // fault costs latency, not the run.
+  std::unique_ptr<vmpi::FaultInjector> env_injector;
+  shared.injector = config_.fault_injector;
+  if (!shared.injector) {
+    env_injector = vmpi::FaultInjector::from_env();
+    shared.injector = env_injector.get();
+  }
+
   ParallelRunResult result;
   vmpi::World world(config_.real_processes + config_.wn_processes);
+  if (shared.injector) world.set_fault_injector(shared.injector);
+  world.set_send_retry(
+      config_.send_max_retries,
+      std::chrono::microseconds(
+          static_cast<long>(config_.send_backoff_us)));
+  if (config_.recv_timeout_ms > 0)
+    world.set_recv_timeout(std::chrono::milliseconds(
+        static_cast<long>(config_.recv_timeout_ms)));
   std::mutex result_mutex;
   world.run([&](vmpi::Communicator& comm) {
     if (comm.rank() < config_.real_processes) {

@@ -28,6 +28,10 @@
 #include "mdgrape2/system.hpp"
 #include "wine2/formats.hpp"
 
+namespace mdm::vmpi {
+class FaultInjector;
+}
+
 namespace mdm::host {
 
 struct ParallelAppConfig {
@@ -40,6 +44,14 @@ struct ParallelAppConfig {
   int mdgrape_boards_per_process = 2;  ///< one cluster per process
   int wine_boards_per_process = 7;     ///< one cluster per process
   wine2::WineFormats wine_formats = wine2::WineFormats::paper();
+
+  // Fault-tolerance knobs (DESIGN.md "Failure model of the virtual
+  // fabric"). When fault_injector is null, MDM_FAULT_SPEC/MDM_FAULT_SEED
+  // are consulted instead.
+  vmpi::FaultInjector* fault_injector = nullptr;  ///< not owned
+  int send_max_retries = 3;      ///< retransmissions for dropped messages
+  double send_backoff_us = 50;   ///< initial retransmission backoff
+  double recv_timeout_ms = 0;    ///< recv deadline; 0 = wait forever
 };
 
 struct ParallelRunResult {

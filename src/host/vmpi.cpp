@@ -1,35 +1,181 @@
 #include "host/vmpi.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 
+#include "host/fault_injector.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+
 namespace mdm::vmpi {
+namespace {
+
+struct FabricCounters {
+  obs::Counter& sent;
+  obs::Counter& dropped;
+  obs::Counter& retried;
+  obs::Counter& lost;
+  obs::Counter& duplicated;
+  obs::Counter& duplicates_discarded;
+  obs::Counter& delayed;
+  obs::Counter& leaked;
+  obs::Counter& rank_failures;
+  obs::Counter& peer_wakeups;
+
+  static FabricCounters& get() {
+    auto& reg = obs::Registry::global();
+    static FabricCounters counters{
+        reg.counter("vmpi.messages_sent"),
+        reg.counter("vmpi.messages_dropped"),
+        reg.counter("vmpi.messages_retried"),
+        reg.counter("vmpi.messages_lost"),
+        reg.counter("vmpi.messages_duplicated"),
+        reg.counter("vmpi.duplicates_discarded"),
+        reg.counter("vmpi.messages_delayed"),
+        reg.counter("vmpi.leaked_messages"),
+        reg.counter("vmpi.rank_failures"),
+        reg.counter("vmpi.peer_failure_wakeups"),
+    };
+    return counters;
+  }
+};
+
+/// Salt shared by every member of a subgroup: a function of the member
+/// list only, a nonzero multiple of 4 below 2^20 (see collective_tag).
+int group_salt(const std::vector<int>& world_ranks) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const int r : world_ranks) {
+    h ^= static_cast<std::uint64_t>(r) + 1;
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % 262139 + 1) * 4;
+}
+
+}  // namespace
 
 World::World(int size) : size_(size) {
   if (size < 1) throw std::invalid_argument("World: size must be >= 1");
   mailboxes_.reserve(size);
-  for (int i = 0; i < size; ++i)
+  wait_states_.reserve(size);
+  for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    wait_states_.push_back(std::make_unique<WaitState>());
+  }
+  if (const char* t = std::getenv("MDM_VMPI_TIMEOUT_MS")) {
+    const long ms = std::strtol(t, nullptr, 10);
+    if (ms > 0) recv_timeout_ = std::chrono::milliseconds(ms);
+  }
+}
+
+void World::mark_failed(int world_rank) {
+  int expected = -1;
+  if (failed_rank_.compare_exchange_strong(expected, world_rank,
+                                           std::memory_order_acq_rel)) {
+    FabricCounters::get().rank_failures.add(1);
+    MDM_LOG_ERROR("vmpi: rank %d failed; poisoning %d mailboxes and the "
+                  "world barrier",
+                  world_rank, size_);
+  }
+  // Wake every blocked thread. Taking each lock before notifying ensures a
+  // waiter either observes the flag in its predicate before sleeping or
+  // receives this notification.
+  for (auto& mb : mailboxes_) {
+    { std::lock_guard lock(mb->mutex); }
+    mb->cv.notify_all();
+  }
+  { std::lock_guard lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+}
+
+std::string World::peer_failure_message(int waiting_rank) const {
+  return "vmpi: peer rank " + std::to_string(failed_rank()) +
+         " failed while rank " + std::to_string(waiting_rank) +
+         " was blocked on the fabric";
+}
+
+std::string World::timeout_message(int waiting_rank, int source,
+                                   int tag) const {
+  std::string msg = "vmpi: recv timeout after " +
+                    std::to_string(recv_timeout_.count()) + " ms: rank " +
+                    std::to_string(waiting_rank) + " waits on (src=" +
+                    std::to_string(source) + ", tag=" + std::to_string(tag) +
+                    "); wait graph:";
+  bool any = false;
+  for (int r = 0; r < size_; ++r) {
+    const auto& ws = *wait_states_[r];
+    if (!ws.waiting.load(std::memory_order_acquire)) continue;
+    any = true;
+    const int src = ws.source.load(std::memory_order_relaxed);
+    if (src == WaitState::kWaitBarrier) {
+      msg += " rank " + std::to_string(r) + " <- barrier;";
+    } else {
+      msg += " rank " + std::to_string(r) + " <- (src=" +
+             std::to_string(src) + ", tag=" +
+             std::to_string(ws.tag.load(std::memory_order_relaxed)) + ");";
+    }
+  }
+  if (!any) msg += " (no other rank is blocked)";
+  return msg;
+}
+
+void World::drain_mailboxes(bool run_failed) {
+  auto& counters = FabricCounters::get();
+  for (int dest = 0; dest < size_; ++dest) {
+    auto& mb = *mailboxes_[dest];
+    for (const auto& [key, channel] : mb.channels) {
+      for (const auto& msg : channel.queue) {
+        counters.leaked.add(1);
+        // After a rank failure undelivered traffic is expected; on a clean
+        // run it marks a tag-mismatch or missing-recv bug.
+        if (run_failed) {
+          MDM_LOG_DEBUG(
+              "vmpi: undelivered message after failure: dest=%d src=%d "
+              "tag=%d (%zu bytes)",
+              dest, key.first, key.second, msg.bytes.size());
+        } else {
+          MDM_LOG_WARN(
+              "vmpi: leaked message: dest=%d src=%d tag=%d (%zu bytes) "
+              "was never received",
+              dest, key.first, key.second, msg.bytes.size());
+        }
+      }
+    }
+    mb.channels.clear();
+  }
 }
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(size_);
+  // Peer-failure echoes are secondary: World::run rethrows the original.
+  std::vector<char> secondary(size_, 0);
   threads.reserve(size_);
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &rank_main, &errors] {
+    threads.emplace_back([this, r, &rank_main, &errors, &secondary] {
       Communicator comm(this, r, size_);
       try {
         rank_main(comm);
+      } catch (const PeerFailedError&) {
+        errors[r] = std::current_exception();
+        secondary[r] = 1;
+        mark_failed(r);
       } catch (...) {
         errors[r] = std::current_exception();
+        mark_failed(r);
       }
     });
   }
   for (auto& t : threads) t.join();
-  // Reset collective state and drain mailboxes so a World can be reused.
+  const bool run_failed = failed_rank() >= 0;
+  // Reset collective and failure state and drain mailboxes so a World can
+  // be reused.
   barrier_count_ = 0;
-  for (auto& mb : mailboxes_) mb->queues.clear();
+  drain_mailboxes(run_failed);
+  failed_rank_.store(-1, std::memory_order_release);
+  for (int r = 0; r < size_; ++r)
+    if (errors[r] && !secondary[r]) std::rethrow_exception(errors[r]);
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 }
@@ -48,19 +194,62 @@ Communicator Communicator::subgroup(
   Communicator sub(world_, my_index, static_cast<int>(world_ranks.size()));
   sub.world_rank_ = world_rank_;
   sub.group_ = world_ranks;
+  sub.collective_salt_ = group_salt(world_ranks);
   return sub;
 }
 
 void Communicator::send_bytes(int dest, int tag, const std::byte* data,
                               std::size_t size) {
   if (dest < 0 || dest >= size_) throw std::invalid_argument("vmpi: bad dest");
-  auto& mb = *world_->mailboxes_[to_world(dest)];
+  const int dest_world = to_world(dest);
+  auto& counters = FabricCounters::get();
+
+  auto action = FaultInjector::MessageAction::kDeliver;
+  if (auto* injector = world_->injector_) {
+    action = injector->on_message(world_rank_, dest_world, tag);
+    int attempt = 0;
+    while (action == FaultInjector::MessageAction::kDrop) {
+      counters.dropped.add(1);
+      if (attempt >= world_->send_max_retries_) {
+        counters.lost.add(1);
+        MDM_LOG_WARN(
+            "vmpi: message src=%d dest=%d tag=%d (%zu bytes) permanently "
+            "lost after %d attempts",
+            world_rank_, dest_world, tag, size, attempt + 1);
+        return;
+      }
+      // Bounded exponential backoff before the retransmission.
+      auto backoff = world_->send_backoff_ * (1 << std::min(attempt, 10));
+      backoff = std::min(backoff,
+                         std::chrono::microseconds(std::chrono::milliseconds(5)));
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      ++attempt;
+      counters.retried.add(1);
+      MDM_LOG_DEBUG("vmpi: retransmitting src=%d dest=%d tag=%d (attempt %d)",
+                    world_rank_, dest_world, tag, attempt + 1);
+      action = injector->on_message(world_rank_, dest_world, tag);
+    }
+    if (action == FaultInjector::MessageAction::kDelay) {
+      counters.delayed.add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  auto& mb = *world_->mailboxes_[dest_world];
   std::vector<std::byte> payload(data, data + size);
   {
     std::lock_guard lock(mb.mutex);
-    // Messages are keyed by the sender's world rank.
-    mb.queues[{world_rank_, tag}].push_back(std::move(payload));
+    // Messages are keyed by the sender's world rank; sequence numbers are
+    // per channel so duplicated deliveries can be discarded on receive.
+    auto& channel = mb.channels[{world_rank_, tag}];
+    const std::uint64_t seq = channel.send_seq++;
+    if (action == FaultInjector::MessageAction::kDuplicate) {
+      counters.duplicated.add(1);
+      channel.queue.push_back({seq, payload});
+    }
+    channel.queue.push_back({seq, std::move(payload)});
   }
+  counters.sent.add(1);
   mb.cv.notify_all();
 }
 
@@ -68,30 +257,80 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
   if (source < 0 || source >= size_)
     throw std::invalid_argument("vmpi: bad source");
   auto& mb = *world_->mailboxes_[world_rank_];
-  std::unique_lock lock(mb.mutex);
   const auto key = std::pair{to_world(source), tag};
-  mb.cv.wait(lock, [&] {
-    const auto it = mb.queues.find(key);
-    return it != mb.queues.end() && !it->second.empty();
-  });
-  auto& queue = mb.queues[key];
-  auto payload = std::move(queue.front());
-  queue.pop_front();
-  return payload;
+
+  auto& ws = *world_->wait_states_[world_rank_];
+  ws.source.store(key.first, std::memory_order_relaxed);
+  ws.tag.store(tag, std::memory_order_relaxed);
+  ws.waiting.store(true, std::memory_order_release);
+  struct WaitGuard {
+    World::WaitState& ws;
+    ~WaitGuard() { ws.waiting.store(false, std::memory_order_release); }
+  } guard{ws};
+
+  const bool bounded = world_->recv_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        world_->recv_timeout_;
+  std::unique_lock lock(mb.mutex);
+  for (;;) {
+    const auto ready = [&] {
+      if (world_->failed_rank() >= 0) return true;
+      const auto it = mb.channels.find(key);
+      return it != mb.channels.end() && !it->second.queue.empty();
+    };
+    bool woke = true;
+    if (bounded) {
+      woke = mb.cv.wait_until(lock, deadline, ready);
+    } else {
+      mb.cv.wait(lock, ready);
+    }
+    if (!woke) {
+      lock.unlock();
+      throw RecvTimeoutError(
+          world_->timeout_message(world_rank_, key.first, tag));
+    }
+    if (world_->failed_rank() >= 0) {
+      lock.unlock();
+      FabricCounters::get().peer_wakeups.add(1);
+      throw PeerFailedError(world_->failed_rank(),
+                            world_->peer_failure_message(world_rank_));
+    }
+    auto& channel = mb.channels[key];
+    auto msg = std::move(channel.queue.front());
+    channel.queue.pop_front();
+    if (msg.seq < channel.recv_expected) {
+      // Retransmitted/duplicated copy of a message already delivered.
+      FabricCounters::get().duplicates_discarded.add(1);
+      continue;
+    }
+    channel.recv_expected = msg.seq + 1;
+    return std::move(msg.bytes);
+  }
 }
 
 void Communicator::barrier() {
   if (!group_.empty()) {
-    // Token barrier over the subgroup: gather-to-0 then release.
+    // Token barrier over the subgroup: gather-to-0 then release. Built on
+    // recv, so peer-failure poisoning and recv deadlines apply.
+    const int t = collective_tag(kBarrierTag);
     if (rank_ == 0) {
-      for (int r = 1; r < size_; ++r) recv_value<int>(r, kBarrierTag);
-      for (int r = 1; r < size_; ++r) send_value<int>(r, kBarrierTag + 1, 0);
+      for (int r = 1; r < size_; ++r) recv_value<int>(r, t);
+      for (int r = 1; r < size_; ++r) send_value<int>(r, t + 1, 0);
     } else {
-      send_value<int>(0, kBarrierTag, 0);
-      recv_value<int>(0, kBarrierTag + 1);
+      send_value<int>(0, t, 0);
+      recv_value<int>(0, t + 1);
     }
     return;
   }
+  auto& ws = *world_->wait_states_[world_rank_];
+  ws.source.store(World::WaitState::kWaitBarrier, std::memory_order_relaxed);
+  ws.tag.store(0, std::memory_order_relaxed);
+  ws.waiting.store(true, std::memory_order_release);
+  struct WaitGuard {
+    World::WaitState& ws;
+    ~WaitGuard() { ws.waiting.store(false, std::memory_order_release); }
+  } guard{ws};
+
   std::unique_lock lock(world_->barrier_mutex_);
   const auto generation = world_->barrier_generation_;
   if (++world_->barrier_count_ == size_) {
@@ -100,8 +339,17 @@ void Communicator::barrier() {
     world_->barrier_cv_.notify_all();
   } else {
     world_->barrier_cv_.wait(lock, [&] {
-      return world_->barrier_generation_ != generation;
+      return world_->barrier_generation_ != generation ||
+             world_->failed_rank() >= 0;
     });
+    if (world_->barrier_generation_ == generation) {
+      // Woken by failure poisoning, not by barrier completion.
+      --world_->barrier_count_;
+      lock.unlock();
+      FabricCounters::get().peer_wakeups.add(1);
+      throw PeerFailedError(world_->failed_rank(),
+                            world_->peer_failure_message(world_rank_));
+    }
   }
 }
 

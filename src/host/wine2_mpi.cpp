@@ -1,6 +1,9 @@
 #include "host/wine2_mpi.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace mdm::host {
 
@@ -36,7 +39,11 @@ double Wine2MpiLibrary::calculate_force_and_pot_wavepart_nooffset(
   if (!system_)
     throw std::logic_error("wine2 library: boards not initialized");
   if (expected_particles_ != 0 && positions.size() != expected_particles_)
-    throw std::invalid_argument("wine2 library: particle count mismatch");
+    throw std::invalid_argument(
+        "wine2 library: rank " + std::to_string(comm_->world_rank()) +
+        " passed " + std::to_string(positions.size()) +
+        " particles but wine2_set_nn announced " +
+        std::to_string(expected_particles_));
 
   system_->load_waves(kvectors);
 
@@ -50,9 +57,16 @@ double Wine2MpiLibrary::calculate_force_and_pot_wavepart_nooffset(
   }
 
   // The only cross-process coupling: structure factors are linear in the
-  // particles, so the global S/C are element-wise sums.
+  // particles, so the global S/C are element-wise sums. The communicator
+  // salts these tags with its subgroup id, so the 7001+ range cannot
+  // collide with world point-to-point traffic (it used to be a comment-
+  // level caveat only). A failed peer rank surfaces here as
+  // vmpi::PeerFailedError instead of a hang.
+  static obs::Counter& allreduces =
+      obs::Registry::global().counter("wine2.mpi_allreduces");
   comm_->allreduce_sum(sf.s, /*tag=*/7001);
   comm_->allreduce_sum(sf.c, /*tag=*/7003);
+  allreduces.add(2);
 
   double energy = 0.0;
   if (!positions.empty()) {

@@ -11,6 +11,12 @@
 /// Each rank runs its share of boards on its local particles; the library
 /// internally allreduces the structure factors (the only cross-process
 /// coupling of eqs. 9-11) before the IDFT.
+///
+/// Failure semantics: the library inherits the vmpi fabric's failure model
+/// (DESIGN.md "Failure model of the virtual fabric") — if a peer rank dies
+/// mid-allreduce the call raises vmpi::PeerFailedError rather than
+/// deadlocking, and its collective tags are salted per subgroup so they
+/// cannot collide with concurrent world traffic.
 
 #include "ewald/kvectors.hpp"
 #include "host/vmpi.hpp"

@@ -31,6 +31,8 @@ std::span<const StoredParticle> Board::cell_stream(int cell) const {
 void Board::calc_cell_forces(std::span<const StoredParticle> i_batch,
                              std::span<const int> i_cells, double box,
                              std::span<Vec3> forces) {
+  if (failed_)
+    throw std::logic_error("Board: pass issued to a failed board");
   if (particles_.empty() && !i_batch.empty())
     throw std::logic_error("Board: particle memory not loaded");
   if (i_batch.size() != i_cells.size() || i_batch.size() != forces.size())
@@ -48,6 +50,8 @@ void Board::calc_cell_forces(std::span<const StoredParticle> i_batch,
 void Board::calc_cell_potentials(std::span<const StoredParticle> i_batch,
                                  std::span<const int> i_cells, double box,
                                  std::span<double> potentials) {
+  if (failed_)
+    throw std::logic_error("Board: pass issued to a failed board");
   if (particles_.empty() && !i_batch.empty())
     throw std::logic_error("Board: particle memory not loaded");
   if (i_batch.size() != i_cells.size() ||

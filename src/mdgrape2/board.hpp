@@ -38,6 +38,11 @@ class Board {
                       const CellList& cells);
   std::size_t loaded_particles() const { return particles_.size(); }
 
+  /// Permanent hardware failure: a failed board refuses further passes
+  /// (Mdgrape2System repartitions its i-slice across the survivors).
+  void mark_failed() { failed_ = true; }
+  bool failed() const { return failed_; }
+
   /// Load the pass into both chips (MR1SetTable).
   void load_pass(const ForcePass& pass);
 
@@ -66,6 +71,7 @@ class Board {
   std::vector<CellList::Range> cell_ranges_;   // cell memory
   std::vector<std::array<int, 27>> neighbors_; // cell-index counter logic
   Chip chips_[kChips];
+  bool failed_ = false;
 };
 
 }  // namespace mdm::mdgrape2

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/step_breakdown.hpp"
 #include "obs/trace.hpp"
@@ -12,16 +13,19 @@ namespace {
 /// One pass's worth of board counters into the global registry. Each
 /// streamed j-particle costs one g-table interpolation in the pipeline, so
 /// table lookups track pair operations one-to-one.
-void report_pass(const PassStats& stats) {
+void report_pass(const PassStats& stats, bool degraded) {
   auto& reg = obs::Registry::global();
   static obs::Counter& passes = reg.counter("mdgrape2.passes");
   static obs::Counter& pair_ops = reg.counter("mdgrape2.pair_ops");
   static obs::Counter& useful = reg.counter("mdgrape2.useful_pairs");
   static obs::Counter& lookups = reg.counter("mdgrape2.table_lookups");
+  static obs::Counter& degraded_passes =
+      reg.counter("mdgrape2.degraded_passes");
   passes.add(1);
   pair_ops.add(stats.pair_operations);
   useful.add(stats.useful_pairs);
   lookups.add(stats.pair_operations);
+  if (degraded) degraded_passes.add(1);
 }
 
 }  // namespace
@@ -63,8 +67,37 @@ void Mdgrape2System::load_particles(const ParticleSystem& system,
     for (auto slot = range.begin; slot < range.end; ++slot)
       cell_of_slot_[slot] = c;
   }
-  // Broadcast the image to every board (PCI write in the real machine).
-  for (auto& board : boards_) board->load_particles(stored_, *cells_);
+  // Broadcast the image to every alive board (PCI write in the real
+  // machine; failed boards are off the bus).
+  for (auto& board : boards_)
+    if (!board->failed()) board->load_particles(stored_, *cells_);
+}
+
+void Mdgrape2System::fail_board(int b) {
+  if (b < 0 || b >= board_count())
+    throw std::out_of_range("Mdgrape2System: bad board index");
+  if (boards_[b]->failed()) return;
+  boards_[b]->mark_failed();
+  static obs::Counter& failures =
+      obs::Registry::global().counter("mdgrape2.board_failures");
+  failures.add(1);
+  MDM_LOG_WARN(
+      "mdgrape2: board %d failed permanently; redistributing its i-slice "
+      "across %d surviving boards",
+      b, alive_board_count());
+}
+
+bool Mdgrape2System::board_failed(int b) const {
+  if (b < 0 || b >= board_count())
+    throw std::out_of_range("Mdgrape2System: bad board index");
+  return boards_[b]->failed();
+}
+
+int Mdgrape2System::alive_board_count() const {
+  int alive = 0;
+  for (const auto& board : boards_)
+    if (!board->failed()) ++alive;
+  return alive;
 }
 
 PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
@@ -78,21 +111,31 @@ PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
   MDM_TRACE_SCOPE("mdgrape2.force_pass");
 
   const std::size_t n = stored_.size();
-  const std::size_t nb = boards_.size();
+  alive_boards_.clear();
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    if (!boards_[b]->failed()) alive_boards_.push_back(b);
+  const std::size_t nb = alive_boards_.size();
+  if (nb == 0)
+    throw std::runtime_error(
+        "Mdgrape2System: every board has failed; no hardware left to run "
+        "the pass");
   slot_forces_.assign(n, Vec3{});
-  board_pairs_.assign(nb, 0);
-  board_useful_.assign(nb, 0);
+  board_pairs_.assign(boards_.size(), 0);
+  board_useful_.assign(boards_.size(), 0);
 
-  // Each board owns a contiguous i-slice (block partition over cell-sorted
-  // slots) and is fully self-contained, so boards run concurrently and the
-  // result is bit-identical to the serial loop.
-  auto run_board = [&](std::size_t b) {
+  // Each alive board owns a contiguous i-slice (block partition over
+  // cell-sorted slots) and is fully self-contained, so boards run
+  // concurrently and the result is bit-identical to the serial loop. When
+  // boards have failed, the partition spans the survivors only (graceful
+  // degradation).
+  auto run_board = [&](std::size_t k) {
+    const std::size_t b = alive_boards_[k];
     Board& board = *boards_[b];
     const std::uint64_t before = board.pair_operations();
     const std::uint64_t useful_before = board.useful_pair_operations();
     board.load_pass(pass);
-    const std::size_t begin = b * n / nb;
-    const std::size_t end = (b + 1) * n / nb;
+    const std::size_t begin = k * n / nb;
+    const std::size_t end = (k + 1) * n / nb;
     if (begin == end) return;
     board.calc_cell_forces(
         std::span(stored_).subspan(begin, end - begin),
@@ -113,14 +156,14 @@ PassStats Mdgrape2System::run_force_pass(const ForcePass& pass,
   }
 
   PassStats stats;
-  for (std::size_t b = 0; b < nb; ++b) {
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
     stats.pair_operations += board_pairs_[b];
     stats.useful_pairs += board_useful_[b];
     stats.max_board_pairs = std::max(stats.max_board_pairs, board_pairs_[b]);
   }
   for (std::size_t slot = 0; slot < n; ++slot)
     forces[original_index_[slot]] += slot_forces_[slot];
-  report_pass(stats);
+  report_pass(stats, nb < boards_.size());
   return stats;
 }
 
@@ -136,18 +179,26 @@ PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
   MDM_TRACE_SCOPE("mdgrape2.potential_pass");
 
   const std::size_t n = stored_.size();
-  const std::size_t nb = boards_.size();
+  alive_boards_.clear();
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    if (!boards_[b]->failed()) alive_boards_.push_back(b);
+  const std::size_t nb = alive_boards_.size();
+  if (nb == 0)
+    throw std::runtime_error(
+        "Mdgrape2System: every board has failed; no hardware left to run "
+        "the pass");
   slot_potentials_.assign(n, 0.0);
-  board_pairs_.assign(nb, 0);
-  board_useful_.assign(nb, 0);
+  board_pairs_.assign(boards_.size(), 0);
+  board_useful_.assign(boards_.size(), 0);
 
-  auto run_board = [&](std::size_t b) {
+  auto run_board = [&](std::size_t k) {
+    const std::size_t b = alive_boards_[k];
     Board& board = *boards_[b];
     const std::uint64_t before = board.pair_operations();
     const std::uint64_t useful_before = board.useful_pair_operations();
     board.load_pass(pass);
-    const std::size_t begin = b * n / nb;
-    const std::size_t end = (b + 1) * n / nb;
+    const std::size_t begin = k * n / nb;
+    const std::size_t end = (k + 1) * n / nb;
     if (begin == end) return;
     board.calc_cell_potentials(
         std::span(stored_).subspan(begin, end - begin),
@@ -168,14 +219,14 @@ PassStats Mdgrape2System::run_potential_pass(const ForcePass& pass,
   }
 
   PassStats stats;
-  for (std::size_t b = 0; b < nb; ++b) {
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
     stats.pair_operations += board_pairs_[b];
     stats.useful_pairs += board_useful_[b];
     stats.max_board_pairs = std::max(stats.max_board_pairs, board_pairs_[b]);
   }
   for (std::size_t slot = 0; slot < n; ++slot)
     potentials[original_index_[slot]] += slot_potentials_[slot];
-  report_pass(stats);
+  report_pass(stats, nb < boards_.size());
   return stats;
 }
 

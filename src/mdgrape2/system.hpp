@@ -42,6 +42,15 @@ class Mdgrape2System {
   int chip_count() const { return board_count() * Board::kChips; }
   const SystemConfig& config() const { return config_; }
 
+  /// Permanently fail board `b` (fault injection / hardware loss): its
+  /// i-slice is redistributed across the surviving boards on subsequent
+  /// passes, so the system degrades gracefully instead of dying. Logged
+  /// and counted ("mdgrape2.board_failures"); throws std::out_of_range on a
+  /// bad index. Failing the last alive board makes the next pass throw.
+  void fail_board(int b);
+  bool board_failed(int b) const;
+  int alive_board_count() const;
+
   /// Upload positions/types: builds the cell decomposition (cell side >=
   /// r_cut), sorts particles by cell and broadcasts the image to every
   /// board. Must be called whenever positions change.
@@ -86,6 +95,7 @@ class Mdgrape2System {
   std::vector<double> slot_potentials_;
   std::vector<std::uint64_t> board_pairs_;
   std::vector<std::uint64_t> board_useful_;
+  std::vector<std::size_t> alive_boards_;
 };
 
 }  // namespace mdm::mdgrape2
