@@ -12,6 +12,12 @@
 ///   MDM_FAULT_SPEC="drop:tag=200,count=1" ./parallel_mdm     # retransmit
 ///   MDM_FAULT_SPEC="failboard:rank=1,board=0,step=3" ...     # degrade
 ///   MDM_FAULT_SPEC="failrank:rank=5,step=4" ...              # clean error
+///
+/// Checkpoint/restart demo (DESIGN.md §8):
+///   ./parallel_mdm --checkpoint-every 2 --checkpoint-dir ckpt
+///   ./parallel_mdm --restore ckpt/ckpt.000004.mdm            # resume a file
+///   MDM_FAULT_SPEC="failrank:rank=1,step=4" ./parallel_mdm
+///       --checkpoint-every 2 --checkpoint-dir ckpt --recover # kill + resume
 
 #include <cstdio>
 #include <exception>
@@ -39,6 +45,13 @@ int main(int argc, char** argv) {
   config.mdgrape_boards_per_process =
       static_cast<int>(cli.get_int("boards", 2));
   config.wine_boards_per_process = 1;
+  config.checkpoint_interval =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  config.checkpoint_dir = cli.get_string(
+      "checkpoint-dir", config.checkpoint_interval > 0 ? "ckpt" : "");
+  config.checkpoint_keep = static_cast<int>(cli.get_int("checkpoint-keep", 3));
+  config.restore_path = cli.get_string("restore", "");
+  config.auto_recover = cli.get_bool("recover");
 
   std::printf("MDM parallel application: %d real-space + %d wavenumber "
               "processes, N=%zu\n",
@@ -60,6 +73,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parallel_mdm: run failed: %s\n", e.what());
     return 1;
   }
+  if (result.recoveries > 0)
+    std::printf("recovered from %d rank failure(s); resumed from checkpoint "
+                "at step %llu\n",
+                result.recoveries,
+                static_cast<unsigned long long>(result.restored_from_step));
   std::printf("\n%6s %9s %12s %14s\n", "step", "time/ps", "T/K", "E_tot/eV");
   for (const auto& s : result.samples)
     std::printf("%6d %9.4f %12.2f %14.4f\n", s.step, s.time_ps,

@@ -1,0 +1,471 @@
+#include "core/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kMagicV2 = 0x4d444d434b505432ULL;  // "MDMCKPT2"
+constexpr std::uint64_t kMagicV1 = 0x4d444d434b505431ULL;  // "MDMCKPT1"
+
+std::atomic<int> g_fail_writes{0};
+
+obs::Counter& writes_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("ckpt.writes");
+  return c;
+}
+obs::Counter& bytes_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("ckpt.bytes");
+  return c;
+}
+obs::Counter& restores_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("ckpt.restores");
+  return c;
+}
+obs::Counter& corrupt_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("ckpt.corrupt_skipped");
+  return c;
+}
+
+[[noreturn]] void fail_errno(const std::string& context,
+                             const std::string& path) {
+  const int err = errno;
+  std::string msg = context + " '" + path + "'";
+  if (err != 0) msg += ": " + std::string(std::strerror(err));
+  throw CheckpointError(msg);
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+std::uint32_t crc32(const char* data, std::size_t size) {
+  static const Crc32Table table;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table.t[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Append-only buffer the payload is serialized into before hitting disk.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const char*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+  std::vector<char>& bytes() { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Cursor over the file image; every overrun names the file and offset.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<char>& buf, std::size_t limit,
+             const std::string& path)
+      : buf_(buf), limit_(limit), path_(path) {}
+
+  template <typename T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    get_bytes(&v, sizeof(T), what);
+    return v;
+  }
+  void get_bytes(void* out, std::size_t size, const char* what) {
+    if (off_ + size > limit_)
+      throw CheckpointError("checkpoint '" + path_ +
+                            "' truncated at offset " + std::to_string(off_) +
+                            " reading " + what);
+    std::memcpy(out, buf_.data() + off_, size);
+    off_ += size;
+  }
+  std::size_t offset() const { return off_; }
+
+ private:
+  const std::vector<char>& buf_;
+  std::size_t limit_;
+  std::size_t off_ = 0;
+  std::string path_;
+};
+
+void serialize(const CheckpointState& state, ByteWriter& w) {
+  w.put(kMagicV2);
+  w.put(kCheckpointVersion);
+  w.put(state.step);
+  w.put(state.time_ps);
+  w.put(state.box);
+  w.put(static_cast<std::uint64_t>(state.positions.size()));
+  w.put(static_cast<std::uint32_t>(state.species.size()));
+  for (const auto& s : state.species) {
+    w.put(static_cast<std::uint32_t>(s.name.size()));
+    w.put_bytes(s.name.data(), s.name.size());
+    w.put(s.mass);
+    w.put(s.charge);
+  }
+  w.put_bytes(state.types.data(),
+              state.types.size() * sizeof(std::int32_t));
+  w.put_bytes(state.positions.data(), state.positions.size() * sizeof(Vec3));
+  w.put_bytes(state.velocities.data(),
+              state.velocities.size() * sizeof(Vec3));
+  w.put(state.thermostat.applications);
+  w.put(state.thermostat.last_scale);
+  w.put(state.thermostat.work_eV);
+  for (int i = 0; i < 4; ++i) w.put(state.rng.s[i]);
+  w.put(state.rng.cached);
+  w.put(state.rng.have_cached);
+}
+
+CheckpointState deserialize_v2(const std::vector<char>& buf,
+                               const std::string& path) {
+  // The last 4 bytes are the CRC footer, already verified by the caller.
+  ByteReader r(buf, buf.size() - sizeof(std::uint32_t), path);
+  CheckpointState state;
+  r.get<std::uint64_t>("magic");
+  const auto version = r.get<std::uint32_t>("version");
+  if (version != kCheckpointVersion)
+    throw CheckpointError("checkpoint '" + path + "' has unsupported version " +
+                          std::to_string(version));
+  state.version = version;
+  state.step = r.get<std::uint64_t>("step");
+  state.time_ps = r.get<double>("time_ps");
+  state.box = r.get<double>("box");
+  const auto n = r.get<std::uint64_t>("particle count");
+  const auto n_species = r.get<std::uint32_t>("species count");
+  state.species.resize(n_species);
+  for (auto& s : state.species) {
+    const auto len = r.get<std::uint32_t>("species name length");
+    s.name.resize(len);
+    r.get_bytes(s.name.data(), len, "species name");
+    s.mass = r.get<double>("species mass");
+    s.charge = r.get<double>("species charge");
+  }
+  state.types.resize(n);
+  r.get_bytes(state.types.data(), n * sizeof(std::int32_t), "types");
+  state.positions.resize(n);
+  r.get_bytes(state.positions.data(), n * sizeof(Vec3), "positions");
+  state.velocities.resize(n);
+  r.get_bytes(state.velocities.data(), n * sizeof(Vec3), "velocities");
+  state.thermostat.applications =
+      r.get<std::uint64_t>("thermostat applications");
+  state.thermostat.last_scale = r.get<double>("thermostat scale");
+  state.thermostat.work_eV = r.get<double>("thermostat work");
+  for (int i = 0; i < 4; ++i)
+    state.rng.s[i] = r.get<std::uint64_t>("rng word");
+  state.rng.cached = r.get<double>("rng cache");
+  state.rng.have_cached = r.get<std::uint8_t>("rng cache flag");
+  return state;
+}
+
+/// Legacy "MDMCKPT1": magic, n, box, positions, velocities — no CRC.
+CheckpointState deserialize_v1(const std::vector<char>& buf,
+                               const std::string& path) {
+  ByteReader r(buf, buf.size(), path);
+  CheckpointState state;
+  state.version = 1;
+  r.get<std::uint64_t>("magic");
+  const auto n = r.get<std::uint64_t>("particle count");
+  state.box = r.get<double>("box");
+  state.positions.resize(n);
+  r.get_bytes(state.positions.data(), n * sizeof(Vec3), "positions");
+  state.velocities.resize(n);
+  r.get_bytes(state.velocities.data(), n * sizeof(Vec3), "velocities");
+  return state;
+}
+
+/// Write `buf` durably to `fd`; honours the test failpoint by failing after
+/// half the payload, like a disk running out of space mid-write.
+void write_all(int fd, const std::vector<char>& buf,
+               const std::string& path) {
+  std::size_t limit = buf.size();
+  bool inject_failure = false;
+  int expected = g_fail_writes.load(std::memory_order_relaxed);
+  while (expected > 0 &&
+         !g_fail_writes.compare_exchange_weak(expected, expected - 1)) {
+  }
+  if (expected > 0) {
+    inject_failure = true;
+    limit = buf.size() / 2;
+  }
+  std::size_t written = 0;
+  while (written < limit) {
+    const ssize_t n = ::write(fd, buf.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("checkpoint write failed for", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (inject_failure) {
+    errno = ENOSPC;
+    fail_errno("checkpoint write failed for", path);
+  }
+}
+
+void fsync_path(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) fail_errno("checkpoint fsync failed for", path);
+}
+
+/// Make the rename itself durable: fsync the containing directory.
+void fsync_parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: not all filesystems allow this
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Crash-consistent byte dump: tmp + fsync + rename + parent fsync.
+void write_file_atomic(const std::string& path,
+                       const std::vector<char>& buf) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_errno("cannot open checkpoint temp file", tmp);
+  try {
+    write_all(fd, buf, tmp);
+    fsync_path(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("checkpoint close failed for", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("checkpoint rename failed for", path);
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace
+
+void checkpoint_fail_next_writes_for_testing(int count) {
+  g_fail_writes.store(count < 0 ? 0 : count, std::memory_order_relaxed);
+}
+
+CheckpointState CheckpointState::capture(const ParticleSystem& system,
+                                         std::uint64_t step,
+                                         double time_ps) {
+  CheckpointState state;
+  state.step = step;
+  state.time_ps = time_ps;
+  state.box = system.box();
+  for (int t = 0; t < system.species_count(); ++t)
+    state.species.push_back(system.species(t));
+  const auto types = system.types();
+  state.types.assign(types.begin(), types.end());
+  const auto pos = system.positions();
+  state.positions.assign(pos.begin(), pos.end());
+  const auto vel = system.velocities();
+  state.velocities.assign(vel.begin(), vel.end());
+  return state;
+}
+
+void CheckpointState::apply_to(ParticleSystem& system) const {
+  if (positions.size() != system.size() ||
+      velocities.size() != positions.size())
+    throw CheckpointError("checkpoint particle count mismatch: file holds " +
+                          std::to_string(positions.size()) +
+                          ", system holds " + std::to_string(system.size()));
+  if (box != system.box())
+    throw CheckpointError("checkpoint box mismatch");
+  if (!types.empty()) {
+    for (std::size_t i = 0; i < types.size(); ++i)
+      if (types[i] != system.type(i))
+        throw CheckpointError("checkpoint species mismatch at particle " +
+                              std::to_string(i));
+  }
+  auto pos = system.positions();
+  auto vel = system.velocities();
+  std::copy(positions.begin(), positions.end(), pos.begin());
+  std::copy(velocities.begin(), velocities.end(), vel.begin());
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const CheckpointState& state) {
+  if (state.velocities.size() != state.positions.size() ||
+      state.types.size() != state.positions.size())
+    throw CheckpointError(
+        "checkpoint state arrays disagree on particle count");
+  ByteWriter w;
+  serialize(state, w);
+  const std::uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+  w.put(crc);
+  write_file_atomic(path, w.bytes());
+  writes_counter().add(1);
+  bytes_counter().add(w.bytes().size());
+}
+
+CheckpointState read_checkpoint_file(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) fail_errno("cannot open checkpoint", path);
+  std::vector<char> buf((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (buf.size() < sizeof(std::uint64_t))
+    throw CheckpointError("checkpoint '" + path + "' truncated at offset " +
+                          std::to_string(buf.size()) + " reading magic");
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, buf.data(), sizeof magic);
+  CheckpointState state;
+  if (magic == kMagicV1) {
+    state = deserialize_v1(buf, path);
+  } else if (magic == kMagicV2) {
+    if (buf.size() < sizeof(std::uint64_t) + sizeof(std::uint32_t))
+      throw CheckpointError("checkpoint '" + path + "' truncated at offset " +
+                            std::to_string(buf.size()) + " reading footer");
+    const std::size_t crc_offset = buf.size() - sizeof(std::uint32_t);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, buf.data() + crc_offset, sizeof stored);
+    const std::uint32_t computed = crc32(buf.data(), crc_offset);
+    if (stored != computed) {
+      char detail[96];
+      std::snprintf(detail, sizeof detail,
+                    "stored 0x%08x, computed 0x%08x", stored, computed);
+      throw CheckpointError("checkpoint CRC mismatch in '" + path +
+                            "' at offset " + std::to_string(crc_offset) +
+                            ": " + detail);
+    }
+    state = deserialize_v2(buf, path);
+  } else {
+    throw CheckpointError("'" + path + "' is not an MDM checkpoint");
+  }
+  restores_counter().add(1);
+  return state;
+}
+
+CheckpointManager::CheckpointManager(std::string directory,
+                                     int keep_generations)
+    : dir_(std::move(directory)), keep_(keep_generations) {
+  if (keep_ < 1)
+    throw std::invalid_argument("CheckpointManager: keep_generations >= 1");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw CheckpointError("cannot create checkpoint directory '" + dir_ +
+                          "': " + ec.message());
+}
+
+std::string CheckpointManager::path_for_step(std::uint64_t step) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt.%06llu.mdm",
+                static_cast<unsigned long long>(step));
+  return (fs::path(dir_) / name).string();
+}
+
+std::vector<std::string> CheckpointManager::generations() const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view prefix = "ckpt.", suffix = ".mdm";
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    found.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [step, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+std::string CheckpointManager::write(const CheckpointState& state) {
+  const std::string path = path_for_step(state.step);
+  write_checkpoint_file(path, state);
+
+  // Refresh the `latest` pointer (same atomic protocol; advisory only —
+  // restore_latest re-validates everything against the CRCs).
+  const std::string pointer = (fs::path(dir_) / "latest").string();
+  const std::string name = fs::path(path).filename().string() + "\n";
+  write_file_atomic(pointer, {name.begin(), name.end()});
+
+  // Prune: keep the newest `keep_` generations.
+  auto gens = generations();
+  while (gens.size() > static_cast<std::size_t>(keep_)) {
+    std::error_code ec;
+    fs::remove(gens.front(), ec);
+    gens.erase(gens.begin());
+  }
+  return path;
+}
+
+std::optional<CheckpointState> CheckpointManager::restore_latest() const {
+  auto gens = generations();  // oldest..newest
+  // Candidate order: the `latest` pointer first (when it names a real
+  // generation), then every generation newest-first.
+  std::vector<std::string> candidates;
+  {
+    std::ifstream in(fs::path(dir_) / "latest");
+    std::string name;
+    if (in >> name) {
+      const std::string path = (fs::path(dir_) / name).string();
+      if (std::find(gens.begin(), gens.end(), path) != gens.end())
+        candidates.push_back(path);
+    }
+  }
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it)
+    if (candidates.empty() || *it != candidates.front())
+      candidates.push_back(*it);
+
+  for (const auto& path : candidates) {
+    try {
+      return read_checkpoint_file(path);
+    } catch (const CheckpointError& e) {
+      corrupt_counter().add(1);
+      MDM_LOG_WARN("checkpoint: skipping unreadable generation: %s",
+                   e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mdm

@@ -1,0 +1,82 @@
+#include "core/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdm {
+
+bool HealthMonitor::finite(const Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+void HealthMonitor::raise(SimulationHealthError::Kind kind, int step,
+                          long long particle, std::string message) {
+  static obs::Counter& violations =
+      obs::Registry::global().counter("health.violations");
+  violations.add(1);
+  MDM_LOG_ERROR("health: %s", message.c_str());
+  throw SimulationHealthError(kind, step, particle, message);
+}
+
+void HealthMonitor::check_finite_span(std::span<const Vec3> values,
+                                      const char* quantity, int step,
+                                      long long id_base) const {
+  if (!config_.check_finite) return;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    check_finite_one(values[i], quantity, step,
+                     id_base + static_cast<long long>(i));
+}
+
+void HealthMonitor::check_finite_one(const Vec3& v, const char* quantity,
+                                     int step, long long particle) const {
+  if (!config_.check_finite || finite(v)) return;
+  char msg[160];
+  std::snprintf(msg, sizeof msg,
+                "non-finite %s for particle %lld at step %d "
+                "(%g, %g, %g)",
+                quantity, particle, step, v.x, v.y, v.z);
+  raise(SimulationHealthError::Kind::kNonFinite, step, particle, msg);
+}
+
+void HealthMonitor::check_temperature(double temperature_K, int step) const {
+  if (config_.max_temperature_K <= 0.0) return;
+  if (std::isfinite(temperature_K) &&
+      temperature_K <= config_.max_temperature_K)
+    return;
+  char msg[160];
+  std::snprintf(msg, sizeof msg,
+                "temperature %g K at step %d exceeds the %g K watchdog limit",
+                temperature_K, step, config_.max_temperature_K);
+  raise(SimulationHealthError::Kind::kTemperature, step, -1, msg);
+}
+
+void HealthMonitor::observe_energy(double total_eV, int step) {
+  if (config_.max_energy_drift <= 0.0) return;
+  if (!std::isfinite(total_eV)) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg, "non-finite total energy at step %d",
+                  step);
+    raise(SimulationHealthError::Kind::kEnergyDrift, step, -1, msg);
+  }
+  if (!have_reference_) {
+    have_reference_ = true;
+    reference_eV_ = total_eV;
+    return;
+  }
+  const double denom =
+      std::fabs(reference_eV_) > 0.0 ? std::fabs(reference_eV_) : 1.0;
+  const double drift = std::fabs(total_eV - reference_eV_) / denom;
+  if (drift <= config_.max_energy_drift) return;
+  char msg[192];
+  std::snprintf(msg, sizeof msg,
+                "energy drift %.3e at step %d exceeds tolerance %.3e "
+                "(E=%.12g eV, reference %.12g eV)",
+                drift, step, config_.max_energy_drift, total_eV,
+                reference_eV_);
+  raise(SimulationHealthError::Kind::kEnergyDrift, step, -1, msg);
+}
+
+}  // namespace mdm

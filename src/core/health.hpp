@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file health.hpp
+/// Numerical-health watchdog (DESIGN.md §8). A 36-hour production run must
+/// not spend its last 30 hours integrating NaNs: the watchdog is checked
+/// every step and turns silent numerical garbage into a typed error —
+/// NaN/Inf positions, velocities or forces, temperature explosion, and
+/// NVE energy drift beyond a configurable tolerance. The parallel app can
+/// react by rolling back to the last checkpoint and halting cleanly.
+///
+/// Every violation increments the `health.violations` counter before the
+/// error is raised.
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/vec3.hpp"
+
+namespace mdm {
+
+struct HealthConfig {
+  bool check_finite = true;        ///< NaN/Inf scan of pos/vel/force
+  double max_temperature_K = 0.0;  ///< explosion guard; <= 0 disables
+  double max_energy_drift = 0.0;   ///< relative NVE drift; <= 0 disables
+};
+
+/// Raised by the watchdog; carries the offending step and (when a specific
+/// particle is implicated) its global particle id, -1 otherwise.
+class SimulationHealthError : public std::runtime_error {
+ public:
+  enum class Kind { kNonFinite, kTemperature, kEnergyDrift };
+
+  SimulationHealthError(Kind kind, int step, long long particle,
+                        const std::string& what)
+      : std::runtime_error(what), kind_(kind), step_(step),
+        particle_(particle) {}
+
+  Kind kind() const noexcept { return kind_; }
+  int step() const noexcept { return step_; }
+  long long particle() const noexcept { return particle_; }
+
+ private:
+  Kind kind_;
+  int step_;
+  long long particle_;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  explicit HealthMonitor(const HealthConfig& config) : config_(config) {}
+
+  const HealthConfig& config() const { return config_; }
+
+  static bool finite(const Vec3& v);
+
+  /// NaN/Inf scan of a per-particle array; particle i is reported as
+  /// id_base + i. `quantity` names the array ("position", "force", ...).
+  void check_finite_span(std::span<const Vec3> values, const char* quantity,
+                         int step, long long id_base = 0) const;
+
+  /// Single-particle variant with an explicit global id (parallel ranks,
+  /// whose slots are not globally contiguous).
+  void check_finite_one(const Vec3& v, const char* quantity, int step,
+                        long long particle) const;
+
+  void check_temperature(double temperature_K, int step) const;
+
+  /// NVE-phase energy tracking: the first observation becomes the drift
+  /// reference, later ones are checked against max_energy_drift.
+  void observe_energy(double total_eV, int step);
+  void reset_energy_reference() { have_reference_ = false; }
+
+ private:
+  [[noreturn]] static void raise(SimulationHealthError::Kind kind, int step,
+                                 long long particle, std::string message);
+
+  HealthConfig config_{};
+  bool have_reference_ = false;
+  double reference_eV_ = 0.0;
+};
+
+}  // namespace mdm

@@ -1,24 +1,34 @@
 #include "core/io.hpp"
 
-#include <cstdint>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "core/checkpoint.hpp"
 
 namespace mdm {
 namespace {
 
-constexpr std::uint64_t kCheckpointMagic = 0x4d444d434b505431ULL;  // "MDMCKPT1"
-
-void require(bool ok, const char* message) {
-  if (!ok) throw std::runtime_error(message);
+/// Report a stream failure with the path and the OS-level cause. Checked
+/// *after* writing (through an explicit flush), not just on open, so an
+/// ENOSPC or short write is caught at write time rather than at next load.
+void require_stream(std::ios& stream, const char* context,
+                    const std::string& path) {
+  if (stream.good()) return;
+  const int err = errno;
+  std::string msg = std::string(context) + " '" + path + "'";
+  if (err != 0) msg += ": " + std::string(std::strerror(err));
+  throw std::runtime_error(msg);
 }
 
 }  // namespace
 
 void write_xyz_frame(const std::string& path, const ParticleSystem& system,
                      const std::string& comment, bool append) {
+  errno = 0;
   std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
-  require(out.good(), "cannot open xyz file for writing");
+  require_stream(out, "cannot open xyz file for writing", path);
   out << system.size() << '\n' << comment << '\n';
   const auto positions = system.positions();
   for (std::size_t i = 0; i < system.size(); ++i) {
@@ -26,13 +36,15 @@ void write_xyz_frame(const std::string& path, const ParticleSystem& system,
     out << s.name << ' ' << positions[i].x << ' ' << positions[i].y << ' '
         << positions[i].z << '\n';
   }
-  require(out.good(), "xyz write failed");
+  out.flush();
+  require_stream(out, "xyz write failed for", path);
 }
 
 void write_samples_csv(const std::string& path,
                        const std::vector<Sample>& samples) {
+  errno = 0;
   std::ofstream out(path, std::ios::trunc);
-  require(out.good(), "cannot open csv file for writing");
+  require_stream(out, "cannot open csv file for writing", path);
   out << "step,time_ps,temperature_K,kinetic_eV,potential_eV,total_eV,"
          "pressure_GPa\n";
   out.precision(12);
@@ -41,46 +53,16 @@ void write_samples_csv(const std::string& path,
         << s.kinetic_eV << ',' << s.potential_eV << ',' << s.total_eV << ','
         << s.pressure_GPa << '\n';
   }
-  require(out.good(), "csv write failed");
+  out.flush();
+  require_stream(out, "csv write failed for", path);
 }
 
 void save_checkpoint(const std::string& path, const ParticleSystem& system) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  require(out.good(), "cannot open checkpoint for writing");
-  const std::uint64_t magic = kCheckpointMagic;
-  const std::uint64_t n = system.size();
-  const double box = system.box();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&n), sizeof n);
-  out.write(reinterpret_cast<const char*>(&box), sizeof box);
-  const auto pos = system.positions();
-  const auto vel = system.velocities();
-  out.write(reinterpret_cast<const char*>(pos.data()),
-            static_cast<std::streamsize>(pos.size_bytes()));
-  out.write(reinterpret_cast<const char*>(vel.data()),
-            static_cast<std::streamsize>(vel.size_bytes()));
-  require(out.good(), "checkpoint write failed");
+  write_checkpoint_file(path, CheckpointState::capture(system));
 }
 
 void load_checkpoint(const std::string& path, ParticleSystem& system) {
-  std::ifstream in(path, std::ios::binary);
-  require(in.good(), "cannot open checkpoint for reading");
-  std::uint64_t magic = 0;
-  std::uint64_t n = 0;
-  double box = 0.0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  in.read(reinterpret_cast<char*>(&n), sizeof n);
-  in.read(reinterpret_cast<char*>(&box), sizeof box);
-  require(in.good() && magic == kCheckpointMagic, "not an MDM checkpoint");
-  require(n == system.size(), "checkpoint particle count mismatch");
-  require(box == system.box(), "checkpoint box mismatch");
-  auto pos = system.positions();
-  auto vel = system.velocities();
-  in.read(reinterpret_cast<char*>(pos.data()),
-          static_cast<std::streamsize>(pos.size_bytes()));
-  in.read(reinterpret_cast<char*>(vel.data()),
-          static_cast<std::streamsize>(vel.size_bytes()));
-  require(in.good(), "checkpoint truncated");
+  read_checkpoint_file(path).apply_to(system);
 }
 
 }  // namespace mdm

@@ -21,9 +21,13 @@ void write_xyz_frame(const std::string& path, const ParticleSystem& system,
 void write_samples_csv(const std::string& path,
                        const std::vector<Sample>& samples);
 
-/// Binary checkpoint (positions + velocities). The target system of
-/// load_checkpoint must already hold the same particle count and species;
-/// only the dynamic state is restored.
+/// Binary checkpoint of a particle system, written in the versioned
+/// crash-consistent format of core/checkpoint (magic + version + CRC32
+/// footer, temp-file + fsync + atomic rename). load_checkpoint also reads
+/// the legacy bare positions+velocities format. The target system must
+/// already hold the same particle count, box and species; only the dynamic
+/// state is restored. For rotating checkpoints, step/thermostat/RNG state
+/// and automatic fallback, use CheckpointManager directly.
 void save_checkpoint(const std::string& path, const ParticleSystem& system);
 void load_checkpoint(const std::string& path, ParticleSystem& system);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "core/observables.hpp"
 #include "obs/step_breakdown.hpp"
 #include "obs/trace.hpp"
@@ -11,10 +12,33 @@ namespace mdm {
 
 Simulation::Simulation(ParticleSystem& system, ForceField& field,
                        SimulationConfig config)
-    : system_(&system), config_(config), integrator_(field) {
+    : system_(&system), config_(config), integrator_(field),
+      health_(config.health) {
   if (config_.dt_fs <= 0.0) throw std::invalid_argument("dt must be positive");
   if (config_.sample_interval < 1 || config_.rescale_interval < 1)
     throw std::invalid_argument("intervals must be >= 1");
+}
+
+void Simulation::enable_checkpointing(CheckpointManager* manager,
+                                      int interval) {
+  checkpoint_manager_ = manager;
+  checkpoint_interval_ = interval;
+}
+
+CheckpointState Simulation::checkpoint_state() const {
+  auto state = CheckpointState::capture(
+      *system_, static_cast<std::uint64_t>(current_step_),
+      current_step_ * config_.dt_fs * 1e-3);
+  state.thermostat = thermostat_.state();
+  return state;
+}
+
+void Simulation::restore(const CheckpointState& state) {
+  state.apply_to(*system_);
+  thermostat_.set_state(state.thermostat);
+  current_step_ = resume_step_ = static_cast<int>(state.step);
+  integrator_.invalidate();
+  health_.reset_energy_reference();
 }
 
 void Simulation::record(int step) {
@@ -32,20 +56,39 @@ void Simulation::record(int step) {
   samples_.push_back(s);
 }
 
+void Simulation::step_hooks(int step, bool nve) {
+  current_step_ = step;
+  if (config_.health.check_finite) {
+    health_.check_finite_span(system_->positions(), "position", step);
+    health_.check_finite_span(system_->velocities(), "velocity", step);
+    health_.check_finite_span(integrator_.forces(), "force", step);
+  }
+  if (!samples_.empty() && samples_.back().step == step) {
+    const Sample& s = samples_.back();
+    health_.check_temperature(s.temperature_K, step);
+    if (nve) health_.observe_energy(s.total_eV, step);
+  }
+  if (checkpoint_manager_ && checkpoint_interval_ > 0 &&
+      step % checkpoint_interval_ == 0 && step > resume_step_)
+    checkpoint_manager_->write(checkpoint_state());
+}
+
 void Simulation::run(const std::function<void(const Sample&)>& observer) {
   {
     // prime() evaluates the forces once before the loop — count it as step
     // 0 so the Table-1 phase accumulators line up with the step count.
+    // After a restore the step-0 sample is skipped: the restored run's
+    // samples continue from resume_step + 1.
     obs::TraceSpan span("sim.step");
     const std::uint64_t t0 = obs::Trace::now_ns();
     integrator_.prime(*system_);
-    record(0);
+    if (resume_step_ == 0) record(0);
     obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
-  if (observer) observer(samples_.back());
+  if (resume_step_ == 0 && observer) observer(samples_.back());
 
   const int total = config_.nvt_steps + config_.nve_steps;
-  for (int step = 1; step <= total; ++step) {
+  for (int step = resume_step_ + 1; step <= total; ++step) {
     obs::TraceSpan span("sim.step");
     const std::uint64_t t0 = obs::Trace::now_ns();
     integrator_.step(*system_, config_.dt_fs);
@@ -62,6 +105,7 @@ void Simulation::run(const std::function<void(const Sample&)>& observer) {
       record(step);
       if (observer) observer(samples_.back());
     }
+    step_hooks(step, /*nve=*/!nvt_phase);
     obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
 }
@@ -87,6 +131,7 @@ void Simulation::run_nve(int steps,
       record(step);
       if (observer) observer(samples_.back());
     }
+    step_hooks(step, /*nve=*/true);
     obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);
   }
 }

@@ -11,11 +11,15 @@
 #include <vector>
 
 #include "core/force_field.hpp"
+#include "core/health.hpp"
 #include "core/integrator.hpp"
 #include "core/particle_system.hpp"
 #include "core/thermostat.hpp"
 
 namespace mdm {
+
+struct CheckpointState;
+class CheckpointManager;
 
 struct SimulationConfig {
   double dt_fs = 2.0;            ///< paper: 2 fs
@@ -28,6 +32,8 @@ struct SimulationConfig {
   /// overrides temperature_K when set. This is how quench/solidification
   /// protocols (the ref. [14] study) are expressed.
   std::function<double(int)> temperature_schedule;
+  /// Numerical-health watchdog, checked every step (core/health).
+  HealthConfig health{};
 };
 
 /// One sampled point of the run.
@@ -68,14 +74,38 @@ class Simulation {
 
   const SimulationConfig& config() const { return config_; }
 
+  /// ---- checkpoint/restart (core/checkpoint, DESIGN.md §8) ----
+
+  /// Write a rotating checkpoint into `manager` every `interval` completed
+  /// steps (0 or nullptr disables). `manager` is borrowed.
+  void enable_checkpointing(CheckpointManager* manager, int interval);
+
+  /// Snapshot the live run state (system + thermostat + progress); a fresh
+  /// Simulation restored from it continues the trajectory bit-identically.
+  CheckpointState checkpoint_state() const;
+
+  /// Resume from `state`: restores positions/velocities and thermostat
+  /// accumulators; the next run() continues after state.step (its step-0
+  /// sample is skipped).
+  void restore(const CheckpointState& state);
+
+  const Thermostat& thermostat() const { return thermostat_; }
+
  private:
   void record(int step);
+  /// Per-step watchdog + checkpoint hooks; `nve` marks drift-checked steps.
+  void step_hooks(int step, bool nve);
 
   ParticleSystem* system_;
   SimulationConfig config_;
   VelocityVerlet integrator_;
   VelocityScalingThermostat thermostat_;
   std::vector<Sample> samples_;
+  HealthMonitor health_;
+  CheckpointManager* checkpoint_manager_ = nullptr;  ///< borrowed
+  int checkpoint_interval_ = 0;
+  int current_step_ = 0;
+  int resume_step_ = 0;
 };
 
 }  // namespace mdm

@@ -10,7 +10,9 @@ void VelocityScalingThermostat::apply(ParticleSystem& system, double target_K,
   const double t = system.temperature();
   if (t <= 0.0) return;
   const double scale = std::sqrt(target_K / t);
+  const double kinetic = system.kinetic_energy();
   for (auto& v : system.velocities()) v *= scale;
+  record_scale(scale, kinetic);
 }
 
 BerendsenThermostat::BerendsenThermostat(double tau_fs) : tau_fs_(tau_fs) {
@@ -24,7 +26,9 @@ void BerendsenThermostat::apply(ParticleSystem& system, double target_K,
   const double lambda2 = 1.0 + dt_fs / tau_fs_ * (target_K / t - 1.0);
   if (lambda2 <= 0.0) return;
   const double scale = std::sqrt(lambda2);
+  const double kinetic = system.kinetic_energy();
   for (auto& v : system.velocities()) v *= scale;
+  record_scale(scale, kinetic);
 }
 
 }  // namespace mdm

@@ -5,9 +5,20 @@
 /// scaling ("NVT constant ensemble by scaling the velocity", sec. 5);
 /// Berendsen is included as a gentler alternative for the examples.
 
+#include <cstdint>
+
 #include "core/particle_system.hpp"
 
 namespace mdm {
+
+/// Accumulated thermostat bookkeeping, part of the checkpoint payload
+/// (core/checkpoint): restoring it makes the cumulative-work diagnostic —
+/// E_total minus work_eV is the NVT conserved quantity — survive a restart.
+struct ThermostatState {
+  std::uint64_t applications = 0;  ///< times apply() rescaled velocities
+  double last_scale = 1.0;         ///< most recent velocity scale factor
+  double work_eV = 0.0;            ///< kinetic energy added (+) / removed (-)
+};
 
 class Thermostat {
  public:
@@ -15,6 +26,20 @@ class Thermostat {
   /// Adjust velocities toward `target_K`; `dt_fs` is the step just taken.
   virtual void apply(ParticleSystem& system, double target_K,
                      double dt_fs) = 0;
+
+  const ThermostatState& state() const { return state_; }
+  void set_state(const ThermostatState& state) { state_ = state; }
+
+ protected:
+  /// Record one rescale by `scale` of a system whose kinetic energy was
+  /// `kinetic_before_eV`.
+  void record_scale(double scale, double kinetic_before_eV) {
+    ++state_.applications;
+    state_.last_scale = scale;
+    state_.work_eV += (scale * scale - 1.0) * kinetic_before_eV;
+  }
+
+  ThermostatState state_{};
 };
 
 /// Rescale velocities so the instantaneous temperature equals the target

@@ -7,6 +7,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
+#include "core/health.hpp"
 #include "host/fault_injector.hpp"
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
@@ -30,6 +32,8 @@ enum Tag : int {
   kWineEnergy = 450,
   kMigrate = 500,
   kGatherFinal = 600,
+  kCkptGather = 700,
+  kCkptAck = 701,
 };
 
 /// One particle as it travels between processes.
@@ -67,6 +71,13 @@ struct Shared {
   double background_energy = 0.0;
   int total_steps = 0;
   vmpi::FaultInjector* injector = nullptr;  ///< not owned; may be null
+
+  // Checkpoint/restart wiring (DESIGN.md §8). `initial` and `start_step`
+  // are rewritten between recovery attempts; threads are joined in between,
+  // so the mutation is race-free.
+  int start_step = 0;                      ///< resume after this step
+  CheckpointManager* checkpoint = nullptr; ///< not owned; may be null
+  int checkpoint_interval = 0;             ///< steps between checkpoints
 };
 
 /// Injected rank failure: the rank throws at its fault step, exactly like a
@@ -102,9 +113,10 @@ void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
   const KVectorTable kvectors(shared.box, shared.config.ewald.alpha,
                               shared.config.ewald.lk_cut);
 
-  const int rounds = shared.total_steps + 1;  // one per force evaluation
-  for (int round = 0; round < rounds; ++round) {
-    // Round k serves the force evaluation of step k.
+  // One round per force evaluation: the resume (or initial) priming pass
+  // plus one per remaining step. Round k serves the force evaluation of
+  // step k.
+  for (int round = shared.start_step; round <= shared.total_steps; ++round) {
     maybe_fail_rank(shared, comm.rank(), round);
     // One (possibly empty) batch from every real rank.
     std::vector<WnRec> local;
@@ -175,12 +187,15 @@ class RealProcess {
   }
 
   void main() {
+    const int start = shared_.start_step;
     scatter_initial();
-    apply_injected_faults(0);
+    apply_injected_faults(start);
     compute_forces();
-    record_sample(0);  // collective: every real rank joins the reductions
+    // Collective: every real rank joins the reductions. After a restore
+    // the samples continue from start + 1.
+    if (start == 0) record_sample(0);
     const auto& cfg = shared_.config.protocol;
-    for (int step = 1; step <= shared_.total_steps; ++step) {
+    for (int step = start + 1; step <= shared_.total_steps; ++step) {
       apply_injected_faults(step);
       half_kick();
       drift();
@@ -189,7 +204,9 @@ class RealProcess {
       half_kick();
       if (step <= cfg.nvt_steps && step % cfg.rescale_interval == 0)
         thermostat();
+      check_health(step);
       if (step % cfg.sample_interval == 0) record_sample(step);
+      maybe_checkpoint(step);
     }
     gather_final();
   }
@@ -427,6 +444,63 @@ class RealProcess {
                      shared_.background_energy;
     s.total_eV = s.kinetic_eV + s.potential_eV;
     samples.push_back(s);
+    // Global watchdog checks run on rank 0, which alone sees the reduced
+    // quantities; a violation poisons the fabric like any rank failure and
+    // surfaces from World::run as SimulationHealthError.
+    health_.check_temperature(s.temperature_K, step);
+    if (step >= shared_.config.protocol.nvt_steps)
+      health_.observe_energy(s.total_eV, step);
+  }
+
+  /// Rank-local NaN/Inf scan of the owned particles (reported by global
+  /// particle id).
+  void check_health(int step) {
+    if (!shared_.config.health.check_finite) return;
+    for (const auto& p : my_) {
+      health_.check_finite_one(p.pos, "position", step, p.id);
+      health_.check_finite_one(p.vel, "velocity", step, p.id);
+      health_.check_finite_one(p.force, "force", step, p.id);
+    }
+  }
+
+  /// Every checkpoint_interval steps the real group funnels its particles
+  /// to rank 0, which writes one rotating crash-consistent generation.
+  void maybe_checkpoint(int step) {
+    auto* mgr = shared_.checkpoint;
+    if (!mgr || shared_.checkpoint_interval <= 0 ||
+        step % shared_.checkpoint_interval != 0)
+      return;
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.checkpoint");
+    // The ack makes the checkpoint an epoch barrier: no real rank enters
+    // step+1 until the generation is durably on disk. Without it a rank
+    // dying at step+1 can poison the fabric while rank 0 is still writing,
+    // leaving nothing to recover from.
+    if (rank() != 0) {
+      comm_.send(0, kCkptGather, my_);
+      comm_.recv_value<int>(0, kCkptAck);
+      return;
+    }
+    std::vector<PRec> all = my_;
+    for (int r = 1; r < real_count(); ++r) {
+      const auto part = comm_.recv<PRec>(r, kCkptGather);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    CheckpointState state;
+    state.step = static_cast<std::uint64_t>(step);
+    state.time_ps = step * shared_.config.protocol.dt_fs * 1e-3;
+    state.box = shared_.box;
+    state.species = shared_.species;
+    state.types.assign(shared_.n_particles, 0);
+    state.positions.assign(shared_.n_particles, Vec3{});
+    state.velocities.assign(shared_.n_particles, Vec3{});
+    for (const auto& p : all) {
+      state.types[p.id] = p.type;
+      state.positions[p.id] = p.pos;
+      state.velocities[p.id] = p.vel;
+    }
+    mgr->write(state);
+    for (int r = 1; r < real_count(); ++r) comm_.send_value(r, kCkptAck, step);
   }
 
   /// Publish this rank's accumulated phase timings as gauges so a run can
@@ -465,6 +539,7 @@ class RealProcess {
   std::vector<mdgrape2::ForcePass> force_passes_;
   std::vector<mdgrape2::ForcePass> potential_passes_;
   std::vector<PRec> my_;
+  HealthMonitor health_{shared_.config.health};
   std::vector<std::int32_t> id_slot_;  ///< id -> index in my_ (-1 not owned)
   double local_potential_ = 0.0;
   double wn_energy_ = 0.0;  // rank 0 only
@@ -518,6 +593,37 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
     shared.injector = env_injector.get();
   }
 
+  // Checkpoint/restart wiring (DESIGN.md §8): rank 0 writes a rotating
+  // generation every checkpoint_interval steps; on a rank failure the app
+  // restores the latest CRC-valid generation, rebuilds the domain
+  // decomposition over the restored configuration and resumes.
+  std::unique_ptr<CheckpointManager> ckpt_mgr;
+  if (!config_.checkpoint_dir.empty())
+    ckpt_mgr = std::make_unique<CheckpointManager>(config_.checkpoint_dir,
+                                                   config_.checkpoint_keep);
+  shared.checkpoint = ckpt_mgr.get();
+  shared.checkpoint_interval = config_.checkpoint_interval;
+
+  const auto apply_state = [&shared](const CheckpointState& state) {
+    if (state.size() != shared.n_particles)
+      throw CheckpointError(
+          "checkpoint particle count mismatch: file holds " +
+          std::to_string(state.size()) + ", run holds " +
+          std::to_string(shared.n_particles));
+    if (state.box != shared.box)
+      throw CheckpointError("checkpoint box mismatch");
+    shared.start_step = static_cast<int>(state.step);
+    for (std::size_t i = 0; i < shared.n_particles; ++i) {
+      auto& p = shared.initial[i];
+      if (!state.types.empty()) p.type = state.types[i];
+      p.pos = state.positions[i];
+      p.vel = state.velocities[i];
+      p.force = Vec3{};
+    }
+  };
+  if (!config_.restore_path.empty())
+    apply_state(read_checkpoint_file(config_.restore_path));
+
   ParallelRunResult result;
   vmpi::World world(config_.real_processes + config_.wn_processes);
   if (shared.injector) world.set_fault_injector(shared.injector);
@@ -529,21 +635,63 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
     world.set_recv_timeout(std::chrono::milliseconds(
         static_cast<long>(config_.recv_timeout_ms)));
   std::mutex result_mutex;
-  world.run([&](vmpi::Communicator& comm) {
-    if (comm.rank() < config_.real_processes) {
-      RealProcess proc(shared, comm);
-      proc.main();
-      if (comm.rank() == 0) {
-        std::lock_guard lock(result_mutex);
-        result.samples = std::move(proc.samples);
-        result.positions = std::move(proc.final_positions);
-        result.velocities = std::move(proc.final_velocities);
+
+  for (;;) {
+    try {
+      world.run([&](vmpi::Communicator& comm) {
+        if (comm.rank() < config_.real_processes) {
+          RealProcess proc(shared, comm);
+          proc.main();
+          if (comm.rank() == 0) {
+            std::lock_guard lock(result_mutex);
+            result.samples = std::move(proc.samples);
+            result.positions = std::move(proc.final_positions);
+            result.velocities = std::move(proc.final_velocities);
+          }
+        } else {
+          wavenumber_main(shared, comm);
+        }
+      });
+      return result;
+    } catch (const SimulationHealthError& e) {
+      // Deterministic numerical garbage: resuming would reproduce it, so
+      // optionally roll the result back to the last good checkpoint and
+      // halt cleanly instead of rethrowing.
+      if (config_.rollback_on_health_error && shared.checkpoint) {
+        if (auto state = shared.checkpoint->restore_latest()) {
+          MDM_LOG_WARN(
+              "parallel: health violation (%s); rolling back to checkpoint "
+              "at step %llu and halting",
+              e.what(), static_cast<unsigned long long>(state->step));
+          result.halted_on_health = true;
+          result.health_message = e.what();
+          result.restored_from_step = state->step;
+          result.samples.clear();
+          result.positions = std::move(state->positions);
+          result.velocities = std::move(state->velocities);
+          return result;
+        }
       }
-    } else {
-      wavenumber_main(shared, comm);
+      throw;
+    } catch (const std::exception& e) {
+      if (!config_.auto_recover || !shared.checkpoint ||
+          result.recoveries >= config_.max_recoveries)
+        throw;
+      const auto state = shared.checkpoint->restore_latest();
+      if (!state) throw;  // nothing durable to resume from
+      apply_state(*state);
+      ++result.recoveries;
+      result.restored_from_step = state->step;
+      static obs::Counter& recoveries =
+          obs::Registry::global().counter("parallel.recoveries");
+      recoveries.add(1);
+      MDM_LOG_WARN(
+          "parallel: run failed (%s); recovered from checkpoint at step "
+          "%llu, resuming (%d/%d)",
+          e.what(), static_cast<unsigned long long>(state->step),
+          result.recoveries, config_.max_recoveries);
     }
-  });
-  return result;
+  }
 }
 
 }  // namespace mdm::host

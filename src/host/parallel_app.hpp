@@ -18,8 +18,10 @@
 /// hardware simulators underneath this is the full MDM software stack.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/particle_system.hpp"
 #include "core/simulation.hpp"
 #include "core/tosi_fumi.hpp"
@@ -52,6 +54,22 @@ struct ParallelAppConfig {
   int send_max_retries = 3;      ///< retransmissions for dropped messages
   double send_backoff_us = 50;   ///< initial retransmission backoff
   double recv_timeout_ms = 0;    ///< recv deadline; 0 = wait forever
+
+  // Checkpoint/restart + numerical health (DESIGN.md §8). Rank 0 gathers
+  // the full configuration every checkpoint_interval steps and writes a
+  // rotating crash-consistent checkpoint; with auto_recover set, a rank
+  // failure mid-run restores the latest valid generation, rebuilds the
+  // domain decomposition and resumes bit-identically.
+  std::string checkpoint_dir;  ///< empty = checkpointing disabled
+  int checkpoint_interval = 0; ///< steps between checkpoints (0 = off)
+  int checkpoint_keep = 3;     ///< generations kept on disk
+  std::string restore_path;    ///< start from this checkpoint file
+  bool auto_recover = false;   ///< restore + resume after a rank failure
+  int max_recoveries = 1;      ///< in-run recovery budget
+  HealthConfig health{};       ///< per-step numerical-health watchdog
+  /// On a watchdog violation, restore the last checkpoint into the result
+  /// and halt cleanly instead of rethrowing (halted_on_health is set).
+  bool rollback_on_health_error = false;
 };
 
 struct ParallelRunResult {
@@ -59,6 +77,12 @@ struct ParallelRunResult {
   /// Final positions/velocities indexed by original particle id.
   std::vector<Vec3> positions;
   std::vector<Vec3> velocities;
+
+  // Checkpoint/restart bookkeeping (DESIGN.md §8).
+  int recoveries = 0;  ///< successful in-run restores after rank failures
+  std::uint64_t restored_from_step = 0;  ///< last restore point (0 = none)
+  bool halted_on_health = false;  ///< watchdog rolled the run back + halted
+  std::string health_message;     ///< watchdog error text when halted
 };
 
 class MdmParallelApp {

@@ -23,6 +23,15 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Serialized generator state: the four xoshiro words plus the Marsaglia
+/// polar cache. Trivially copyable; written verbatim into checkpoints
+/// (core/checkpoint) so a restored stream continues bit-identically.
+struct RandomState {
+  std::uint64_t s[4] = {};
+  double cached = 0.0;
+  std::uint8_t have_cached = 0;
+};
+
 /// xoshiro256++ generator (public-domain algorithm by Blackman & Vigna).
 class Random {
  public:
@@ -31,6 +40,24 @@ class Random {
   void reseed(std::uint64_t seed) {
     std::uint64_t sm = seed;
     for (auto& w : s_) w = splitmix64(sm);
+    have_cached_ = false;
+  }
+
+  /// Serialize the full stream state (including the cached normal draw).
+  RandomState state() const {
+    RandomState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.have_cached = have_cached_ ? 1 : 0;
+    return st;
+  }
+
+  /// Restore a stream serialized by state(); the next draws continue the
+  /// original sequence exactly.
+  void set_state(const RandomState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    have_cached_ = st.have_cached != 0;
   }
 
   std::uint64_t next_u64() {

@@ -1,0 +1,599 @@
+/// \file test_checkpoint.cpp
+/// Crash-consistent checkpoint/restart + numerical-health watchdog
+/// (DESIGN.md §8): format round-trips, atomic-rename crash safety,
+/// generation rotation and corruption fallback, legacy-format reading,
+/// bit-identical restart of the serial and parallel drivers, and in-run
+/// recovery from an injected rank death.
+
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/health.hpp"
+#include "core/io.hpp"
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "host/fault_injector.hpp"
+#include "host/mdm_force_field.hpp"
+#include "host/parallel_app.hpp"
+#include "obs/metrics.hpp"
+#include "util/random.hpp"
+
+namespace mdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t counter(const char* name) {
+  return obs::Registry::global().counter_value(name);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("mdm_ckpt_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    checkpoint_fail_next_writes_for_testing(0);
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A fully populated state from a small crystal; `salt` varies the dynamic
+/// fields so distinct states are distinguishable on disk.
+CheckpointState make_state(std::uint64_t step, std::uint64_t salt = 1) {
+  auto sys = make_nacl_crystal(1);
+  assign_maxwell_velocities(sys, 300.0 + double(salt), salt);
+  auto state = CheckpointState::capture(sys, step, double(step) * 2e-3);
+  state.thermostat.applications = 3 + salt;
+  state.thermostat.last_scale = 0.9876;
+  state.thermostat.work_eV = -0.125;
+  Random rng(salt);
+  rng.normal();  // populate the polar cache
+  state.rng = rng.state();
+  return state;
+}
+
+void expect_states_bitwise_equal(const CheckpointState& a,
+                                 const CheckpointState& b) {
+  EXPECT_EQ(a.step, b.step);
+  EXPECT_EQ(a.time_ps, b.time_ps);
+  EXPECT_EQ(a.box, b.box);
+  ASSERT_EQ(a.species.size(), b.species.size());
+  for (std::size_t i = 0; i < a.species.size(); ++i) {
+    EXPECT_EQ(a.species[i].name, b.species[i].name);
+    EXPECT_EQ(a.species[i].mass, b.species[i].mass);
+    EXPECT_EQ(a.species[i].charge, b.species[i].charge);
+  }
+  ASSERT_EQ(a.types, b.types);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  ASSERT_EQ(a.velocities.size(), b.velocities.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x) << i;
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y) << i;
+    EXPECT_EQ(a.positions[i].z, b.positions[i].z) << i;
+    EXPECT_EQ(a.velocities[i].x, b.velocities[i].x) << i;
+    EXPECT_EQ(a.velocities[i].y, b.velocities[i].y) << i;
+    EXPECT_EQ(a.velocities[i].z, b.velocities[i].z) << i;
+  }
+  EXPECT_EQ(a.thermostat.applications, b.thermostat.applications);
+  EXPECT_EQ(a.thermostat.last_scale, b.thermostat.last_scale);
+  EXPECT_EQ(a.thermostat.work_eV, b.thermostat.work_eV);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.rng.s[i], b.rng.s[i]);
+  EXPECT_EQ(a.rng.cached, b.rng.cached);
+  EXPECT_EQ(a.rng.have_cached, b.rng.have_cached);
+}
+
+/// ------------------------- RNG state -------------------------------------
+
+TEST(RandomStateSerialization, RestoredStreamContinuesExactly) {
+  Random original(12345);
+  for (int i = 0; i < 7; ++i) original.normal();  // leaves a cached draw
+  const RandomState snapshot = original.state();
+
+  Random restored(999);  // different seed: state must fully override it
+  restored.set_state(snapshot);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(original.next_u64(), restored.next_u64()) << i;
+  }
+  // The Marsaglia cache travels too: the first normal() after restore must
+  // return the cached second draw, not a fresh pair.
+  Random a(7), b(42);
+  a.normal();
+  b.set_state(a.state());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.normal(), b.normal()) << i;
+}
+
+/// ------------------------- format round-trip -----------------------------
+
+TEST_F(CheckpointTest, RoundTripPreservesEveryFieldBitwise) {
+  const auto state = make_state(42);
+  const auto writes = counter("ckpt.writes");
+  const auto bytes = counter("ckpt.bytes");
+  const auto restores = counter("ckpt.restores");
+  write_checkpoint_file(path("a.mdm"), state);
+  const auto loaded = read_checkpoint_file(path("a.mdm"));
+  EXPECT_EQ(loaded.version, kCheckpointVersion);
+  expect_states_bitwise_equal(state, loaded);
+  EXPECT_EQ(counter("ckpt.writes"), writes + 1);
+  EXPECT_GT(counter("ckpt.bytes"), bytes);
+  EXPECT_EQ(counter("ckpt.restores"), restores + 1);
+}
+
+TEST_F(CheckpointTest, ApplyToRestoresDynamicState) {
+  auto sys = make_nacl_crystal(1);
+  assign_maxwell_velocities(sys, 1200.0, 5);
+  const auto state = CheckpointState::capture(sys, 10, 0.02);
+  auto target = make_nacl_crystal(1);  // zero velocities, lattice positions
+  state.apply_to(target);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(target.positions()[i].x, sys.positions()[i].x);
+    EXPECT_EQ(target.velocities()[i].x, sys.velocities()[i].x);
+  }
+  // Mismatched targets are rejected, not silently mangled.
+  auto wrong = make_nacl_crystal(2);
+  EXPECT_THROW(state.apply_to(wrong), CheckpointError);
+}
+
+/// ------------------------- crash consistency -----------------------------
+
+TEST_F(CheckpointTest, FailedWriteLeavesNoPartialFileAndKeepsOldCheckpoint) {
+  const auto old_state = make_state(2, /*salt=*/2);
+  write_checkpoint_file(path("a.mdm"), old_state);
+
+  checkpoint_fail_next_writes_for_testing(1);
+  try {
+    write_checkpoint_file(path("a.mdm"), make_state(4, /*salt=*/4));
+    FAIL() << "expected the injected ENOSPC to surface";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint write failed"),
+              std::string::npos)
+        << e.what();
+  }
+  // The half-written temp file was cleaned up and the previous generation
+  // is untouched: a crash mid-write can never lose the old checkpoint.
+  EXPECT_FALSE(fs::exists(path("a.mdm.tmp")));
+  const auto survivor = read_checkpoint_file(path("a.mdm"));
+  expect_states_bitwise_equal(old_state, survivor);
+}
+
+/// ------------------------- rotation --------------------------------------
+
+TEST_F(CheckpointTest, RotationKeepsExactlyNGenerationsAndLatestPointer) {
+  CheckpointManager mgr(path("rot"), /*keep_generations=*/2);
+  EXPECT_EQ(mgr.keep_generations(), 2);
+  for (std::uint64_t step : {2, 4, 6, 8}) mgr.write(make_state(step, step));
+
+  const auto gens = mgr.generations();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0], mgr.path_for_step(6));
+  EXPECT_EQ(gens[1], mgr.path_for_step(8));
+  EXPECT_FALSE(fs::exists(mgr.path_for_step(2)));
+  EXPECT_FALSE(fs::exists(mgr.path_for_step(4)));
+
+  std::ifstream latest(fs::path(mgr.directory()) / "latest");
+  std::string name;
+  latest >> name;
+  EXPECT_EQ(name, "ckpt.000008.mdm");
+
+  const auto restored = mgr.restore_latest();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->step, 8u);
+}
+
+TEST_F(CheckpointTest, ManagerRejectsZeroGenerations) {
+  EXPECT_THROW(CheckpointManager(path("bad"), 0), std::invalid_argument);
+}
+
+TEST_F(CheckpointTest, EmptyDirectoryRestoresNothing) {
+  CheckpointManager mgr(path("empty"));
+  EXPECT_TRUE(mgr.generations().empty());
+  EXPECT_FALSE(mgr.restore_latest().has_value());
+}
+
+/// ------------------------- corruption ------------------------------------
+
+void flip_byte(const std::string& file, std::size_t offset) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0x5a));
+}
+
+TEST_F(CheckpointTest, BitFlipIsRejectedNamingFileAndOffset) {
+  write_checkpoint_file(path("a.mdm"), make_state(6));
+  flip_byte(path("a.mdm"), 100);
+  try {
+    read_checkpoint_file(path("a.mdm"));
+    FAIL() << "expected a CRC mismatch";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("a.mdm"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find("stored 0x"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedFilesAreRejected) {
+  write_checkpoint_file(path("full.mdm"), make_state(6));
+  std::ifstream in(path("full.mdm"), std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 64u);
+
+  const auto truncate_to = [&](std::size_t n) {
+    std::ofstream out(path("cut.mdm"), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamoff>(n));
+  };
+  truncate_to(4);  // shorter than the magic
+  EXPECT_THROW(read_checkpoint_file(path("cut.mdm")), CheckpointError);
+  truncate_to(10);  // magic but no room for the CRC footer
+  try {
+    read_checkpoint_file(path("cut.mdm"));
+    FAIL() << "expected a truncation error";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  truncate_to(bytes.size() / 2);  // mid-payload: caught by the CRC
+  EXPECT_THROW(read_checkpoint_file(path("cut.mdm")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, NonCheckpointFileIsRejected) {
+  std::ofstream(path("junk.mdm")) << "definitely not a checkpoint file";
+  try {
+    read_checkpoint_file(path("junk.mdm"));
+    FAIL() << "expected a magic mismatch";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("not an MDM checkpoint"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(read_checkpoint_file(path("missing.mdm")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, CorruptLatestFallsBackToPreviousGeneration) {
+  CheckpointManager mgr(path("fb"));
+  mgr.write(make_state(2, 2));
+  mgr.write(make_state(4, 4));
+  flip_byte(mgr.path_for_step(4), 80);
+
+  const auto skipped = counter("ckpt.corrupt_skipped");
+  const auto restored = mgr.restore_latest();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->step, 2u);
+  EXPECT_EQ(counter("ckpt.corrupt_skipped"), skipped + 1);
+
+  // With every generation corrupt there is nothing to restore.
+  flip_byte(mgr.path_for_step(2), 80);
+  EXPECT_FALSE(mgr.restore_latest().has_value());
+}
+
+/// ------------------------- legacy format ---------------------------------
+
+TEST_F(CheckpointTest, LegacyFormatStillLoads) {
+  auto sys = make_nacl_crystal(1);
+  assign_maxwell_velocities(sys, 800.0, 11);
+
+  // Hand-write the old bare "MDMCKPT1" dump: magic, n, box, pos, vel.
+  {
+    std::ofstream out(path("old.mdm"), std::ios::binary);
+    const std::uint64_t magic = 0x4d444d434b505431ULL;
+    const std::uint64_t n = sys.size();
+    const double box = sys.box();
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(&box), sizeof box);
+    out.write(reinterpret_cast<const char*>(sys.positions().data()),
+              static_cast<std::streamoff>(n * sizeof(Vec3)));
+    out.write(reinterpret_cast<const char*>(sys.velocities().data()),
+              static_cast<std::streamoff>(n * sizeof(Vec3)));
+  }
+  const auto state = read_checkpoint_file(path("old.mdm"));
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_TRUE(state.types.empty());  // v1 carries no species info
+
+  auto target = make_nacl_crystal(1);
+  load_checkpoint(path("old.mdm"), target);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(target.positions()[i].x, sys.positions()[i].x) << i;
+    EXPECT_EQ(target.velocities()[i].z, sys.velocities()[i].z) << i;
+  }
+}
+
+/// ------------------------- serial restart --------------------------------
+
+std::unique_ptr<CompositeForceField> nacl_force_field(
+    const ParticleSystem& sys) {
+  auto field = std::make_unique<CompositeForceField>();
+  const auto params = software_parameters(sys.size(), sys.box(), {3.6, 3.8});
+  field->add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field->add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
+                                                  params.r_cut,
+                                                  /*shift_energy=*/true));
+  return field;
+}
+
+TEST_F(CheckpointTest, SerialRestartContinuesBitIdentically) {
+  const auto initial = [] {
+    auto sys = make_nacl_crystal(2);
+    assign_maxwell_velocities(sys, 1200.0, 42);
+    return sys;
+  }();
+  SimulationConfig cfg;
+  cfg.nvt_steps = 4;
+  cfg.nve_steps = 4;
+
+  // Uninterrupted baseline.
+  auto sys_a = initial;
+  auto field_a = nacl_force_field(sys_a);
+  Simulation baseline(sys_a, *field_a, cfg);
+  baseline.run();
+
+  // Same run with checkpointing on: must not perturb the trajectory.
+  CheckpointManager mgr(path("serial"));
+  auto sys_b = initial;
+  auto field_b = nacl_force_field(sys_b);
+  Simulation checkpointed(sys_b, *field_b, cfg);
+  checkpointed.enable_checkpointing(&mgr, /*interval=*/2);
+  checkpointed.run();
+  ASSERT_TRUE(fs::exists(mgr.path_for_step(4)));
+
+  // Kill-and-resume: a fresh Simulation restored from the step-4 generation
+  // must land on bit-identical final positions AND velocities.
+  auto sys_c = initial;
+  auto field_c = nacl_force_field(sys_c);
+  Simulation resumed(sys_c, *field_c, cfg);
+  resumed.restore(read_checkpoint_file(mgr.path_for_step(4)));
+  resumed.run();
+
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    EXPECT_EQ(sys_b.positions()[i].x, sys_a.positions()[i].x) << i;
+    EXPECT_EQ(sys_c.positions()[i].x, sys_a.positions()[i].x) << i;
+    EXPECT_EQ(sys_c.positions()[i].y, sys_a.positions()[i].y) << i;
+    EXPECT_EQ(sys_c.positions()[i].z, sys_a.positions()[i].z) << i;
+    EXPECT_EQ(sys_c.velocities()[i].x, sys_a.velocities()[i].x) << i;
+    EXPECT_EQ(sys_c.velocities()[i].y, sys_a.velocities()[i].y) << i;
+    EXPECT_EQ(sys_c.velocities()[i].z, sys_a.velocities()[i].z) << i;
+  }
+  // The thermostat accumulators continue across the restart too.
+  EXPECT_EQ(resumed.thermostat().state().applications,
+            baseline.thermostat().state().applications);
+  EXPECT_EQ(resumed.thermostat().state().work_eV,
+            baseline.thermostat().state().work_eV);
+  // The resumed run only holds samples from after the restore point.
+  EXPECT_EQ(resumed.samples().front().step, 5);
+}
+
+/// ------------------------- health watchdog -------------------------------
+
+TEST_F(CheckpointTest, WatchdogRaisesOnInjectedNaN) {
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 1200.0, 3);
+  auto field = nacl_force_field(sys);
+  SimulationConfig cfg;
+  cfg.nvt_steps = 5;
+  cfg.nve_steps = 0;
+  Simulation sim(sys, *field, cfg);
+
+  const auto violations = counter("health.violations");
+  try {
+    sim.run([&](const Sample& s) {
+      if (s.step == 2)
+        sys.velocities()[3].x = std::numeric_limits<double>::quiet_NaN();
+    });
+    FAIL() << "expected the watchdog to fire";
+  } catch (const SimulationHealthError& e) {
+    EXPECT_EQ(e.kind(), SimulationHealthError::Kind::kNonFinite);
+    EXPECT_EQ(e.step(), 2);
+    EXPECT_EQ(e.particle(), 3);
+    EXPECT_NE(std::string(e.what()).find("velocity"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(counter("health.violations"), violations + 1);
+}
+
+TEST_F(CheckpointTest, WatchdogRaisesOnTemperatureExplosion) {
+  auto sys = make_nacl_crystal(2);
+  assign_maxwell_velocities(sys, 1200.0, 3);
+  auto field = nacl_force_field(sys);
+  SimulationConfig cfg;
+  cfg.nvt_steps = 5;
+  cfg.nve_steps = 0;
+  cfg.health.max_temperature_K = 1.0;  // ~1200 K run: trips immediately
+  Simulation sim(sys, *field, cfg);
+  try {
+    sim.run();
+    FAIL() << "expected the watchdog to fire";
+  } catch (const SimulationHealthError& e) {
+    EXPECT_EQ(e.kind(), SimulationHealthError::Kind::kTemperature);
+    EXPECT_EQ(e.particle(), -1);
+  }
+}
+
+TEST(HealthMonitor, EnergyDriftReferenceAndTolerance) {
+  HealthConfig cfg;
+  cfg.max_energy_drift = 1e-6;
+  HealthMonitor monitor(cfg);
+  monitor.observe_energy(-100.0, 10);      // sets the reference
+  monitor.observe_energy(-100.00001, 11);  // 1e-7 relative: fine
+  try {
+    monitor.observe_energy(-101.0, 12);  // 1e-2 relative: violation
+    FAIL() << "expected a drift violation";
+  } catch (const SimulationHealthError& e) {
+    EXPECT_EQ(e.kind(), SimulationHealthError::Kind::kEnergyDrift);
+    EXPECT_EQ(e.step(), 12);
+  }
+  monitor.reset_energy_reference();
+  monitor.observe_energy(-101.0, 13);  // new reference after reset
+}
+
+/// ------------------------- parallel restart ------------------------------
+
+ParticleSystem initial_state(int n_cells, std::uint64_t seed) {
+  auto sys = make_nacl_crystal(n_cells);
+  assign_maxwell_velocities(sys, 1200.0, seed);
+  return sys;
+}
+
+host::ParallelAppConfig app_config(const ParticleSystem& sys, int real,
+                                   int wn, int nvt, int nve) {
+  host::ParallelAppConfig cfg;
+  cfg.real_processes = real;
+  cfg.wn_processes = wn;
+  cfg.protocol.nvt_steps = nvt;
+  cfg.protocol.nve_steps = nve;
+  cfg.ewald = host::mdm_parameters(double(sys.size()), sys.box());
+  cfg.mdgrape_boards_per_process = 2;
+  cfg.wine_boards_per_process = 1;
+  return cfg;
+}
+
+void expect_bitwise_equal(const host::ParallelRunResult& a,
+                          const host::ParallelRunResult& b) {
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < b.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x) << i;
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y) << i;
+    EXPECT_EQ(a.positions[i].z, b.positions[i].z) << i;
+    EXPECT_EQ(a.velocities[i].x, b.velocities[i].x) << i;
+    EXPECT_EQ(a.velocities[i].y, b.velocities[i].y) << i;
+    EXPECT_EQ(a.velocities[i].z, b.velocities[i].z) << i;
+  }
+}
+
+TEST_F(CheckpointTest, ParallelKillAndAutoRecoverIsBitIdentical) {
+  const auto sys = initial_state(2, 7);
+  const auto cfg = app_config(sys, 4, 2, 2, 3);
+
+  host::MdmParallelApp baseline_app(cfg);
+  const auto baseline = baseline_app.run(sys);
+
+  // Rank 2 dies at step 3, right after the step-2 checkpoint was written;
+  // the app must restore it, rebuild the decomposition and finish on the
+  // exact same trajectory.
+  vmpi::FaultInjector injector;
+  injector.add_rule({.kind = vmpi::FaultRule::Kind::kFailRank, .rank = 2,
+                     .step = 3});
+  auto faulty_cfg = cfg;
+  faulty_cfg.fault_injector = &injector;
+  faulty_cfg.checkpoint_dir = path("recover");
+  faulty_cfg.checkpoint_interval = 2;
+  faulty_cfg.auto_recover = true;
+  faulty_cfg.max_recoveries = 2;
+  const auto restores = counter("ckpt.restores");
+  host::MdmParallelApp faulty_app(faulty_cfg);
+  const auto recovered = faulty_app.run(sys);
+
+  EXPECT_EQ(recovered.recoveries, 1);
+  EXPECT_EQ(recovered.restored_from_step, 2u);
+  EXPECT_GT(counter("ckpt.restores"), restores);
+  expect_bitwise_equal(recovered, baseline);
+
+  // --restore PATH: resuming a *fresh* app from an on-disk generation also
+  // reproduces the uninterrupted run.
+  CheckpointManager mgr(path("recover"));
+  auto resume_cfg = cfg;
+  resume_cfg.restore_path = mgr.path_for_step(2);
+  host::MdmParallelApp resume_app(resume_cfg);
+  const auto resumed = resume_app.run(sys);
+  EXPECT_EQ(resumed.recoveries, 0);
+  expect_bitwise_equal(resumed, baseline);
+}
+
+TEST_F(CheckpointTest, ParallelRecoveryWithoutCheckpointsRethrows) {
+  const auto sys = initial_state(2, 7);
+  auto cfg = app_config(sys, 4, 2, 2, 2);
+  vmpi::FaultInjector injector;
+  injector.add_rule({.kind = vmpi::FaultRule::Kind::kFailRank, .rank = 1,
+                     .step = 1});
+  cfg.fault_injector = &injector;
+  cfg.auto_recover = true;  // no checkpoint_dir: nothing to restore from
+  host::MdmParallelApp app(cfg);
+  EXPECT_THROW(app.run(sys), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, ParallelHealthViolationRollsBackAndHalts) {
+  const auto sys = initial_state(2, 9);
+
+  // Step-2 reference state: the same protocol stopped where the last good
+  // checkpoint will be taken.
+  auto short_cfg = app_config(sys, 4, 2, 2, 0);
+  host::MdmParallelApp short_app(short_cfg);
+  const auto at_step2 = short_app.run(sys);
+
+  // An impossible drift tolerance guarantees a violation early in the NVE
+  // phase — deterministic numerical garbage must NOT be retried, only
+  // rolled back.
+  auto cfg = app_config(sys, 4, 2, 2, 3);
+  cfg.checkpoint_dir = path("rollback");
+  cfg.checkpoint_interval = 2;
+  cfg.auto_recover = true;  // must not be consulted for health errors
+  cfg.rollback_on_health_error = true;
+  cfg.health.max_energy_drift = 1e-18;
+  host::MdmParallelApp app(cfg);
+  const auto result = app.run(sys);
+
+  EXPECT_TRUE(result.halted_on_health);
+  EXPECT_EQ(result.recoveries, 0);
+  EXPECT_EQ(result.restored_from_step, 2u);
+  EXPECT_NE(result.health_message.find("energy drift"), std::string::npos)
+      << result.health_message;
+  expect_bitwise_equal(result, at_step2);
+}
+
+TEST_F(CheckpointTest, Acceptance24RankKillResumeIsBitIdentical) {
+  // The paper's full 16 + 8 process layout: kill a rank mid-run and the
+  // auto-restored run must finish bit-identical to the uninterrupted one.
+  const auto sys = initial_state(3, 13);
+  const auto cfg = app_config(sys, 16, 8, 2, 3);
+
+  host::MdmParallelApp baseline_app(cfg);
+  const auto baseline = baseline_app.run(sys);
+
+  vmpi::FaultInjector injector;
+  injector.add_rule({.kind = vmpi::FaultRule::Kind::kFailRank, .rank = 5,
+                     .step = 3});
+  auto faulty_cfg = cfg;
+  faulty_cfg.fault_injector = &injector;
+  faulty_cfg.checkpoint_dir = path("accept");
+  faulty_cfg.checkpoint_interval = 2;
+  faulty_cfg.auto_recover = true;
+  host::MdmParallelApp faulty_app(faulty_cfg);
+  const auto recovered = faulty_app.run(sys);
+
+  EXPECT_EQ(recovered.recoveries, 1);
+  EXPECT_EQ(recovered.restored_from_step, 2u);
+  expect_bitwise_equal(recovered, baseline);
+}
+
+}  // namespace
+}  // namespace mdm
