@@ -1,0 +1,200 @@
+/// \file bench_serve.cpp
+/// Load generator for the simulation job service (DESIGN.md §9): open-loop
+/// Poisson arrivals (submission times are independent of completions, so
+/// overload shows up as queueing, not as a slowed generator) with mixed job
+/// sizes across three tenants and three priority classes. Reports
+/// throughput and p50/p99 wait+run latency to BENCH_serve.json.
+///
+///   ./bench_serve [--seconds 5] [--rate 40] [--workers 2]
+///                 [--threads-per-job 1] [--queue-depth 32] [--seed 7]
+///
+/// The bench doubles as the admission-logic acceptance check and exits
+/// non-zero on any violation:
+///   * every submitted job reaches exactly one terminal state (no lost or
+///     duplicated completions);
+///   * no job is both rejected and run (rejected => empty trajectory);
+///   * submitted == admitted + rejected, and every admitted job ends
+///     completed, failed, cancelled or deadline-shed;
+///   * completed jobs carry the full trajectory for their spec.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double percentile_of(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mdm;
+  const CommandLine cli(argc, argv);
+  const double seconds = cli.get_double("seconds", 5.0);
+  const double rate = cli.get_double("rate", 40.0);  // arrivals per second
+  Random rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+
+  serve::ServiceConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers", 2));
+  config.threads_per_job =
+      static_cast<unsigned>(cli.get_int("threads-per-job", 1));
+  config.admission.max_queue_depth =
+      static_cast<std::size_t>(cli.get_int("queue-depth", 32));
+  serve::SimService service(config);
+  service.start();
+
+  std::printf("bench_serve: open-loop %.0f jobs/s for %.1f s on %d workers "
+              "(queue cap %zu)\n",
+              rate, seconds, config.workers,
+              config.admission.max_queue_depth);
+
+  // Open loop: precomputed exponential interarrival gaps; submission never
+  // waits for completions.
+  std::vector<serve::JobHandle> handles;
+  Timer timer;
+  double next_arrival_s = 0.0;
+  int i = 0;
+  while (timer.seconds() < seconds) {
+    const double now_s = timer.seconds();
+    if (now_s < next_arrival_s) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(next_arrival_s - now_s, 0.01)));
+      continue;
+    }
+    next_arrival_s += -std::log(1.0 - rng.uniform()) / rate;
+
+    serve::JobSpec spec;
+    spec.tenant = "tenant-" + std::to_string(i % 3);
+    spec.job_class = static_cast<serve::JobClass>(i % 3);
+    // Mixed sizes: mostly small interactive-scale jobs, every 5th a larger
+    // batch job; steps vary too.
+    spec.cells = (i % 5 == 4) ? 2 : 1;
+    spec.nvt_steps = 2 + static_cast<int>(rng.uniform_below(4));
+    spec.nve_steps = 2 + static_cast<int>(rng.uniform_below(4));
+    spec.seed = static_cast<std::uint64_t>(i + 1);
+    if (i % 7 == 6) spec.deadline_ms = 1500.0;  // some deadline-sensitive
+    handles.push_back(service.submit(spec));
+    ++i;
+  }
+  const double submit_window_s = timer.seconds();
+  service.drain();
+  const double wall_s = timer.seconds();
+  service.stop();
+
+  // ---- tally + admission-logic acceptance checks ----
+  int completed = 0, cancelled = 0, failed = 0, rejected = 0, shed = 0;
+  int violations = 0;
+  std::vector<double> wait_ms, run_ms;
+  for (const auto& h : handles) {
+    if (!h.done()) {
+      std::fprintf(stderr, "VIOLATION: job %llu not terminal after drain\n",
+                   static_cast<unsigned long long>(h.id()));
+      ++violations;
+      continue;
+    }
+    const auto r = h.wait();
+    switch (r.state) {
+      case serve::JobState::kCompleted:
+        ++completed;
+        if (r.completed_steps != h.spec().total_steps() ||
+            r.samples.empty()) {
+          std::fprintf(stderr,
+                       "VIOLATION: job %llu completed with a partial "
+                       "trajectory (%d/%d steps)\n",
+                       static_cast<unsigned long long>(h.id()),
+                       r.completed_steps, h.spec().total_steps());
+          ++violations;
+        }
+        wait_ms.push_back(r.wait_ms);
+        run_ms.push_back(r.run_ms);
+        break;
+      case serve::JobState::kCancelled: ++cancelled; break;
+      case serve::JobState::kFailed: ++failed; break;
+      case serve::JobState::kDeadlineExceeded: ++shed; break;
+      case serve::JobState::kRejected:
+        ++rejected;
+        if (!r.samples.empty() || r.run_ms > 0.0) {
+          std::fprintf(stderr,
+                       "VIOLATION: job %llu both rejected and run\n",
+                       static_cast<unsigned long long>(h.id()));
+          ++violations;
+        }
+        break;
+      default:
+        std::fprintf(stderr, "VIOLATION: job %llu in non-terminal state %s\n",
+                     static_cast<unsigned long long>(h.id()),
+                     serve::to_string(r.state));
+        ++violations;
+    }
+  }
+  const int submitted = static_cast<int>(handles.size());
+  const int accounted = completed + cancelled + failed + rejected + shed;
+  if (accounted != submitted) {
+    std::fprintf(stderr,
+                 "VIOLATION: %d jobs submitted but %d accounted for "
+                 "(lost or duplicated completions)\n",
+                 submitted, accounted);
+    ++violations;
+  }
+  auto& reg = obs::Registry::global();
+  const auto admitted =
+      static_cast<long long>(reg.counter_value("serve.admitted"));
+  if (admitted + rejected != submitted) {
+    std::fprintf(stderr,
+                 "VIOLATION: admitted (%lld) + rejected (%d) != submitted "
+                 "(%d)\n",
+                 admitted, rejected, submitted);
+    ++violations;
+  }
+
+  const double throughput = completed / (wall_s > 0 ? wall_s : 1.0);
+  std::printf("\nsubmitted %d in %.2f s | completed %d cancelled %d "
+              "failed %d rejected %d shed %d\n",
+              submitted, submit_window_s, completed, cancelled, failed,
+              rejected, shed);
+  std::printf("throughput %.1f completed jobs/s over %.2f s\n", throughput,
+              wall_s);
+  std::printf("wait  p50 %8.2f ms   p99 %8.2f ms\n",
+              percentile_of(wait_ms, 50.0), percentile_of(wait_ms, 99.0));
+  std::printf("run   p50 %8.2f ms   p99 %8.2f ms\n",
+              percentile_of(run_ms, 50.0), percentile_of(run_ms, 99.0));
+
+  obs::BenchReport report("serve");
+  report.add("submitted", submitted, "jobs");
+  report.add("completed", completed, "jobs");
+  report.add("rejected", rejected, "jobs");
+  report.add("shed", shed, "jobs");
+  report.add("throughput", throughput, "jobs/s");
+  report.add("wait_p50_ms", percentile_of(wait_ms, 50.0), "ms");
+  report.add("wait_p99_ms", percentile_of(wait_ms, 99.0), "ms");
+  report.add("run_p50_ms", percentile_of(run_ms, 50.0), "ms");
+  report.add("run_p99_ms", percentile_of(run_ms, 99.0), "ms");
+  report.add("violations", violations, "count");
+  report.write();
+
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d admission-logic violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("admission-logic checks: OK\n");
+  return 0;
+}

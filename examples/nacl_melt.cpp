@@ -8,6 +8,7 @@
 ///
 ///   ./nacl_melt [--cells 4] [--steps 300] [--temperature 1200]
 ///               [--mdm] [--csv melt.csv] [--xyz melt.xyz] [--seed 1]
+///               [--threads N]
 ///
 /// --mdm runs on the simulated special-purpose machine instead of the
 /// double-precision software path (slower, bit-faithful to the hardware).
@@ -24,11 +25,16 @@
 #include "host/mdm_force_field.hpp"
 #include "util/cli.hpp"
 #include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace mdm;
   const CommandLine cli(argc, argv);
+  // Size the global pool before anything touches it (same effect as
+  // MDM_THREADS, but scriptable per invocation).
+  if (const long threads = cli.get_int("threads", 0); threads >= 1)
+    ThreadPool::set_global_threads(static_cast<unsigned>(threads));
   const int cells = static_cast<int>(cli.get_int("cells", 4));
   const int steps = static_cast<int>(cli.get_int("steps", 300));
   const double temperature = cli.get_double("temperature", 1200.0);

@@ -6,7 +6,7 @@
 /// scaled down in workload.
 ///
 ///   ./parallel_mdm [--cells 2] [--real 16] [--wn 8] [--nvt 6] [--nve 6]
-///                  [--boards 2]
+///                  [--boards 2] [--threads N]
 ///
 /// Fault-tolerance demo (DESIGN.md "Failure model of the virtual fabric"):
 ///   MDM_FAULT_SPEC="drop:tag=200,count=1" ./parallel_mdm     # retransmit
@@ -26,11 +26,16 @@
 #include "host/mdm_force_field.hpp"
 #include "host/parallel_app.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace mdm;
   const CommandLine cli(argc, argv);
+  // Size the global pool before anything touches it (same effect as
+  // MDM_THREADS, but scriptable per invocation).
+  if (const long threads = cli.get_int("threads", 0); threads >= 1)
+    ThreadPool::set_global_threads(static_cast<unsigned>(threads));
   const int cells = static_cast<int>(cli.get_int("cells", 2));
 
   auto system = make_nacl_crystal(cells);

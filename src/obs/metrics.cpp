@@ -34,15 +34,31 @@ void json_number(std::ostream& os, double v) {
   os << buf;
 }
 
+// Emit `s` as a valid JSON string. Instrument names include tenant/job ids
+// from the serve layer, which are caller-controlled and may contain quotes,
+// backslashes or control characters — escape all of them (RFC 8259) so a
+// hostile name cannot break the dump.
 void json_string(std::ostream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
-    if (c == '"' || c == '\\')
-      os << '\\' << c;
-    else if (static_cast<unsigned char>(c) < 0x20)
-      os << ' ';
-    else
-      os << c;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
   }
   os << '"';
 }

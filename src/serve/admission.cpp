@@ -1,0 +1,41 @@
+#include "serve/admission.hpp"
+
+namespace mdm::serve {
+
+std::size_t AdmissionController::estimate_bytes(const JobSpec& spec) {
+  // Per particle: positions/velocities/forces + integrator and checkpoint
+  // copies + cell-list slots + per-chunk scratch — call it 1 KiB, a
+  // deliberate over-estimate. Plus a fixed 4 MiB per job for the k-vector
+  // table, phase scratch and sample storage.
+  const auto n = static_cast<std::size_t>(spec.particle_count());
+  return n * 1024 + (std::size_t(4) << 20);
+}
+
+AdmissionController::Decision AdmissionController::decide(
+    const JobSpec& spec, std::size_t queue_depth) const {
+  if (queue_depth >= config_.max_queue_depth) return Decision::kQueueFull;
+  if (inflight_bytes_ + estimate_bytes(spec) > config_.max_inflight_bytes)
+    return Decision::kMemoryBudget;
+  return Decision::kAdmit;
+}
+
+void AdmissionController::acquire(const JobSpec& spec) {
+  inflight_bytes_ += estimate_bytes(spec);
+}
+
+void AdmissionController::release(const JobSpec& spec) {
+  const std::size_t bytes = estimate_bytes(spec);
+  inflight_bytes_ = inflight_bytes_ >= bytes ? inflight_bytes_ - bytes : 0;
+}
+
+std::string AdmissionController::reason(Decision decision) {
+  switch (decision) {
+    case Decision::kAdmit: return "admitted";
+    case Decision::kQueueFull: return "Overloaded: queue depth cap reached";
+    case Decision::kMemoryBudget:
+      return "Overloaded: in-flight memory budget exceeded";
+  }
+  return "unknown";
+}
+
+}  // namespace mdm::serve

@@ -1,0 +1,83 @@
+#include "serve/job.hpp"
+
+namespace mdm::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kRejected: return "rejected";
+    case JobState::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobClass job_class) {
+  switch (job_class) {
+    case JobClass::kInteractive: return "interactive";
+    case JobClass::kBatch: return "batch";
+    case JobClass::kBestEffort: return "best-effort";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+Job::Job(std::uint64_t id, JobSpec spec)
+    : id_(id),
+      spec_(std::move(spec)),
+      submit_tp_(Clock::now()),
+      deadline_tp_(spec_.deadline_ms > 0.0
+                       ? submit_tp_ + std::chrono::duration_cast<
+                                          Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 spec_.deadline_ms))
+                       : Clock::time_point::max()) {}
+
+JobState Job::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+bool Job::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
+}
+
+JobResult Job::wait() const {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+JobResult Job::snapshot() const {
+  std::lock_guard lock(mutex_);
+  if (done_) return result_;
+  JobResult r;
+  r.state = state_;
+  return r;
+}
+
+void Job::mark_running() {
+  std::lock_guard lock(mutex_);
+  if (!done_) state_ = JobState::kRunning;
+}
+
+bool Job::finalize(JobResult result) {
+  {
+    std::lock_guard lock(mutex_);
+    if (done_) return false;  // exactly-once: a job can never complete twice
+    state_ = result.state;
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+}  // namespace mdm::serve

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file job.hpp
+/// Job model of the simulation service (DESIGN.md §9). The MDM machine was
+/// operated as a shared facility — many users submitting MD problems to one
+/// special-purpose resource — and this module is the unit of that sharing: a
+/// `JobSpec` describes one NaCl-melt simulation request (tenant, priority
+/// class, deadline, workload), a `Job` is the service-side record with its
+/// full lifecycle, and a `JobHandle` is the client-side view (poll / wait /
+/// cancel).
+///
+/// Lifecycle:
+///
+///   submit -> kQueued -> kRunning -> kCompleted | kFailed | kCancelled
+///          \-> kRejected          (admission: queue depth / memory budget)
+///          \-> kDeadlineExceeded  (shed: deadline passed before start)
+///
+/// Cancellation is cooperative: `cancel()` sets a flag that the runner
+/// checks at every step boundary, so a cancelled job stops with a valid
+/// partial trajectory (and, with checkpointing on, a valid latest
+/// checkpoint generation to resume from).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm::serve {
+
+/// Priority class, highest first. Within a class jobs are FIFO (modulated
+/// by per-tenant fair share and deadlines, see JobQueue).
+enum class JobClass : int {
+  kInteractive = 0,  ///< short exploratory runs; always scheduled first
+  kBatch = 1,        ///< the default production class
+  kBestEffort = 2,   ///< background sweeps; run when nothing else waits
+};
+
+enum class JobState : int {
+  kQueued = 0,
+  kRunning,
+  kCompleted,
+  kFailed,             ///< runner threw (numerical health, I/O, ...)
+  kCancelled,          ///< cancelled while queued or cooperatively mid-run
+  kRejected,           ///< admission said Overloaded at submit
+  kDeadlineExceeded,   ///< deadline passed before the job could start
+};
+
+const char* to_string(JobState state);
+const char* to_string(JobClass job_class);
+bool is_terminal(JobState state);
+
+/// One simulation request: the paper's melt protocol at a caller-chosen
+/// scale (examples/nacl_melt.cpp run through the service).
+struct JobSpec {
+  std::string tenant = "default";          ///< fair-share accounting key
+  JobClass job_class = JobClass::kBatch;
+  /// Max milliseconds the job may wait in the queue before *starting*;
+  /// popped later than this it is shed with kDeadlineExceeded. 0 = none.
+  double deadline_ms = 0.0;
+
+  // ---- workload ----
+  int cells = 1;                  ///< n^3 NaCl supercell (8 n^3 ions)
+  int nvt_steps = 4;
+  int nve_steps = 4;
+  double temperature_K = 1200.0;  ///< paper: 1200 K
+  double dt_fs = 2.0;             ///< paper: 2 fs
+  std::uint64_t seed = 1;         ///< Maxwell velocity seed
+
+  // ---- checkpoint / resume (core/checkpoint, DESIGN.md §8) ----
+  /// Steps between rotating checkpoint generations; 0 disables.
+  int checkpoint_interval = 0;
+  /// Explicit per-job checkpoint directory. Empty = `<service
+  /// checkpoint_root>/job-<id>`. A resubmitted job pointing at the same
+  /// directory resumes from the latest valid generation.
+  std::string checkpoint_dir;
+
+  long long particle_count() const { return nacl_ion_count(cells); }
+  int total_steps() const { return nvt_steps + nve_steps; }
+};
+
+/// Terminal outcome of a job. For kCompleted the trajectory is bit-identical
+/// to the same spec run standalone with the same per-job thread count; for
+/// kCancelled it is the bit-identical prefix of that run.
+struct JobResult {
+  JobState state = JobState::kQueued;
+  std::string error;  ///< reject/shed reason or runner exception text
+  std::vector<Sample> samples;
+  std::vector<Vec3> positions;   ///< final configuration
+  std::vector<Vec3> velocities;
+  int completed_steps = 0;
+  std::uint64_t resumed_from_step = 0;  ///< nonzero when restored from ckpt
+  double wait_ms = 0.0;  ///< submit -> start (or terminal decision)
+  double run_ms = 0.0;   ///< start -> finish
+};
+
+/// Service-side job record. Shared (via shared_ptr) between the queue, the
+/// scheduler workers and every JobHandle; all mutable state is behind the
+/// internal mutex except the lock-free cancel flag.
+class Job {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Job(std::uint64_t id, JobSpec spec);
+
+  std::uint64_t id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+  Clock::time_point submit_time() const { return submit_tp_; }
+  bool has_deadline() const { return spec_.deadline_ms > 0.0; }
+  Clock::time_point deadline() const { return deadline_tp_; }
+
+  /// Cooperative cancellation: checked by the queue at pop time and by the
+  /// runner at every step boundary.
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  /// The raw flag, handed to RunOptions::cancel by the scheduler.
+  const std::atomic<bool>* cancel_flag() const { return &cancel_; }
+
+  JobState state() const;
+  bool done() const;
+  /// Block until terminal and return the result (copies; results outlive
+  /// the service).
+  JobResult wait() const;
+  /// Result if terminal, empty result with current state otherwise.
+  JobResult snapshot() const;
+
+  // ---- scheduler side ----
+  void mark_running();
+  /// Set the terminal result exactly once and wake waiters. Later calls
+  /// are ignored (returns false) so a job can never complete twice.
+  bool finalize(JobResult result);
+
+ private:
+  const std::uint64_t id_;
+  const JobSpec spec_;
+  const Clock::time_point submit_tp_;
+  const Clock::time_point deadline_tp_;
+
+  std::atomic<bool> cancel_{false};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::kQueued;
+  JobResult result_;
+  bool done_ = false;
+};
+
+/// Client-side view of a submitted job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  explicit JobHandle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+
+  bool valid() const { return job_ != nullptr; }
+  std::uint64_t id() const { return job_->id(); }
+  const JobSpec& spec() const { return job_->spec(); }
+
+  JobState state() const { return job_->state(); }
+  bool done() const { return job_->done(); }
+  JobResult wait() const { return job_->wait(); }
+  void cancel() const { job_->request_cancel(); }
+
+  /// Service internals (tests reach through this for checkpoint paths).
+  const std::shared_ptr<Job>& record() const { return job_; }
+
+ private:
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace mdm::serve

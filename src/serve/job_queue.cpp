@@ -1,0 +1,76 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+namespace mdm::serve {
+
+void JobQueue::push(std::shared_ptr<Job> job) {
+  const int cls = static_cast<int>(job->spec().job_class);
+  auto& bucket = buckets_[cls][job->spec().tenant];
+  bucket.push_back(Entry{std::move(job), next_seq_++});
+  ++size_;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  for (auto& tenants : buckets_) {
+    if (tenants.empty()) continue;
+    // Fair share: tenant with the fewest running jobs, then least served,
+    // then smallest name (deterministic tiebreak).
+    TenantBuckets::iterator best = tenants.end();
+    for (auto it = tenants.begin(); it != tenants.end(); ++it) {
+      if (it->second.empty()) continue;
+      if (best == tenants.end()) {
+        best = it;
+        continue;
+      }
+      const auto& a = shares_[it->first];
+      const auto& b = shares_[best->first];
+      if (a.running != b.running ? a.running < b.running
+                                 : a.served < b.served)
+        best = it;
+    }
+    if (best == tenants.end()) continue;
+
+    // Deadline-aware: earliest deadline first; deadline-free jobs after all
+    // deadlined ones, FIFO by sequence.
+    auto& entries = best->second;
+    auto chosen = std::min_element(
+        entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+          const bool xd = x.job->has_deadline();
+          const bool yd = y.job->has_deadline();
+          if (xd != yd) return xd;  // deadlined first
+          if (xd && x.job->deadline() != y.job->deadline())
+            return x.job->deadline() < y.job->deadline();
+          return x.seq < y.seq;
+        });
+    std::shared_ptr<Job> job = std::move(chosen->job);
+    entries.erase(chosen);
+    if (entries.empty()) tenants.erase(best);
+    --size_;
+    return job;
+  }
+  return nullptr;
+}
+
+void JobQueue::note_started(const std::string& tenant) {
+  auto& share = shares_[tenant];
+  ++share.running;
+  ++share.served;
+}
+
+void JobQueue::note_finished(const std::string& tenant) {
+  auto& share = shares_[tenant];
+  if (share.running > 0) --share.running;
+}
+
+int JobQueue::running(const std::string& tenant) const {
+  const auto it = shares_.find(tenant);
+  return it == shares_.end() ? 0 : it->second.running;
+}
+
+std::uint64_t JobQueue::served(const std::string& tenant) const {
+  const auto it = shares_.find(tenant);
+  return it == shares_.end() ? 0 : it->second.served;
+}
+
+}  // namespace mdm::serve

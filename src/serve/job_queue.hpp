@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file job_queue.hpp
+/// Scheduling-policy queue of the simulation service (DESIGN.md §9).
+/// `pop()` picks the next job by, in order:
+///
+///  1. **Priority class** — interactive before batch before best-effort.
+///  2. **Per-tenant fair share** — among tenants with work queued in that
+///     class, the tenant with the fewest running jobs wins; ties go to the
+///     tenant that has been *served* least, then to the lexicographically
+///     smallest name (a deterministic tiebreak, not a policy statement).
+///  3. **Deadline-aware ordering** — within the chosen tenant+class bucket,
+///     earliest deadline first; jobs without a deadline come after all
+///     deadlined ones, FIFO by submission sequence.
+///
+/// The queue is NOT thread-safe: SimService serializes every access under
+/// its own mutex (the queue is pure policy, the service is the concurrency
+/// boundary). This keeps the ordering logic directly unit-testable.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace mdm::serve {
+
+class JobQueue {
+ public:
+  void push(std::shared_ptr<Job> job);
+
+  /// Next job per the policy above; nullptr when empty. The job is removed
+  /// from the queue; the caller decides whether it runs, is shed, or is
+  /// finalized as cancelled.
+  std::shared_ptr<Job> pop();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Fair-share accounting, driven by the service around each run.
+  void note_started(const std::string& tenant);
+  void note_finished(const std::string& tenant);
+
+  /// Running/served counts for a tenant (tests + fairness introspection).
+  int running(const std::string& tenant) const;
+  std::uint64_t served(const std::string& tenant) const;
+
+ private:
+  struct TenantShare {
+    int running = 0;          ///< jobs of this tenant currently executing
+    std::uint64_t served = 0; ///< jobs of this tenant ever started
+  };
+  struct Entry {
+    std::shared_ptr<Job> job;
+    std::uint64_t seq = 0;  ///< FIFO tiebreak within tenant+class
+  };
+  /// bucket[class][tenant] -> entries (unsorted; pop scans for the min —
+  /// queues are admission-bounded, so the scan is short).
+  using TenantBuckets = std::map<std::string, std::vector<Entry>>;
+
+  static constexpr int kClasses = 3;
+  TenantBuckets buckets_[kClasses];
+  std::map<std::string, TenantShare> shares_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mdm::serve

@@ -1,0 +1,84 @@
+#include "serve/runner.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/force_field.hpp"
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+
+namespace mdm::serve {
+namespace {
+
+/// Thrown from the per-step observer to unwind a cancelled run; never
+/// escapes run_job.
+struct CancelledSignal {};
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec, const RunOptions& options) {
+  auto system = make_nacl_crystal(spec.cells);
+  assign_maxwell_velocities(system, spec.temperature_K, spec.seed);
+
+  // The nacl_melt software path: Ewald Coulomb + Tosi-Fumi short range,
+  // both on the job's own pool slice.
+  const EwaldParameters params =
+      software_parameters(double(system.size()), system.box());
+  auto coulomb = std::make_unique<EwaldCoulomb>(params, system.box());
+  coulomb->set_thread_pool(options.pool);
+  auto short_range = std::make_unique<TosiFumiShortRange>(
+      TosiFumiParameters::nacl(), params.r_cut, /*shift_energy=*/true);
+  short_range->set_thread_pool(options.pool);
+  CompositeForceField field;
+  field.add(std::move(coulomb));
+  field.add(std::move(short_range));
+
+  SimulationConfig protocol;
+  protocol.dt_fs = spec.dt_fs;
+  protocol.temperature_K = spec.temperature_K;
+  protocol.nvt_steps = spec.nvt_steps;
+  protocol.nve_steps = spec.nve_steps;
+  Simulation sim(system, field, protocol);
+
+  JobResult out;
+  std::optional<CheckpointManager> checkpoints;
+  if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
+    checkpoints.emplace(options.checkpoint_dir, options.keep_generations);
+    if (auto latest = checkpoints->restore_latest();
+        latest && latest->size() == system.size() && latest->step > 0) {
+      sim.restore(*latest);
+      out.resumed_from_step = latest->step;
+    }
+    sim.enable_checkpointing(&*checkpoints, spec.checkpoint_interval);
+  }
+
+  const int total = spec.total_steps();
+  try {
+    sim.run([&](const Sample& s) {
+      out.completed_steps = s.step;
+      // Step boundary: the sample for step s is recorded, so a cancel here
+      // leaves a bit-exact trajectory prefix through s. The final step
+      // completes the job regardless.
+      if (options.cancel && s.step < total &&
+          options.cancel->load(std::memory_order_relaxed))
+        throw CancelledSignal{};
+    });
+    out.completed_steps = total;
+    out.state = JobState::kCompleted;
+  } catch (const CancelledSignal&) {
+    out.state = JobState::kCancelled;
+  }
+
+  out.samples = sim.samples();
+  out.positions.assign(system.positions().begin(), system.positions().end());
+  out.velocities.assign(system.velocities().begin(),
+                        system.velocities().end());
+  return out;
+}
+
+}  // namespace mdm::serve

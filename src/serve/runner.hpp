@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file runner.hpp
+/// Executes one JobSpec: builds the NaCl system and the software force
+/// field (Ewald Coulomb + Tosi-Fumi short range, exactly the
+/// examples/nacl_melt.cpp reference path), runs the NVT+NVE protocol on the
+/// caller-provided thread-pool slice, and returns the trajectory.
+///
+/// This free function is the determinism anchor of the service: the
+/// scheduler workers and the serial reference runs in tests/benches call the
+/// *same* code, so a served job is bit-identical to a standalone run with
+/// the same pool size (the real-space sweep is bit-identical at any pool
+/// size; the wavenumber DFT reduces per-chunk partials in chunk order and is
+/// bit-identical for a fixed pool size — see ewald/ewald.hpp).
+///
+/// Cancellation is cooperative: `options.cancel` is checked after every
+/// completed step; a cancelled run returns kCancelled with the bit-exact
+/// trajectory prefix and (with checkpointing on) a valid latest checkpoint
+/// generation on disk.
+
+#include <atomic>
+#include <string>
+
+#include "serve/job.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdm::serve {
+
+struct RunOptions {
+  /// Per-job thread slice driving the force loops; nullptr = serial.
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancel flag, checked at every step boundary. May be null.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Rotating checkpoint directory; with spec.checkpoint_interval > 0 the
+  /// run writes generations there and — if the directory already holds a
+  /// valid generation for the same particle count — resumes from it
+  /// (PR 4's restore path). Empty disables checkpointing.
+  std::string checkpoint_dir;
+  int keep_generations = 3;
+};
+
+/// Run `spec` to completion (kCompleted) or to the first observed cancel
+/// (kCancelled). Exceptions from the engine (numerical health, checkpoint
+/// I/O) propagate to the caller, which maps them to kFailed.
+JobResult run_job(const JobSpec& spec, const RunOptions& options = {});
+
+}  // namespace mdm::serve

@@ -6,10 +6,33 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+#include <atomic>
+
 namespace mdm {
 
+namespace {
+
+/// Pool whose chunk the current thread is executing right now (nullptr when
+/// outside any chunk). Set around run_chunk for both workers and the
+/// chunk-0 caller; consulted by parallel_for_raw to run re-entrant calls
+/// inline instead of deadlocking on the single task slot.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+
+struct RunningPoolScope {
+  const ThreadPool* prev;
+  explicit RunningPoolScope(const ThreadPool* p) : prev(tls_running_pool) {
+    tls_running_pool = p;
+  }
+  ~RunningPoolScope() { tls_running_pool = prev; }
+};
+
+std::atomic<unsigned> g_global_threads_override{0};
+std::atomic<bool> g_global_pool_created{false};
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_threads();
   // Worker 0 is the calling thread; spawn the rest.
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
@@ -57,6 +80,7 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     }
     std::exception_ptr error;
     try {
+      RunningPoolScope scope(this);
       run_chunk(task, worker_index, size());
     } catch (...) {
       error = std::current_exception();
@@ -86,6 +110,15 @@ void ThreadPool::parallel_for(
 void ThreadPool::parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
                                   std::size_t min_parallel) {
   if (n == 0) return;
+  if (tls_running_pool == this) {
+    // Re-entrant call from inside one of our own chunks: the task slot is
+    // occupied, so fanning out would deadlock. Run the range inline.
+    static obs::Counter& reentrant =
+        obs::Registry::global().counter("thread_pool.reentrant_inline");
+    reentrant.add(1);
+    raw(ctx, 0, 0, n);
+    return;
+  }
   static obs::Counter& tasks =
       obs::Registry::global().counter("thread_pool.tasks");
   static obs::Counter& chunks =
@@ -116,6 +149,7 @@ void ThreadPool::parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
 
   std::exception_ptr my_error;
   try {
+    RunningPoolScope scope(this);
     run_chunk(task, 0, nchunks);
   } catch (...) {
     my_error = std::current_exception();
@@ -133,14 +167,31 @@ void ThreadPool::parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
   }
 }
 
+bool ThreadPool::running_on_this_pool() const {
+  return tls_running_pool == this;
+}
+
+unsigned ThreadPool::default_threads() {
+  if (const unsigned o = g_global_threads_override.load()) return o;
+  if (const char* env = std::getenv("MDM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::set_global_threads(unsigned threads) {
+  if (g_global_pool_created.load()) return false;
+  g_global_threads_override.store(threads);
+  return !g_global_pool_created.load();
+}
+
 ThreadPool& ThreadPool::global() {
-  // MDM_THREADS overrides hardware_concurrency for the shared pool (the
-  // per-instance constructor argument is unaffected).
+  // Sized by set_global_threads, then MDM_THREADS, then
+  // hardware_concurrency (default_threads, via the 0 argument). The created
+  // flag locks out later set_global_threads calls.
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("MDM_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) return static_cast<unsigned>(v);
-    }
+    g_global_pool_created.store(true);
     return 0u;
   }());
   return pool;

@@ -13,6 +13,18 @@
 /// wakeup): below `min_parallel` items the whole range executes as chunk 0.
 /// Callers whose per-item work is heavy can pass min_parallel = 0 to force
 /// fan-out even for short ranges.
+///
+/// Re-entrancy: a pool has one task slot, so `parallel_for` called from
+/// inside one of its own chunks (which concurrent serve jobs can do through
+/// nested force evaluations) must not enqueue a second task — it would
+/// corrupt the in-flight counter and deadlock the outer call. Such nested
+/// calls are detected through a thread-local marker and run the whole range
+/// inline as chunk 0. Nesting across *different* pools fans out normally.
+///
+/// The single task slot also means a pool supports ONE external caller at a
+/// time: concurrent `parallel_for` calls from unrelated threads race on the
+/// slot. Give independent callers independent pools (the serve scheduler
+/// hands each worker its own slice for exactly this reason).
 
 #include <condition_variable>
 #include <cstddef>
@@ -57,10 +69,28 @@ class ThreadPool {
   void parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
                         std::size_t min_parallel = kDefaultGrain);
 
-  /// Shared process-wide pool (created on first use). Size comes from the
+  /// Shared process-wide pool (created on first use). Size comes from
+  /// `set_global_threads` when called before first use, otherwise from the
   /// MDM_THREADS environment variable when set (>= 1), otherwise from
   /// hardware_concurrency.
   static ThreadPool& global();
+
+  /// Thread count an explicit-size-0 pool (and the global pool) resolves
+  /// to: the set_global_threads override, then MDM_THREADS, then
+  /// hardware_concurrency. Always >= 1.
+  static unsigned default_threads();
+
+  /// Programmatic size override for the global pool (the `--threads` CLI
+  /// flag; takes precedence over MDM_THREADS). Must be called before
+  /// global() is first used; returns false — and changes nothing — once the
+  /// global pool exists. Non-global pools are unaffected: give each its own
+  /// explicit size (this is how the serve scheduler hands every job a
+  /// bounded slice without touching the environment).
+  static bool set_global_threads(unsigned threads);
+
+  /// True while the calling thread is executing a chunk of this pool (used
+  /// by the re-entrancy guard; exposed for tests).
+  bool running_on_this_pool() const;
 
  private:
   struct Task {

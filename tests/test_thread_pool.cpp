@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -102,6 +103,100 @@ TEST(ThreadPool, ParallelForEachHelper) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for_each(hits.size(), [&](std::size_t i) { hits[i]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForOnSamePoolRunsInline) {
+  // Calling parallel_for from inside a chunk of the same pool (as concurrent
+  // serve jobs do through nested force evaluations) must not deadlock: the
+  // nested range runs inline as a single chunk on the calling thread.
+  ThreadPool pool(4);
+  constexpr std::size_t kInner = 50;
+  std::vector<std::atomic<int>> hits(kInner);
+  std::atomic<int> outer_chunks{0};
+  std::atomic<int> nested_multichunk{0};
+  pool.parallel_for(
+      100,
+      [&](unsigned, std::size_t, std::size_t) {
+        outer_chunks++;
+        EXPECT_TRUE(pool.running_on_this_pool());
+        pool.parallel_for(
+            kInner,
+            [&](unsigned c, std::size_t b, std::size_t e) {
+              if (c != 0 || b != 0 || e != kInner) nested_multichunk++;
+              for (std::size_t i = b; i < e; ++i) hits[i]++;
+            },
+            /*min_parallel=*/0);
+      },
+      /*min_parallel=*/0);
+  EXPECT_FALSE(pool.running_on_this_pool());
+  EXPECT_EQ(nested_multichunk.load(), 0);
+  for (auto& h : hits) EXPECT_EQ(h.load(), outer_chunks.load());
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDifferentPoolsFansOut) {
+  ThreadPool outer(2);
+  ThreadPool inner(3);
+  std::vector<std::atomic<int>> hits(200);
+  std::atomic<int> outer_chunks{0};
+  std::atomic<int> inner_fanouts{0};
+  // A pool has one task slot, so it supports one external caller at a time;
+  // serialize the nested calls (each serve worker owns its own pool, so
+  // concurrent jobs never share one).
+  std::mutex inner_gate;
+  outer.parallel_for(
+      10,
+      [&](unsigned, std::size_t, std::size_t) {
+        outer_chunks++;
+        // A different pool is not re-entrant: it may fan out normally.
+        std::lock_guard gate(inner_gate);
+        inner.parallel_for(
+            hits.size(),
+            [&](unsigned c, std::size_t b, std::size_t e) {
+              if (c != 0) inner_fanouts++;  // chunk > 0 proves fan-out
+              for (std::size_t i = b; i < e; ++i) hits[i]++;
+            },
+            /*min_parallel=*/0);
+      },
+      /*min_parallel=*/0);
+  for (auto& h : hits) EXPECT_EQ(h.load(), outer_chunks.load());
+  // The inner pool really fanned out (multiple chunks per call).
+  EXPECT_GT(inner_fanouts.load(), 0);
+}
+
+TEST(ThreadPool, ReentrantCallStillPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(
+          10,
+          [&](unsigned, std::size_t, std::size_t) {
+            pool.parallel_for(
+                10,
+                [&](unsigned, std::size_t, std::size_t) {
+                  throw std::runtime_error("nested boom");
+                },
+                /*min_parallel=*/0);
+          },
+          /*min_parallel=*/0),
+      std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](unsigned, std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, ExplicitSizeZeroResolvesToDefaultThreads) {
+  // A size-0 pool resolves through default_threads() (set_global_threads
+  // override, then MDM_THREADS, then hardware_concurrency).
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_threads());
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsRefusedOnceGlobalExists) {
+  ThreadPool::global();  // force creation
+  EXPECT_FALSE(ThreadPool::set_global_threads(3));
 }
 
 TEST(ThreadPool, SingleThreadPoolRunsInline) {
