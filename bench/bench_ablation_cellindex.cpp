@@ -18,10 +18,12 @@
 #include <cmath>
 #include <cstdio>
 #include <numbers>
+#include <string>
 
 #include "core/lattice.hpp"
 #include "host/mdm_force_field.hpp"
 #include "mdgrape2/system.hpp"
+#include "obs/bench_report.hpp"
 #include "perf/table4.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
   std::printf("Cell-index overhead ablation (N = %zu, r_cut = %.2f A)\n\n",
               system.size(), params.r_cut);
 
+  obs::BenchReport report("ablation_cellindex");
+
   // --- measured: evaluated vs useful pairs vs cell margin ---------------
   AsciiTable sweep("Measured pair counts vs cell-size margin "
                    "(cell side = margin * r_cut)");
@@ -81,10 +85,15 @@ int main(int argc, char** argv) {
                    format_fixed(useful_i, 1),
                    format_fixed(per_i / useful_i, 2),
                    format_fixed(model, 1)});
+    const std::string prefix = "m" + format_fixed(margin, 2) + ".";
+    report.add(prefix + "evaluated_per_particle", per_i, "pairs");
+    report.add(prefix + "useful_per_particle", useful_i, "pairs");
+    report.add(prefix + "waste_factor", per_i / useful_i, "x");
   }
   std::printf("%s\n", sweep.str().c_str());
 
   const double geometric = 27.0 / (4.0 * std::numbers::pi / 3.0);
+  report.add("geometric_waste_factor", geometric, "x");
   std::printf("geometric waste factor 27/(4pi/3) = %.2f; adding the missing "
               "Newton's-third-law factor 2 gives the paper's N_int_g/N_int "
               "= %.1f (\"about 13 times larger\").\n\n",
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
                       "predicted s/step", "effective Tflops"});
   struct Scenario {
     const char* name;
+    const char* key;     // metric prefix for the bench report
     double pair_factor;  // evaluated pairs per particle, in units of N_int
   };
   const double min_flops =
@@ -108,9 +118,9 @@ int main(int argc, char** argv) {
                                              w.box))
           .total_host();
   for (const auto& sc :
-       {Scenario{"current hardware (N_int_g)", 2.0 * geometric},
-        Scenario{"+ cutoff skip (2 N_int)", 2.0},
-        Scenario{"+ Newton's 3rd law (N_int)", 1.0}}) {
+       {Scenario{"current hardware (N_int_g)", "current", 2.0 * geometric},
+        Scenario{"+ cutoff skip (2 N_int)", "cutoff_skip", 2.0},
+        Scenario{"+ Newton's 3rd law (N_int)", "newton3", 1.0}}) {
     // Real-space time = 59 N N_int(alpha) * pair_factor / S_real, so the
     // modification is equivalent to a pair_factor-times-faster unit running
     // conventional counting - which also shifts the optimal alpha down.
@@ -127,10 +137,15 @@ int main(int argc, char** argv) {
                      format_fixed(sc.pair_factor * flops.n_int, 0),
                      format_fixed(opt_alpha, 1), format_fixed(t_step, 2),
                      format_fixed(min_flops / t_step / 1e12, 1)});
+    const std::string prefix = std::string("whatif.") + sc.key + ".";
+    report.add(prefix + "s_per_step", t_step, "s_model");
+    report.add(prefix + "effective_tflops", min_flops / t_step / 1e12,
+               "Tflops_model");
   }
   std::printf("%s\n", what_if.str().c_str());
   std::printf("Removing the waste closes most of the gap between the "
               "future machine's 48.7 Tflops calculation speed and its 13.1 "
               "Tflops effective speed (sec. 6.1's stated goal).\n");
+  report.write();
   return 0;
 }

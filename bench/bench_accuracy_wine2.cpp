@@ -9,10 +9,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/lattice.hpp"
 #include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
   std::printf("paper configuration: rms relative error = %.2e "
               "(log10 = %.2f; paper claims \"about 10^-4.5\" = 3.2e-5)\n\n",
               err_paper, std::log10(err_paper));
+  obs::BenchReport report("accuracy_wine2");
+  report.add("paper_rms_rel_error", err_paper, "rel");
 
   AsciiTable table("Word-width ablation (phase/table/trig/coeff/product bits)");
   table.set_header({"configuration", "rms rel. error", "log10"});
@@ -113,11 +118,14 @@ int main(int argc, char** argv) {
     const double err = force_error(system, params, formats);
     table.add_row({name, format_sci(err, 2),
                    format_fixed(std::log10(err), 2)});
+    const std::string key(name, std::strcspn(name, " "));
+    report.add(key + "_rms_rel_error", err, "rel");
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("\"The error in F(wn) is smaller than either that of F(re) or "
               "the truncation error of the Ewald sum\" (sec. 3.4.4): the "
               "truncation level here is erfc(s1) ~ %.1e.\n",
               EwaldAccuracy{}.real_space_error());
+  report.write();
   return 0;
 }

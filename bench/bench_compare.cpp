@@ -1,0 +1,77 @@
+// Perf-regression gate (DESIGN.md §10): diff current BENCH_*.json output
+// against a committed baseline with per-metric tolerance bands.
+//
+//   bench_compare --baseline bench/baselines --current . \
+//                 [--tolerances bench/baselines/tolerances.json]
+//   bench_compare BENCH_a.json BENCH_b.json [--tolerances ...]
+//
+// Exit status: 0 all in band, 1 regression/missing metric, 2 usage or I/O
+// error. CI runs the dir form after regenerating the benches on a small
+// fixed workload; timing metrics are informational (machines differ),
+// deterministic counts and accuracy metrics gate hard.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--baseline DIR --current DIR | BASE.json CUR.json)"
+               " [--tolerances FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir, current_dir, tolerances;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      if (const char* v = next()) baseline_dir = v; else return usage(argv[0]);
+    } else if (arg == "--current") {
+      if (const char* v = next()) current_dir = v; else return usage(argv[0]);
+    } else if (arg == "--tolerances") {
+      if (const char* v = next()) tolerances = v; else return usage(argv[0]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  const bool dir_mode = !baseline_dir.empty() && !current_dir.empty();
+  if (dir_mode == !files.empty() || (!dir_mode && files.size() != 2))
+    return usage(argv[0]);
+
+  try {
+    mdm::obs::ToleranceRules rules;
+    if (!tolerances.empty())
+      rules = mdm::obs::ToleranceRules::load(tolerances);
+    const mdm::obs::CompareReport report =
+        dir_mode
+            ? mdm::obs::compare_bench_dirs(baseline_dir, current_dir, rules)
+            : mdm::obs::compare_bench_files(files[0], files[1], rules);
+    mdm::obs::write_text(report, std::cout);
+    return report.ok() ? 0 : 1;
+  } catch (const mdm::obs::JsonError& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+}

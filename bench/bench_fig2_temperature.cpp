@@ -25,6 +25,7 @@
 #include "core/tosi_fumi.hpp"
 #include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   table.set_header({"n", "N", "<T>/K", "sigma_T/<T>", "sqrt(2/3N)",
                     "ratio", "s/step"});
 
+  obs::BenchReport report("fig2_temperature");
   std::vector<double> measured, predicted;
   for (const auto n_cells : sizes) {
     auto system = make_nacl_crystal(static_cast<int>(n_cells));
@@ -81,6 +83,11 @@ int main(int argc, char** argv) {
                    format_fixed(t_stats.mean(), 1), format_fixed(rel, 5),
                    format_fixed(ideal, 5), format_fixed(rel / ideal, 2),
                    format_fixed(per_step, 3)});
+    const std::string prefix = "n" + std::to_string(n_cells) + ".";
+    report.add(prefix + "mean_temperature", t_stats.mean(), "K");
+    report.add(prefix + "rel_fluctuation", rel, "rel");
+    report.add(prefix + "fluctuation_vs_ideal", rel / ideal, "x");
+    report.add(prefix + "s_per_step", per_step, "s");
 
     if (!csv_prefix.empty()) {
       const std::string path =
@@ -104,5 +111,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper sizes for reference: n = 24 -> N = 110,592 (Fig. 2c),"
               " n = 57 -> 1,481,544 (2b), n = 133 -> 18,821,096 (2a).\n");
+  report.write();
   return 0;
 }

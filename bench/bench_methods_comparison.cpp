@@ -11,12 +11,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "core/lattice.hpp"
 #include "ewald/ewald.hpp"
 #include "ewald/flops.hpp"
 #include "ewald/parameters.hpp"
 #include "ewald/pme.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
               "(reference: converged Ewald, s1=3.6 s2=3.8)\n\n",
               system.size());
 
+  obs::BenchReport report("methods_comparison");
   AsciiTable table("accuracy vs cost");
   table.set_header({"method", "rms rel. force error", "s/eval",
                     "model flops/step @ N=1.88e7"});
@@ -73,6 +76,10 @@ int main(int argc, char** argv) {
         parameters_from_alpha(balanced_alpha(paper_n), paper_box));
     table.add_row({"exact Ewald (paper accuracy)", format_sci(err, 2),
                    format_fixed(t, 3), format_sci(flops.total_host(), 2)});
+    report.add("ewald.rms_rel_error", err, "rel");
+    report.add("ewald.s_per_eval", t, "s");
+    report.add("ewald.model_flops_per_step", flops.total_host(),
+               "flops_model");
   }
   const auto params = software_parameters(n, system.box());
   for (const auto& [grid, order] :
@@ -97,6 +104,11 @@ int main(int argc, char** argv) {
                   order);
     table.add_row({name, format_sci(err, 2), format_fixed(t, 3),
                    format_sci(model, 2)});
+    const std::string prefix = "pme" + std::to_string(grid) + "_o" +
+                               std::to_string(order) + ".";
+    report.add(prefix + "rms_rel_error", err, "rel");
+    report.add(prefix + "s_per_eval", t, "s");
+    report.add(prefix + "model_flops_per_step", model, "flops_model");
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -108,5 +120,6 @@ int main(int argc, char** argv) {
               "mesh: the O(N^1.5) -> O(N log N) scaling of refs. [2-5]). "
               "The MDM answer (sec. 6.3) is that its pipelines accelerate "
               "those methods too; see bench_treecode.\n");
+  report.write();
   return 0;
 }

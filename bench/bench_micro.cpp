@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
+
+#include "obs/bench_report.hpp"
 
 #include "core/cell_list.hpp"
 #include "core/lattice.hpp"
@@ -211,4 +214,41 @@ void BM_MinimumImage(benchmark::State& state) {
 }
 BENCHMARK(BM_MinimumImage);
 
+/// ConsoleReporter that also captures every run into a BenchReport so the
+/// micro suite participates in the bench_compare regression gate.
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(obs::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string key = run.benchmark_name();
+      for (auto& c : key)
+        if (c == '/') c = '.';
+      report_.add(key + ".time_per_iter", run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end())
+        report_.add(key + ".items_per_second", items->second.value,
+                    "items/s");
+    }
+  }
+
+ private:
+  obs::BenchReport& report_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mdm::obs::BenchReport report("micro");
+  ReportingConsole reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

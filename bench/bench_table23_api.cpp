@@ -10,6 +10,7 @@
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
 #include "mdgrape2/api.hpp"
+#include "obs/bench_report.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -17,6 +18,7 @@
 
 int main() {
   using namespace mdm;
+  obs::BenchReport report("table23_api");
 
   auto system = make_nacl_crystal(3);
   Random rng(12);
@@ -54,6 +56,8 @@ int main() {
     t.reset();
     const double pot = lib.calculate_force_and_pot_wavepart_nooffset(
         system.positions(), charges, system.box(), kvectors, forces);
+    report.add("wine2.force_call_ms", t.elapsed_ms(), "ms");
+    report.add("wine2.wavenumber_potential", pot, "eV");
     t2.add_row({"Force calculation", "calculate_force_and_pot_wavepart"
                 "_nooffset", format_fixed(t.elapsed_ms(), 3)});
     t.reset();
@@ -87,6 +91,7 @@ int main() {
           pos, q, system.box(), kvectors, forces);
       lib.wine2_free_board();
     });
+    report.add("wine2.mpi4_total_ms", t.elapsed_ms(), "ms");
     std::printf("wine2_set_MPI_community + 4-rank parallel force call: "
                 "%.1f ms total\n\n", t.elapsed_ms());
   }
@@ -114,6 +119,9 @@ int main() {
     std::vector<Vec3> forces(system.size(), Vec3{});
     t.reset();
     const auto stats = lib.MR1calcvdw_block2(system, params.r_cut, forces);
+    report.add("mdgrape2.force_call_ms", t.elapsed_ms(), "ms");
+    report.add("mdgrape2.pair_operations",
+               double(stats.pair_operations), "pairs");
     t3.add_row({"Force calculation", "MR1calcvdw_block2",
                 format_fixed(t.elapsed_ms(), 3)});
     t.reset();
@@ -125,5 +133,6 @@ int main() {
                 t3.str().c_str(),
                 static_cast<unsigned long long>(stats.pair_operations));
   }
+  report.write();
   return 0;
 }

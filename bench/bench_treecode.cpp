@@ -11,7 +11,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "obs/bench_report.hpp"
 #include "tree/barnes_hut.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
   double ref_rms = 0.0;
   for (const auto& f : ref) ref_rms += norm2(f);
 
+  mdm::obs::BenchReport report("treecode");
+  report.add("direct.s_per_eval", direct_time, "s");
   AsciiTable table("theta sweep (software traversal + kernel)");
   table.set_header({"theta", "interactions/particle", "vs direct", "rms rel."
                     " force error", "time/s", "speedup"});
@@ -87,6 +91,11 @@ int main(int argc, char** argv) {
                    format_fixed(stats.mean_list() / double(n - 1), 3),
                    format_sci(std::sqrt(err / ref_rms), 2),
                    format_fixed(t, 3), format_fixed(direct_time / t, 1)});
+    const std::string prefix = "theta" + format_fixed(theta, 1) + ".";
+    report.add(prefix + "interactions_per_particle", stats.mean_list(),
+               "pairs");
+    report.add(prefix + "rms_rel_error", std::sqrt(err / ref_rms), "rel");
+    report.add(prefix + "s_per_eval", t, "s");
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -107,8 +116,12 @@ int main(int argc, char** argv) {
               "datapath); %llu pair operations on the chip.\n",
               n_hw, std::sqrt(err / rms),
               static_cast<unsigned long long>(chip.pair_operations()));
+  report.add("mdgrape.hw_vs_sw_rel_diff", std::sqrt(err / rms), "rel");
+  report.add("mdgrape.pair_operations", double(chip.pair_operations()),
+             "pairs");
   std::printf("\nThe tree needs no periodic box and its list length grows "
               "~log N: this is the \"larger simulation that cannot be done "
               "with Ewald method\" of sec. 6.3.\n");
+  report.write();
   return 0;
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the baselined bench set on its small fixed CI workload, leaving one
+# BENCH_<name>.json per bench in the output directory. CI and local baseline
+# regeneration both go through this script so the workloads cannot drift:
+#
+#   bench/run_baseline_set.sh <build-bench-dir> <output-dir>
+#
+# To refresh the committed baselines after an intentional perf/accuracy
+# change:
+#
+#   bench/run_baseline_set.sh build/bench bench/baselines
+#
+# Workloads are deliberately tiny: the regression gate lives in the
+# deterministic metrics (pair counts, accuracy, model numbers); wall-time
+# metrics are informational in bench/baselines/tolerances.json because CI
+# machines differ.
+set -eu
+
+bin=${1:?usage: run_baseline_set.sh <build-bench-dir> <output-dir>}
+out=${2:?usage: run_baseline_set.sh <build-bench-dir> <output-dir>}
+bin=$(cd "$bin" && pwd)
+mkdir -p "$out"
+cd "$out"
+
+run() {
+  echo "== $*"
+  "$bin/$@" > /dev/null
+}
+
+run bench_hot_paths --cells 2 --reps 2 --pools 1,2
+run bench_scaling --sizes 2,3 --reps 1
+run bench_serve --seconds 2 --rate 20 --workers 2
+run bench_accuracy_mdgrape2 --pairs 2000
+run bench_accuracy_wine2 --cells 2
+run bench_ablation_cellindex --cells 4
+run bench_treecode --n 2000 --mdgrape-n 200
+run bench_table23_api
+run bench_table1_components
+run bench_table5_versions
+run bench_alpha_balance
+run bench_micro --benchmark_min_time=0.02
+
+echo "wrote $(ls BENCH_*.json | wc -l) reports to $out"

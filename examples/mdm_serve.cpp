@@ -7,17 +7,24 @@
 ///   ./mdm_serve [--jobs 12] [--tenants 3] [--workers 2]
 ///               [--threads-per-job 1] [--cells 1] [--steps 8]
 ///               [--deadline-ms 0] [--queue-depth 64] [--cancel 0]
-///               [--metrics serve_metrics.json]
+///               [--parallel-real 0] [--checkpoint-every 0]
+///               [--checkpoint-root serve_ckpt]
+///               [--metrics serve_metrics.json] [--trace-out trace.json]
 ///
 /// Every third job is submitted as interactive, the rest as batch; tenants
 /// round-robin. `--cancel n` cancels every n-th job mid-flight to
-/// demonstrate cooperative cancellation.
+/// demonstrate cooperative cancellation. `--parallel-real n` runs each job
+/// on the full parallel backend (n real ranks); with `--trace` (or
+/// MDM_TRACE=1) and `--trace-out`, the chrome-trace export shows every job
+/// as one trace across submit, queue, per-rank phases and checkpoints
+/// (DESIGN.md §10).
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(cli.get_int("threads-per-job", 1));
   config.admission.max_queue_depth =
       static_cast<std::size_t>(cli.get_int("queue-depth", 64));
+  config.checkpoint_root = cli.get_string("checkpoint-root", "serve_ckpt");
 
   serve::SimService service(config);
   service.start();
@@ -59,6 +67,9 @@ int main(int argc, char** argv) {
     spec.nvt_steps = 2 * steps / 3;
     spec.nve_steps = steps - spec.nvt_steps;
     spec.deadline_ms = cli.get_double("deadline-ms", 0.0);
+    spec.parallel_real = static_cast<int>(cli.get_int("parallel-real", 0));
+    spec.checkpoint_interval =
+        static_cast<int>(cli.get_int("checkpoint-every", 0));
     spec.seed = static_cast<std::uint64_t>(i + 1);
     handles.push_back(service.submit(spec));
   }
@@ -102,6 +113,15 @@ int main(int argc, char** argv) {
 
   if (const auto path = cli.value("metrics"); path && !path->empty()) {
     if (reg.write_json_file(*path)) std::printf("wrote %s\n", path->c_str());
+  }
+  if (const auto path = cli.value("trace-out"); path && !path->empty()) {
+    if (!obs::Trace::enabled())
+      std::printf("--trace-out: tracing is off (pass --trace or set "
+                  "MDM_TRACE=1), skipping %s\n", path->c_str());
+    else if (obs::Trace::write_chrome_json_file(*path))
+      std::printf("wrote %s (%zu spans; open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  path->c_str(), obs::Trace::event_count());
   }
   return 0;
 }

@@ -8,9 +8,17 @@
 ///   ./trace_explorer [--cells 6] [--steps 12] [--mdm-cells 3]
 ///                    [--mdm-steps 2] [--trace trace.json]
 ///                    [--metrics metrics.json] [--log-level info]
+///
+/// Merge mode combines per-rank chrome-trace exports into one timeline
+/// (rank = position on the command line) and lists the trace ids found:
+///
+///   ./trace_explorer --merge merged.json rank0.json rank1.json ...
 
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/lattice.hpp"
 #include "core/simulation.hpp"
@@ -22,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/step_breakdown.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -76,11 +85,44 @@ void run_mdm_melt(int cells, int steps, double temperature) {
                sim.samples().back().temperature_K);
 }
 
+/// `--merge out.json rank0.json rank1.json ...`: combine per-rank exports
+/// into one timeline and list the trace ids it contains (a healthy served
+/// job is exactly one id across every rank — DESIGN.md §10).
+int run_merge(const mdm::CommandLine& cli) {
+  using namespace mdm;
+  const auto out = cli.get_string("merge", "merged.json");
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --merge out.json rank0.json [rank1.json ...]\n",
+                 cli.program().c_str());
+    return 2;
+  }
+  std::vector<obs::TraceMergeInput> inputs;
+  for (std::size_t r = 0; r < cli.positional().size(); ++r)
+    inputs.push_back({cli.positional()[r], static_cast<int>(r)});
+  try {
+    if (!obs::merge_chrome_trace_files(inputs, out)) {
+      std::fprintf(stderr, "failed to write %s\n", out.c_str());
+      return 1;
+    }
+    const auto ids = obs::distinct_trace_ids(obs::parse_json_file(out));
+    std::printf("merged %zu rank file(s) into %s (%zu trace id(s)",
+                inputs.size(), out.c_str(), ids.size());
+    for (const auto& id : ids) std::printf(" %s", id.c_str());
+    std::printf(")\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merge failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mdm;
   const CommandLine cli(argc, argv);
+  if (cli.has("merge")) return run_merge(cli);
   apply_observability_cli(cli);
   const int cells = static_cast<int>(cli.get_int("cells", 6));
   const int steps = static_cast<int>(cli.get_int("steps", 12));

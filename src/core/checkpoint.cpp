@@ -13,6 +13,8 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 
@@ -419,8 +421,11 @@ std::vector<std::string> CheckpointManager::generations() const {
 }
 
 std::string CheckpointManager::write(const CheckpointState& state) {
+  obs::TraceSpan span("checkpoint.write");
   const std::string path = path_for_step(state.step);
   write_checkpoint_file(path, state);
+  obs::FlightRecorder::record(obs::FlightKind::kCheckpoint, "write",
+                              static_cast<std::int64_t>(state.step));
 
   // Refresh the `latest` pointer (same atomic protocol; advisory only —
   // restore_latest re-validates everything against the CRCs).

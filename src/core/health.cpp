@@ -3,10 +3,23 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 
 namespace mdm {
+namespace {
+
+const char* kind_label(SimulationHealthError::Kind kind) {
+  switch (kind) {
+    case SimulationHealthError::Kind::kNonFinite: return "non_finite";
+    case SimulationHealthError::Kind::kTemperature: return "temperature";
+    case SimulationHealthError::Kind::kEnergyDrift: return "energy_drift";
+  }
+  return "health";
+}
+
+}  // namespace
 
 bool HealthMonitor::finite(const Vec3& v) {
   return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
@@ -17,6 +30,8 @@ void HealthMonitor::raise(SimulationHealthError::Kind kind, int step,
   static obs::Counter& violations =
       obs::Registry::global().counter("health.violations");
   violations.add(1);
+  obs::FlightRecorder::record(obs::FlightKind::kHealth, kind_label(kind),
+                              step, particle);
   MDM_LOG_ERROR("health: %s", message.c_str());
   throw SimulationHealthError(kind, step, particle, message);
 }

@@ -13,10 +13,12 @@
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
 #include "mdgrape2/gtables.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/step_breakdown.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "util/units.hpp"
 
 namespace mdm::host {
@@ -83,9 +85,25 @@ struct Shared {
 /// Injected rank failure: the rank throws at its fault step, exactly like a
 /// crashed MPI process; vmpi propagates it to every peer.
 void maybe_fail_rank(const Shared& shared, int rank, int step) {
-  if (shared.injector && shared.injector->should_fail_rank(rank, step))
+  if (shared.injector && shared.injector->should_fail_rank(rank, step)) {
+    obs::FlightRecorder::record(obs::FlightKind::kRankFail, "injected", step,
+                                rank);
     throw std::runtime_error("injected fault: rank " + std::to_string(rank) +
                              " failed at step " + std::to_string(step));
+  }
+}
+
+/// Cooperative cancel, polled by every real rank at each step boundary. The
+/// first rank to observe the flag unwinds (poisoning the fabric wakes any
+/// blocked peer); World::run rethrows the ParallelCancelled.
+void maybe_cancel(const Shared& shared, int rank, int step) {
+  if (shared.config.cancel &&
+      shared.config.cancel->load(std::memory_order_relaxed)) {
+    obs::FlightRecorder::record(obs::FlightKind::kNote, "cancelled", step,
+                                rank);
+    throw ParallelCancelled("parallel app cancelled at step " +
+                            std::to_string(step));
+  }
 }
 
 double charge_of(const Shared& shared, int type) {
@@ -94,6 +112,25 @@ double charge_of(const Shared& shared, int type) {
 
 double ms_since(std::uint64_t start_ns) {
   return static_cast<double>(obs::Trace::now_ns() - start_ns) * 1e-6;
+}
+
+/// Flight-recorder dump next to the checkpoints (DESIGN.md §10): the last
+/// ~512 events per thread — steps, sends/recvs, health samples, checkpoint
+/// generations — for the postmortem of a failed run. Requires a checkpoint
+/// directory ("alongside the latest checkpoint"); without one the events
+/// stay in memory.
+void dump_flight(const ParallelAppConfig& config, const char* reason) {
+  if (!obs::FlightRecorder::enabled() || config.checkpoint_dir.empty())
+    return;
+  const std::string path =
+      config.checkpoint_dir + "/flight_" + reason + ".json";
+  if (obs::FlightRecorder::write_json_file(path)) {
+    MDM_LOG_WARN("parallel: flight recorder dumped to %s (%llu events "
+                 "recorded)",
+                 path.c_str(),
+                 static_cast<unsigned long long>(
+                     obs::FlightRecorder::recorded_count()));
+  }
 }
 
 /// ---------------- wavenumber process ------------------------------------
@@ -117,6 +154,9 @@ void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
   // plus one per remaining step. Round k serves the force evaluation of
   // step k.
   for (int round = shared.start_step; round <= shared.total_steps; ++round) {
+    // Coarse per-rank span (always compiled, unlike MDM_TRACE_SCOPE): the
+    // merged job trace shows every rank's round cadence in Release too.
+    obs::TraceSpan round_span("wn.round");
     maybe_fail_rank(shared, comm.rank(), round);
     // One (possibly empty) batch from every real rank.
     std::vector<WnRec> local;
@@ -188,6 +228,7 @@ class RealProcess {
 
   void main() {
     const int start = shared_.start_step;
+    obs::FlightRecorder::record(obs::FlightKind::kPhase, "scatter", start);
     scatter_initial();
     apply_injected_faults(start);
     compute_forces();
@@ -196,6 +237,11 @@ class RealProcess {
     if (start == 0) record_sample(0);
     const auto& cfg = shared_.config.protocol;
     for (int step = start + 1; step <= shared_.total_steps; ++step) {
+      // Coarse per-rank span (always compiled, unlike MDM_TRACE_SCOPE): the
+      // merged job trace shows every rank's step cadence in Release too.
+      obs::TraceSpan step_span("rank.step");
+      obs::FlightRecorder::record(obs::FlightKind::kStep, nullptr, step);
+      maybe_cancel(shared_, rank(), step);
       apply_injected_faults(step);
       half_kick();
       drift();
@@ -208,6 +254,8 @@ class RealProcess {
       if (step % cfg.sample_interval == 0) record_sample(step);
       maybe_checkpoint(step);
     }
+    obs::FlightRecorder::record(obs::FlightKind::kPhase, "gather",
+                                shared_.total_steps);
     gather_final();
   }
 
@@ -636,7 +684,17 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
         static_cast<long>(config_.recv_timeout_ms)));
   std::mutex result_mutex;
 
+  // One trace per run: adopt the caller's ambient context (a serve job's
+  // trace) or mint a fresh one; every epoch — the initial attempt and each
+  // auto-recovery — gets its own span under that trace, and vmpi propagates
+  // the context into every rank thread.
+  const obs::TraceContext run_ctx = obs::TraceContext::current_or_mint();
+  obs::TraceContextScope run_scope(run_ctx);
+
   for (;;) {
+    obs::TraceContextScope epoch_scope(
+        obs::TraceContext{run_ctx.trace_id, obs::TraceContext::next_span_id()});
+    obs::TraceSpan epoch_span("parallel.epoch");
     try {
       world.run([&](vmpi::Communicator& comm) {
         if (comm.rank() < config_.real_processes) {
@@ -653,7 +711,11 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
         }
       });
       return result;
+    } catch (const ParallelCancelled&) {
+      // A cancel is a request, not a failure: no recovery, no dump.
+      throw;
     } catch (const SimulationHealthError& e) {
+      dump_flight(config_, "health");
       // Deterministic numerical garbage: resuming would reproduce it, so
       // optionally roll the result back to the last good checkpoint and
       // halt cleanly instead of rethrowing.
@@ -674,6 +736,7 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
       }
       throw;
     } catch (const std::exception& e) {
+      dump_flight(config_, "failure");
       if (!config_.auto_recover || !shared.checkpoint ||
           result.recoveries >= config_.max_recoveries)
         throw;

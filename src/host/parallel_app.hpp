@@ -17,7 +17,9 @@
 /// The whole application runs on the virtual MPI world (threads); with the
 /// hardware simulators underneath this is the full MDM software stack.
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,14 @@ class FaultInjector;
 }
 
 namespace mdm::host {
+
+/// Raised out of MdmParallelApp::run when the caller's cancel flag was
+/// observed at a step boundary. Never triggers auto-recovery: a cancel is a
+/// request, not a failure.
+class ParallelCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ParallelAppConfig {
   int real_processes = 16;  ///< paper: 16 domains
@@ -70,6 +80,11 @@ struct ParallelAppConfig {
   /// On a watchdog violation, restore the last checkpoint into the result
   /// and halt cleanly instead of rethrowing (halted_on_health is set).
   bool rollback_on_health_error = false;
+
+  /// Cooperative cancel flag (not owned; may be null), checked by every
+  /// real rank at each step boundary. When observed, the run unwinds with
+  /// ParallelCancelled — the serve runner maps it to kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ParallelRunResult {

@@ -6,8 +6,11 @@
 #include <thread>
 
 #include "host/fault_injector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 
 namespace mdm::vmpi {
 namespace {
@@ -152,8 +155,16 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   // Peer-failure echoes are secondary: World::run rethrows the original.
   std::vector<char> secondary(size_, 0);
   threads.reserve(size_);
+  // The launching thread's ambient TraceContext flows into every rank
+  // thread, so one job's spans across all ranks share a trace id; rank
+  // labels route each thread's spans/events to its "rank N" track.
+  const obs::TraceContext trace_ctx = obs::TraceContext::current();
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &rank_main, &errors, &secondary] {
+    threads.emplace_back([this, r, &rank_main, &errors, &secondary,
+                          trace_ctx] {
+      obs::TraceContextScope trace_scope(trace_ctx);
+      obs::Trace::set_thread_rank(r);
+      obs::FlightRecorder::set_thread_rank(r);
       Communicator comm(this, r, size_);
       try {
         rank_main(comm);
@@ -236,6 +247,7 @@ void Communicator::send_bytes(int dest, int tag, const std::byte* data,
   }
 
   auto& mb = *world_->mailboxes_[dest_world];
+  const std::uint64_t trace_id = obs::TraceContext::current().trace_id;
   std::vector<std::byte> payload(data, data + size);
   {
     std::lock_guard lock(mb.mutex);
@@ -245,11 +257,13 @@ void Communicator::send_bytes(int dest, int tag, const std::byte* data,
     const std::uint64_t seq = channel.send_seq++;
     if (action == FaultInjector::MessageAction::kDuplicate) {
       counters.duplicated.add(1);
-      channel.queue.push_back({seq, payload});
+      channel.queue.push_back({seq, trace_id, payload});
     }
-    channel.queue.push_back({seq, std::move(payload)});
+    channel.queue.push_back({seq, trace_id, std::move(payload)});
   }
   counters.sent.add(1);
+  obs::FlightRecorder::record(obs::FlightKind::kSend, nullptr, dest_world,
+                              tag);
   mb.cv.notify_all();
 }
 
@@ -304,6 +318,11 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
       continue;
     }
     channel.recv_expected = msg.seq + 1;
+    lock.unlock();
+    // Attributed to the sender's trace id from the message header, which
+    // stitches cross-rank causality into the flight timeline.
+    obs::FlightRecorder::record_trace(obs::FlightKind::kRecv, msg.trace_id,
+                                      nullptr, key.first, tag);
     return std::move(msg.bytes);
   }
 }

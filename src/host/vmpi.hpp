@@ -245,6 +245,10 @@ class World {
 
   struct Message {
     std::uint64_t seq = 0;
+    /// Sender's ambient trace id (DESIGN.md §10): stamped on send so the
+    /// receiver's flight-recorder event joins the sender's trace even
+    /// across rank threads that never shared a TraceContext directly.
+    std::uint64_t trace_id = 0;
     std::vector<std::byte> bytes;
   };
   /// One (source world rank, tag) stream. Sequence numbers are assigned

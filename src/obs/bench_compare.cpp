@@ -1,0 +1,196 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace mdm::obs {
+namespace {
+
+ToleranceRule parse_rule(const JsonValue& v) {
+  ToleranceRule rule;
+  if (const JsonValue* rel = v.find("rel_tol")) rule.rel_tol = rel->as_number();
+  if (const JsonValue* abs = v.find("abs_tol")) rule.abs_tol = abs->as_number();
+  if (const JsonValue* info = v.find("informational"))
+    rule.informational = info->as_bool();
+  return rule;
+}
+
+struct BenchResults {
+  std::string bench;
+  /// (metric, value, unit) in file order.
+  std::vector<std::tuple<std::string, double, std::string>> results;
+};
+
+BenchResults load_bench(const std::string& path) {
+  const JsonValue doc = parse_json_file(path);
+  BenchResults out;
+  out.bench = doc.at("bench").as_string();
+  for (const auto& r : doc.at("results").as_array()) {
+    const JsonValue* unit = r.find("unit");
+    out.results.emplace_back(r.at("name").as_string(),
+                             r.at("value").as_number(),
+                             unit && unit->is_string() ? unit->as_string()
+                                                      : std::string());
+  }
+  return out;
+}
+
+}  // namespace
+
+ToleranceRules ToleranceRules::load(const std::string& path) {
+  const JsonValue doc = parse_json_file(path);
+  ToleranceRules rules;
+  if (const JsonValue* def = doc.find("default"))
+    rules.default_ = parse_rule(*def);
+  if (const JsonValue* units = doc.find("units"))
+    for (const auto& [unit, rule] : units->as_object())
+      rules.by_unit_.emplace_back(unit, parse_rule(rule));
+  if (const JsonValue* metrics = doc.find("metrics"))
+    for (const auto& [metric, rule] : metrics->as_object())
+      rules.by_metric_.emplace_back(metric, parse_rule(rule));
+  return rules;
+}
+
+void ToleranceRules::overlay(Resolved& r, const ToleranceRule& rule) {
+  if (rule.rel_tol) r.rel_tol = *rule.rel_tol;
+  if (rule.abs_tol) r.abs_tol = *rule.abs_tol;
+  if (rule.informational) r.informational = *rule.informational;
+}
+
+ToleranceRules::Resolved ToleranceRules::lookup(const std::string& bench,
+                                                const std::string& metric,
+                                                const std::string& unit) const {
+  Resolved r;
+  overlay(r, default_);
+  for (const auto& [u, rule] : by_unit_)
+    if (u == unit) overlay(r, rule);
+  for (const auto& [m, rule] : by_metric_)
+    if (m == metric) overlay(r, rule);
+  const std::string qualified = bench + "/" + metric;
+  for (const auto& [m, rule] : by_metric_)
+    if (m == qualified) overlay(r, rule);
+  return r;
+}
+
+const char* to_string(DeltaStatus status) noexcept {
+  switch (status) {
+    case DeltaStatus::kOk: return "ok";
+    case DeltaStatus::kRegressed: return "REGRESSED";
+    case DeltaStatus::kMissing: return "MISSING";
+    case DeltaStatus::kNew: return "new";
+    case DeltaStatus::kInformational: return "info";
+  }
+  return "?";
+}
+
+bool CompareReport::ok() const noexcept { return failures() == 0; }
+
+int CompareReport::failures() const noexcept {
+  int n = 0;
+  for (const auto& d : deltas)
+    if (d.status == DeltaStatus::kRegressed ||
+        d.status == DeltaStatus::kMissing)
+      ++n;
+  return n;
+}
+
+CompareReport compare_bench_files(const std::string& baseline_path,
+                                  const std::string& current_path,
+                                  const ToleranceRules& rules) {
+  const BenchResults base = load_bench(baseline_path);
+  const BenchResults cur = load_bench(current_path);
+  CompareReport report;
+  report.benches_compared = 1;
+  for (const auto& [metric, value, unit] : base.results) {
+    MetricDelta d;
+    d.bench = base.bench;
+    d.metric = metric;
+    d.unit = unit;
+    d.baseline = value;
+    const auto it =
+        std::find_if(cur.results.begin(), cur.results.end(),
+                     [&](const auto& r) { return std::get<0>(r) == metric; });
+    const auto band = rules.lookup(base.bench, metric, unit);
+    d.rel_tol = band.rel_tol;
+    if (it == cur.results.end()) {
+      d.status = DeltaStatus::kMissing;
+    } else {
+      d.current = std::get<1>(*it);
+      const bool in_band = std::abs(d.current - d.baseline) <=
+                           band.rel_tol * std::abs(d.baseline) + band.abs_tol;
+      d.status = in_band ? DeltaStatus::kOk
+                 : band.informational ? DeltaStatus::kInformational
+                                      : DeltaStatus::kRegressed;
+    }
+    report.deltas.push_back(std::move(d));
+  }
+  for (const auto& [metric, value, unit] : cur.results) {
+    const bool known =
+        std::any_of(base.results.begin(), base.results.end(),
+                    [&](const auto& r) { return std::get<0>(r) == metric; });
+    if (known) continue;
+    MetricDelta d;
+    d.bench = cur.bench;
+    d.metric = metric;
+    d.unit = unit;
+    d.current = value;
+    d.status = DeltaStatus::kNew;
+    report.deltas.push_back(std::move(d));
+  }
+  return report;
+}
+
+CompareReport compare_bench_dirs(const std::string& baseline_dir,
+                                 const std::string& current_dir,
+                                 const ToleranceRules& rules) {
+  namespace fs = std::filesystem;
+  CompareReport report;
+  std::vector<fs::path> baselines;
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json")
+      baselines.push_back(entry.path());
+  }
+  std::sort(baselines.begin(), baselines.end());
+  for (const auto& baseline : baselines) {
+    const fs::path current = fs::path(current_dir) / baseline.filename();
+    if (!fs::exists(current)) {
+      MetricDelta d;
+      d.bench = baseline.filename().string();
+      d.metric = "*";
+      d.status = DeltaStatus::kMissing;
+      report.deltas.push_back(std::move(d));
+      continue;
+    }
+    CompareReport one =
+        compare_bench_files(baseline.string(), current.string(), rules);
+    report.benches_compared += one.benches_compared;
+    for (auto& d : one.deltas) report.deltas.push_back(std::move(d));
+  }
+  return report;
+}
+
+void write_text(const CompareReport& report, std::ostream& os) {
+  char buf[160];
+  for (const auto& d : report.deltas) {
+    const double denom = std::abs(d.baseline);
+    const double rel =
+        denom > 0.0 ? (d.current - d.baseline) / denom * 100.0 : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %-28s %-42s base=%-14.6g cur=%-14.6g %+7.2f%% "
+                  "(tol %.0f%%)",
+                  to_string(d.status), d.bench.c_str(), d.metric.c_str(),
+                  d.baseline, d.current, rel, d.rel_tol * 100.0);
+    os << buf << '\n';
+  }
+  os << "bench_compare: " << (report.ok() ? "OK" : "FAIL") << " — "
+     << report.benches_compared << " bench(es), " << report.deltas.size()
+     << " metric(s), " << report.failures() << " failure(s)\n";
+}
+
+}  // namespace mdm::obs

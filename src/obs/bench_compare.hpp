@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file bench_compare.hpp
+/// Perf-regression telemetry (DESIGN.md §10): diff the BENCH_*.json files a
+/// bench run just produced against a committed baseline, with per-metric
+/// tolerance bands, so perf drifts fail CI instead of accumulating silently.
+///
+/// Tolerances come from a JSON rules file (bench/baselines/tolerances.json):
+///
+///   {"default":      {"rel_tol": 0.25},
+///    "units":        {"ms": {"informational": true}, ...},
+///    "metrics":      {"hot_paths/cells": {"rel_tol": 0.0},
+///                     "energy_drift": {"abs_tol": 1e-6}}}
+///
+/// Lookup overlays default <- unit rule <- "metric" <- "bench/metric", each
+/// layer overriding only the fields it sets. A metric is in-band when
+/// |current - baseline| <= rel_tol * |baseline| + abs_tol. Informational
+/// metrics (typically anything measured in wall time — CI machines differ)
+/// are reported but never fail the comparison; deterministic counts and
+/// accuracy metrics get strict bands. A metric present in the baseline but
+/// missing from the current run fails; a new metric is reported as such.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdm::obs {
+
+/// One tolerance rule; unset fields inherit from the layer below.
+struct ToleranceRule {
+  std::optional<double> rel_tol;
+  std::optional<double> abs_tol;
+  std::optional<bool> informational;
+};
+
+class ToleranceRules {
+ public:
+  /// Built-in defaults: rel_tol 0.25, abs_tol 1e-12, strict.
+  ToleranceRules() = default;
+
+  /// Parse a rules file (see file comment); throws JsonError.
+  static ToleranceRules load(const std::string& path);
+
+  /// Resolved band for one metric.
+  struct Resolved {
+    double rel_tol = 0.25;
+    double abs_tol = 1e-12;
+    bool informational = false;
+  };
+  Resolved lookup(const std::string& bench, const std::string& metric,
+                  const std::string& unit) const;
+
+ private:
+  static void overlay(Resolved& r, const ToleranceRule& rule);
+  ToleranceRule default_;
+  std::vector<std::pair<std::string, ToleranceRule>> by_unit_;
+  std::vector<std::pair<std::string, ToleranceRule>> by_metric_;
+};
+
+enum class DeltaStatus {
+  kOk,             ///< within band
+  kRegressed,      ///< out of band — fails the comparison
+  kMissing,        ///< in baseline, absent from current — fails
+  kNew,            ///< in current only — reported, does not fail
+  kInformational,  ///< out of band but the metric is informational
+};
+
+const char* to_string(DeltaStatus status) noexcept;
+
+struct MetricDelta {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_tol = 0.0;
+  DeltaStatus status = DeltaStatus::kOk;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;
+  int benches_compared = 0;
+
+  bool ok() const noexcept;
+  int failures() const noexcept;  ///< kRegressed + kMissing count
+};
+
+/// Compare one baseline BENCH_*.json against its current counterpart.
+/// Throws JsonError on unreadable/malformed input.
+CompareReport compare_bench_files(const std::string& baseline_path,
+                                  const std::string& current_path,
+                                  const ToleranceRules& rules);
+
+/// Compare every BENCH_*.json in `baseline_dir` against the same-named file
+/// in `current_dir`. A baseline file with no current counterpart yields one
+/// kMissing delta for the whole bench; extra current files are ignored
+/// (benches not yet baselined must not fail CI).
+CompareReport compare_bench_dirs(const std::string& baseline_dir,
+                                 const std::string& current_dir,
+                                 const ToleranceRules& rules);
+
+/// Human-readable table of the comparison, one line per delta plus a
+/// verdict line ("bench_compare: OK ..." / "bench_compare: FAIL ...").
+void write_text(const CompareReport& report, std::ostream& os);
+
+}  // namespace mdm::obs

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON reader for the observability tool chain: bench_compare
+/// parses BENCH_*.json and tolerance files, the trace merger re-reads
+/// chrome-trace output, and tests assert on merged traces, flight-recorder
+/// dumps and registry dumps structurally instead of by substring.
+///
+/// Scope: full RFC 8259 input, DOM-style value tree, no writer (the
+/// emitters in this layer stream their own JSON). Parse errors throw
+/// JsonError with a byte offset.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mdm::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  /// Key order preserved by map; duplicate keys keep the last value.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed access; throws JsonError(offset 0) on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// find() that throws when the member is missing.
+  const JsonValue& at(const std::string& key) const;
+
+  // Construction (used by the parser; handy in tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(Array a);
+  static JsonValue make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse one JSON document (leading/trailing whitespace allowed; anything
+/// else after the value is an error).
+JsonValue parse_json(std::string_view text);
+
+/// Parse the file at `path`; throws JsonError (unreadable file => offset 0).
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace mdm::obs

@@ -243,12 +243,29 @@ void Registry::write_csv(std::ostream& os) const {
     std::snprintf(buf, sizeof buf, "%.17g", v);
     return buf;
   };
-  for (const auto& [name, c] : counters_)
-    os << "counter," << name << ",," << c->value() << ",,,,\n";
-  for (const auto& [name, g] : gauges_)
-    os << "gauge," << name << ",," << num(g->value()) << ",,,,\n";
+  // RFC 4180: names holding a comma, quote, CR or LF must be quoted, with
+  // embedded quotes doubled (the JSON dump got this in its own way; the CSV
+  // path used to write names raw and corrupt the column layout).
+  const auto field = [&os](const std::string& s) -> std::ostream& {
+    if (s.find_first_of(",\"\r\n") == std::string::npos) return os << s;
+    os << '"';
+    for (const char c : s) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    return os << '"';
+  };
+  for (const auto& [name, c] : counters_) {
+    os << "counter,";
+    field(name) << ",," << c->value() << ",,,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge,";
+    field(name) << ",," << num(g->value()) << ",,,,\n";
+  }
   for (const auto& [name, h] : histograms_) {
-    os << "histogram," << name << ',' << h->count() << ',' << num(h->sum());
+    os << "histogram,";
+    field(name) << ',' << h->count() << ',' << num(h->sum());
     os << ',' << num(h->min());
     os << ',' << num(h->max());
     os << ',' << num(h->percentile(50.0));

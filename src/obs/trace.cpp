@@ -1,10 +1,13 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -18,9 +21,11 @@ struct Event {
   const char* name;
   std::uint64_t start_ns;
   std::uint64_t end_ns;
+  std::uint64_t trace_id;
+  std::uint64_t span_id;  ///< parent span from the ambient context
 };
 
-/// Cap per thread (~24 MB worst case) so a runaway loop with tracing left on
+/// Cap per thread (~56 MB worst case) so a runaway loop with tracing left on
 /// cannot exhaust memory; overflow is counted, not silently ignored.
 constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
 
@@ -28,6 +33,7 @@ struct ThreadBuffer {
   std::mutex mutex;  // uncontended except during export/clear
   std::vector<Event> events;
   int tid = 0;
+  std::atomic<int> rank{-1};  ///< vmpi rank label; -1 = host process
 };
 
 struct Recorder {
@@ -98,13 +104,21 @@ std::uint64_t Trace::now_ns() noexcept {
 void Trace::record_complete(const char* name, std::uint64_t start_ns,
                             std::uint64_t end_ns) {
   if (!enabled()) return;
+  const TraceContext ctx = TraceContext::current();
   auto& buf = local_buffer();
   std::lock_guard lock(buf.mutex);
   if (buf.events.size() >= kMaxEventsPerThread) {
     recorder().dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buf.events.push_back({name, start_ns, end_ns});
+  buf.events.push_back({name, start_ns, end_ns, ctx.trace_id, ctx.span_id});
+}
+
+void Trace::set_thread_rank(int rank) {
+  // Registering a buffer just for the label would break the disabled-mode
+  // zero-allocation guarantee; rank threads call this unconditionally.
+  if (!enabled()) return;
+  local_buffer().rank.store(rank, std::memory_order_relaxed);
 }
 
 std::size_t Trace::event_count() {
@@ -138,20 +152,62 @@ void Trace::clear() {
   rec.dropped.store(0, std::memory_order_relaxed);
 }
 
+std::vector<SpanStat> Trace::summarize(std::uint64_t trace_id) {
+  // Aggregate by name pointer first (names are string literals, so the
+  // same span site is the same pointer), then merge by string value in
+  // case two sites share a name.
+  std::map<std::string, SpanStat> by_name;
+  auto& rec = recorder();
+  std::lock_guard lock(rec.registry_mutex);
+  for (const auto& buf : rec.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    for (const auto& e : buf->events) {
+      if (trace_id != 0 && e.trace_id != trace_id) continue;
+      auto& stat = by_name[e.name];
+      if (stat.count == 0) stat.name = e.name;
+      ++stat.count;
+      stat.total_ns += e.end_ns >= e.start_ns ? e.end_ns - e.start_ns : 0;
+    }
+  }
+  std::vector<SpanStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  return out;
+}
+
 void Trace::write_chrome_json(std::ostream& os) {
   auto& rec = recorder();
   std::lock_guard lock(rec.registry_mutex);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   char num[64];
+  // Name the per-rank process tracks so the merged timeline reads as
+  // "rank 0", "rank 1", ... in the viewer.
+  std::vector<int> ranks_seen;
+  for (const auto& buf : rec.buffers) {
+    const int rank = buf->rank.load(std::memory_order_relaxed);
+    if (rank < 0) continue;
+    if (std::find(ranks_seen.begin(), ranks_seen.end(), rank) !=
+        ranks_seen.end())
+      continue;
+    ranks_seen.push_back(rank);
+    os << (first ? "" : ",")
+       << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+       << kRankPidBase + rank
+       << ",\"tid\":0,\"args\":{\"name\":\"rank " << rank << "\"}}";
+    first = false;
+  }
   for (const auto& buf : rec.buffers) {
     std::lock_guard buf_lock(buf->mutex);
+    const int rank = buf->rank.load(std::memory_order_relaxed);
+    const int pid = rank >= 0 ? kRankPidBase + rank : 1;
     for (const auto& e : buf->events) {
       if (!first) os << ',';
       first = false;
       os << "\n{\"name\":\"";
       escape_into(os, e.name);
-      os << "\",\"cat\":\"mdm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buf->tid;
+      os << "\",\"cat\":\"mdm\",\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":" << buf->tid;
       // Timestamps/durations in microseconds with ns resolution.
       std::snprintf(num, sizeof num, "%.3f",
                     static_cast<double>(e.start_ns) * 1e-3);
@@ -159,7 +215,20 @@ void Trace::write_chrome_json(std::ostream& os) {
       const std::uint64_t dur =
           e.end_ns >= e.start_ns ? e.end_ns - e.start_ns : 0;
       std::snprintf(num, sizeof num, "%.3f", static_cast<double>(dur) * 1e-3);
-      os << ",\"dur\":" << num << '}';
+      os << ",\"dur\":" << num;
+      if (e.trace_id != 0) {
+        // Hex keeps the 64-bit id exact (JSON numbers are doubles).
+        std::snprintf(num, sizeof num, "%llx",
+                      static_cast<unsigned long long>(e.trace_id));
+        os << ",\"args\":{\"trace\":\"" << num << "\"";
+        if (e.span_id != 0) {
+          std::snprintf(num, sizeof num, "%llx",
+                        static_cast<unsigned long long>(e.span_id));
+          os << ",\"parent\":\"" << num << "\"";
+        }
+        os << '}';
+      }
+      os << '}';
     }
   }
   os << "\n]}\n";

@@ -16,17 +16,36 @@
 ///  * run time — `Trace::set_enabled` (or the MDM_TRACE=1 environment
 ///    variable, or `--trace` via `apply_observability_cli`).
 ///
+/// Distributed tracing (DESIGN.md §10): every span records the calling
+/// thread's ambient TraceContext, so spans across serve workers, pool
+/// workers and vmpi rank threads correlate by trace id. Rank threads label
+/// themselves with `set_thread_rank`; the chrome export then groups their
+/// spans as one process per rank ("rank N" tracks in Perfetto), which is
+/// the in-process form of the per-rank trace merge (see trace_merge.hpp for
+/// the cross-file merger). `summarize` aggregates one trace's spans by name
+/// — queue wait, run time, checkpoint overhead per job.
+///
 /// Open the exported file in chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
+
+#include "obs/trace_context.hpp"
 
 #ifndef MDM_TRACING_ENABLED
 #define MDM_TRACING_ENABLED 1
 #endif
 
 namespace mdm::obs {
+
+/// Aggregate of one trace's spans sharing a name (see Trace::summarize).
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
 
 class Trace {
  public:
@@ -38,10 +57,17 @@ class Trace {
   /// Nanoseconds since the recorder's epoch (process start, steady clock).
   static std::uint64_t now_ns() noexcept;
 
-  /// Record one complete span on the calling thread. `name` must outlive
-  /// the recorder (the macros pass string literals). No-op while disabled.
+  /// Record one complete span on the calling thread, tagged with the
+  /// thread's ambient TraceContext. `name` must outlive the recorder (the
+  /// macros pass string literals). No-op while disabled.
   static void record_complete(const char* name, std::uint64_t start_ns,
                               std::uint64_t end_ns);
+
+  /// Label the calling thread as vmpi rank `rank` (>= 0) for the chrome
+  /// export: its spans move to a "rank N" process track. -1 resets to the
+  /// anonymous host process. The label sticks to the thread, so rank
+  /// threads set it at the top of rank_main.
+  static void set_thread_rank(int rank);
 
   /// Total recorded events across all thread buffers.
   static std::size_t event_count();
@@ -53,12 +79,22 @@ class Trace {
   /// Drop all recorded events (buffers stay registered).
   static void clear();
 
+  /// Aggregate spans by name: all spans tagged `trace_id`, or every span
+  /// when trace_id == 0. Sorted by name.
+  static std::vector<SpanStat> summarize(std::uint64_t trace_id);
+
   /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" phase events,
-  /// timestamps in microseconds).
+  /// timestamps in microseconds). Rank-labelled threads export as
+  /// pid = kRankPidBase + rank with "process_name" metadata; spans carry
+  /// their trace id in args.trace.
   static void write_chrome_json(std::ostream& os);
   static std::string chrome_json();
   /// Returns false if the file could not be opened.
   static bool write_chrome_json_file(const std::string& path);
+
+  /// pid of rank 0 in the chrome export (rank r => kRankPidBase + r; the
+  /// anonymous host process is pid 1).
+  static constexpr int kRankPidBase = 100;
 };
 
 /// RAII span: records [construction, destruction) under `name` (a string

@@ -1,0 +1,58 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace mdm::obs {
+namespace {
+
+thread_local TraceContext t_current{};
+
+std::atomic<std::uint64_t>& trace_counter() {
+  static std::atomic<std::uint64_t>* c = new std::atomic<std::uint64_t>(0);
+  return *c;
+}
+
+std::atomic<std::uint64_t>& span_counter() {
+  static std::atomic<std::uint64_t>* c = new std::atomic<std::uint64_t>(1);
+  return *c;
+}
+
+/// Per-process salt for the high half of trace ids, taken once from the
+/// system clock so traces merged from different processes keep distinct ids.
+std::uint64_t process_salt() {
+  static const std::uint64_t salt = [] {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+    return static_cast<std::uint64_t>(us) << 20;
+  }();
+  return salt;
+}
+
+}  // namespace
+
+TraceContext TraceContext::mint() noexcept {
+  const std::uint64_t n =
+      trace_counter().fetch_add(1, std::memory_order_relaxed) + 1;
+  TraceContext ctx;
+  // Counter in the low bits keeps ids unique within the process even if two
+  // processes mint within the same microsecond.
+  ctx.trace_id = process_salt() | (n & ((std::uint64_t{1} << 20) - 1));
+  ctx.span_id = next_span_id();
+  return ctx;
+}
+
+std::uint64_t TraceContext::next_span_id() noexcept {
+  return span_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext TraceContext::current() noexcept { return t_current; }
+
+TraceContext TraceContext::current_or_mint() noexcept {
+  return t_current.valid() ? t_current : mint();
+}
+
+void TraceContext::set_current(TraceContext ctx) noexcept { t_current = ctx; }
+
+}  // namespace mdm::obs

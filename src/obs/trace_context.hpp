@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file trace_context.hpp
+/// Request-scoped trace identity (DESIGN.md §10). A `TraceContext` is a
+/// (trace id, span id) pair minted once per serve job and once per
+/// `MdmParallelApp` epoch; every span recorded while a context is installed
+/// on the calling thread carries its trace id, and vmpi stamps the current
+/// trace id into every message header, so one job's life — admission,
+/// queueing, per-rank force phases, checkpoint writes, completion — is a
+/// single correlated trace no matter how many threads and ranks it crosses.
+///
+/// The context is thread-local. Install it with the RAII scope:
+///
+///   obs::TraceContextScope scope(job_ctx);
+///   ... every TraceSpan and FlightRecorder event here is tagged ...
+///
+/// Thread-pool fan-outs forward the dispatching thread's context into the
+/// worker chunks (util/thread_pool.cpp), and the parallel app installs the
+/// epoch context on every rank thread, so the propagation rules are:
+/// ambient context follows the work, not the OS thread.
+
+#include <cstdint>
+
+namespace mdm::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no context (untagged spans)
+  std::uint64_t span_id = 0;   ///< id of the current (parent) span
+
+  bool valid() const noexcept { return trace_id != 0; }
+
+  /// Mint a fresh context: a process-unique nonzero trace id (an epoch
+  /// timestamp salt in the high bits plus a monotone counter, so ids from
+  /// separate processes merge without colliding) and span id 1 (the root).
+  static TraceContext mint() noexcept;
+
+  /// Fresh span id within this trace (monotone per process).
+  static std::uint64_t next_span_id() noexcept;
+
+  /// The calling thread's installed context ({0, 0} when none).
+  static TraceContext current() noexcept;
+  /// current() when valid, otherwise mint(). The parallel app uses this to
+  /// join an enclosing serve-job trace or start its own epoch trace.
+  static TraceContext current_or_mint() noexcept;
+
+  /// Install/remove directly (prefer TraceContextScope).
+  static void set_current(TraceContext ctx) noexcept;
+};
+
+/// RAII installer: replaces the calling thread's context for the scope's
+/// lifetime and restores the previous one on exit.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx) noexcept
+      : previous_(TraceContext::current()) {
+    TraceContext::set_current(ctx);
+  }
+  ~TraceContextScope() { TraceContext::set_current(previous_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace mdm::obs

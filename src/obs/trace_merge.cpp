@@ -1,0 +1,177 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace mdm::obs {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      os << buf;
+    } else
+      os << c;
+  }
+}
+
+/// Serialize one JsonValue. Integral numbers print as integers; the rest as
+/// fixed 3-decimal values, matching how the tracer emits microsecond
+/// timestamps (so a merge round-trips them exactly).
+void write_value(std::ostream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: os << "null"; return;
+    case JsonValue::Kind::kBool: os << (v.as_bool() ? "true" : "false"); return;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.as_number();
+      if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+        os << static_cast<long long>(d);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.3f", d);
+        os << buf;
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      os << '"';
+      write_escaped(os, v.as_string());
+      os << '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : v.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        write_value(os, item);
+      }
+      os << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, item] : v.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"';
+        write_escaped(os, key);
+        os << "\":";
+        write_value(os, item);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+long long int_member(const JsonValue& obj, const std::string& key,
+                     long long fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is_number()) return fallback;
+  return static_cast<long long>(v->as_number());
+}
+
+}  // namespace
+
+void merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                         std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::set<int> ranks_named;
+  // Offset each input's tids into a distinct band so thread 3 of file A and
+  // thread 3 of file B stay separate tracks.
+  long long tid_base = 0;
+  for (const auto& input : inputs) {
+    const JsonValue doc = parse_json_file(input.path);
+    const auto& events = doc.at("traceEvents").as_array();
+    const int host_pid =
+        input.rank >= 0 ? Trace::kRankPidBase + input.rank : 1;
+    if (input.rank >= 0 && ranks_named.insert(input.rank).second) {
+      os << (first ? "" : ",")
+         << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << host_pid
+         << ",\"tid\":0,\"args\":{\"name\":\"rank " << input.rank << "\"}}";
+      first = false;
+    }
+    long long max_tid = 0;
+    for (const auto& ev : events) {
+      const auto& obj = ev.as_object();
+      const JsonValue* ph = ev.find("ph");
+      const long long pid = int_member(ev, "pid", 1);
+      const long long tid = int_member(ev, "tid", 0) + tid_base;
+      max_tid = std::max(max_tid, tid - tid_base);
+      const bool on_rank_track = pid >= Trace::kRankPidBase;
+      if (ph && ph->is_string() && ph->as_string() == "M") {
+        // Keep rank-track metadata from in-process worlds; the host
+        // process_name (if any) is replaced by the rank name above.
+        if (!on_rank_track) continue;
+        if (const JsonValue* args = ev.find("args")) {
+          if (const JsonValue* name = args->find("name")) {
+            if (name->is_string()) {
+              const int rank = static_cast<int>(pid) - Trace::kRankPidBase;
+              if (!ranks_named.insert(rank).second) continue;
+            }
+          }
+        }
+      }
+      os << (first ? "" : ",") << "\n{";
+      first = false;
+      bool first_member = true;
+      for (const auto& [key, value] : obj) {
+        if (!first_member) os << ',';
+        first_member = false;
+        os << '"';
+        write_escaped(os, key);
+        os << "\":";
+        if (key == "pid")
+          os << (on_rank_track ? pid : host_pid);
+        else if (key == "tid")
+          os << tid;
+        else
+          write_value(os, value);
+      }
+      os << '}';
+    }
+    tid_base += max_tid + 1;
+  }
+  os << "\n]}\n";
+}
+
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs) {
+  std::ostringstream os;
+  merge_chrome_traces(inputs, os);
+  return os.str();
+}
+
+bool merge_chrome_trace_files(const std::vector<TraceMergeInput>& inputs,
+                              const std::string& out_path) {
+  std::ofstream os(out_path);
+  if (!os) return false;
+  merge_chrome_traces(inputs, os);
+  return static_cast<bool>(os);
+}
+
+std::vector<std::string> distinct_trace_ids(const JsonValue& doc) {
+  std::set<std::string> ids;
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    const JsonValue* args = ev.find("args");
+    if (!args) continue;
+    const JsonValue* trace = args->find("trace");
+    if (trace && trace->is_string()) ids.insert(trace->as_string());
+  }
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace mdm::obs

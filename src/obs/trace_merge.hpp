@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file trace_merge.hpp
+/// Cross-rank trace merger (DESIGN.md §10). Each run — or, in a real
+/// multi-node deployment, each rank process — exports its own chrome-trace
+/// JSON; the merger combines several such files into one timeline keyed by
+/// rank, so the whole job reads as a single trace in Perfetto:
+///
+///   * every event from input file i moves to the process track
+///     pid = Trace::kRankPidBase + rank_i, with a "process_name" metadata
+///     record naming it "rank N";
+///   * events already on a rank track (pid >= kRankPidBase, emitted by
+///     rank-labelled threads of an in-process world) keep their pid, so
+///     merging a host file with per-rank files never double-shifts;
+///   * tids are offset per input so two files' thread 3 stay distinct.
+///
+/// The merger also answers the correlation question directly:
+/// `distinct_trace_ids` lists the trace ids present in a merged (or single)
+/// document — one served job is healthy exactly when its spans across every
+/// rank share one id.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mdm::obs {
+
+/// One input to the merger: a chrome-trace JSON file and the rank its
+/// anonymous (host, pid < kRankPidBase) events belong to. rank < 0 keeps
+/// those events on the shared host track.
+struct TraceMergeInput {
+  std::string path;
+  int rank = -1;
+};
+
+/// Merge the inputs into one chrome-trace document written to `os`.
+/// Throws JsonError on unreadable or malformed input.
+void merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                         std::ostream& os);
+
+/// As above, into a string.
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs);
+
+/// As above, into a file; returns false if the output cannot be written
+/// (input errors still throw).
+bool merge_chrome_trace_files(const std::vector<TraceMergeInput>& inputs,
+                              const std::string& out_path);
+
+/// Distinct values of args.trace across a parsed chrome-trace document,
+/// sorted. Metadata records never carry one.
+std::vector<std::string> distinct_trace_ids(const JsonValue& doc);
+
+}  // namespace mdm::obs

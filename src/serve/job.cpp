@@ -1,5 +1,7 @@
 #include "serve/job.hpp"
 
+#include "obs/trace.hpp"
+
 namespace mdm::serve {
 
 const char* to_string(JobState state) {
@@ -31,6 +33,8 @@ bool is_terminal(JobState state) {
 Job::Job(std::uint64_t id, JobSpec spec)
     : id_(id),
       spec_(std::move(spec)),
+      trace_ctx_(obs::TraceContext::mint()),
+      submit_trace_ns_(obs::Trace::now_ns()),
       submit_tp_(Clock::now()),
       deadline_tp_(spec_.deadline_ms > 0.0
                        ? submit_tp_ + std::chrono::duration_cast<

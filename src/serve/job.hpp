@@ -31,6 +31,7 @@
 
 #include "core/lattice.hpp"
 #include "core/simulation.hpp"
+#include "obs/trace_context.hpp"
 #include "util/vec3.hpp"
 
 namespace mdm::serve {
@@ -74,6 +75,15 @@ struct JobSpec {
   double dt_fs = 2.0;             ///< paper: 2 fs
   std::uint64_t seed = 1;         ///< Maxwell velocity seed
 
+  // ---- backend ----
+  /// > 0 runs the job on the full MDM parallel application (MdmParallelApp:
+  /// this many real-space ranks plus parallel_wn wavenumber ranks on the
+  /// virtual MPI world) instead of the single-process software path. The
+  /// job's trace context flows into every rank thread, so one served job is
+  /// one trace across submit, queue, per-rank run phases and checkpoints.
+  int parallel_real = 0;
+  int parallel_wn = 2;
+
   // ---- checkpoint / resume (core/checkpoint, DESIGN.md §8) ----
   /// Steps between rotating checkpoint generations; 0 disables.
   int checkpoint_interval = 0;
@@ -99,6 +109,9 @@ struct JobResult {
   std::uint64_t resumed_from_step = 0;  ///< nonzero when restored from ckpt
   double wait_ms = 0.0;  ///< submit -> start (or terminal decision)
   double run_ms = 0.0;   ///< start -> finish
+  /// The job's trace id (DESIGN.md §10): every span of this job — admission,
+  /// queue wait, run, per-rank phases, checkpoints — carries it.
+  std::uint64_t trace_id = 0;
 };
 
 /// Service-side job record. Shared (via shared_ptr) between the queue, the
@@ -112,6 +125,12 @@ class Job {
 
   std::uint64_t id() const { return id_; }
   const JobSpec& spec() const { return spec_; }
+  /// Trace context minted at submit; installed by the scheduler around
+  /// every stage of the job so one job is one trace (DESIGN.md §10).
+  const obs::TraceContext& trace_context() const { return trace_ctx_; }
+  std::uint64_t trace_id() const { return trace_ctx_.trace_id; }
+  /// Trace-clock timestamp of submit (start of the serve.queue span).
+  std::uint64_t submit_trace_ns() const { return submit_trace_ns_; }
   Clock::time_point submit_time() const { return submit_tp_; }
   bool has_deadline() const { return spec_.deadline_ms > 0.0; }
   Clock::time_point deadline() const { return deadline_tp_; }
@@ -142,6 +161,8 @@ class Job {
  private:
   const std::uint64_t id_;
   const JobSpec spec_;
+  const obs::TraceContext trace_ctx_;
+  const std::uint64_t submit_trace_ns_;
   const Clock::time_point submit_tp_;
   const Clock::time_point deadline_tp_;
 
@@ -161,6 +182,7 @@ class JobHandle {
 
   bool valid() const { return job_ != nullptr; }
   std::uint64_t id() const { return job_->id(); }
+  std::uint64_t trace_id() const { return job_->trace_id(); }
   const JobSpec& spec() const { return job_->spec(); }
 
   JobState state() const { return job_->state(); }

@@ -11,6 +11,8 @@
 #include "core/tosi_fumi.hpp"
 #include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
+#include "host/mdm_force_field.hpp"
+#include "host/parallel_app.hpp"
 
 namespace mdm::serve {
 namespace {
@@ -19,9 +21,53 @@ namespace {
 /// escapes run_job.
 struct CancelledSignal {};
 
+/// The MDM parallel backend (spec.parallel_real > 0): the same workload on
+/// the full sec. 4 application — real-space + wavenumber ranks over the
+/// virtual MPI fabric, MDGRAPE-2/WINE-2 simulators underneath. The caller's
+/// ambient trace context (the job's) flows into every rank thread, so the
+/// served job stays one trace across all ranks.
+JobResult run_parallel_job(const JobSpec& spec, const RunOptions& options) {
+  auto system = make_nacl_crystal(spec.cells);
+  assign_maxwell_velocities(system, spec.temperature_K, spec.seed);
+
+  host::ParallelAppConfig config;
+  config.real_processes = spec.parallel_real;
+  config.wn_processes = spec.parallel_wn > 0 ? spec.parallel_wn : 1;
+  config.protocol.dt_fs = spec.dt_fs;
+  config.protocol.temperature_K = spec.temperature_K;
+  config.protocol.nvt_steps = spec.nvt_steps;
+  config.protocol.nve_steps = spec.nve_steps;
+  // The machine preset, not software_parameters: its higher alpha keeps
+  // r_cut <= L/3, which the MDGRAPE cell-index scan requires even for the
+  // smallest served jobs (software_parameters only guarantees L/2).
+  config.ewald = host::mdm_parameters(double(system.size()), system.box());
+  config.cancel = options.cancel;
+  if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
+    config.checkpoint_dir = options.checkpoint_dir;
+    config.checkpoint_interval = spec.checkpoint_interval;
+    config.checkpoint_keep = options.keep_generations;
+  }
+
+  host::MdmParallelApp app(config);
+  JobResult out;
+  try {
+    auto run = app.run(system);
+    out.samples = std::move(run.samples);
+    out.positions = std::move(run.positions);
+    out.velocities = std::move(run.velocities);
+    out.resumed_from_step = run.restored_from_step;
+    out.completed_steps = spec.total_steps();
+    out.state = JobState::kCompleted;
+  } catch (const host::ParallelCancelled&) {
+    out.state = JobState::kCancelled;
+  }
+  return out;
+}
+
 }  // namespace
 
 JobResult run_job(const JobSpec& spec, const RunOptions& options) {
+  if (spec.parallel_real > 0) return run_parallel_job(spec, options);
   auto system = make_nacl_crystal(spec.cells);
   assign_maxwell_velocities(system, spec.temperature_K, spec.seed);
 

@@ -4,8 +4,11 @@
 #include <exception>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/runner.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,6 +77,11 @@ JobHandle SimService::submit(const JobSpec& spec) {
   bump_tenant(spec.tenant, "submitted");
   std::lock_guard lock(mutex_);
   auto job = std::make_shared<Job>(next_id_++, spec);
+  // The job's trace starts here: the admission decision is its first span.
+  obs::TraceContextScope trace_scope(job->trace_context());
+  obs::TraceSpan admission_span("serve.admission");
+  obs::FlightRecorder::record(obs::FlightKind::kNote, "serve.submit",
+                              static_cast<std::int64_t>(job->id()));
   if (stop_) {
     JobResult r;
     r.state = JobState::kRejected;
@@ -170,6 +178,15 @@ void SimService::finalize_locked(Job& job, JobResult result,
     reg().histogram("serve.total_ms")
         .observe(result.wait_ms + result.run_ms);
   }
+  result.trace_id = job.trace_id();
+  // Per-job span summary (DESIGN.md §10): with tracing on, aggregate this
+  // job's trace by span name — queue wait, run time, checkpoint overhead,
+  // per-rank phases — into serve.span.* histograms (milliseconds).
+  if (obs::Trace::enabled()) {
+    for (const auto& stat : obs::Trace::summarize(job.trace_id()))
+      reg().histogram("serve.span." + stat.name)
+          .observe(static_cast<double>(stat.total_ns) * 1e-6);
+  }
   job.finalize(std::move(result));
   if (--unfinished_ == 0) idle_cv_.notify_all();
 }
@@ -217,7 +234,12 @@ void SimService::worker_main() {
       reg().gauge("serve.running").set(running_);
     }
 
-    // ---- run outside the lock ----
+    // ---- run outside the lock, inside the job's trace ----
+    obs::TraceContextScope trace_scope(job->trace_context());
+    // The queue span covers submit -> pop on the trace clock, completing
+    // the admission/queue/run/complete decomposition of the job's life.
+    obs::Trace::record_complete("serve.queue", job->submit_trace_ns(),
+                                obs::Trace::now_ns());
     RunOptions options;
     options.pool = &slice;
     options.cancel = job->cancel_flag();
@@ -231,6 +253,7 @@ void SimService::worker_main() {
                                  std::to_string(job->id());
     }
     try {
+      obs::TraceSpan run_span("serve.run");
       result = run_job(spec, options);
     } catch (const std::exception& e) {
       result.state = JobState::kFailed;
@@ -242,6 +265,10 @@ void SimService::worker_main() {
     const auto finished_tp = Job::Clock::now();
     result.wait_ms = ms_between(job->submit_time(), popped_tp);
     result.run_ms = ms_between(popped_tp, finished_tp);
+    {
+      const std::uint64_t done_ns = obs::Trace::now_ns();
+      obs::Trace::record_complete("serve.complete", done_ns, done_ns);
+    }
 
     {
       std::lock_guard lock(mutex_);

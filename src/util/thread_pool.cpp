@@ -81,6 +81,7 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     std::exception_ptr error;
     try {
       RunningPoolScope scope(this);
+      obs::TraceContextScope trace_scope(task.trace_ctx);
       run_chunk(task, worker_index, size());
     } catch (...) {
       error = std::current_exception();
@@ -138,6 +139,7 @@ void ThreadPool::parallel_for_raw(std::size_t n, RawFn raw, void* ctx,
   task.raw = raw;
   task.ctx = ctx;
   task.n = n;
+  task.trace_ctx = obs::TraceContext::current();
   {
     std::lock_guard lock(mutex_);
     task_ = task;

@@ -34,6 +34,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace_context.hpp"
+
 namespace mdm {
 
 class ThreadPool {
@@ -98,6 +100,9 @@ class ThreadPool {
     void* ctx = nullptr;
     std::size_t n = 0;
     std::size_t generation = 0;
+    /// Dispatcher's ambient TraceContext, installed on workers around each
+    /// chunk so pool-side spans join the dispatcher's trace (DESIGN.md §10).
+    obs::TraceContext trace_ctx;
   };
 
   void worker_loop(unsigned worker_index);

@@ -1,0 +1,196 @@
+/// Perf-regression telemetry (DESIGN.md §10): tolerance-rule overlay order,
+/// band arithmetic, missing/new/informational semantics, and the acceptance
+/// gate — the committed bench/baselines compare clean against themselves and
+/// a synthetically regressed metric fails.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/bench_compare.hpp"
+#include "obs/json.hpp"
+
+namespace mdm::obs {
+namespace {
+
+/// Writes `contents` to a throwaway file removed on destruction.
+class TempJson {
+ public:
+  TempJson(const std::string& name, const std::string& contents)
+      : path_(name) {
+    std::ofstream(path_) << contents;
+  }
+  ~TempJson() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string bench_json(const std::string& bench, const std::string& results) {
+  return "{\"bench\": \"" + bench + "\", \"results\": [" + results + "]}";
+}
+
+TEST(ToleranceRules, DefaultsAreStrictQuarterBand) {
+  const ToleranceRules rules;
+  const auto r = rules.lookup("any", "metric", "s");
+  EXPECT_DOUBLE_EQ(r.rel_tol, 0.25);
+  EXPECT_DOUBLE_EQ(r.abs_tol, 1e-12);
+  EXPECT_FALSE(r.informational);
+}
+
+TEST(ToleranceRules, OverlayOrderUnitThenMetricThenQualified) {
+  const TempJson file(
+      "tolerances_overlay.json",
+      R"({"default": {"rel_tol": 0.5},
+          "units":   {"s": {"informational": true, "rel_tol": 0.3}},
+          "metrics": {"step_time": {"rel_tol": 0.2},
+                      "hot/step_time": {"rel_tol": 0.1,
+                                        "informational": false}}})");
+  const auto rules = ToleranceRules::load(file.path());
+  // Unit layer only.
+  auto r = rules.lookup("other", "other_metric", "s");
+  EXPECT_DOUBLE_EQ(r.rel_tol, 0.3);
+  EXPECT_TRUE(r.informational);
+  // Bare metric overrides the unit's rel_tol, inherits informational.
+  r = rules.lookup("other", "step_time", "s");
+  EXPECT_DOUBLE_EQ(r.rel_tol, 0.2);
+  EXPECT_TRUE(r.informational);
+  // Qualified bench/metric wins over everything.
+  r = rules.lookup("hot", "step_time", "s");
+  EXPECT_DOUBLE_EQ(r.rel_tol, 0.1);
+  EXPECT_FALSE(r.informational);
+  // Default layer reaches metrics with no matching rule.
+  r = rules.lookup("other", "plain", "count");
+  EXPECT_DOUBLE_EQ(r.rel_tol, 0.5);
+}
+
+TEST(BenchCompare, InBandAndOutOfBand) {
+  const TempJson base("cmp_base.json",
+                      bench_json("unit", R"(
+    {"name": "fine", "value": 100.0, "unit": "count"},
+    {"name": "drifted", "value": 100.0, "unit": "count"})"));
+  const TempJson cur("cmp_cur.json",
+                     bench_json("unit", R"(
+    {"name": "fine", "value": 110.0, "unit": "count"},
+    {"name": "drifted", "value": 150.0, "unit": "count"})"));
+  const auto report =
+      compare_bench_files(base.path(), cur.path(), ToleranceRules());
+  ASSERT_EQ(report.deltas.size(), 2u);
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kOk);  // 10% < 25%
+  EXPECT_EQ(report.deltas[1].status, DeltaStatus::kRegressed);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures(), 1);
+}
+
+TEST(BenchCompare, MissingFailsNewDoesNot) {
+  const TempJson base("cmp_missing_base.json",
+                      bench_json("unit", R"(
+    {"name": "kept", "value": 1.0, "unit": "count"},
+    {"name": "dropped", "value": 1.0, "unit": "count"})"));
+  const TempJson cur("cmp_missing_cur.json",
+                     bench_json("unit", R"(
+    {"name": "kept", "value": 1.0, "unit": "count"},
+    {"name": "added", "value": 9.0, "unit": "count"})"));
+  const auto report =
+      compare_bench_files(base.path(), cur.path(), ToleranceRules());
+  ASSERT_EQ(report.deltas.size(), 3u);
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kOk);
+  EXPECT_EQ(report.deltas[1].status, DeltaStatus::kMissing);
+  EXPECT_EQ(report.deltas[2].status, DeltaStatus::kNew);
+  EXPECT_EQ(report.failures(), 1);  // only the missing metric
+}
+
+TEST(BenchCompare, InformationalNeverFails) {
+  const TempJson rules_file("cmp_info_rules.json",
+                            R"({"units": {"s": {"informational": true}}})");
+  const TempJson base(
+      "cmp_info_base.json",
+      bench_json("unit", R"({"name": "t", "value": 1.0, "unit": "s"})"));
+  const TempJson cur(
+      "cmp_info_cur.json",
+      bench_json("unit", R"({"name": "t", "value": 100.0, "unit": "s"})"));
+  const auto report = compare_bench_files(
+      base.path(), cur.path(), ToleranceRules::load(rules_file.path()));
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].status, DeltaStatus::kInformational);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchCompare, AbsToleranceCoversZeroBaselines) {
+  // |cur - base| <= rel*|base| + abs: with base = 0 only abs_tol is left.
+  const TempJson rules_file(
+      "cmp_abs_rules.json",
+      R"({"default": {"rel_tol": 0.0, "abs_tol": 0.5}})");
+  const TempJson base(
+      "cmp_abs_base.json",
+      bench_json("unit", R"({"name": "allocs", "value": 0.0, "unit": "count"})"));
+  const TempJson ok_cur(
+      "cmp_abs_ok.json",
+      bench_json("unit", R"({"name": "allocs", "value": 0.4, "unit": "count"})"));
+  const TempJson bad_cur(
+      "cmp_abs_bad.json",
+      bench_json("unit", R"({"name": "allocs", "value": 1.0, "unit": "count"})"));
+  const auto rules = ToleranceRules::load(rules_file.path());
+  EXPECT_TRUE(compare_bench_files(base.path(), ok_cur.path(), rules).ok());
+  EXPECT_FALSE(compare_bench_files(base.path(), bad_cur.path(), rules).ok());
+}
+
+TEST(BenchCompare, MalformedInputThrowsJsonError) {
+  const TempJson bad("cmp_bad.json", "{\"bench\": \"x\"");
+  const TempJson good(
+      "cmp_good.json",
+      bench_json("x", R"({"name": "m", "value": 1.0, "unit": "count"})"));
+  EXPECT_THROW(compare_bench_files(bad.path(), good.path(), ToleranceRules()),
+               JsonError);
+  EXPECT_THROW(
+      compare_bench_files("does_not_exist.json", good.path(),
+                          ToleranceRules()),
+      JsonError);
+}
+
+// ---------------------------------------------------- committed baselines
+
+#ifdef MDM_BASELINE_DIR
+
+/// Acceptance: the committed baselines are self-consistent — comparing the
+/// directory against itself parses every file, resolves every tolerance and
+/// reports zero failures. A malformed baseline or tolerances.json fails
+/// here rather than in CI.
+TEST(BenchCompare, CommittedBaselinesCompareCleanAgainstThemselves) {
+  const std::string dir = MDM_BASELINE_DIR;
+  const auto rules = ToleranceRules::load(dir + "/tolerances.json");
+  const auto report = compare_bench_dirs(dir, dir, rules);
+  EXPECT_GE(report.benches_compared, 3);  // at least hot_paths/serve/scaling
+  EXPECT_TRUE(report.ok()) << report.failures() << " failure(s)";
+  for (const auto& d : report.deltas)
+    EXPECT_EQ(d.status, DeltaStatus::kOk)
+        << d.bench << "/" << d.metric << " " << to_string(d.status);
+}
+
+/// Acceptance: regressing one deterministic metric in a committed baseline
+/// flips the comparison to failing.
+TEST(BenchCompare, SyntheticRegressionAgainstCommittedBaselineFails) {
+  const std::string dir = MDM_BASELINE_DIR;
+  const auto rules = ToleranceRules::load(dir + "/tolerances.json");
+  const TempJson regressed(
+      "BENCH_treecode.json",  // overrides the committed counterpart by name
+      bench_json("treecode", R"(
+    {"name": "mdgrape.pair_operations", "value": 1.0, "unit": "pairs"})"));
+  const auto report =
+      compare_bench_files(dir + "/BENCH_treecode.json", regressed.path(),
+                          rules);
+  EXPECT_FALSE(report.ok());
+  bool saw_regression = false;
+  for (const auto& d : report.deltas)
+    if (d.metric == "mdgrape.pair_operations")
+      saw_regression = d.status == DeltaStatus::kRegressed;
+  EXPECT_TRUE(saw_regression);
+}
+
+#endif  // MDM_BASELINE_DIR
+
+}  // namespace
+}  // namespace mdm::obs

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -140,6 +142,26 @@ TEST(Registry, JsonDumpEscapesHostileNames) {
   // on its line is even.
   const auto pos = json.find("quoted");
   ASSERT_NE(pos, std::string::npos);
+}
+
+TEST(Registry, CsvDumpQuotesHostileNames) {
+  // Same hostile-tenant concern as the JSON dump: a comma or quote in a
+  // metric name must not shift the CSV columns (RFC 4180 quoting).
+  auto& reg = Registry::global();
+  reg.counter("test.obs.csv,comma").add(1);
+  reg.gauge("test.obs.csv\"quote").set(2.0);
+  reg.histogram("test.obs.csv.plain").observe(1.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("counter,\"test.obs.csv,comma\",,1,,,,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("gauge,\"test.obs.csv\"\"quote\",,2,,,,"),
+            std::string::npos);
+  // Benign names stay unquoted.
+  EXPECT_NE(csv.find("histogram,test.obs.csv.plain,1,"), std::string::npos);
+  // The raw (unquoted) hostile names never appear.
+  EXPECT_EQ(csv.find(",test.obs.csv,comma,"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- tracing
@@ -297,6 +319,64 @@ TEST(Logger, FilteringSkipsEmission) {
   EXPECT_EQ(Logger::messages_emitted(), before);
   MDM_LOG_ERROR("emitted %d", 4);
   EXPECT_EQ(Logger::messages_emitted(), before + 1);
+  Logger::set_level(saved);
+}
+
+TEST(Logger, ParseLevelRejectsGarbageAndKeepsOutput) {
+  LogLevel parsed = LogLevel::kWarn;
+  for (const char* bad :
+       {"", " ", "warn ", " info", "dbg", "inf", "errors", "off2", "42",
+        "de bug", "\twarn"}) {
+    EXPECT_FALSE(Logger::parse_level(bad, parsed)) << '"' << bad << '"';
+    EXPECT_EQ(parsed, LogLevel::kWarn) << '"' << bad << '"';
+  }
+  // Documented aliases still parse.
+  EXPECT_TRUE(Logger::parse_level("warning", parsed));
+  EXPECT_EQ(parsed, LogLevel::kWarn);
+  EXPECT_TRUE(Logger::parse_level("NONE", parsed));
+  EXPECT_EQ(parsed, LogLevel::kOff);
+}
+
+TEST(Logger, MessagesEmittedIsExactUnderFiltering) {
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  const std::uint64_t before = Logger::messages_emitted();
+  constexpr int kEmitted = 3;
+  for (int i = 0; i < 50; ++i) MDM_LOG_DEBUG("dropped %d", i);
+  for (int i = 0; i < kEmitted; ++i) MDM_LOG_ERROR("emitted %d", i);
+  // kOff is a threshold, not a loggable level: a direct call at kOff is
+  // dropped even when the threshold would pass it.
+  Logger::log(LogLevel::kOff, "never emitted");
+  EXPECT_EQ(Logger::messages_emitted(), before + kEmitted);
+  Logger::set_level(saved);
+}
+
+TEST(Logger, ConcurrentSetLevelAndLogIsSafe) {
+  // set_level races log() on the level atomic and the macros' fast-path
+  // load; run both sides hard so TSan would flag any non-atomic access.
+  // All messages log at kDebug against thresholds >= kWarn, so the test
+  // stays silent and messages_emitted must not move.
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kError);
+  const std::uint64_t before = Logger::messages_emitted();
+  std::atomic<bool> stop{false};
+  std::thread toggler([&stop] {
+    bool high = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Logger::set_level(high ? LogLevel::kError : LogLevel::kWarn);
+      high = !high;
+    }
+    Logger::set_level(LogLevel::kError);
+  });
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 3; ++t)
+    loggers.emplace_back([] {
+      for (int i = 0; i < 20000; ++i) MDM_LOG_DEBUG("dropped %d", i);
+    });
+  for (auto& w : loggers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  toggler.join();
+  EXPECT_EQ(Logger::messages_emitted(), before);
   Logger::set_level(saved);
 }
 

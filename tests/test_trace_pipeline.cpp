@@ -1,0 +1,172 @@
+/// Distributed-tracing acceptance (DESIGN.md §10): one served job on the
+/// parallel backend is ONE trace. A job submitted to SimService runs on
+/// MdmParallelApp ranks, the chrome export goes through the cross-rank
+/// merger, and the merged JSON must show a single trace id spanning
+/// admission, queue wait, run, per-rank step phases, checkpoint writes and
+/// completion — plus the serve.span.* summaries in the metrics registry.
+///
+/// Deliberately NOT in the TSan CI shard (the serve/vmpi layers it drives
+/// are TSan-covered by test_serve/test_vmpi/test_parallel_app).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
+#include "serve/service.hpp"
+
+namespace mdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex_id(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+class TracePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace::set_enabled(true);
+    obs::Trace::clear();
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("mdm_trace_" + std::string(info->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    obs::Trace::set_enabled(false);
+    obs::Trace::clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// Acceptance: submit one job on the parallel backend, export + merge the
+/// trace, and verify every lifecycle stage carries the job's trace id.
+TEST_F(TracePipelineTest, ServedJobProducesOneMergedTrace) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.threads_per_job = 1;
+  serve::SimService service(cfg);
+  service.start();
+
+  serve::JobSpec spec;
+  spec.tenant = "trace-test";
+  spec.cells = 2;
+  spec.nvt_steps = 4;
+  spec.nve_steps = 0;
+  spec.parallel_real = 2;  // 2 real ranks + 1 wavenumber rank
+  spec.parallel_wn = 1;
+  spec.checkpoint_interval = 2;
+  spec.checkpoint_dir = path("ckpt");
+  auto handle = service.submit(spec);
+  const auto result = handle.wait();
+  service.stop();
+
+  ASSERT_EQ(result.state, serve::JobState::kCompleted) << result.error;
+  ASSERT_NE(result.trace_id, 0u);
+  const std::string id = hex_id(result.trace_id);
+
+  // Export this process's trace and push it through the merger (the
+  // in-process world already carries rank tracks, so rank = -1 keeps the
+  // host events on the host track instead of double-shifting).
+  const std::string exported = path("trace_rank_host.json");
+  ASSERT_TRUE(obs::Trace::write_chrome_json_file(exported));
+  const std::string merged = path("trace_merged.json");
+  ASSERT_TRUE(obs::merge_chrome_trace_files({{exported, -1}}, merged));
+
+  const auto doc = obs::parse_json_file(merged);
+  const auto ids = obs::distinct_trace_ids(doc);
+  ASSERT_EQ(ids.size(), 1u) << "expected a single trace id in the merge";
+  EXPECT_EQ(ids[0], id);
+
+  // Span names and rank tracks (pid = kRankPidBase + rank) under that id.
+  std::set<std::string> names;
+  std::set<int> rank_pids;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (!e.find("args") || !e.at("args").find("trace")) continue;
+    if (e.at("args").at("trace").as_string() != id) continue;
+    names.insert(e.at("name").as_string());
+    const int pid = static_cast<int>(e.at("pid").as_number());
+    if (pid >= obs::Trace::kRankPidBase) rank_pids.insert(pid);
+  }
+  for (const char* required :
+       {"serve.admission", "serve.queue", "serve.run", "serve.complete",
+        "parallel.epoch", "rank.step", "wn.round", "checkpoint.write"})
+    EXPECT_TRUE(names.count(required)) << "span missing: " << required;
+  // Both real ranks and the wavenumber rank contributed spans.
+  for (int rank = 0; rank < 3; ++rank)
+    EXPECT_TRUE(rank_pids.count(obs::Trace::kRankPidBase + rank))
+        << "no spans on rank " << rank << "'s track";
+
+  // Per-job span summary histograms landed in the registry.
+  auto& reg = obs::Registry::global();
+  for (const char* span : {"serve.queue", "serve.run", "rank.step"}) {
+    const auto* h = reg.find_histogram(std::string("serve.span.") + span);
+    ASSERT_NE(h, nullptr) << "serve.span." << span;
+    EXPECT_GE(h->count(), 1u);
+  }
+}
+
+/// The merger keys separate per-rank files by rank: anonymous host events
+/// move to "rank N" tracks, tids stay distinct, ids aggregate across files.
+TEST_F(TracePipelineTest, MergerKeysSeparateFilesByRank) {
+  const auto write_file = [this](const std::string& name,
+                                 const std::string& event) {
+    std::ofstream(path(name))
+        << R"({"displayTimeUnit":"ms","traceEvents":[)" << event << "]}";
+  };
+  write_file("rank0.json",
+             R"({"name":"step","ph":"X","ts":1,"dur":2,"pid":1,"tid":3,)"
+             R"("args":{"trace":"ab"}})");
+  write_file("rank1.json",
+             R"({"name":"step","ph":"X","ts":1,"dur":2,"pid":1,"tid":3,)"
+             R"("args":{"trace":"ab"}})");
+
+  const std::string merged = path("merged.json");
+  ASSERT_TRUE(obs::merge_chrome_trace_files(
+      {{path("rank0.json"), 0}, {path("rank1.json"), 1}}, merged));
+  const auto doc = obs::parse_json_file(merged);
+
+  std::set<int> pids;
+  std::set<double> tids;
+  std::set<std::string> track_names;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "M") {
+      if (e.at("name").as_string() == "process_name")
+        track_names.insert(e.at("args").at("name").as_string());
+      continue;
+    }
+    pids.insert(static_cast<int>(e.at("pid").as_number()));
+    tids.insert(e.at("tid").as_number());
+  }
+  EXPECT_TRUE(pids.count(obs::Trace::kRankPidBase + 0));
+  EXPECT_TRUE(pids.count(obs::Trace::kRankPidBase + 1));
+  EXPECT_EQ(tids.size(), 2u) << "per-file tid offset lost";
+  EXPECT_TRUE(track_names.count("rank 0"));
+  EXPECT_TRUE(track_names.count("rank 1"));
+  EXPECT_EQ(obs::distinct_trace_ids(doc),
+            std::vector<std::string>{"ab"});
+}
+
+}  // namespace
+}  // namespace mdm
