@@ -7,8 +7,8 @@
 ///   ./mdm_serve [--jobs 12] [--tenants 3] [--workers 2]
 ///               [--threads-per-job 1] [--cells 1] [--steps 8]
 ///               [--deadline-ms 0] [--queue-depth 64] [--cancel 0]
-///               [--parallel-real 0] [--checkpoint-every 0]
-///               [--checkpoint-root serve_ckpt]
+///               [--parallel-real 0] [--backend emulator|native]
+///               [--checkpoint-every 0] [--checkpoint-root serve_ckpt]
 ///               [--metrics serve_metrics.json] [--trace-out trace.json]
 ///
 /// Every third job is submitted as interactive, the rest as batch; tenants
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
     spec.nve_steps = steps - spec.nvt_steps;
     spec.deadline_ms = cli.get_double("deadline-ms", 0.0);
     spec.parallel_real = static_cast<int>(cli.get_int("parallel-real", 0));
+    spec.backend = backend_from_string(cli.get_string("backend", "emulator"));
     spec.checkpoint_interval =
         static_cast<int>(cli.get_int("checkpoint-every", 0));
     spec.seed = static_cast<std::uint64_t>(i + 1);

@@ -6,7 +6,7 @@
 /// scaled down in workload.
 ///
 ///   ./parallel_mdm [--cells 2] [--real 16] [--wn 8] [--nvt 6] [--nve 6]
-///                  [--boards 2] [--threads N]
+///                  [--boards 2] [--threads N] [--backend emulator|native]
 ///
 /// Fault-tolerance demo (DESIGN.md "Failure model of the virtual fabric"):
 ///   MDM_FAULT_SPEC="drop:tag=200,count=1" ./parallel_mdm     # retransmit
@@ -57,10 +57,12 @@ int main(int argc, char** argv) {
   config.checkpoint_keep = static_cast<int>(cli.get_int("checkpoint-keep", 3));
   config.restore_path = cli.get_string("restore", "");
   config.auto_recover = cli.get_bool("recover");
+  config.backend = backend_from_string(cli.get_string("backend", "emulator"));
 
   std::printf("MDM parallel application: %d real-space + %d wavenumber "
-              "processes, N=%zu\n",
-              config.real_processes, config.wn_processes, system.size());
+              "processes, N=%zu, backend=%s\n",
+              config.real_processes, config.wn_processes, system.size(),
+              to_string(config.backend));
   const auto grid = host::DomainGrid::for_processes(config.real_processes,
                                                     system.box());
   std::printf("domain grid: %d x %d x %d, Ewald alpha=%.2f r_cut=%.2f\n",

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file backend.hpp
+/// The force-evaluation backend selector (DESIGN.md §11). Every entry point
+/// that evaluates MDM forces — the serve layer, the parallel application,
+/// the example CLIs — takes a `Backend`:
+///
+///  * `kEmulator` — the behaviour-faithful MDGRAPE-2/WINE-2 pipelines with
+///    the paper's fixed-point formats; forces carry the hardware's accuracy
+///    envelope (~1e-7 real-space, ~10^-4.5 wavenumber relative RMS) and
+///    bit-reproduce the machine.
+///  * `kNative` — the vectorized structure-of-arrays kernels (src/native):
+///    same physics, double precision throughout, validated against both the
+///    reference solver and the emulators by the `backend` ctest label.
+///
+/// The two backends agree within the emulator envelope by construction; the
+/// parity suite (test_backend_parity) enforces it on every run.
+
+#include <stdexcept>
+#include <string>
+
+namespace mdm {
+
+enum class Backend {
+  kEmulator,  ///< MDGRAPE-2 + WINE-2 fixed-point pipeline emulation
+  kNative,    ///< vectorized double-precision SoA kernels
+};
+
+inline const char* to_string(Backend b) {
+  return b == Backend::kNative ? "native" : "emulator";
+}
+
+/// Parse a CLI/spec value ("emulator" | "native"); throws on anything else.
+inline Backend backend_from_string(const std::string& s) {
+  if (s == "emulator") return Backend::kEmulator;
+  if (s == "native") return Backend::kNative;
+  throw std::invalid_argument("unknown backend '" + s +
+                              "' (expected emulator|native)");
+}
+
+}  // namespace mdm

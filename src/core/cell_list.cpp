@@ -71,6 +71,37 @@ void CellList::build(std::span<const Vec3> positions) {
     build_cursor_[c] = ranges_[c].begin;
   for (std::size_t i = 0; i < n; ++i)
     order_[build_cursor_[build_cell_of_[i]]++] = static_cast<std::uint32_t>(i);
+  // A direct build() invalidates the build_auto anchor: the next build_auto
+  // re-anchors instead of skipping against stale reference positions.
+  built_ = false;
+}
+
+bool CellList::build_auto(std::span<const Vec3> positions, double cutoff) {
+  if (built_ && positions.size() == anchor_.size()) {
+    // In N^2-fallback mode the traversal never consults the bins, so any
+    // build is as good as any other.
+    bool fresh_enough = use_n2_fallback(cutoff);
+    if (!fresh_enough) {
+      const double half_skin = 0.5 * (cell_side() - cutoff);
+      if (half_skin > 0.0) {
+        double max2 = 0.0;
+        for (std::size_t i = 0; i < positions.size(); ++i)
+          max2 = std::max(
+              max2, norm2(minimum_image(positions[i], anchor_[i], box_)));
+        fresh_enough = max2 <= half_skin * half_skin;
+      }
+    }
+    if (fresh_enough) {
+      static obs::Counter& skipped =
+          obs::Registry::global().counter("cell_list.rebuilds_skipped");
+      skipped.add(1);
+      return false;
+    }
+  }
+  build(positions);
+  anchor_.assign(positions.begin(), positions.end());
+  built_ = true;
+  return true;
 }
 
 std::span<const std::uint32_t> CellList::cell_particles(int c) const {

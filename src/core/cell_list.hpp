@@ -109,6 +109,23 @@ class CellList {
   /// rebuilds every step), so steady-state rebuilds allocate nothing.
   void build(std::span<const Vec3> positions);
 
+  /// Rebuild only when necessary: skip the counting sort while no particle
+  /// has moved more than half the skin (cell_side - cutoff) since the last
+  /// full build, tracked against anchored positions. Safe because a pair
+  /// within `cutoff` then has anchor separation <= cutoff + 2 * skin/2 =
+  /// cell_side, so its (stale) cells are still within the 27-cell stencil;
+  /// pair distances are always recomputed from current positions, so no
+  /// spurious pairs appear either. Returns true if a rebuild ran.
+  ///
+  /// Skipping keeps the binning - and therefore the traversal order and
+  /// summation order - bit-identical across the skipped steps, but it makes
+  /// the rebuild schedule depend on the trajectory history, which is not
+  /// checkpointed. The reference/emulator paths therefore keep eager
+  /// per-step build() (bit-identical restart, DESIGN.md §8); the native
+  /// backend, whose contract is envelope accuracy rather than bit equality,
+  /// uses build_auto (DESIGN.md §11).
+  bool build_auto(std::span<const Vec3> positions, double cutoff);
+
   int cells_per_side() const { return m_; }
   int cell_count() const { return m_ * m_ * m_; }
   double cell_side() const { return box_ / m_; }
@@ -136,6 +153,21 @@ class CellList {
   /// True when the 27-cell stencil visits each distinct cell once (grid at
   /// least 3 cells wide); required by the half-stencil pair iteration.
   bool stencil_unique() const { return m_ >= 3; }
+
+  /// Grid unusable for the half stencil: pair traversal runs the plain
+  /// O(N^2) minimum-image loop instead. Public so external kernels (the
+  /// native backend) can mirror the traversal mode.
+  bool use_n2_fallback(double cutoff) const {
+    return !stencil_unique() || cell_side() < cutoff;
+  }
+
+  /// Half stencil: 13 of the 26 neighbour offsets, chosen so each unordered
+  /// cell pair is visited once. Shared with the native backend's sweep so
+  /// both traversals enumerate cell pairs in the same order.
+  static constexpr int kHalfStencil[13][3] = {
+      {1, 0, 0},   {1, 1, 0},  {0, 1, 0},  {-1, 1, 0}, {1, 0, 1},
+      {1, 1, 1},   {0, 1, 1},  {-1, 1, 1}, {1, -1, 1}, {0, -1, 1},
+      {-1, -1, 1}, {0, 0, 1},  {-1, 0, 1}};
 
   /// Visit every unordered pair (i, j) with minimum-image distance below
   /// `cutoff` exactly once: fn(i, j, delta, r2) where delta = ri - rj
@@ -251,11 +283,6 @@ class CellList {
   }
 
  private:
-  /// Grid unusable for the half stencil: plain O(N^2) minimum-image loop.
-  bool use_n2_fallback(double cutoff) const {
-    return !stencil_unique() || cell_side() < cutoff;
-  }
-
   /// O(N^2) fallback over i in [i_begin, i_end), j > i. The sink receives
   /// (i, j, slot_i, slot_j, delta, r2); slots equal particle ids here.
   template <typename Sink>
@@ -280,13 +307,6 @@ class CellList {
   template <typename Sink>
   void visit_cell_range(std::span<const Vec3> positions, double cutoff2,
                         int c_begin, int c_end, Sink&& sink) const {
-    // Half stencil: 13 of the 26 neighbour offsets, chosen so each unordered
-    // cell pair is visited once.
-    static constexpr int kHalf[13][3] = {
-        {1, 0, 0},  {1, 1, 0},   {0, 1, 0},  {-1, 1, 0}, {1, 0, 1},
-        {1, 1, 1},  {0, 1, 1},   {-1, 1, 1}, {1, -1, 1}, {0, -1, 1},
-        {-1, -1, 1}, {0, 0, 1},  {-1, 0, 1}};
-
     for (int c = c_begin; c < c_end; ++c) {
       const Range own_range = ranges_[c];
       const auto own = cell_particles(c);
@@ -306,7 +326,7 @@ class CellList {
       const int ix = c % m_;
       const int iy = (c / m_) % m_;
       const int iz = c / (m_ * m_);
-      for (const auto& off : kHalf) {
+      for (const auto& off : kHalfStencil) {
         const int nc = cell_index(ix + off[0], iy + off[1], iz + off[2]);
         const Range other_range = ranges_[nc];
         const auto other = cell_particles(nc);
@@ -333,6 +353,9 @@ class CellList {
   std::vector<std::uint32_t> build_cell_of_;
   std::vector<std::uint32_t> build_counts_;
   std::vector<std::uint32_t> build_cursor_;
+  /// build_auto() state: positions at the last full build.
+  std::vector<Vec3> anchor_;
+  bool built_ = false;
 };
 
 }  // namespace mdm

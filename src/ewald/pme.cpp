@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/cell_list.hpp"
+#include "core/fastmath.hpp"
 #include "util/units.hpp"
 
 namespace mdm {
@@ -196,9 +197,10 @@ ForceResult SmoothPme::add_forces(const ParticleSystem& system,
           const double r = std::sqrt(r2);
           const double qq =
               units::kCoulomb * system.charge(i) * system.charge(j);
-          const double erfc_term = std::erfc(beta * r);
-          const double gauss =
-              two_over_sqrt_pi * beta * r * std::exp(-beta * beta * r2);
+          // Shared rational erfc, same evaluation as EwaldCoulomb's kernel.
+          const double expmx2 = std::exp(-beta * beta * r2);
+          const double erfc_term = fastmath::erfc_from_exp(beta * r, expmx2);
+          const double gauss = two_over_sqrt_pi * beta * r * expmx2;
           const double s = qq * (erfc_term + gauss) / (r2 * r);
           f = s * d;
           t.potential += qq * erfc_term / r;

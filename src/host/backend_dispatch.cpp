@@ -1,0 +1,25 @@
+#include "host/backend_dispatch.hpp"
+
+#include "native/native_force_field.hpp"
+
+namespace mdm::host {
+
+std::unique_ptr<ForceField> make_backend_force_field(
+    Backend backend, const MdmForceFieldConfig& config, double box,
+    ThreadPool* pool) {
+  if (backend == Backend::kNative) {
+    native::NativeForceFieldConfig nc;
+    nc.ewald = config.ewald;
+    nc.include_tosi_fumi = config.include_tosi_fumi;
+    nc.tosi_fumi = config.tosi_fumi;
+    nc.tf_shift_energy = false;  // emulator convention: plain truncation
+    auto field = std::make_unique<native::NativeForceField>(nc, box);
+    field->set_thread_pool(pool);
+    return field;
+  }
+  auto field = std::make_unique<MdmForceField>(config, box);
+  field->set_thread_pool(pool);
+  return field;
+}
+
+}  // namespace mdm::host

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file backend_dispatch.hpp
+/// Backend selection (DESIGN.md §11): one factory turning a `Backend` plus
+/// the MDM force-field configuration into the matching ForceField — the
+/// emulated machine (MdmForceField) or the vectorized native kernels
+/// (NativeForceField). Both evaluate the same physics from the same
+/// EwaldParameters; the serve layer and the example CLIs go through here so
+/// a run is switchable with a single `--backend` flag.
+
+#include <memory>
+
+#include "core/backend.hpp"
+#include "core/force_field.hpp"
+#include "host/mdm_force_field.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdm::host {
+
+/// Build the force field for `backend` from the MDM configuration. The
+/// native backend consumes the Ewald and Tosi-Fumi parts of the config (the
+/// mdgrape/wine hardware shapes have no native counterpart) and keeps the
+/// emulator's plain-truncation short-range convention, so the two backends
+/// are directly comparable. `pool` is forwarded (may be nullptr).
+std::unique_ptr<ForceField> make_backend_force_field(
+    Backend backend, const MdmForceFieldConfig& config, double box,
+    ThreadPool* pool = nullptr);
+
+}  // namespace mdm::host

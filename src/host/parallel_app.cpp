@@ -13,6 +13,9 @@
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
 #include "mdgrape2/gtables.hpp"
+#include "native/kspace.hpp"
+#include "native/real_kernel.hpp"
+#include "native/soa.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
@@ -135,7 +138,85 @@ void dump_flight(const ParallelAppConfig& config, const char* reason) {
 
 /// ---------------- wavenumber process ------------------------------------
 
+/// Native-backend wavenumber process (DESIGN.md §11): the same rank topology
+/// and message flow as the WINE-2 path, but the structure factors come from
+/// the vectorized NativeKspace DFT on the local particle slice and are
+/// summed across the wavenumber group with an explicit allreduce (the WINE-2
+/// MPI library does the equivalent reduction internally).
+void wavenumber_main_native(const Shared& shared, vmpi::Communicator& comm) {
+  const int R = shared.config.real_processes;
+  const int W = shared.config.wn_processes;
+  std::vector<int> wn_ranks(W);
+  for (int w = 0; w < W; ++w) wn_ranks[w] = R + w;
+  auto wn_comm = comm.subgroup(wn_ranks);
+
+  const KVectorTable kvectors(shared.box, shared.config.ewald.alpha,
+                              shared.config.ewald.lk_cut);
+  native::NativeKspace kspace(kvectors);
+  std::vector<double> charge_of_type(shared.species.size());
+  for (std::size_t t = 0; t < shared.species.size(); ++t)
+    charge_of_type[t] = shared.species[t].charge;
+
+  // Structure-factor allreduce tags: above the WINE-2 library's 7001+ range.
+  constexpr int kSfSinTag = 7101;
+  constexpr int kSfCosTag = 7103;
+
+  native::SoaParticles soa;
+  StructureFactors sf;
+  std::vector<Vec3> positions;
+  std::vector<int> types;
+
+  for (int round = shared.start_step; round <= shared.total_steps; ++round) {
+    obs::TraceSpan round_span("wn.round");
+    maybe_fail_rank(shared, comm.rank(), round);
+    std::vector<WnRec> local;
+    std::vector<int> owner;
+    {
+      obs::ScopedPhase comm_phase(obs::Phase::kComm);
+      MDM_TRACE_SCOPE("parallel.wn_recv");
+      for (int r = 0; r < R; ++r) {
+        const auto batch = comm.recv<WnRec>(r, kToWine);
+        for (const auto& rec : batch) {
+          local.push_back(rec);
+          owner.push_back(r);
+        }
+      }
+    }
+
+    positions.resize(local.size());
+    types.resize(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      positions[i] = local[i].pos;
+      types[i] = local[i].type;
+    }
+    soa.sync(shared.box, positions, types, charge_of_type);
+
+    kspace.dft(soa, sf);
+    {
+      obs::ScopedPhase comm_phase(obs::Phase::kComm);
+      MDM_TRACE_SCOPE("parallel.sf_allreduce");
+      wn_comm.allreduce_sum(sf.s, kSfSinTag);
+      wn_comm.allreduce_sum(sf.c, kSfCosTag);
+    }
+
+    std::vector<Vec3> forces(local.size(), Vec3{});
+    kspace.idft(soa, sf, forces);
+
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.wn_send");
+    std::vector<std::vector<IdForce>> outgoing(R);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      outgoing[owner[i]].push_back({local[i].id, forces[i]});
+    for (int r = 0; r < R; ++r) comm.send(r, kFromWine, outgoing[r]);
+
+    if (wn_comm.rank() == 0)
+      comm.send_value(0, kWineEnergy, kspace.energy_virial(sf).potential);
+  }
+}
+
 void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
+  if (shared.config.backend == Backend::kNative)
+    return wavenumber_main_native(shared, comm);
   const int R = shared.config.real_processes;
   const int W = shared.config.wn_processes;
   std::vector<int> wn_ranks(W);
@@ -211,7 +292,18 @@ class RealProcess {
     std::vector<double> charges(shared_.species.size());
     for (std::size_t t = 0; t < shared_.species.size(); ++t)
       charges[t] = shared_.species[t].charge;
+    species_charge_ = charges;
     const double beta = shared_.config.ewald.alpha / shared_.box;
+    if (shared_.config.backend == Backend::kNative) {
+      native::NativeRealKernel::Config rc;
+      rc.box = shared_.box;
+      rc.beta = beta;
+      rc.r_cut = shared_.config.ewald.r_cut;
+      rc.include_tosi_fumi = shared_.config.include_tosi_fumi;
+      rc.tosi_fumi = shared_.config.tosi_fumi;
+      native_kernel_ = std::make_unique<native::NativeRealKernel>(rc);
+      return;
+    }
     force_passes_.push_back(mdgrape2::make_coulomb_real_pass(
         beta, shared_.config.ewald.r_cut, charges));
     potential_passes_.push_back(mdgrape2::make_coulomb_real_potential_pass(
@@ -344,29 +436,10 @@ class RealProcess {
     const auto halo = exchange_halos();
     const std::uint64_t t_force = obs::Trace::now_ns();
 
-    // Local particle image: owned first, then halo (MDGRAPE-2 j-set).
-    ParticleSystem local(shared_.box);
-    for (const auto& s : shared_.species) local.add_species(s);
-    for (const auto& p : my_) local.add_particle(p.type, p.pos);
-    for (const auto& p : halo) local.add_particle(p.type, p.pos);
-
-    std::vector<Vec3> forces(local.size(), Vec3{});
-    if (local.size() > 0) {
-      mdgrape_.load_particles(local, shared_.config.ewald.r_cut);
-      for (const auto& pass : force_passes_)
-        mdgrape_.run_force_pass(pass, forces);
-    }
-    for (std::size_t i = 0; i < my_.size(); ++i) my_[i].force = forces[i];
-
-    // Real-space + short-range potential of the owned particles (pair
-    // energies are seen from both sides, hence the factor 1/2).
-    local_potential_ = 0.0;
-    if (local.size() > 0) {
-      std::vector<double> pot(local.size(), 0.0);
-      for (const auto& pass : potential_passes_)
-        mdgrape_.run_potential_pass(pass, pot);
-      for (std::size_t i = 0; i < my_.size(); ++i)
-        local_potential_ += 0.5 * pot[i];
+    if (native_kernel_) {
+      compute_real_native(halo);
+    } else {
+      compute_real_emulated(halo);
     }
 
     mdgrape_ms_ += ms_since(t_force);
@@ -398,6 +471,61 @@ class RealProcess {
     if (rank() == 0)
       wn_energy_ = comm_.recv_value<double>(real_count(), kWineEnergy);
     wine_ms_ += ms_since(t_wine);
+  }
+
+  /// Emulator real-space pass: owned + halo through the MDGRAPE-2 boards.
+  void compute_real_emulated(const std::vector<PRec>& halo) {
+    // Local particle image: owned first, then halo (MDGRAPE-2 j-set).
+    ParticleSystem local(shared_.box);
+    for (const auto& s : shared_.species) local.add_species(s);
+    for (const auto& p : my_) local.add_particle(p.type, p.pos);
+    for (const auto& p : halo) local.add_particle(p.type, p.pos);
+
+    std::vector<Vec3> forces(local.size(), Vec3{});
+    if (local.size() > 0) {
+      mdgrape_.load_particles(local, shared_.config.ewald.r_cut);
+      for (const auto& pass : force_passes_)
+        mdgrape_.run_force_pass(pass, forces);
+    }
+    for (std::size_t i = 0; i < my_.size(); ++i) my_[i].force = forces[i];
+
+    // Real-space + short-range potential of the owned particles (pair
+    // energies are seen from both sides, hence the factor 1/2).
+    local_potential_ = 0.0;
+    if (local.size() > 0) {
+      std::vector<double> pot(local.size(), 0.0);
+      for (const auto& pass : potential_passes_)
+        mdgrape_.run_potential_pass(pass, pot);
+      for (std::size_t i = 0; i < my_.size(); ++i)
+        local_potential_ += 0.5 * pot[i];
+    }
+  }
+
+  /// Native real-space pass (DESIGN.md §11): one fused one-sided sweep over
+  /// owned + halo gives forces AND potential; like the emulator potential
+  /// pass it sees every owned pair from both sides, hence the factor 1/2.
+  void compute_real_native(const std::vector<PRec>& halo) {
+    pos_buf_.resize(my_.size() + halo.size());
+    type_buf_.resize(my_.size() + halo.size());
+    for (std::size_t i = 0; i < my_.size(); ++i) {
+      pos_buf_[i] = my_[i].pos;
+      type_buf_[i] = my_[i].type;
+    }
+    for (std::size_t i = 0; i < halo.size(); ++i) {
+      pos_buf_[my_.size() + i] = halo[i].pos;
+      type_buf_[my_.size() + i] = halo[i].type;
+    }
+    soa_.sync(shared_.box, pos_buf_, type_buf_, species_charge_);
+
+    force_buf_.assign(soa_.size(), Vec3{});
+    local_potential_ = 0.0;
+    if (soa_.size() > 0) {
+      const ForceResult result =
+          native_kernel_->one_sided(soa_, my_.size(), force_buf_);
+      local_potential_ = 0.5 * result.potential;
+    }
+    for (std::size_t i = 0; i < my_.size(); ++i)
+      my_[i].force = force_buf_[i];
   }
 
   void half_kick() {
@@ -586,6 +714,14 @@ class RealProcess {
   mdgrape2::Mdgrape2System mdgrape_;
   std::vector<mdgrape2::ForcePass> force_passes_;
   std::vector<mdgrape2::ForcePass> potential_passes_;
+  std::vector<double> species_charge_;
+  // Native backend (DESIGN.md §11): fused one-sided kernel plus reusable
+  // SoA mirror and scratch, so the steady state stays allocation-free.
+  std::unique_ptr<native::NativeRealKernel> native_kernel_;
+  native::SoaParticles soa_;
+  std::vector<Vec3> pos_buf_;
+  std::vector<int> type_buf_;
+  std::vector<Vec3> force_buf_;
   std::vector<PRec> my_;
   HealthMonitor health_{shared_.config.health};
   std::vector<std::int32_t> id_slot_;  ///< id -> index in my_ (-1 not owned)

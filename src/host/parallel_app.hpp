@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/health.hpp"
 #include "core/particle_system.hpp"
 #include "core/simulation.hpp"
@@ -56,6 +57,12 @@ struct ParallelAppConfig {
   int mdgrape_boards_per_process = 2;  ///< one cluster per process
   int wine_boards_per_process = 7;     ///< one cluster per process
   wine2::WineFormats wine_formats = wine2::WineFormats::paper();
+
+  /// Force-evaluation backend (DESIGN.md §11). kEmulator drives the
+  /// MDGRAPE-2/WINE-2 pipelines; kNative runs the vectorized host kernels
+  /// on the same rank topology (one-sided real sweeps over owned + halo,
+  /// structure-factor allreduce over the wavenumber group).
+  Backend backend = Backend::kEmulator;
 
   // Fault-tolerance knobs (DESIGN.md "Failure model of the virtual
   // fabric"). When fault_injector is null, MDM_FAULT_SPEC/MDM_FAULT_SEED

@@ -1,0 +1,223 @@
+#include "native/kspace.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/units.hpp"
+
+namespace mdm::native {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+NativeKspace::NativeKspace(const KVectorTable& table)
+    : box_(table.box()), alpha_(table.alpha()), n_max_(table.n_max()) {
+  const auto& kvecs = table.vectors();
+  const std::size_t nk = kvecs.size();
+  anx_.resize(nk);
+  any_.resize(nk);
+  anz_.resize(nk);
+  sgx_.resize(nk);
+  sgy_.resize(nk);
+  nxd_.resize(nk);
+  nyd_.resize(nk);
+  nzd_.resize(nk);
+  a_.resize(nk);
+  for (std::size_t m = 0; m < nk; ++m) {
+    const int nx = static_cast<int>(kvecs[m].n.x);
+    const int ny = static_cast<int>(kvecs[m].n.y);
+    const int nz = static_cast<int>(kvecs[m].n.z);
+    if (nz < 0)
+      throw std::invalid_argument("NativeKspace: not a half-space set");
+    anx_[m] = nx < 0 ? -nx : nx;
+    any_[m] = ny < 0 ? -ny : ny;
+    anz_[m] = nz;
+    sgx_[m] = nx < 0 ? -1.0 : 1.0;
+    sgy_[m] = ny < 0 ? -1.0 : 1.0;
+    nxd_[m] = kvecs[m].n.x;
+    nyd_[m] = kvecs[m].n.y;
+    nzd_[m] = kvecs[m].n.z;
+    a_[m] = kvecs[m].a;
+  }
+  const std::size_t rows = static_cast<std::size_t>(n_max_ + 1) * kBlock;
+  tcx_.resize(rows);
+  tsx_.resize(rows);
+  tcy_.resize(rows);
+  tsy_.resize(rows);
+  tcz_.resize(rows);
+  tsz_.resize(rows);
+  c1_.resize(3 * kBlock);
+  s1_.resize(3 * kBlock);
+  bc_.resize(kBlock);
+  bs_.resize(kBlock);
+  bfx_.resize(kBlock);
+  bfy_.resize(kBlock);
+  bfz_.resize(kBlock);
+}
+
+void NativeKspace::build_block(const SoaParticles& soa, std::size_t p0,
+                               std::size_t count) {
+  const double two_pi_l = 2.0 * kPi / box_;
+  double* c1x = c1_.data();
+  double* s1x = s1_.data();
+  double* c1y = c1_.data() + kBlock;
+  double* s1y = s1_.data() + kBlock;
+  double* c1z = c1_.data() + 2 * kBlock;
+  double* s1z = s1_.data() + 2 * kBlock;
+  for (std::size_t p = 0; p < count; ++p) {
+    const double tx = two_pi_l * soa.x[p0 + p];
+    const double ty = two_pi_l * soa.y[p0 + p];
+    const double tz = two_pi_l * soa.z[p0 + p];
+    c1x[p] = std::cos(tx);
+    s1x[p] = std::sin(tx);
+    c1y[p] = std::cos(ty);
+    s1y[p] = std::sin(ty);
+    c1z[p] = std::cos(tz);
+    s1z[p] = std::sin(tz);
+  }
+  // Row 0: n = 0 phases; the x row carries the charge so both the DFT terms
+  // and the IDFT weights come out pre-multiplied by q.
+  for (std::size_t p = 0; p < count; ++p) {
+    tcx_[p] = soa.q[p0 + p];
+    tsx_[p] = 0.0;
+    tcy_[p] = 1.0;
+    tsy_[p] = 0.0;
+    tcz_[p] = 1.0;
+    tsz_[p] = 0.0;
+  }
+  // Addition-formula recurrence per axis (sec. 2.3), row n from row n-1;
+  // unit-stride across the block, so each row is one vector pass.
+  for (int nrow = 1; nrow <= n_max_; ++nrow) {
+    const std::size_t cur = static_cast<std::size_t>(nrow) * kBlock;
+    const std::size_t prev = cur - kBlock;
+    for (std::size_t p = 0; p < count; ++p) {
+      tcx_[cur + p] = tcx_[prev + p] * c1x[p] - tsx_[prev + p] * s1x[p];
+      tsx_[cur + p] = tsx_[prev + p] * c1x[p] + tcx_[prev + p] * s1x[p];
+    }
+    for (std::size_t p = 0; p < count; ++p) {
+      tcy_[cur + p] = tcy_[prev + p] * c1y[p] - tsy_[prev + p] * s1y[p];
+      tsy_[cur + p] = tsy_[prev + p] * c1y[p] + tcy_[prev + p] * s1y[p];
+    }
+    for (std::size_t p = 0; p < count; ++p) {
+      tcz_[cur + p] = tcz_[prev + p] * c1z[p] - tsz_[prev + p] * s1z[p];
+      tsz_[cur + p] = tsz_[prev + p] * c1z[p] + tcz_[prev + p] * s1z[p];
+    }
+  }
+}
+
+void NativeKspace::dft(const SoaParticles& soa, StructureFactors& out) {
+  MDM_TRACE_SCOPE("native.kspace.dft");
+  const std::size_t nk = a_.size();
+  const std::size_t n = soa.size();
+  out.s.assign(nk, 0.0);
+  out.c.assign(nk, 0.0);
+  for (std::size_t p0 = 0; p0 < n; p0 += kBlock) {
+    const std::size_t count = std::min(kBlock, n - p0);
+    build_block(soa, p0, count);
+    for (std::size_t m = 0; m < nk; ++m) {
+      const double* cx = tcx_.data() + static_cast<std::size_t>(anx_[m]) * kBlock;
+      const double* sx = tsx_.data() + static_cast<std::size_t>(anx_[m]) * kBlock;
+      const double* cy = tcy_.data() + static_cast<std::size_t>(any_[m]) * kBlock;
+      const double* sy = tsy_.data() + static_cast<std::size_t>(any_[m]) * kBlock;
+      const double* cz = tcz_.data() + static_cast<std::size_t>(anz_[m]) * kBlock;
+      const double* sz = tsz_.data() + static_cast<std::size_t>(anz_[m]) * kBlock;
+      const double sx_sign = sgx_[m];
+      const double sy_sign = sgy_[m];
+      for (std::size_t p = 0; p < count; ++p) {
+        const double cxp = cx[p];
+        const double sxp = sx_sign * sx[p];
+        const double cyp = cy[p];
+        const double syp = sy_sign * sy[p];
+        const double cxy = cxp * cyp - sxp * syp;
+        const double sxy = sxp * cyp + cxp * syp;
+        bc_[p] = cxy * cz[p] - sxy * sz[p];  // q cos(2 pi n.r / L)
+        bs_[p] = sxy * cz[p] + cxy * sz[p];  // q sin(2 pi n.r / L)
+      }
+      double sum_c = 0.0;
+      double sum_s = 0.0;
+      for (std::size_t p = 0; p < count; ++p) {
+        sum_c += bc_[p];
+        sum_s += bs_[p];
+      }
+      out.c[m] += sum_c;
+      out.s[m] += sum_s;
+    }
+  }
+}
+
+void NativeKspace::idft(const SoaParticles& soa, const StructureFactors& sf,
+                        std::span<Vec3> forces) {
+  MDM_TRACE_SCOPE("native.kspace.idft");
+  const std::size_t nk = a_.size();
+  const std::size_t n = soa.size();
+  if (sf.s.size() != nk || forces.size() != n)
+    throw std::invalid_argument("NativeKspace::idft: size mismatch");
+  // F_i = (4 k_e q_i / L^4) sum_half a_n n_vec [C_n sin_i - S_n cos_i];
+  // q_i rides in the phase tables.
+  const double force_pref =
+      4.0 * units::kCoulomb / (box_ * box_ * box_ * box_);
+  for (std::size_t p0 = 0; p0 < n; p0 += kBlock) {
+    const std::size_t count = std::min(kBlock, n - p0);
+    build_block(soa, p0, count);
+    for (std::size_t p = 0; p < count; ++p) {
+      bfx_[p] = 0.0;
+      bfy_[p] = 0.0;
+      bfz_[p] = 0.0;
+    }
+    for (std::size_t m = 0; m < nk; ++m) {
+      const double* cx = tcx_.data() + static_cast<std::size_t>(anx_[m]) * kBlock;
+      const double* sx = tsx_.data() + static_cast<std::size_t>(anx_[m]) * kBlock;
+      const double* cy = tcy_.data() + static_cast<std::size_t>(any_[m]) * kBlock;
+      const double* sy = tsy_.data() + static_cast<std::size_t>(any_[m]) * kBlock;
+      const double* cz = tcz_.data() + static_cast<std::size_t>(anz_[m]) * kBlock;
+      const double* sz = tsz_.data() + static_cast<std::size_t>(anz_[m]) * kBlock;
+      const double sx_sign = sgx_[m];
+      const double sy_sign = sgy_[m];
+      const double cn = sf.c[m];
+      const double sn = sf.s[m];
+      const double am = a_[m];
+      const double nx = nxd_[m];
+      const double ny = nyd_[m];
+      const double nz = nzd_[m];
+      for (std::size_t p = 0; p < count; ++p) {
+        const double cxp = cx[p];
+        const double sxp = sx_sign * sx[p];
+        const double cyp = cy[p];
+        const double syp = sy_sign * sy[p];
+        const double cxy = cxp * cyp - sxp * syp;
+        const double sxy = sxp * cyp + cxp * syp;
+        const double cosq = cxy * cz[p] - sxy * sz[p];
+        const double sinq = sxy * cz[p] + cxy * sz[p];
+        const double w = am * (cn * sinq - sn * cosq);
+        bfx_[p] += w * nx;
+        bfy_[p] += w * ny;
+        bfz_[p] += w * nz;
+      }
+    }
+    for (std::size_t p = 0; p < count; ++p)
+      forces[p0 + p] +=
+          force_pref * Vec3{bfx_[p], bfy_[p], bfz_[p]};
+  }
+}
+
+ForceResult NativeKspace::energy_virial(const StructureFactors& sf) const {
+  // Same closed forms as the reference solver (EwaldCoulomb::idft_forces).
+  ForceResult result;
+  const double l3 = box_ * box_ * box_;
+  const double energy_pref = units::kCoulomb / (kPi * l3);
+  for (std::size_t m = 0; m < a_.size(); ++m) {
+    const double ek =
+        energy_pref * a_[m] * (sf.c[m] * sf.c[m] + sf.s[m] * sf.s[m]);
+    const double n2 =
+        nxd_[m] * nxd_[m] + nyd_[m] * nyd_[m] + nzd_[m] * nzd_[m];
+    result.potential += ek;
+    result.virial += ek * (1.0 - 2.0 * kPi * kPi * n2 / (alpha_ * alpha_));
+  }
+  return result;
+}
+
+}  // namespace mdm::native

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file real_kernel.hpp
+/// Vectorized real-space pair kernel of the native backend (DESIGN.md §11).
+///
+/// One fused sweep evaluates the erfc-damped Ewald real-space force (paper
+/// eq. 2) and, optionally, the Tosi-Fumi short-range terms (eq. 15) — the
+/// work MDGRAPE-2 performs in three separate emulated passes. The loop body
+/// is straight-line arithmetic designed to auto-vectorize:
+///
+///  * particle data come from cell-sorted structure-of-arrays streams, so
+///    a neighbour cell's particles are unit-stride loads;
+///  * minimum image is two compare-blend corrections (positions are
+///    pre-wrapped, so |dx| < box), not a libm rounding call;
+///  * erfc/exp use the branch-free rationals of core/fastmath.hpp;
+///  * the cutoff test is a mask (forces blend to zero), not a branch;
+///  * Tosi-Fumi coefficients are per-slot streams pre-gathered per i-species
+///    row, so species lookup is a contiguous load, never a gather;
+///  * per-i sums (force, potential, virial) go through small store buffers
+///    with a separate accumulation pass, because GCC will not vectorize a
+///    floating-point reduction under strict FP semantics.
+///
+/// Parallel sweeps reuse the repo's fixed-chunk discipline (CellList
+/// kPairChunks): the chunk partition depends only on the grid, j-side
+/// forces land in per-chunk buffers reduced in chunk order, so results are
+/// bit-identical at ANY pool size. The cell list itself is maintained with
+/// CellList::build_auto (half-skin displacement tracking): the native
+/// backend's accuracy contract is the envelope, not bit-equality across
+/// restarts, so it may skip rebuilds the reference path would perform.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/cell_list.hpp"
+#include "core/force_field.hpp"
+#include "core/tosi_fumi.hpp"
+#include "native/soa.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdm::native {
+
+class NativeRealKernel {
+ public:
+  struct Config {
+    double box = 0.0;
+    double beta = 0.0;   ///< alpha / L, 1/A
+    double r_cut = 0.0;  ///< A, must be <= L/2
+    bool include_tosi_fumi = false;
+    /// Subtract phi_sr(r_cut) per pair (serve software-path convention);
+    /// forces are unchanged either way.
+    bool tf_shift_energy = false;
+    TosiFumiParameters tosi_fumi{};
+  };
+
+  explicit NativeRealKernel(const Config& config);
+
+  /// Newton half-stencil sweep: every unordered in-range pair once, forces
+  /// accumulated for both partners. Adds into `forces` (indexed like
+  /// soa streams); returns summed pair potential and virial. Bit-identical
+  /// for any pool size (nullptr = serial).
+  ForceResult sweep(const SoaParticles& soa, std::span<Vec3> forces,
+                    ThreadPool* pool = nullptr);
+
+  /// One-sided sweep for the parallel ranks: forces on particles with index
+  /// < n_i (the rank's owned particles, listed first) from ALL particles,
+  /// Newton's third law forgone exactly like the hardware scan. The
+  /// returned potential/virial double-count owned-owned pairs; the caller
+  /// halves them (host/parallel_app convention). Serial — each rank is
+  /// already one thread.
+  ForceResult one_sided(const SoaParticles& soa, std::size_t n_i,
+                        std::span<Vec3> forces);
+
+  /// In-range pair interactions evaluated by the last sweep/one_sided call.
+  std::uint64_t last_pairs() const { return last_pairs_; }
+  const CellList& cells() const { return cells_; }
+
+ private:
+  struct Acc {
+    double fx = 0, fy = 0, fz = 0, pot = 0, vir = 0, pairs = 0;
+  };
+
+  /// Maintain the cell list (build_auto) and regather the sorted streams.
+  void prepare(const SoaParticles& soa);
+  void ensure_scratch(std::size_t n, int chunks);
+
+  template <bool kNewton>
+  void pair_range(double xi, double yi, double zi, double qi_ke,
+                  const double* cb, const double* c6r, const double* d8r,
+                  const double* shr, std::size_t jb, std::size_t je,
+                  std::size_t skip, double* jfx, double* jfy, double* jfz,
+                  double* tmp, Acc& acc) const;
+
+  void run_chunk(std::size_t k, int chunks, std::size_t n);
+
+  Config cfg_;
+  double inv_rho_ = 0.0;
+  double cutoff2_ = 0.0;
+  /// phi_sr(r_cut) per type pair (zero unless tf_shift_energy).
+  std::array<std::array<double, TosiFumiParameters::kMaxSpecies>,
+             TosiFumiParameters::kMaxSpecies>
+      shift_{};
+
+  CellList cells_;
+  bool n2_ = false;
+  int coef_rows_ = 0;
+  bool coef_valid_ = false;
+
+  /// Cell-sorted streams (slot order == CellList::order(); identity in the
+  /// N^2 fallback).
+  std::vector<double> xs_, ys_, zs_, qs_;
+  std::vector<std::int32_t> ts_;
+  /// Per-i-species coefficient rows, [ti * n + slot]: Born prefactor, c6,
+  /// d8 and energy shift of the (ti, type[slot]) pair.
+  std::vector<double> cb_, cc6_, cd8_, csh_;
+
+  /// Per-chunk j-side force accumulators, [chunk * n + slot], kept zero
+  /// outside each chunk's dirty range.
+  std::vector<double> jfx_, jfy_, jfz_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dirty_;
+  struct ChunkTally {
+    double pot = 0, vir = 0, pairs = 0;
+  };
+  std::vector<ChunkTally> tally_;
+  /// Per-chunk store buffers of the two-pass accumulation, 6 lanes each.
+  std::vector<double> tmp_;
+  std::size_t tmp_stride_ = 0;
+  std::size_t scr_slots_ = 0;
+  int scr_chunks_ = 0;
+
+  std::uint64_t last_pairs_ = 0;
+};
+
+}  // namespace mdm::native

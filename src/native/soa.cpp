@@ -1,0 +1,53 @@
+#include "native/soa.hpp"
+
+#include <algorithm>
+
+namespace mdm::native {
+namespace {
+
+/// Shared body: wrap and scatter `positions` into the coordinate streams.
+template <typename ChargeOf, typename TypeOf>
+void fill(SoaParticles& soa, double box, std::span<const Vec3> positions,
+          ChargeOf&& charge_of, TypeOf&& type_of) {
+  const std::size_t n = positions.size();
+  soa.box = box;
+  soa.pos.resize(n);
+  soa.x.resize(n);
+  soa.y.resize(n);
+  soa.z.resize(n);
+  soa.q.resize(n);
+  soa.type.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Wrapping here lets the pair kernel use the branch-blend minimum image
+    // (|dx| < box guaranteed) instead of a libm floor/nearbyint call.
+    const Vec3 w{wrap_coordinate(positions[i].x, box),
+                 wrap_coordinate(positions[i].y, box),
+                 wrap_coordinate(positions[i].z, box)};
+    soa.pos[i] = w;
+    soa.x[i] = w.x;
+    soa.y[i] = w.y;
+    soa.z[i] = w.z;
+    soa.q[i] = charge_of(i);
+    soa.type[i] = static_cast<std::int32_t>(type_of(i));
+  }
+}
+
+}  // namespace
+
+void SoaParticles::sync(const ParticleSystem& system) {
+  species_count = system.species_count();
+  fill(*this, system.box(), system.positions(),
+       [&](std::size_t i) { return system.charge(i); },
+       [&](std::size_t i) { return system.type(i); });
+}
+
+void SoaParticles::sync(double box_side, std::span<const Vec3> positions,
+                        std::span<const int> types,
+                        std::span<const double> charge_of_type) {
+  species_count = static_cast<int>(charge_of_type.size());
+  fill(*this, box_side, positions,
+       [&](std::size_t i) { return charge_of_type[types[i]]; },
+       [&](std::size_t i) { return types[i]; });
+}
+
+}  // namespace mdm::native

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file soa.hpp
+/// Structure-of-arrays particle mirror for the native SIMD backend
+/// (DESIGN.md §11). `ParticleSystem` stores positions as an array of Vec3;
+/// the vectorized kernels want each coordinate, the charge and the species
+/// type as separate contiguous streams so inner loops compile to unit-stride
+/// vector loads. The mirror is synced from the system once per force
+/// evaluation (O(N), far below the pair sweep) and keeps a wrapped Vec3 copy
+/// for the CellList, whose binning expects Vec3 spans.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "util/vec3.hpp"
+
+namespace mdm::native {
+
+struct SoaParticles {
+  double box = 0.0;
+  int species_count = 0;
+  std::vector<Vec3> pos;  ///< wrapped into [0, box), for CellList binning
+  std::vector<double> x, y, z;  ///< wrapped coordinates, one stream each
+  std::vector<double> q;        ///< per-particle charge, e
+  std::vector<std::int32_t> type;
+
+  std::size_t size() const { return x.size(); }
+
+  /// Mirror a full ParticleSystem (positions, charges, types).
+  void sync(const ParticleSystem& system);
+
+  /// Mirror raw spans (the parallel ranks assemble owned + halo particles
+  /// without a ParticleSystem round trip). `charge_of_type[t]` supplies the
+  /// per-species charge.
+  void sync(double box_side, std::span<const Vec3> positions,
+            std::span<const int> types,
+            std::span<const double> charge_of_type);
+};
+
+}  // namespace mdm::native

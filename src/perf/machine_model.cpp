@@ -62,6 +62,35 @@ StepTiming predict_step(const MachineModel& machine, double n_particles,
   return t;
 }
 
+StepTiming predict_backend_step(const BackendCostModel& costs,
+                                Backend backend, double n_particles,
+                                double box, const EwaldParameters& params) {
+  const auto flops = ewald_step_flops(n_particles, box, params);
+  const double pairs = backend == Backend::kNative
+                           ? n_particles * flops.n_int
+                           : n_particles * flops.n_int_g;
+  const double waves = n_particles * flops.n_wv;
+  StepTiming t;
+  t.concurrent_backends = false;  // one CPU runs both Ewald parts
+  t.real_seconds = pairs * costs.ns_per_pair(backend) * 1e-9;
+  t.wavenumber_seconds = waves * costs.ns_per_wave(backend) * 1e-9;
+  return t;
+}
+
+Backend recommended_backend(const BackendCostModel& costs, double n_particles,
+                            double box, const EwaldParameters& params,
+                            bool accuracy_needs_emulator) {
+  if (accuracy_needs_emulator) return Backend::kEmulator;
+  const double native =
+      predict_backend_step(costs, Backend::kNative, n_particles, box, params)
+          .total_seconds();
+  const double emulated =
+      predict_backend_step(costs, Backend::kEmulator, n_particles, box,
+                           params)
+          .total_seconds();
+  return native <= emulated ? Backend::kNative : Backend::kEmulator;
+}
+
 double optimal_alpha(const MachineModel& machine, double n_particles,
                      const EwaldAccuracy& accuracy) {
   if (machine.conventional)

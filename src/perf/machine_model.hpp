@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/backend.hpp"
 #include "ewald/flops.hpp"
 #include "ewald/parameters.hpp"
 
@@ -92,5 +93,41 @@ StepTiming predict_step(const MachineModel& machine, double n_particles,
 /// The alpha this machine prefers (sec. 5: "optimized for our hardware").
 double optimal_alpha(const MachineModel& machine, double n_particles,
                      const EwaldAccuracy& accuracy = {});
+
+/// Measured single-thread host costs of the two software backends
+/// (DESIGN.md §11). The emulator pays per *candidate* pair of the MDGRAPE
+/// 27-cell scan (N * n_int_g, eq. 6 — no Newton, no cutoff skip) and per
+/// (particle, wave) on the WINE pipeline walk; the native kernels pay per
+/// Newton pair (N * n_int, eq. 5) and per (particle, wave) of the blocked
+/// recurrence DFT/IDFT. Defaults come from bench_backend on the standard
+/// NaCl melt (BENCH_backend.json); override with your own measurements for
+/// a different host.
+struct BackendCostModel {
+  double emulator_ns_per_pair = 114.0;
+  double native_ns_per_pair = 271.0;
+  double emulator_ns_per_wave = 285.0;
+  double native_ns_per_wave = 6.3;
+
+  double ns_per_pair(Backend b) const {
+    return b == Backend::kNative ? native_ns_per_pair : emulator_ns_per_pair;
+  }
+  double ns_per_wave(Backend b) const {
+    return b == Backend::kNative ? native_ns_per_wave : emulator_ns_per_wave;
+  }
+};
+
+/// Predicted single-thread wall clock of one force evaluation on the host
+/// for the given backend (both parts run on the same CPU, so they sum).
+StepTiming predict_backend_step(const BackendCostModel& costs,
+                                Backend backend, double n_particles,
+                                double box, const EwaldParameters& params);
+
+/// The backend the auto-selector picks for a host run: the one with the
+/// smaller predicted step time. `accuracy_needs_emulator` forces the
+/// emulator when the caller wants the hardware's exact fixed-point force
+/// law (e.g. to reproduce machine trajectories bit-for-bit).
+Backend recommended_backend(const BackendCostModel& costs, double n_particles,
+                            double box, const EwaldParameters& params,
+                            bool accuracy_needs_emulator = false);
 
 }  // namespace mdm::perf

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/lattice.hpp"
 #include "core/simulation.hpp"
 #include "obs/trace_context.hpp"
@@ -83,6 +84,10 @@ struct JobSpec {
   /// one trace across submit, queue, per-rank run phases and checkpoints.
   int parallel_real = 0;
   int parallel_wn = 2;
+  /// Force-evaluation backend (DESIGN.md §11): kEmulator runs the software
+  /// reference / simulated-hardware paths; kNative runs the vectorized host
+  /// kernels. Applies to both the single-process and the parallel path.
+  Backend backend = Backend::kEmulator;
 
   // ---- checkpoint / resume (core/checkpoint, DESIGN.md §8) ----
   /// Steps between rotating checkpoint generations; 0 disables.

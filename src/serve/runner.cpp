@@ -13,6 +13,7 @@
 #include "ewald/parameters.hpp"
 #include "host/mdm_force_field.hpp"
 #include "host/parallel_app.hpp"
+#include "native/native_force_field.hpp"
 
 namespace mdm::serve {
 namespace {
@@ -41,6 +42,7 @@ JobResult run_parallel_job(const JobSpec& spec, const RunOptions& options) {
   // r_cut <= L/3, which the MDGRAPE cell-index scan requires even for the
   // smallest served jobs (software_parameters only guarantees L/2).
   config.ewald = host::mdm_parameters(double(system.size()), system.box());
+  config.backend = spec.backend;
   config.cancel = options.cancel;
   if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
     config.checkpoint_dir = options.checkpoint_dir;
@@ -72,24 +74,37 @@ JobResult run_job(const JobSpec& spec, const RunOptions& options) {
   assign_maxwell_velocities(system, spec.temperature_K, spec.seed);
 
   // The nacl_melt software path: Ewald Coulomb + Tosi-Fumi short range,
-  // both on the job's own pool slice.
+  // both on the job's own pool slice. With the native backend the same
+  // physics (same parameters, shifted short range) runs through the fused
+  // vectorized kernels instead (DESIGN.md §11).
   const EwaldParameters params =
       software_parameters(double(system.size()), system.box());
-  auto coulomb = std::make_unique<EwaldCoulomb>(params, system.box());
-  coulomb->set_thread_pool(options.pool);
-  auto short_range = std::make_unique<TosiFumiShortRange>(
-      TosiFumiParameters::nacl(), params.r_cut, /*shift_energy=*/true);
-  short_range->set_thread_pool(options.pool);
-  CompositeForceField field;
-  field.add(std::move(coulomb));
-  field.add(std::move(short_range));
+  std::unique_ptr<ForceField> field;
+  if (spec.backend == Backend::kNative) {
+    native::NativeForceFieldConfig nc;
+    nc.ewald = params;
+    nc.tf_shift_energy = true;
+    auto nat = std::make_unique<native::NativeForceField>(nc, system.box());
+    nat->set_thread_pool(options.pool);
+    field = std::move(nat);
+  } else {
+    auto coulomb = std::make_unique<EwaldCoulomb>(params, system.box());
+    coulomb->set_thread_pool(options.pool);
+    auto short_range = std::make_unique<TosiFumiShortRange>(
+        TosiFumiParameters::nacl(), params.r_cut, /*shift_energy=*/true);
+    short_range->set_thread_pool(options.pool);
+    auto composite = std::make_unique<CompositeForceField>();
+    composite->add(std::move(coulomb));
+    composite->add(std::move(short_range));
+    field = std::move(composite);
+  }
 
   SimulationConfig protocol;
   protocol.dt_fs = spec.dt_fs;
   protocol.temperature_K = spec.temperature_K;
   protocol.nvt_steps = spec.nvt_steps;
   protocol.nve_steps = spec.nve_steps;
-  Simulation sim(system, field, protocol);
+  Simulation sim(system, *field, protocol);
 
   JobResult out;
   std::optional<CheckpointManager> checkpoints;

@@ -168,5 +168,93 @@ TEST(CellList, EmptyAndSingleParticle) {
   EXPECT_EQ(calls, 0);
 }
 
+/// The (i, j) visit sequence of a traversal, in order.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> pair_sequence(
+    const CellList& cells, const std::vector<Vec3>& pos, double cutoff) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seq;
+  cells.for_each_pair_within(
+      pos, cutoff,
+      [&](std::uint32_t i, std::uint32_t j, const Vec3&, double) {
+        seq.emplace_back(i, j);
+      });
+  return seq;
+}
+
+TEST(CellListAuto, SkipsRebuildForSmallDisplacements) {
+  const double box = 18.0;
+  const double cutoff = 3.0;
+  auto pos = random_positions(300, box, 7);
+  CellList cells(box, cutoff + 1.5);  // cell side 4.5 -> skin 1.5
+  ASSERT_TRUE(cells.build_auto(pos, cutoff));
+  const auto before = pair_sequence(cells, pos, cutoff);
+
+  // Stationary particles: skip, and the traversal order is bit-identical.
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+  EXPECT_EQ(pair_sequence(cells, pos, cutoff), before);
+
+  // Everyone drifts by less than half the skin (0.75): still skipped, and
+  // the stale binning still finds exactly the brute-force pair set.
+  Random rng(11);
+  for (auto& r : pos) {
+    r.x = wrap_coordinate(r.x + rng.uniform(-0.4, 0.4), box);
+    r.y = wrap_coordinate(r.y + rng.uniform(-0.4, 0.4), box);
+    r.z = wrap_coordinate(r.z + rng.uniform(-0.4, 0.4), box);
+  }
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> found;
+  for (auto [i, j] : pair_sequence(cells, pos, cutoff))
+    found.insert({std::min(i, j), std::max(i, j)});
+  EXPECT_EQ(found, brute_force_pairs(pos, box, cutoff));
+}
+
+TEST(CellListAuto, RebuildsPastHalfSkinAndOnShapeChanges) {
+  const double box = 18.0;
+  const double cutoff = 3.0;
+  auto pos = random_positions(64, box, 3);
+  CellList cells(box, cutoff + 1.5);
+  ASSERT_TRUE(cells.build_auto(pos, cutoff));
+
+  // One particle beyond skin/2 forces a rebuild (and re-anchors).
+  pos[5].x = wrap_coordinate(pos[5].x + 0.8, box);
+  EXPECT_TRUE(cells.build_auto(pos, cutoff));
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+
+  // A boundary crossing is judged by minimum image, not raw coordinates.
+  pos[0] = {0.05, 1.0, 1.0};
+  ASSERT_TRUE(cells.build_auto(pos, cutoff));
+  pos[0].x = wrap_coordinate(pos[0].x - 0.2, box);  // now ~17.85
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+
+  // Particle-count changes always rebuild.
+  pos.push_back({1.0, 2.0, 3.0});
+  EXPECT_TRUE(cells.build_auto(pos, cutoff));
+
+  // A direct build() invalidates the anchor: next build_auto re-anchors.
+  cells.build(pos);
+  EXPECT_TRUE(cells.build_auto(pos, cutoff));
+}
+
+TEST(CellListAuto, ZeroSkinAlwaysRebuilds) {
+  const double box = 12.0;
+  auto pos = random_positions(50, box, 5);
+  CellList cells(box, 3.0);  // cell side 3.0 == cutoff -> no skin
+  EXPECT_TRUE(cells.build_auto(pos, 3.0));
+  EXPECT_TRUE(cells.build_auto(pos, 3.0));
+}
+
+TEST(CellListAuto, N2FallbackNeverRebuildsAfterFirst) {
+  const double box = 6.0;
+  auto pos = random_positions(20, box, 9);
+  CellList cells(box, 3.0);  // 2 cells per side: N^2 fallback
+  EXPECT_TRUE(cells.build_auto(pos, 3.0));
+  for (auto& r : pos) r.x = wrap_coordinate(r.x + 2.0, box);
+  // Traversal ignores the bins entirely in this mode.
+  EXPECT_FALSE(cells.build_auto(pos, 3.0));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> found;
+  for (auto [i, j] : pair_sequence(cells, pos, 3.0))
+    found.insert({std::min(i, j), std::max(i, j)});
+  EXPECT_EQ(found, brute_force_pairs(pos, box, 3.0));
+}
+
 }  // namespace
 }  // namespace mdm

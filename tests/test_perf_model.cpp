@@ -160,5 +160,34 @@ TEST(Tables, RenderContainHeadlineNumbers) {
   EXPECT_NE(s1.find("Myrinet"), std::string::npos);
 }
 
+TEST(BackendCosts, NativePredictedFasterOnHostWorkloads) {
+  // The native kernels beat the pipeline emulation at every served scale:
+  // fewer candidate pairs (Newton + exact cutoff vs the 27-cell scan) AND a
+  // far cheaper per-pair cost. The auto-selector must know that.
+  const BackendCostModel costs;
+  for (double n : {64.0, 512.0, 1728.0, 13824.0}) {
+    const double box = 5.63 * std::cbrt(n / 8.0);
+    const EwaldParameters params = software_parameters(n, box);
+    const auto native =
+        predict_backend_step(costs, Backend::kNative, n, box, params);
+    const auto emulated =
+        predict_backend_step(costs, Backend::kEmulator, n, box, params);
+    EXPECT_GT(native.real_seconds, 0.0);
+    EXPECT_GT(native.wavenumber_seconds, 0.0);
+    EXPECT_LT(native.total_seconds(), emulated.total_seconds()) << n;
+    EXPECT_EQ(recommended_backend(costs, n, box, params), Backend::kNative)
+        << n;
+  }
+}
+
+TEST(BackendCosts, EmulatorForcedWhenHardwareAccuracyRequested) {
+  const BackendCostModel costs;
+  const double n = 512.0, box = 5.63 * 4.0;
+  const EwaldParameters params = software_parameters(n, box);
+  EXPECT_EQ(recommended_backend(costs, n, box, params,
+                                /*accuracy_needs_emulator=*/true),
+            Backend::kEmulator);
+}
+
 }  // namespace
 }  // namespace mdm::perf
