@@ -61,10 +61,13 @@ int main(int argc, char** argv) {
     mdm::obs::ToleranceRules rules;
     if (!tolerances.empty())
       rules = mdm::obs::ToleranceRules::load(tolerances);
-    const mdm::obs::CompareReport report =
+    mdm::obs::CompareReport report =
         dir_mode
             ? mdm::obs::compare_bench_dirs(baseline_dir, current_dir, rules)
             : mdm::obs::compare_bench_files(files[0], files[1], rules);
+    if (!dir_mode && !report.deltas.empty())
+      mdm::obs::append_unmatched_rule_failures(rules, report,
+                                               report.deltas.front().bench);
     mdm::obs::write_text(report, std::cout);
     return report.ok() ? 0 : 1;
   } catch (const mdm::obs::JsonError& e) {

@@ -29,7 +29,7 @@ run() {
 
 run bench_hot_paths --cells 2 --reps 2 --pools 1,2
 run bench_backend --cells 3 --reps 2
-run bench_scaling --sizes 2,3 --reps 1
+run bench_scaling --sizes 2,3 --reps 1 --fluct-steps 150 --pme-ranks 1,2,4
 run bench_serve --seconds 2 --rate 20 --workers 2
 run bench_accuracy_mdgrape2 --pairs 2000
 run bench_accuracy_wine2 --cells 2

@@ -7,7 +7,9 @@
 ///   ./mdm_serve [--jobs 12] [--tenants 3] [--workers 2]
 ///               [--threads-per-job 1] [--cells 1] [--steps 8]
 ///               [--deadline-ms 0] [--queue-depth 64] [--cancel 0]
-///               [--parallel-real 0] [--backend emulator|native]
+///               [--parallel-real 0] [--kspace-ranks 2]
+///               [--solver sf|pme|auto] [--pme-grid 0] [--pme-order 6]
+///               [--backend emulator|native]
 ///               [--checkpoint-every 0] [--checkpoint-root serve_ckpt]
 ///               [--metrics serve_metrics.json] [--trace-out trace.json]
 ///
@@ -68,7 +70,12 @@ int main(int argc, char** argv) {
     spec.nvt_steps = 2 * steps / 3;
     spec.nve_steps = steps - spec.nvt_steps;
     spec.deadline_ms = cli.get_double("deadline-ms", 0.0);
-    spec.parallel_real = static_cast<int>(cli.get_int("parallel-real", 0));
+    spec.parallel_real = static_cast<int>(
+        cli.get_int("parallel-real", cli.get_int("real-ranks", 0)));
+    spec.parallel_wn = static_cast<int>(cli.get_int("kspace-ranks", 2));
+    spec.solver = cli.get_string("solver", "sf");
+    spec.pme_grid = static_cast<int>(cli.get_int("pme-grid", 0));
+    spec.pme_order = static_cast<int>(cli.get_int("pme-order", 6));
     spec.backend = backend_from_string(cli.get_string("backend", "emulator"));
     spec.checkpoint_interval =
         static_cast<int>(cli.get_int("checkpoint-every", 0));

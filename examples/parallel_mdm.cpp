@@ -5,8 +5,20 @@
 /// running on the virtual MPI world. Default layout is the paper's 16 + 8,
 /// scaled down in workload.
 ///
-///   ./parallel_mdm [--cells 2] [--real 16] [--wn 8] [--nvt 6] [--nve 6]
-///                  [--boards 2] [--threads N] [--backend emulator|native]
+///   ./parallel_mdm [--cells 2] [--real-ranks 16] [--kspace-ranks 8]
+///                  [--nx 0 --ny 0 --nz 0] [--nvt 6] [--nve 6] [--boards 2]
+///                  [--threads N] [--backend emulator|native]
+///                  [--solver sf|pme|auto] [--accuracy 5e-4]
+///                  [--pme-grid 0] [--pme-order 6]
+///
+/// `--real-ranks R --kspace-ranks W` choose ANY decomposition (the paper's
+/// 16 + 8 is just the default); `--nx/--ny/--nz` pin the real-space domain
+/// grid instead of the near-cubic auto factorization. `--solver pme` runs
+/// the slab-decomposed particle-mesh engine on the wavenumber ranks;
+/// `--solver auto` lets the perf model pick the cheaper of the exact
+/// structure-factor sum and PME at the `--accuracy` RMS force-error target
+/// (DESIGN.md §12). `--pme-grid 0` sizes the mesh from the Ewald wave
+/// cutoff. `--real/--wn` remain as aliases.
 ///
 /// Fault-tolerance demo (DESIGN.md "Failure model of the virtual fabric"):
 ///   MDM_FAULT_SPEC="drop:tag=200,count=1" ./parallel_mdm     # retransmit
@@ -22,9 +34,12 @@
 #include <cstdio>
 #include <exception>
 
+#include <string>
+
 #include "core/lattice.hpp"
 #include "host/mdm_force_field.hpp"
 #include "host/parallel_app.hpp"
+#include "perf/solver_select.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -42,8 +57,13 @@ int main(int argc, char** argv) {
   assign_maxwell_velocities(system, 1200.0, 42);
 
   host::ParallelAppConfig config;
-  config.real_processes = static_cast<int>(cli.get_int("real", 16));
-  config.wn_processes = static_cast<int>(cli.get_int("wn", 8));
+  config.real_processes = static_cast<int>(
+      cli.get_int("real-ranks", cli.get_int("real", 16)));
+  config.wn_processes = static_cast<int>(
+      cli.get_int("kspace-ranks", cli.get_int("wn", 8)));
+  config.domain_nx = static_cast<int>(cli.get_int("nx", 0));
+  config.domain_ny = static_cast<int>(cli.get_int("ny", 0));
+  config.domain_nz = static_cast<int>(cli.get_int("nz", 0));
   config.protocol.nvt_steps = static_cast<int>(cli.get_int("nvt", 6));
   config.protocol.nve_steps = static_cast<int>(cli.get_int("nve", 6));
   config.ewald = host::mdm_parameters(double(system.size()), system.box());
@@ -59,15 +79,45 @@ int main(int argc, char** argv) {
   config.auto_recover = cli.get_bool("recover");
   config.backend = backend_from_string(cli.get_string("backend", "emulator"));
 
+  // K-space solver: explicit sf/pme, or the perf-model pick (DESIGN.md §12).
+  config.pme.order = static_cast<int>(cli.get_int("pme-order", 6));
+  config.pme.grid = static_cast<int>(cli.get_int("pme-grid", 0));
+  if (config.pme.grid <= 0)
+    config.pme.grid = perf::recommended_pme_mesh(config.ewald,
+                                                 config.pme.order);
+  const std::string solver = cli.get_string("solver", "sf");
+  if (solver == "auto") {
+    const auto pick = perf::recommended_app_solver(
+        perf::SolverCostModel{}, double(system.size()), system.box(),
+        config.ewald, host::resolved_pme(config),
+        cli.get_double("accuracy", 5e-4));
+    config.kspace_solver = pick == perf::KspaceMethod::kPme
+                               ? host::KspaceSolver::kPme
+                               : host::KspaceSolver::kStructureFactor;
+    std::printf("--solver auto: perf model picked %s\n",
+                perf::to_string(pick));
+  } else {
+    config.kspace_solver = host::kspace_solver_from_string(solver);
+  }
+
   std::printf("MDM parallel application: %d real-space + %d wavenumber "
-              "processes, N=%zu, backend=%s\n",
+              "processes, N=%zu, backend=%s, k-space=%s\n",
               config.real_processes, config.wn_processes, system.size(),
-              to_string(config.backend));
-  const auto grid = host::DomainGrid::for_processes(config.real_processes,
-                                                    system.box());
-  std::printf("domain grid: %d x %d x %d, Ewald alpha=%.2f r_cut=%.2f\n",
+              to_string(config.backend),
+              host::to_string(config.kspace_solver));
+  const auto grid =
+      config.domain_nx > 0
+          ? host::DomainGrid(config.domain_nx, config.domain_ny,
+                             config.domain_nz, system.box())
+          : host::DomainGrid::for_processes(config.real_processes,
+                                            system.box());
+  std::printf("domain grid: %d x %d x %d, Ewald alpha=%.2f r_cut=%.2f",
               grid.nx(), grid.ny(), grid.nz(), config.ewald.alpha,
               config.ewald.r_cut);
+  if (config.kspace_solver == host::KspaceSolver::kPme)
+    std::printf(", PME mesh %d^3 order %d", config.pme.grid,
+                config.pme.order);
+  std::printf("\n");
 
   Timer timer;
   host::MdmParallelApp app(config);

@@ -126,6 +126,14 @@ class CellList {
   /// uses build_auto (DESIGN.md §11).
   bool build_auto(std::span<const Vec3> positions, double cutoff);
 
+  /// Forget the build_auto anchor so the next build_auto performs a full
+  /// rebuild. Must be called whenever positions change by means other than
+  /// integration drift (checkpoint restore, backend handoff): the half-skin
+  /// displacement test against a pre-restore anchor is meaningless and could
+  /// wrongly skip the rebuild, leaving the binning — and the traversal /
+  /// summation order derived from it — keyed to the dead trajectory.
+  void invalidate() { built_ = false; }
+
   int cells_per_side() const { return m_; }
   int cell_count() const { return m_ * m_ * m_; }
   double cell_side() const { return box_ / m_; }

@@ -33,9 +33,10 @@
 
 namespace mdm::fastmath {
 
-/// exp(x) without a libm call. Arguments below the double underflow
-/// threshold return exactly 0; the Ewald kernels only ever pass
-/// x = -(beta r)^2 <= 0, far from overflow.
+/// exp(x) without a libm call. Domain edges are clamped: arguments below
+/// -708 (where the true exp enters the subnormal range) return exactly 0 and
+/// arguments above 709 return +inf, so the result is never a subnormal. The
+/// Ewald kernels only ever pass x = -(beta r)^2 <= 0, far from overflow.
 inline double fast_exp(double x) {
   // Cephes exp.c constants: x = n ln2 + r with |r| <= ln2 / 2, exp(r) via
   // exp(r) = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)).
@@ -73,10 +74,21 @@ inline double fast_exp(double x) {
   return x_in > 709.0 ? std::bit_cast<double>(0x7ff0000000000000ULL) : r;
 }
 
-/// erfc(x) for x >= 0 given expmx2 = exp(-x^2). All three range
-/// approximations are evaluated unconditionally; the comparisons at the end
-/// become SIMD blends inside a vectorized loop. Results for x < 0 are
-/// unspecified (the Ewald kernels always pass beta * r >= 0).
+/// Above this argument erfc underflows into the subnormal range (erfc(x)
+/// ~ exp(-x^2)/(x sqrt(pi)) drops below the smallest normal double near
+/// x = 26.5). The fitted rationals are only calibrated on normal-range
+/// inputs, so past the cut the result is flushed to exactly 0 instead of
+/// letting a subnormal exp(-x^2) propagate garbage low bits through the
+/// rational evaluation.
+inline constexpr double kErfcUnderflowCut = 26.5;
+
+/// erfc(x) given expmx2 = exp(-x^2). All three range approximations are
+/// evaluated unconditionally; the comparisons at the end become SIMD blends
+/// inside a vectorized loop. Domain edges are clamped rather than left
+/// unspecified: x < 0 (outside the fitted range; the Ewald kernels always
+/// pass beta * r >= 0) falls back to the exact limit value 1 at 0-, and
+/// x >= kErfcUnderflowCut returns exactly 0 — never a subnormal — even when
+/// the caller's expmx2 has already degraded to a subnormal or to 0.
 inline double erfc_from_exp(double x, double expmx2) {
   const double x2 = x * x;
 
@@ -120,11 +132,18 @@ inline double erfc_from_exp(double x, double expmx2) {
   const double erfc_hi =
       expmx2 * (0.564189583547756 - c * p_hi / q_hi) / (x > 1.0 ? x : 1.0);
 
-  return x <= 0.5 ? erfc_lo : (x < 4.0 ? erfc_mid : erfc_hi);
+  double r = x <= 0.5 ? erfc_lo : (x < 4.0 ? erfc_mid : erfc_hi);
+  r = x >= kErfcUnderflowCut ? 0.0 : r;
+  // Flush a would-be-subnormal result to exactly 0 as well: a degraded
+  // (subnormal or zero) expmx2 from the caller scales the mid/high rationals
+  // into the subnormal range even for in-range x.
+  r = r < 2.2250738585072014e-308 ? 0.0 : r;
+  return x < 0.0 ? 1.0 : r;
 }
 
-/// erfc(x) for x >= 0, fully libm-free (underflows to 0 beyond x ~ 26.6,
-/// matching erfc's true decay to below the double minimum).
+/// erfc(x), fully libm-free (flushes to exactly 0 beyond kErfcUnderflowCut,
+/// matching erfc's true decay to below the normal double minimum, and to the
+/// limit value 1 for x < 0).
 inline double fast_erfc(double x) { return erfc_from_exp(x, fast_exp(-x * x)); }
 
 }  // namespace mdm::fastmath

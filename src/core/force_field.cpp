@@ -9,6 +9,10 @@ ForceResult CompositeForceField::add_forces(const ParticleSystem& system,
   return total;
 }
 
+void CompositeForceField::invalidate_caches() {
+  for (auto& f : fields_) f->invalidate_caches();
+}
+
 std::string CompositeForceField::name() const {
   std::string n = "composite(";
   for (std::size_t i = 0; i < fields_.size(); ++i) {

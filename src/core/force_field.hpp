@@ -39,6 +39,13 @@ class ForceField {
                                  std::span<Vec3> forces) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Drop any internal state keyed to previously seen positions (cell-list
+  /// displacement anchors, cached neighbour structures). Called after the
+  /// caller teleports particles — checkpoint restore, backend handoff — so
+  /// lazy rebuild heuristics cannot compare against stale reference
+  /// positions. Stateless fields need not override.
+  virtual void invalidate_caches() {}
 };
 
 /// Sum of several force fields (owned).
@@ -54,6 +61,7 @@ class CompositeForceField final : public ForceField {
   ForceResult add_forces(const ParticleSystem& system,
                          std::span<Vec3> forces) override;
   std::string name() const override;
+  void invalidate_caches() override;
 
  private:
   std::vector<std::unique_ptr<ForceField>> fields_;

@@ -12,7 +12,7 @@ namespace mdm {
 
 Simulation::Simulation(ParticleSystem& system, ForceField& field,
                        SimulationConfig config)
-    : system_(&system), config_(config), integrator_(field),
+    : system_(&system), field_(&field), config_(config), integrator_(field),
       health_(config.health) {
   if (config_.dt_fs <= 0.0) throw std::invalid_argument("dt must be positive");
   if (config_.sample_interval < 1 || config_.rescale_interval < 1)
@@ -38,6 +38,10 @@ void Simulation::restore(const CheckpointState& state) {
   thermostat_.set_state(state.thermostat);
   current_step_ = resume_step_ = static_cast<int>(state.step);
   integrator_.invalidate();
+  // The restore teleported every particle: lazy position-anchored caches in
+  // the force field (native cell-list displacement tracking) must not
+  // compare the restored coordinates against the dead trajectory's anchor.
+  field_->invalidate_caches();
   health_.reset_energy_reference();
 }
 

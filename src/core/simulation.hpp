@@ -97,6 +97,7 @@ class Simulation {
   void step_hooks(int step, bool nve);
 
   ParticleSystem* system_;
+  ForceField* field_;  ///< borrowed; restore() must invalidate its caches
   SimulationConfig config_;
   VelocityVerlet integrator_;
   VelocityScalingThermostat thermostat_;

@@ -13,15 +13,14 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 
-/// Signed alias of a grid frequency index: n in [0,K) -> [-K/2, K/2).
-int signed_index(int n, int k) { return n <= k / 2 ? n : n - k; }
+}  // namespace
 
-PmeParameters checked(PmeParameters params, double box) {
+PmeParameters validated_pme(PmeParameters params, double box) {
   if (!(params.alpha > 0.0) || !(params.r_cut > 0.0))
     throw std::invalid_argument("SmoothPme: bad parameters");
   if (params.r_cut > 0.5 * box + 1e-12)
     throw std::invalid_argument("SmoothPme: r_cut must be <= L/2");
-  if (params.order < 3 || params.order > 10)
+  if (params.order < 3 || params.order > pme::kMaxOrder)
     throw std::invalid_argument("SmoothPme: order must be in [3, 10]");
   if (!is_power_of_two(static_cast<std::size_t>(params.grid)))
     throw std::invalid_argument("SmoothPme: grid must be a power of two");
@@ -30,18 +29,10 @@ PmeParameters checked(PmeParameters params, double box) {
   return params;
 }
 
-}  // namespace
-
-double bspline(int p, double x) {
-  if (p < 2) throw std::invalid_argument("bspline: order must be >= 2");
-  if (x <= 0.0 || x >= p) return 0.0;
-  if (p == 2) return 1.0 - std::fabs(x - 1.0);
-  return x / (p - 1) * bspline(p - 1, x) +
-         (p - x) / (p - 1) * bspline(p - 1, x - 1.0);
-}
+double bspline(int p, double x) { return pme::bspline(p, x); }
 
 SmoothPme::SmoothPme(PmeParameters params, double box)
-    : params_(checked(params, box)),
+    : params_(validated_pme(params, box)),
       box_(box),
       beta_(params.alpha / box),
       grid_(static_cast<std::size_t>(params.grid)),
@@ -51,39 +42,13 @@ SmoothPme::SmoothPme(PmeParameters params, double box)
 
 void SmoothPme::build_influence() {
   const int k = params_.grid;
-  const int p = params_.order;
-
-  // |b(n)|^2 per axis: b(n) = e^{2 pi i (p-1) n / K} /
-  //   sum_{j=0}^{p-2} M_p(j+1) e^{2 pi i n j / K}  (Essmann eq. 4.4).
-  std::vector<double> b2(k);
-  for (int n = 0; n < k; ++n) {
-    Complex denom{};
-    for (int j = 0; j <= p - 2; ++j) {
-      const double angle = 2.0 * kPi * n * j / k;
-      denom += bspline(p, j + 1.0) * Complex{std::cos(angle),
-                                             std::sin(angle)};
-    }
-    const double d2 = std::norm(denom);
-    // Keep a zero (instead of a blow-up) where the spline sum vanishes;
-    // those modes carry no PME weight.
-    b2[n] = d2 > 1e-20 ? 1.0 / d2 : 0.0;
-  }
-
+  const std::vector<double> b2 = pme::axis_b2(k, params_.order);
   influence_.assign(static_cast<std::size_t>(k) * k * k, 0.0);
-  const double damp = (kPi / params_.alpha) * (kPi / params_.alpha);
-  for (int nz = 0; nz < k; ++nz) {
-    for (int ny = 0; ny < k; ++ny) {
-      for (int nx = 0; nx < k; ++nx) {
-        if (nx == 0 && ny == 0 && nz == 0) continue;
-        const double sx = signed_index(nx, k);
-        const double sy = signed_index(ny, k);
-        const double sz = signed_index(nz, k);
-        const double n2 = sx * sx + sy * sy + sz * sz;
+  for (int nz = 0; nz < k; ++nz)
+    for (int ny = 0; ny < k; ++ny)
+      for (int nx = 0; nx < k; ++nx)
         influence_[(std::size_t(nz) * k + ny) * k + nx] =
-            std::exp(-damp * n2) / n2 * b2[nx] * b2[ny] * b2[nz];
-      }
-    }
-  }
+            pme::influence_theta(nx, ny, nz, k, params_.alpha, b2);
 }
 
 double SmoothPme::add_reciprocal(const ParticleSystem& system,
@@ -99,20 +64,8 @@ double SmoothPme::add_reciprocal(const ParticleSystem& system,
   grid_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const double q = system.charge(i);
-    Spread& s = spread[i];
-    double t[3];
-    const double u_coord[3] = {positions[i].x, positions[i].y,
-                               positions[i].z};
-    for (int d = 0; d < 3; ++d) {
-      const double u = wrap_coordinate(u_coord[d], box_) / box_ * k;
-      s.base[d] = static_cast<int>(std::floor(u));
-      t[d] = u - s.base[d];
-      for (int j = 0; j < p; ++j) {
-        s.w[d][j] = bspline(p, t[d] + j);
-        // d/du M_p(u - k) = M_{p-1}(u - k) - M_{p-1}(u - k - 1).
-        s.dw[d][j] = bspline(p - 1, t[d] + j) - bspline(p - 1, t[d] + j - 1);
-      }
-    }
+    pme::SplineWeights& s = spread[i];
+    pme::spline_weights(positions[i], box_, k, p, s);
     for (int jz = 0; jz < p; ++jz) {
       const int gz = ((s.base[2] - jz) % k + k) % k;
       for (int jy = 0; jy < p; ++jy) {
@@ -153,7 +106,7 @@ double SmoothPme::add_reciprocal(const ParticleSystem& system,
   auto& recip = recip_;
   for (std::size_t i = 0; i < n; ++i) {
     const double q = system.charge(i);
-    const Spread& s = spread[i];
+    const pme::SplineWeights& s = spread[i];
     Vec3 f;
     for (int jz = 0; jz < p; ++jz) {
       const int gz = ((s.base[2] - jz) % k + k) % k;

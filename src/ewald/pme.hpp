@@ -18,6 +18,7 @@
 
 #include "core/cell_list.hpp"
 #include "core/force_field.hpp"
+#include "ewald/pme_kernels.hpp"
 #include "util/fft.hpp"
 #include "util/thread_pool.hpp"
 
@@ -60,14 +61,6 @@ class SmoothPme final : public ForceField {
  private:
   void build_influence();
 
-  /// Per-particle spline weights and derivative weights per axis, kept as
-  /// reusable scratch between the spread and gather passes.
-  struct Spread {
-    int base[3];      ///< floor(u) per axis
-    double w[3][10];  ///< M_p(t + j), j = 0..p-1 (grid point floor(u)-j)
-    double dw[3][10];  ///< dM_p/du at the same points
-  };
-
   PmeParameters params_;
   double box_;
   double beta_;
@@ -77,11 +70,20 @@ class SmoothPme final : public ForceField {
   // Reusable step scratch (no steady-state allocations).
   CellList real_cells_;
   PairScratch real_scratch_;
-  std::vector<Spread> spread_;
+  /// Per-particle spline weights, reusable scratch between the spread and
+  /// gather passes (shared definition with the distributed slab engine).
+  std::vector<pme::SplineWeights> spread_;
   std::vector<Vec3> recip_;
 };
 
-/// Cardinal B-spline M_p(x) on [0, p] (zero outside); p >= 2.
+/// Cardinal B-spline M_p(x) on [0, p] (zero outside); p >= 2. Forwarder to
+/// the shared pme::bspline kernel.
 double bspline(int p, double x);
+
+/// Validate PME parameters against a box (throws std::invalid_argument with
+/// a configuration-error message). Exposed so callers that only carry the
+/// parameters (the parallel app, the serve layer) can fail fast at config
+/// time rather than deep inside a rank thread.
+PmeParameters validated_pme(PmeParameters params, double box);
 
 }  // namespace mdm

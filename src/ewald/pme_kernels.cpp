@@ -1,0 +1,68 @@
+#include "ewald/pme_kernels.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdm::pme {
+
+double bspline(int p, double x) {
+  if (p < 2) throw std::invalid_argument("bspline: order must be >= 2");
+  if (x <= 0.0 || x >= p) return 0.0;
+  if (p == 2) return 1.0 - std::fabs(x - 1.0);
+  return x / (p - 1) * bspline(p - 1, x) +
+         (p - x) / (p - 1) * bspline(p - 1, x - 1.0);
+}
+
+void spline_weights(const Vec3& pos, double box, int grid, int order,
+                    SplineWeights& s) {
+  const double coord[3] = {pos.x, pos.y, pos.z};
+  for (int d = 0; d < 3; ++d) {
+    const double u = wrap_coordinate(coord[d], box) / box * grid;
+    s.base[d] = static_cast<int>(std::floor(u));
+    const double t = u - s.base[d];
+    for (int j = 0; j < order; ++j) {
+      s.w[d][j] = bspline(order, t + j);
+      // d/du M_p(u - k) = M_{p-1}(u - k) - M_{p-1}(u - k - 1).
+      s.dw[d][j] = bspline(order - 1, t + j) - bspline(order - 1, t + j - 1);
+    }
+  }
+}
+
+std::vector<double> axis_b2(int grid, int order) {
+  // |b(n)|^2 per axis: b(n) = e^{2 pi i (p-1) n / K} /
+  //   sum_{j=0}^{p-2} M_p(j+1) e^{2 pi i n j / K}  (Essmann eq. 4.4).
+  std::vector<double> b2(grid);
+  for (int n = 0; n < grid; ++n) {
+    std::complex<double> denom{};
+    for (int j = 0; j <= order - 2; ++j) {
+      const double angle = 2.0 * std::numbers::pi * n * j / grid;
+      denom += bspline(order, j + 1.0) *
+               std::complex<double>{std::cos(angle), std::sin(angle)};
+    }
+    const double d2 = std::norm(denom);
+    // Keep a zero (instead of a blow-up) where the spline sum vanishes;
+    // those modes carry no PME weight.
+    b2[n] = d2 > 1e-20 ? 1.0 / d2 : 0.0;
+  }
+  return b2;
+}
+
+double influence_theta(int nx, int ny, int nz, int grid, double alpha,
+                       const std::vector<double>& b2) {
+  if (nx == 0 && ny == 0 && nz == 0) return 0.0;
+  // Signed alias of a grid frequency index: n in [0,K) -> [-K/2, K/2).
+  const auto signed_index = [grid](int n) {
+    return n <= grid / 2 ? n : n - grid;
+  };
+  const double sx = signed_index(nx);
+  const double sy = signed_index(ny);
+  const double sz = signed_index(nz);
+  const double n2 = sx * sx + sy * sy + sz * sz;
+  const double damp =
+      (std::numbers::pi / alpha) * (std::numbers::pi / alpha);
+  return std::exp(-damp * n2) / n2 * b2[nx] * b2[ny] * b2[nz];
+}
+
+}  // namespace mdm::pme

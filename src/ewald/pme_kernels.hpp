@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file pme_kernels.hpp
+/// Shared building blocks of smooth particle-mesh Ewald (Essmann et al.
+/// 1995), factored out of the serial SmoothPme solver so the distributed
+/// slab engine (host/distributed_pme) evaluates EXACTLY the same spline
+/// weights and influence function — cross-validation between the two then
+/// measures only the decomposition, not a second implementation.
+///
+/// Conventions (identical to pme.hpp): dimensionless alpha (beta =
+/// alpha / L), integer wavevectors n, grid of K points per axis, B-spline
+/// order p with support spreading DOWNWARD from base = floor(u):
+/// grid point (base - j) mod K carries weight M_p(t + j), j = 0..p-1.
+
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace mdm::pme {
+
+/// Hard upper bound on the B-spline order (pme.hpp validates order <= 10).
+inline constexpr int kMaxOrder = 10;
+
+/// Cardinal B-spline M_p(x) on [0, p] (zero outside); p >= 2.
+double bspline(int p, double x);
+
+/// Per-particle spline state for one position: the base grid index and the
+/// order-p weight/derivative rows per axis.
+struct SplineWeights {
+  int base[3];               ///< floor(u) per axis, u = wrap(x)/L * K
+  double w[3][kMaxOrder];    ///< M_p(t + j), grid point (base - j) mod K
+  double dw[3][kMaxOrder];   ///< dM_p/du at the same points
+};
+
+/// Fill `s` for a position in a cubic box of side `box` on a K-point grid
+/// with order-p splines.
+void spline_weights(const Vec3& pos, double box, int grid, int order,
+                    SplineWeights& s);
+
+/// |b(n)|^-2 ... precisely: the per-axis Euler factor |b(n)|^2 of the
+/// influence function (Essmann eq. 4.4), with modes where the spline sum
+/// vanishes set to 0 instead of blowing up. Length `grid`.
+std::vector<double> axis_b2(int grid, int order);
+
+/// Influence function theta(n) = exp(-pi^2 n^2 / alpha^2) / n^2
+/// * b2[nx] b2[ny] b2[nz] for one mode (indices in [0, K)); 0 at n = 0.
+double influence_theta(int nx, int ny, int nz, int grid, double alpha,
+                       const std::vector<double>& b2);
+
+}  // namespace mdm::pme

@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/health.hpp"
+#include "host/distributed_pme.hpp"
 #include "host/fault_injector.hpp"
 #include "host/vmpi.hpp"
 #include "host/wine2_mpi.hpp"
@@ -214,7 +215,70 @@ void wavenumber_main_native(const Shared& shared, vmpi::Communicator& comm) {
   }
 }
 
+/// Distributed-PME wavenumber process (DESIGN.md §12): same rank topology
+/// and message flow as the structure-factor paths, but the reciprocal sum
+/// runs on the slab-decomposed mesh engine. Real ranks route each particle
+/// to the owner of its base spreading plane (PmeSlabLayout::route), not by
+/// id, so every rank spreads only onto its own slab plus its ghost planes.
+void wavenumber_main_pme(const Shared& shared, vmpi::Communicator& comm) {
+  const int R = shared.config.real_processes;
+  const int W = shared.config.wn_processes;
+  std::vector<int> wn_ranks(W);
+  for (int w = 0; w < W; ++w) wn_ranks[w] = R + w;
+  auto wn_comm = comm.subgroup(wn_ranks);
+
+  const PmeParameters pme =
+      validated_pme(resolved_pme(shared.config), shared.box);
+  DistributedPmeRank engine(pme, shared.box, wn_comm);
+
+  std::vector<Vec3> positions;
+  std::vector<double> charges;
+  std::vector<Vec3> forces;
+
+  for (int round = shared.start_step; round <= shared.total_steps; ++round) {
+    obs::TraceSpan round_span("wn.round");
+    std::vector<WnRec> local;
+    std::vector<int> owner;
+    {
+      obs::ScopedPhase comm_phase(obs::Phase::kComm);
+      MDM_TRACE_SCOPE("parallel.wn_recv");
+      for (int r = 0; r < R; ++r) {
+        const auto batch = comm.recv<WnRec>(r, kToWine);
+        for (const auto& rec : batch) {
+          local.push_back(rec);
+          owner.push_back(r);
+        }
+      }
+    }
+    // Fault poll after the recv, not at the top of the round: an injected
+    // death here models a k-space rank dying mid-FFT — its peers are
+    // already inside the collective mesh transform and surface
+    // PeerFailedError from the transpose/ghost-plane exchanges.
+    maybe_fail_rank(shared, comm.rank(), round);
+
+    positions.resize(local.size());
+    charges.resize(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      positions[i] = local[i].pos;
+      charges[i] = charge_of(shared, local[i].type);
+    }
+    const double energy = engine.step(positions, charges, forces);
+
+    obs::ScopedPhase comm_phase(obs::Phase::kComm);
+    MDM_TRACE_SCOPE("parallel.wn_send");
+    std::vector<std::vector<IdForce>> outgoing(R);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      outgoing[owner[i]].push_back({local[i].id, forces[i]});
+    for (int r = 0; r < R; ++r) comm.send(r, kFromWine, outgoing[r]);
+
+    if (wn_comm.rank() == 0)
+      comm.send_value(0, kWineEnergy, energy);
+  }
+}
+
 void wavenumber_main(const Shared& shared, vmpi::Communicator& comm) {
+  if (shared.config.kspace_solver == KspaceSolver::kPme)
+    return wavenumber_main_pme(shared, comm);
   if (shared.config.backend == Backend::kNative)
     return wavenumber_main_native(shared, comm);
   const int R = shared.config.real_processes;
@@ -285,10 +349,20 @@ class RealProcess {
   RealProcess(const Shared& shared, vmpi::Communicator& comm)
       : shared_(shared),
         comm_(comm),
-        grid_(DomainGrid::for_processes(shared.config.real_processes,
-                                        shared.box)),
+        grid_(shared.config.domain_nx > 0
+                  ? DomainGrid(shared.config.domain_nx,
+                               shared.config.domain_ny,
+                               shared.config.domain_nz, shared.box)
+                  : DomainGrid::for_processes(shared.config.real_processes,
+                                              shared.box)),
         mdgrape_({.clusters = shared.config.mdgrape_boards_per_process,
                   .boards_per_cluster = 1}) {
+    if (shared_.config.kspace_solver == KspaceSolver::kPme) {
+      const PmeParameters pme = resolved_pme(shared_.config);
+      pme_layout_ = PmeSlabLayout::create(pme.grid, pme.order,
+                                          shared_.config.wn_processes);
+      use_pme_ = true;
+    }
     std::vector<double> charges(shared_.species.size());
     for (std::size_t t = 0; t < shared_.species.size(); ++t)
       charges[t] = shared_.species[t].charge;
@@ -450,8 +524,17 @@ class RealProcess {
     obs::ScopedPhase comm_phase(obs::Phase::kComm);
     MDM_TRACE_SCOPE("parallel.wine_exchange");
     std::vector<std::vector<WnRec>> to_wine(wn_count());
-    for (const auto& p : my_)
-      to_wine[p.id % wn_count()].push_back({p.id, p.type, p.pos});
+    if (use_pme_) {
+      // PME routes by mesh geometry: the wavenumber rank owning the
+      // particle's base spreading plane gets it (same floor(wrap(z)/L*K)
+      // as the spline kernel, so routing and spreading cannot disagree).
+      for (const auto& p : my_)
+        to_wine[pme_layout_.route(p.pos.z, shared_.box)].push_back(
+            {p.id, p.type, p.pos});
+    } else {
+      for (const auto& p : my_)
+        to_wine[p.id % wn_count()].push_back({p.id, p.type, p.pos});
+    }
     for (int w = 0; w < wn_count(); ++w)
       comm_.send(real_count() + w, kToWine, to_wine[w]);
 
@@ -711,6 +794,8 @@ class RealProcess {
   const Shared& shared_;
   vmpi::Communicator& comm_;
   DomainGrid grid_;
+  PmeSlabLayout pme_layout_{};  ///< kPme only: wavenumber routing map
+  bool use_pme_ = false;
   mdgrape2::Mdgrape2System mdgrape_;
   std::vector<mdgrape2::ForcePass> force_passes_;
   std::vector<mdgrape2::ForcePass> potential_passes_;
@@ -737,9 +822,71 @@ class RealProcess {
 
 }  // namespace
 
+PmeParameters resolved_pme(const ParallelAppConfig& config) {
+  PmeParameters pme = config.pme;
+  if (pme.alpha <= 0.0) pme.alpha = config.ewald.alpha;
+  if (pme.r_cut <= 0.0) pme.r_cut = config.ewald.r_cut;
+  return pme;
+}
+
+const char* to_string(KspaceSolver solver) {
+  return solver == KspaceSolver::kPme ? "pme" : "structure-factor";
+}
+
+KspaceSolver kspace_solver_from_string(const std::string& name) {
+  if (name == "sf" || name == "structure-factor" || name == "ewald")
+    return KspaceSolver::kStructureFactor;
+  if (name == "pme") return KspaceSolver::kPme;
+  throw std::invalid_argument(
+      "kspace_solver_from_string: unknown solver '" + name +
+      "' (expected sf, structure-factor, ewald or pme)");
+}
+
 MdmParallelApp::MdmParallelApp(ParallelAppConfig config) : config_(config) {
-  if (config_.real_processes < 1 || config_.wn_processes < 1)
-    throw std::invalid_argument("MdmParallelApp: need >= 1 process per part");
+  if (config_.real_processes < 1)
+    throw std::invalid_argument(
+        "MdmParallelApp: real_processes must be >= 1 (got " +
+        std::to_string(config_.real_processes) + ")");
+  if (config_.wn_processes < 1)
+    throw std::invalid_argument(
+        "MdmParallelApp: wn_processes must be >= 1 (got " +
+        std::to_string(config_.wn_processes) + ")");
+  if (config_.domain_nx != 0 || config_.domain_ny != 0 ||
+      config_.domain_nz != 0) {
+    const std::string grid_str = std::to_string(config_.domain_nx) + "x" +
+                                 std::to_string(config_.domain_ny) + "x" +
+                                 std::to_string(config_.domain_nz);
+    if (config_.domain_nx < 1 || config_.domain_ny < 1 ||
+        config_.domain_nz < 1)
+      throw std::invalid_argument(
+          "MdmParallelApp: explicit domain grid must be >= 1 in every axis "
+          "(got " + grid_str + ")");
+    const int domains =
+        config_.domain_nx * config_.domain_ny * config_.domain_nz;
+    if (domains != config_.real_processes)
+      throw std::invalid_argument(
+          "MdmParallelApp: domain grid " + grid_str + " = " +
+          std::to_string(domains) + " domains does not match "
+          "real_processes = " + std::to_string(config_.real_processes));
+  }
+  if (config_.kspace_solver == KspaceSolver::kPme) {
+    // Box-independent mesh checks fail here, at configuration time; the
+    // box-dependent ones (r_cut <= L/2) rerun in run() via validated_pme.
+    const PmeParameters pme = resolved_pme(config_);
+    if (!is_power_of_two(static_cast<std::size_t>(pme.grid)))
+      throw std::invalid_argument(
+          "MdmParallelApp: PME grid must be a power of two (got " +
+          std::to_string(pme.grid) + ")");
+    if (pme.order < 3 || pme.order > 10)
+      throw std::invalid_argument(
+          "MdmParallelApp: PME order must be in [3, 10] (got " +
+          std::to_string(pme.order) + ")");
+    if (pme.grid < 2 * pme.order)
+      throw std::invalid_argument(
+          "MdmParallelApp: PME grid " + std::to_string(pme.grid) +
+          " too small for order " + std::to_string(pme.order));
+    PmeSlabLayout::create(pme.grid, pme.order, config_.wn_processes);
+  }
 }
 
 ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
@@ -765,6 +912,10 @@ ParallelRunResult MdmParallelApp::run(const ParticleSystem& initial) {
       (2.0 * beta * beta * shared.box * shared.box * shared.box) * q * q;
   shared.total_steps =
       config_.protocol.nvt_steps + config_.protocol.nve_steps;
+  // Fail fast on box-dependent PME misconfiguration (r_cut vs L/2) before
+  // any rank thread launches.
+  if (config_.kspace_solver == KspaceSolver::kPme)
+    validated_pme(resolved_pme(config_), shared.box);
 
   // Fault-tolerance wiring: explicit injector wins; otherwise the
   // MDM_FAULT_SPEC/MDM_FAULT_SEED environment knobs apply. Dropped

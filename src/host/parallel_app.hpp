@@ -29,6 +29,7 @@
 #include "core/simulation.hpp"
 #include "core/tosi_fumi.hpp"
 #include "ewald/ewald.hpp"
+#include "ewald/pme.hpp"
 #include "host/domain.hpp"
 #include "mdgrape2/system.hpp"
 #include "wine2/formats.hpp"
@@ -47,9 +48,40 @@ class ParallelCancelled : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// K-space solver run by the wavenumber processes (DESIGN.md §12).
+/// kStructureFactor is the paper's WINE-2 / native-DFT path; kPme runs the
+/// slab-decomposed particle-mesh engine (host/distributed_pme) on the same
+/// rank topology — it is backend-independent (the emulator and native
+/// backends differ only in the real-space part).
+enum class KspaceSolver {
+  kStructureFactor,
+  kPme,
+};
+
+const char* to_string(KspaceSolver solver);
+/// Parse "sf" / "structure-factor" / "ewald" or "pme" (case-sensitive);
+/// throws std::invalid_argument naming the bad value. "auto" is NOT handled
+/// here — the CLIs resolve it through perf::recommended_app_solver first.
+KspaceSolver kspace_solver_from_string(const std::string& name);
+
 struct ParallelAppConfig {
   int real_processes = 16;  ///< paper: 16 domains
   int wn_processes = 8;     ///< paper: 8 wavenumber processes
+
+  /// Explicit real-space domain grid (nx * ny * nz must equal
+  /// real_processes); all zero selects the near-cubic auto factorization.
+  /// Validated at construction with named configuration errors.
+  int domain_nx = 0;
+  int domain_ny = 0;
+  int domain_nz = 0;
+
+  /// Which reciprocal-space sum the wavenumber group computes.
+  KspaceSolver kspace_solver = KspaceSolver::kStructureFactor;
+  /// PME mesh parameters (kspace_solver == kPme). alpha / r_cut <= 0
+  /// inherit the Ewald values, so a caller usually only sets grid/order.
+  /// The mesh must slab-decompose over wn_processes (grid % W == 0).
+  PmeParameters pme{};
+
   SimulationConfig protocol{};
   EwaldParameters ewald{};
   bool include_tosi_fumi = true;
@@ -120,5 +152,10 @@ class MdmParallelApp {
  private:
   ParallelAppConfig config_;
 };
+
+/// PME parameters with the alpha / r_cut <= 0 placeholders replaced by the
+/// config's Ewald values. Shared by the app, the serve layer and the CLIs
+/// so every entry point resolves identically.
+PmeParameters resolved_pme(const ParallelAppConfig& config);
 
 }  // namespace mdm::host

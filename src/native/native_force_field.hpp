@@ -44,6 +44,9 @@ class NativeForceField final : public ForceField {
   ForceResult add_forces(const ParticleSystem& system,
                          std::span<Vec3> forces) override;
   std::string name() const override { return "native-simd"; }
+  /// The real-space kernel tracks displacement against lazily anchored
+  /// positions (CellList::build_auto); a restore must reset that anchor.
+  void invalidate_caches() override { real_.invalidate(); }
 
   /// Real-space sweep runs on the pool (bit-identical at any size); the
   /// k-space kernel is serial (a few percent of the step at machine alpha).

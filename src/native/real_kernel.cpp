@@ -130,7 +130,7 @@ void NativeRealKernel::prepare(const SoaParticles& soa) {
   const std::size_t n = soa.size();
   if (std::abs(soa.box - cfg_.box) > 1e-12)
     throw std::invalid_argument("NativeRealKernel: box mismatch");
-  const bool rebuilt = cells_.build_auto(soa.pos, cfg_.r_cut);
+  cells_.build_auto(soa.pos, cfg_.r_cut);
   n2_ = cells_.use_n2_fallback(cfg_.r_cut);
   xs_.resize(n);
   ys_.resize(n);
@@ -156,11 +156,16 @@ void NativeRealKernel::prepare(const SoaParticles& soa) {
     }
   }
   // Coefficient rows depend only on the slot->type mapping: rebuild them
-  // when the binning changed (or first use), not every step.
+  // when that mapping changed (or on first use), not every step. Keying on
+  // the gathered type stream itself — not on the cell rebuild — matters in
+  // the parallel app, where migration and halo churn can swap which species
+  // a slot holds without triggering a rebuild (the N^2 fallback never
+  // rebuilds, and the half-skin check can miss a same-size set change).
   const int rows = std::max(1, cfg_.include_tosi_fumi
                                    ? cfg_.tosi_fumi.species_count
                                    : soa.species_count);
-  if (rebuilt || !coef_valid_ || rows != coef_rows_) {
+  const bool types_changed = ts_ != coef_ts_;
+  if (types_changed || !coef_valid_ || rows != coef_rows_) {
     coef_rows_ = rows;
     cb_.resize(static_cast<std::size_t>(rows) * n);
     cc6_.resize(static_cast<std::size_t>(rows) * n);
@@ -177,6 +182,7 @@ void NativeRealKernel::prepare(const SoaParticles& soa) {
         csh_[base + s] = tf ? shift_[ti][tj] : 0.0;
       }
     }
+    coef_ts_ = ts_;
     coef_valid_ = true;
   }
 }

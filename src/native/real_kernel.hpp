@@ -77,6 +77,14 @@ class NativeRealKernel {
   std::uint64_t last_pairs() const { return last_pairs_; }
   const CellList& cells() const { return cells_; }
 
+  /// Drop the lazy cell-list anchor and cached coefficient rows; the next
+  /// sweep rebuilds from scratch. Required after checkpoint restore or any
+  /// other position teleport (see CellList::invalidate).
+  void invalidate() {
+    cells_.invalidate();
+    coef_valid_ = false;
+  }
+
  private:
   struct Acc {
     double fx = 0, fy = 0, fz = 0, pot = 0, vir = 0, pairs = 0;
@@ -107,6 +115,9 @@ class NativeRealKernel {
   bool n2_ = false;
   int coef_rows_ = 0;
   bool coef_valid_ = false;
+  /// Slot->type stream the coefficient rows were built for; a mismatch
+  /// (migration/halo churn in the parallel app) forces a rebuild.
+  std::vector<std::int32_t> coef_ts_;
 
   /// Cell-sorted streams (slot order == CellList::order(); identity in the
   /// N^2 fallback).

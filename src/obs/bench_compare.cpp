@@ -77,6 +77,21 @@ ToleranceRules::Resolved ToleranceRules::lookup(const std::string& bench,
   return r;
 }
 
+bool ToleranceRules::has_metric_rule(const std::string& bench,
+                                     const std::string& metric) const {
+  const std::string qualified = bench + "/" + metric;
+  for (const auto& [m, rule] : by_metric_)
+    if (m == metric || m == qualified) return true;
+  return false;
+}
+
+std::vector<std::string> ToleranceRules::metric_rule_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(by_metric_.size());
+  for (const auto& [m, rule] : by_metric_) keys.push_back(m);
+  return keys;
+}
+
 const char* to_string(DeltaStatus status) noexcept {
   switch (status) {
     case DeltaStatus::kOk: return "ok";
@@ -84,6 +99,7 @@ const char* to_string(DeltaStatus status) noexcept {
     case DeltaStatus::kMissing: return "MISSING";
     case DeltaStatus::kNew: return "new";
     case DeltaStatus::kInformational: return "info";
+    case DeltaStatus::kUnmatchedRule: return "NO-METRIC";
   }
   return "?";
 }
@@ -94,7 +110,8 @@ int CompareReport::failures() const noexcept {
   int n = 0;
   for (const auto& d : deltas)
     if (d.status == DeltaStatus::kRegressed ||
-        d.status == DeltaStatus::kMissing)
+        d.status == DeltaStatus::kMissing ||
+        d.status == DeltaStatus::kUnmatchedRule)
       ++n;
   return n;
 }
@@ -139,7 +156,11 @@ CompareReport compare_bench_files(const std::string& baseline_path,
     d.metric = metric;
     d.unit = unit;
     d.current = value;
-    d.status = DeltaStatus::kNew;
+    // An explicitly ruled metric that the baseline lacks is a stale
+    // baseline, not a benign new metric — fail with the key named.
+    d.status = rules.has_metric_rule(cur.bench, metric)
+                   ? DeltaStatus::kMissing
+                   : DeltaStatus::kNew;
     report.deltas.push_back(std::move(d));
   }
   return report;
@@ -172,7 +193,32 @@ CompareReport compare_bench_dirs(const std::string& baseline_dir,
     report.benches_compared += one.benches_compared;
     for (auto& d : one.deltas) report.deltas.push_back(std::move(d));
   }
+  append_unmatched_rule_failures(rules, report);
   return report;
+}
+
+void append_unmatched_rule_failures(const ToleranceRules& rules,
+                                    CompareReport& report,
+                                    const std::string& only_bench) {
+  for (const auto& key : rules.metric_rule_keys()) {
+    std::string bench, metric = key;
+    if (const auto slash = key.find('/'); slash != std::string::npos) {
+      bench = key.substr(0, slash);
+      metric = key.substr(slash + 1);
+    }
+    if (!only_bench.empty() && bench != only_bench) continue;
+    const bool matched = std::any_of(
+        report.deltas.begin(), report.deltas.end(), [&](const MetricDelta& d) {
+          return d.status != DeltaStatus::kUnmatchedRule &&
+                 d.metric == metric && (bench.empty() || d.bench == bench);
+        });
+    if (matched) continue;
+    MetricDelta d;
+    d.bench = bench.empty() ? "*" : bench;
+    d.metric = metric;
+    d.status = DeltaStatus::kUnmatchedRule;
+    report.deltas.push_back(std::move(d));
+  }
 }
 
 void write_text(const CompareReport& report, std::ostream& os) {

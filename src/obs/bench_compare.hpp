@@ -18,7 +18,13 @@
 /// metrics (typically anything measured in wall time — CI machines differ)
 /// are reported but never fail the comparison; deterministic counts and
 /// accuracy metrics get strict bands. A metric present in the baseline but
-/// missing from the current run fails; a new metric is reported as such.
+/// missing from the current run fails; a new metric is reported as such —
+/// unless an explicit "metrics" rule names it, in which case its absence
+/// from the baseline also fails (a tolerance was written for it, so a
+/// vacuous pass would hide a stale baseline). Likewise a "metrics" rule
+/// that matches nothing on either side fails the directory comparison with
+/// the rule key named (kUnmatchedRule), so renaming a metric without
+/// updating tolerances.json cannot silently disarm its band.
 
 #include <iosfwd>
 #include <optional>
@@ -51,6 +57,15 @@ class ToleranceRules {
   Resolved lookup(const std::string& bench, const std::string& metric,
                   const std::string& unit) const;
 
+  /// True when an explicit "metrics" rule names this metric, either bare
+  /// ("step_time") or bench-qualified ("hot/step_time"). Unit and default
+  /// rules don't count — only a rule written for this specific metric.
+  bool has_metric_rule(const std::string& bench,
+                       const std::string& metric) const;
+
+  /// The explicit "metrics" rule keys, in file order (bare or qualified).
+  std::vector<std::string> metric_rule_keys() const;
+
  private:
   static void overlay(Resolved& r, const ToleranceRule& rule);
   ToleranceRule default_;
@@ -61,9 +76,11 @@ class ToleranceRules {
 enum class DeltaStatus {
   kOk,             ///< within band
   kRegressed,      ///< out of band — fails the comparison
-  kMissing,        ///< in baseline, absent from current — fails
-  kNew,            ///< in current only — reported, does not fail
+  kMissing,        ///< in baseline (or explicitly ruled), absent from the
+                   ///< other side — fails
+  kNew,            ///< in current only, no explicit rule — does not fail
   kInformational,  ///< out of band but the metric is informational
+  kUnmatchedRule,  ///< explicit tolerance rule matched no metric — fails
 };
 
 const char* to_string(DeltaStatus status) noexcept;
@@ -83,7 +100,8 @@ struct CompareReport {
   int benches_compared = 0;
 
   bool ok() const noexcept;
-  int failures() const noexcept;  ///< kRegressed + kMissing count
+  /// kRegressed + kMissing + kUnmatchedRule count.
+  int failures() const noexcept;
 };
 
 /// Compare one baseline BENCH_*.json against its current counterpart.
@@ -99,6 +117,17 @@ CompareReport compare_bench_files(const std::string& baseline_path,
 CompareReport compare_bench_dirs(const std::string& baseline_dir,
                                  const std::string& current_dir,
                                  const ToleranceRules& rules);
+
+/// Append a kUnmatchedRule failure for every explicit "metrics" rule key
+/// that matched no delta in `report` — a rule that gates nothing is a stale
+/// tolerances.json (metric renamed or dropped) and must fail loudly with
+/// the key named. When `only_bench` is non-empty (single-file mode), only
+/// rules qualified with that bench are checked; bare rule keys cannot be
+/// attributed to one bench and are skipped. compare_bench_dirs applies this
+/// itself; the single-file comparison leaves it to the caller.
+void append_unmatched_rule_failures(const ToleranceRules& rules,
+                                    CompareReport& report,
+                                    const std::string& only_bench = {});
 
 /// Human-readable table of the comparison, one line per delta plus a
 /// verdict line ("bench_compare: OK ..." / "bench_compare: FAIL ...").

@@ -1,0 +1,115 @@
+#include "perf/solver_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdm::perf {
+
+const char* to_string(KspaceMethod method) {
+  switch (method) {
+    case KspaceMethod::kStructureFactor: return "structure-factor";
+    case KspaceMethod::kPme: return "pme";
+    case KspaceMethod::kBarnesHut: return "barnes-hut";
+  }
+  return "?";
+}
+
+std::vector<SolverPrediction> predict_kspace_solvers(
+    const SolverCostModel& costs, double n_particles, double box,
+    const EwaldParameters& ewald, const PmeParameters& pme,
+    double accuracy_target) {
+  std::vector<SolverPrediction> out;
+
+  // Exact structure-factor sum: every (particle, half-space wave) pair pays
+  // the DFT + IDFT walk (eq. 13 wave count).
+  {
+    const auto flops = ewald_step_flops(n_particles, box, ewald);
+    SolverPrediction p;
+    p.method = KspaceMethod::kStructureFactor;
+    p.seconds = n_particles * flops.n_wv *
+                costs.backend.native_ns_per_wave * 1e-9;
+    p.rms_error = costs.structure_factor_rms;
+    out.push_back(p);
+  }
+
+  // PME: the SmoothPme flop model (spread/gather ~ 2 N p^3 transcendental
+  // weights, two K^3 FFT sweeps) at one host rate.
+  {
+    const double k3 = double(pme.grid) * pme.grid * pme.grid;
+    const double p3 = double(pme.order) * pme.order * pme.order;
+    const double flops = 2.0 * n_particles * p3 * 10.0 +
+                         2.0 * 5.0 * k3 * std::log2(std::max(k3, 2.0));
+    SolverPrediction p;
+    p.method = KspaceMethod::kPme;
+    p.seconds = flops * costs.pme_ns_per_flop * 1e-9;
+    p.rms_error = costs.pme_rms;
+    out.push_back(p);
+  }
+
+  // Barnes-Hut: interaction-list length scales ~ log2 N from the measured
+  // theta = 0.5 anchor.
+  {
+    const double anchor_log = std::log2(std::max(costs.tree_anchor_n, 2.0));
+    const double ipp = costs.tree_anchor_interactions *
+                       std::log2(std::max(n_particles, 2.0)) / anchor_log;
+    SolverPrediction p;
+    p.method = KspaceMethod::kBarnesHut;
+    p.seconds = n_particles * std::min(ipp, n_particles - 1.0) *
+                costs.tree_ns_per_interaction * 1e-9;
+    p.rms_error = costs.tree_rms;
+    out.push_back(p);
+  }
+
+  for (auto& p : out) p.meets_target = p.rms_error <= accuracy_target;
+  return out;
+}
+
+namespace {
+
+KspaceMethod pick(const std::vector<SolverPrediction>& candidates) {
+  const SolverPrediction* best = nullptr;
+  for (const auto& p : candidates)
+    if (p.meets_target && (!best || p.seconds < best->seconds)) best = &p;
+  if (!best)  // nothing admissible: fail toward accuracy, not speed
+    for (const auto& p : candidates)
+      if (!best || p.rms_error < best->rms_error) best = &p;
+  return best->method;
+}
+
+}  // namespace
+
+KspaceMethod recommended_kspace_solver(const SolverCostModel& costs,
+                                       double n_particles, double box,
+                                       const EwaldParameters& ewald,
+                                       const PmeParameters& pme,
+                                       double accuracy_target,
+                                       bool allow_tree) {
+  auto all = predict_kspace_solvers(costs, n_particles, box, ewald, pme,
+                                    accuracy_target);
+  if (!allow_tree)
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [](const SolverPrediction& p) {
+                               return p.method == KspaceMethod::kBarnesHut;
+                             }),
+              all.end());
+  return pick(all);
+}
+
+int recommended_pme_mesh(const EwaldParameters& ewald, int order) {
+  const double need =
+      std::max({4.0 * ewald.lk_cut, 2.0 * double(order), 32.0});
+  int grid = 32;
+  while (double(grid) < need) grid *= 2;
+  return grid;
+}
+
+KspaceMethod recommended_app_solver(const SolverCostModel& costs,
+                                    double n_particles, double box,
+                                    const EwaldParameters& ewald,
+                                    const PmeParameters& pme,
+                                    double accuracy_target) {
+  return recommended_kspace_solver(costs, n_particles, box, ewald, pme,
+                                   accuracy_target, /*allow_tree=*/false);
+}
+
+}  // namespace mdm::perf

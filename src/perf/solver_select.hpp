@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file solver_select.hpp
+/// Long-range solver auto-selection (DESIGN.md §12). The repo carries three
+/// ways to evaluate the k-space / long-range Coulomb part:
+///
+///   * the exact truncated structure-factor sum (ewald/, WINE-2's method) —
+///     O(N * N_wv), the most accurate, dominates cost at large N;
+///   * smooth particle-mesh Ewald (ewald/pme) — O(N p^3 + K^3 log K^3),
+///     accurate to the mesh envelope (~5e-4 RMS relative force error at
+///     order 6 on a >= 32^3 grid, test_fft_pme);
+///   * the Barnes-Hut treecode (tree/) — O(N log N) with an opening-angle
+///     accuracy knob, but open-boundary and ~1e-2 RMS at theta = 0.5
+///     (bench_treecode), so only admissible for loose targets.
+///
+/// This module extends the BackendCostModel host-cost accounting to those
+/// three solvers: predict the per-step k-space wall clock of each, filter by
+/// an RMS-relative-force-error target, and recommend the cheapest admissible
+/// one. `--solver auto` in parallel_mdm / mdm_serve routes through
+/// recommended_app_solver(), which restricts the choice to the two solvers
+/// the parallel application can actually run (structure factor and PME).
+
+#include <string>
+#include <vector>
+
+#include "ewald/flops.hpp"
+#include "ewald/parameters.hpp"
+#include "ewald/pme.hpp"
+#include "perf/machine_model.hpp"
+
+namespace mdm::perf {
+
+/// A long-range solver the repo can run.
+enum class KspaceMethod {
+  kStructureFactor,  ///< exact truncated lattice sum (ewald/, WINE-2)
+  kPme,              ///< smooth particle-mesh Ewald (ewald/pme)
+  kBarnesHut,        ///< tree/ treecode (open boundary, loose accuracy)
+};
+
+const char* to_string(KspaceMethod method);
+
+/// Host-cost coefficients of the three k-space solvers plus their accuracy
+/// envelopes. Cost defaults extend BackendCostModel's measured native rates;
+/// the tree anchors come from bench_treecode on the standard melt
+/// (BENCH_treecode.json). Envelopes are RMS relative force error versus the
+/// converged Ewald sum.
+struct SolverCostModel {
+  BackendCostModel backend{};  ///< per-(particle,wave) structure-factor cost
+
+  /// PME native host rate per model flop of SmoothPme::reciprocal_flops
+  /// (spread/gather + FFT + convolution share one rate; the flop model
+  /// already weighs them).
+  double pme_ns_per_flop = 0.35;
+
+  /// Barnes-Hut per pseudo-particle interaction (traversal + kernel), and
+  /// the theta = 0.5 anchor of BENCH_treecode.json: interaction-list length
+  /// at the anchor N, scaled ~ log2 N elsewhere.
+  double tree_ns_per_interaction = 39.0;
+  double tree_anchor_interactions = 773.0;
+  double tree_anchor_n = 1728.0;
+
+  double structure_factor_rms = 3e-5;  ///< truncated sum, software accuracy
+  double pme_rms = 5e-4;               ///< order >= 6, grid >= 32^3
+  double tree_rms = 1.1e-2;            ///< theta = 0.5, open boundary
+};
+
+/// Predicted per-step k-space cost and accuracy of one solver.
+struct SolverPrediction {
+  KspaceMethod method = KspaceMethod::kStructureFactor;
+  double seconds = 0.0;    ///< predicted host wall clock of the k-space part
+  double rms_error = 0.0;  ///< accuracy envelope (RMS relative force error)
+  bool meets_target = false;
+};
+
+/// Predict all three solvers for one workload. `accuracy_target` is the
+/// acceptable RMS relative force error (e.g. 5e-4 for paper-envelope runs).
+std::vector<SolverPrediction> predict_kspace_solvers(
+    const SolverCostModel& costs, double n_particles, double box,
+    const EwaldParameters& ewald, const PmeParameters& pme,
+    double accuracy_target);
+
+/// The cheapest solver that meets the accuracy target; when none does, the
+/// most accurate one. `allow_tree = false` restricts the choice to the two
+/// periodic solvers (what MdmParallelApp can run).
+KspaceMethod recommended_kspace_solver(const SolverCostModel& costs,
+                                       double n_particles, double box,
+                                       const EwaldParameters& ewald,
+                                       const PmeParameters& pme,
+                                       double accuracy_target,
+                                       bool allow_tree = true);
+
+/// Smallest power-of-two PME mesh matching the accuracy of an exact Ewald
+/// configuration: resolve integer wavevectors up to lk_cut with 2x spline
+/// oversampling (grid >= 4 lk_cut), never smaller than 2 * order points per
+/// axis (the spreading support) or 32 (the envelope's validated floor).
+/// With the balanced-alpha parameter presets lk_cut grows ~ N^(1/6), so the
+/// mesh stays small while the structure-factor wave count grows — the
+/// origin of the SF -> PME cost crossover.
+int recommended_pme_mesh(const EwaldParameters& ewald, int order);
+
+/// `--solver auto` for the parallel application: kStructureFactor or kPme.
+KspaceMethod recommended_app_solver(const SolverCostModel& costs,
+                                    double n_particles, double box,
+                                    const EwaldParameters& ewald,
+                                    const PmeParameters& pme,
+                                    double accuracy_target = 5e-4);
+
+}  // namespace mdm::perf

@@ -84,6 +84,16 @@ struct JobSpec {
   /// one trace across submit, queue, per-rank run phases and checkpoints.
   int parallel_real = 0;
   int parallel_wn = 2;
+  /// K-space solver of the parallel path: "sf" (exact structure-factor
+  /// sum), "pme" (slab-decomposed particle-mesh, DESIGN.md §12) or "auto"
+  /// (the perf model picks the cheaper admissible one at `accuracy_target`
+  /// RMS force error). Ignored on the single-process path.
+  std::string solver = "sf";
+  double accuracy_target = 5e-4;
+  /// PME mesh (solver "pme"/"auto"): points per axis (0 = size from the
+  /// Ewald wave cutoff) and B-spline order. grid % parallel_wn must be 0.
+  int pme_grid = 0;
+  int pme_order = 6;
   /// Force-evaluation backend (DESIGN.md §11): kEmulator runs the software
   /// reference / simulated-hardware paths; kNative runs the vectorized host
   /// kernels. Applies to both the single-process and the parallel path.

@@ -14,6 +14,7 @@
 #include "host/mdm_force_field.hpp"
 #include "host/parallel_app.hpp"
 #include "native/native_force_field.hpp"
+#include "perf/solver_select.hpp"
 
 namespace mdm::serve {
 namespace {
@@ -44,6 +45,25 @@ JobResult run_parallel_job(const JobSpec& spec, const RunOptions& options) {
   config.ewald = host::mdm_parameters(double(system.size()), system.box());
   config.backend = spec.backend;
   config.cancel = options.cancel;
+
+  // K-space solver selection (DESIGN.md §12): explicit sf/pme, or the perf
+  // model's pick at the job's accuracy target.
+  config.pme.order = spec.pme_order;
+  config.pme.grid = spec.pme_grid > 0
+                        ? spec.pme_grid
+                        : perf::recommended_pme_mesh(config.ewald,
+                                                     config.pme.order);
+  if (spec.solver == "auto") {
+    config.kspace_solver =
+        perf::recommended_app_solver(
+            perf::SolverCostModel{}, double(system.size()), system.box(),
+            config.ewald, host::resolved_pme(config),
+            spec.accuracy_target) == perf::KspaceMethod::kPme
+            ? host::KspaceSolver::kPme
+            : host::KspaceSolver::kStructureFactor;
+  } else {
+    config.kspace_solver = host::kspace_solver_from_string(spec.solver);
+  }
   if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
     config.checkpoint_dir = options.checkpoint_dir;
     config.checkpoint_interval = spec.checkpoint_interval;

@@ -149,6 +149,57 @@ TEST(BackendParity, SmallBoxUsesN2FallbackAndStaysExact) {
               1e-10 * std::fabs(ref.potential));
 }
 
+TEST(BackendParity, N2FallbackRebuildsCoefficientsWhenSpeciesChange) {
+  // Regression: the Tosi-Fumi coefficient rows are gathered per slot from
+  // the type stream, but their rebuild used to be keyed on the cell-list
+  // rebuild. The N^2 fallback never reports a rebuild, so in the parallel
+  // app a migration that swapped which species a slot holds kept serving
+  // stale rows (~1e-3 force error). The kernel must key the rebuild on the
+  // type stream itself: mutating types between sweeps of ONE kernel must
+  // give the same forces as a fresh kernel on the mutated set.
+  const auto system = melt(2, 11);
+  const EwaldParameters params =
+      software_parameters(double(system.size()), system.box());
+
+  native::NativeRealKernel::Config rc;
+  rc.box = system.box();
+  rc.beta = params.alpha / system.box();
+  rc.r_cut = params.r_cut;
+  rc.include_tosi_fumi = true;
+  rc.tosi_fumi = TosiFumiParameters::nacl();
+
+  std::vector<int> types(system.types().begin(), system.types().end());
+  const std::vector<double> charge_of = {system.species(0).charge,
+                                         system.species(1).charge};
+  native::SoaParticles soa;
+  soa.sync(system.box(), system.positions(), types, charge_of);
+
+  native::NativeRealKernel kernel(rc);
+  std::vector<Vec3> before(system.size());
+  kernel.sweep(soa, before);
+  ASSERT_TRUE(kernel.cells().use_n2_fallback(rc.r_cut));
+
+  // Same-size set, positions untouched, two ions trade species: no cell
+  // rebuild fires, only the type stream changes.
+  std::swap(types[0], types[1]);
+  soa.sync(system.box(), system.positions(), types, charge_of);
+  std::vector<Vec3> stale(system.size());
+  kernel.sweep(soa, stale);
+
+  native::NativeRealKernel fresh(rc);
+  std::vector<Vec3> expect(system.size());
+  fresh.sweep(soa, expect);
+
+  bool changed = false;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    EXPECT_EQ(stale[i].x, expect[i].x) << i;
+    EXPECT_EQ(stale[i].y, expect[i].y) << i;
+    EXPECT_EQ(stale[i].z, expect[i].z) << i;
+    changed = changed || stale[i].x != before[i].x;
+  }
+  EXPECT_TRUE(changed) << "species swap did not affect forces; test inert";
+}
+
 TEST(BackendParity, PoolSweepBitIdenticalToSerial) {
   const auto system = melt(3, 9);
   const EwaldParameters params =

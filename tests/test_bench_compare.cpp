@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -101,6 +102,105 @@ TEST(BenchCompare, MissingFailsNewDoesNot) {
   EXPECT_EQ(report.deltas[1].status, DeltaStatus::kMissing);
   EXPECT_EQ(report.deltas[2].status, DeltaStatus::kNew);
   EXPECT_EQ(report.failures(), 1);  // only the missing metric
+}
+
+TEST(BenchCompare, ExplicitlyRuledMetricMissingFromBaselineFails) {
+  // A tolerance rule was written for "ruled", so its absence from the
+  // baseline is a stale baseline, not a benign new metric. The unruled
+  // extra metric stays kNew.
+  const TempJson rules_file("cmp_ruled_rules.json",
+                            R"({"metrics": {"unit/ruled": {"rel_tol": 0.1}}})");
+  const TempJson base(
+      "cmp_ruled_base.json",
+      bench_json("unit", R"({"name": "kept", "value": 1.0, "unit": "count"})"));
+  const TempJson cur("cmp_ruled_cur.json",
+                     bench_json("unit", R"(
+    {"name": "kept", "value": 1.0, "unit": "count"},
+    {"name": "ruled", "value": 2.0, "unit": "count"},
+    {"name": "unruled", "value": 3.0, "unit": "count"})"));
+  const auto report = compare_bench_files(
+      base.path(), cur.path(), ToleranceRules::load(rules_file.path()));
+  ASSERT_EQ(report.deltas.size(), 3u);
+  EXPECT_EQ(report.deltas[1].metric, "ruled");
+  EXPECT_EQ(report.deltas[1].status, DeltaStatus::kMissing);
+  EXPECT_EQ(report.deltas[2].status, DeltaStatus::kNew);
+  EXPECT_EQ(report.failures(), 1);
+  // A bare (unqualified) rule key triggers the same check.
+  const TempJson bare_rules("cmp_ruled_bare.json",
+                            R"({"metrics": {"ruled": {"rel_tol": 0.1}}})");
+  EXPECT_FALSE(compare_bench_files(base.path(), cur.path(),
+                                   ToleranceRules::load(bare_rules.path()))
+                   .ok());
+}
+
+TEST(BenchCompare, RuleMatchingNoMetricOnEitherSideFailsByName) {
+  // tolerances.json names "unit/renamed" but neither side reports it (the
+  // metric was renamed without updating the rules): the gate must fail with
+  // the key, not pass vacuously.
+  const TempJson rules_file(
+      "cmp_unmatched_rules.json",
+      R"({"metrics": {"unit/present": {"rel_tol": 0.1},
+                      "unit/renamed": {"rel_tol": 0.0}}})");
+  const TempJson both(
+      "cmp_unmatched_both.json",
+      bench_json("unit",
+                 R"({"name": "present", "value": 1.0, "unit": "count"})"));
+  auto report = compare_bench_files(both.path(), both.path(),
+                                    ToleranceRules::load(rules_file.path()));
+  EXPECT_TRUE(report.ok());  // per-file comparison alone cannot tell
+  append_unmatched_rule_failures(ToleranceRules::load(rules_file.path()),
+                                 report, "unit");
+  ASSERT_EQ(report.deltas.size(), 2u);
+  EXPECT_EQ(report.deltas[1].bench, "unit");
+  EXPECT_EQ(report.deltas[1].metric, "renamed");
+  EXPECT_EQ(report.deltas[1].status, DeltaStatus::kUnmatchedRule);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures(), 1);
+}
+
+TEST(BenchCompare, UnmatchedRuleScopedToBenchInFileMode) {
+  // Single-file mode can only vouch for rules qualified with that bench;
+  // rules for other benches and bare keys are left to the directory gate.
+  const TempJson rules_file(
+      "cmp_scope_rules.json",
+      R"({"metrics": {"other/gone": {"rel_tol": 0.0},
+                      "bare_gone": {"rel_tol": 0.0}}})");
+  const auto rules = ToleranceRules::load(rules_file.path());
+  const TempJson both(
+      "cmp_scope_both.json",
+      bench_json("unit", R"({"name": "m", "value": 1.0, "unit": "count"})"));
+  auto report = compare_bench_files(both.path(), both.path(), rules);
+  append_unmatched_rule_failures(rules, report, "unit");
+  EXPECT_TRUE(report.ok());
+  // The unscoped (directory) pass flags both.
+  append_unmatched_rule_failures(rules, report);
+  EXPECT_EQ(report.failures(), 2);
+}
+
+TEST(BenchCompare, DirCompareFailsOnStaleRuleKey) {
+  namespace fs = std::filesystem;
+  const fs::path base_dir = "cmp_dir_base";
+  const fs::path cur_dir = "cmp_dir_cur";
+  fs::create_directories(base_dir);
+  fs::create_directories(cur_dir);
+  const std::string body =
+      bench_json("unit", R"({"name": "m", "value": 1.0, "unit": "count"})");
+  std::ofstream((base_dir / "BENCH_unit.json").string()) << body;
+  std::ofstream((cur_dir / "BENCH_unit.json").string()) << body;
+  const TempJson rules_file("cmp_dir_rules.json",
+                            R"({"metrics": {"unit/vanished": {"rel_tol": 0}}})");
+  const auto report =
+      compare_bench_dirs(base_dir.string(), cur_dir.string(),
+                         ToleranceRules::load(rules_file.path()));
+  EXPECT_FALSE(report.ok());
+  bool named = false;
+  for (const auto& d : report.deltas)
+    if (d.status == DeltaStatus::kUnmatchedRule && d.bench == "unit" &&
+        d.metric == "vanished")
+      named = true;
+  EXPECT_TRUE(named);
+  fs::remove_all(base_dir);
+  fs::remove_all(cur_dir);
 }
 
 TEST(BenchCompare, InformationalNeverFails) {

@@ -234,6 +234,22 @@ TEST(CellListAuto, RebuildsPastHalfSkinAndOnShapeChanges) {
   EXPECT_TRUE(cells.build_auto(pos, cutoff));
 }
 
+TEST(CellListAuto, InvalidateForcesFullRebuild) {
+  const double box = 18.0;
+  const double cutoff = 3.0;
+  auto pos = random_positions(300, box, 7);
+  CellList cells(box, cutoff + 1.5);
+  ASSERT_TRUE(cells.build_auto(pos, cutoff));
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+
+  // After invalidate() the anchor is gone: even identical positions rebuild
+  // (the checkpoint-restore contract — the anchor may belong to a dead
+  // trajectory, so the half-skin test must not run against it).
+  cells.invalidate();
+  EXPECT_TRUE(cells.build_auto(pos, cutoff));
+  EXPECT_FALSE(cells.build_auto(pos, cutoff));
+}
+
 TEST(CellListAuto, ZeroSkinAlwaysRebuilds) {
   const double box = 12.0;
   auto pos = random_positions(50, box, 5);

@@ -28,6 +28,7 @@
 #include "host/fault_injector.hpp"
 #include "host/mdm_force_field.hpp"
 #include "host/parallel_app.hpp"
+#include "native/native_force_field.hpp"
 #include "obs/metrics.hpp"
 #include "util/random.hpp"
 
@@ -391,6 +392,65 @@ TEST_F(CheckpointTest, SerialRestartContinuesBitIdentically) {
             baseline.thermostat().state().work_eV);
   // The resumed run only holds samples from after the restore point.
   EXPECT_EQ(resumed.samples().front().step, 5);
+}
+
+/// Regression (ISSUE 8): restoring into a LIVE native-backend Simulation
+/// must invalidate the real-space kernel's lazy cell-list anchor. Before
+/// the fix the half-skin displacement test compared the restored positions
+/// against the dead trajectory's anchor and could skip the rebuild, leaving
+/// the traversal (and therefore the floating-point summation order) keyed
+/// to stale binning — forces were no longer bit-identical to a fresh build.
+TEST_F(CheckpointTest, NativeRestoreIntoLiveSimulationMatchesFreshBuild) {
+  const auto initial = [] {
+    auto sys = make_nacl_crystal(2);
+    assign_maxwell_velocities(sys, 1200.0, 42);
+    return sys;
+  }();
+  const auto params = host::mdm_parameters(double(initial.size()),
+                                           initial.box());
+  native::NativeForceFieldConfig ncfg;
+  ncfg.ewald = params;
+  SimulationConfig cfg;
+  cfg.nvt_steps = 4;
+  cfg.nve_steps = 4;
+
+  // Run to completion once, checkpointing at step 4; the kernel's cell-list
+  // anchor now belongs to the end of that trajectory.
+  CheckpointManager mgr(path("native"));
+  auto sys_a = initial;
+  native::NativeForceField field_a(ncfg, sys_a.box());
+  Simulation sim_a(sys_a, field_a, cfg);
+  sim_a.enable_checkpointing(&mgr, /*interval=*/4);
+  sim_a.run();
+  ASSERT_TRUE(fs::exists(mgr.path_for_step(4)));
+
+  // Restore INTO the same live Simulation (the auto-recovery pattern) and
+  // finish the run with its now-stale kernel state...
+  sim_a.restore(read_checkpoint_file(mgr.path_for_step(4)));
+  sim_a.run();
+
+  // ...and from a fresh Simulation + fresh force field. Same file, same
+  // remaining steps: positions, velocities and cached forces must agree
+  // bit-for-bit.
+  auto sys_b = initial;
+  native::NativeForceField field_b(ncfg, sys_b.box());
+  Simulation sim_b(sys_b, field_b, cfg);
+  sim_b.restore(read_checkpoint_file(mgr.path_for_step(4)));
+  sim_b.run();
+
+  ASSERT_EQ(sys_a.size(), sys_b.size());
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    EXPECT_EQ(sys_a.positions()[i].x, sys_b.positions()[i].x) << i;
+    EXPECT_EQ(sys_a.positions()[i].y, sys_b.positions()[i].y) << i;
+    EXPECT_EQ(sys_a.positions()[i].z, sys_b.positions()[i].z) << i;
+    EXPECT_EQ(sys_a.velocities()[i].x, sys_b.velocities()[i].x) << i;
+  }
+  // sim_a keeps its pre-restore samples and appends the resumed ones; only
+  // the post-restore tail must match sim_b's records exactly.
+  ASSERT_GE(sim_a.samples().size(), sim_b.samples().size());
+  EXPECT_EQ(sim_a.samples().back().step, sim_b.samples().back().step);
+  EXPECT_EQ(sim_a.samples().back().potential_eV,
+            sim_b.samples().back().potential_eV);
 }
 
 /// ------------------------- health watchdog -------------------------------

@@ -61,6 +61,62 @@ TEST(FastMath, ExpEdgeCases) {
   EXPECT_NEAR(fastmath::fast_exp(-700.0) / std::exp(-700.0), 1.0, 1e-13);
 }
 
+TEST(FastMath, ErfcTailNeverReturnsSubnormal) {
+  // Beyond the fitted range (x >= kErfcUnderflowCut) the true erfc is below
+  // the smallest normal double; the clamp must return exactly 0 rather than
+  // propagating a subnormal exp(-x^2) through the rational tail. The sweep
+  // crosses the libm-exp subnormal window x in [26.61, 27.29] where the
+  // unclamped evaluation used to emit denormal garbage.
+  for (double x = 26.0; x <= 40.0; x += 0.01) {
+    const double v = fastmath::erfc_from_exp(x, std::exp(-x * x));
+    EXPECT_TRUE(v == 0.0 || std::fpclassify(v) == FP_NORMAL) << "x = " << x;
+    if (x >= fastmath::kErfcUnderflowCut) EXPECT_EQ(v, 0.0) << "x = " << x;
+  }
+  EXPECT_EQ(fastmath::fast_erfc(fastmath::kErfcUnderflowCut), 0.0);
+  EXPECT_EQ(fastmath::fast_erfc(1e6), 0.0);
+  // Just below the cut the value is still a normal, accurate double.
+  const double below = fastmath::fast_erfc(26.0);
+  EXPECT_EQ(std::fpclassify(below), FP_NORMAL);
+  EXPECT_NEAR(below / std::erfc(26.0), 1.0, 1e-9);
+}
+
+TEST(FastMath, ErfcSubnormalExpInputIsFlushed) {
+  // A caller-supplied exp(-x^2) that has already degraded to a subnormal or
+  // to zero (large r near the cutoff with a large splitting parameter) must
+  // not surface as denormal garbage.
+  const double subnormal = 4.9406564584124654e-324;  // smallest subnormal
+  EXPECT_EQ(fastmath::erfc_from_exp(30.0, subnormal), 0.0);
+  EXPECT_EQ(fastmath::erfc_from_exp(30.0, 0.0), 0.0);
+  // In-range x with an (unphysical) subnormal expmx2: the blend may pick the
+  // mid-range rational, but the result must never be subnormal.
+  const double v = fastmath::erfc_from_exp(3.0, subnormal);
+  EXPECT_NE(std::fpclassify(v), FP_SUBNORMAL);
+}
+
+TEST(FastMath, ErfcNegativeArgumentFallsBackToOne) {
+  // The kernels only pass beta * r >= 0; the domain clamp gives negative
+  // arguments the defined limit value 1 instead of garbage.
+  EXPECT_DOUBLE_EQ(fastmath::fast_erfc(-0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fastmath::fast_erfc(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fastmath::fast_erfc(-1e6), 1.0);
+}
+
+TEST(FastMath, ExpUnderflowBoundaryNeverReturnsSubnormal) {
+  // The clamp keeps every output either exactly 0 or a normal double: the
+  // smallest non-zero output is exp(-708) ~ 3.3e-308, above the 2.2e-308
+  // normal minimum.
+  for (double x : {-707.0, -708.0, -708.0 - 1e-9, -709.0, -710.0, -745.0,
+                   -746.0, -1e4}) {
+    const double v = fastmath::fast_exp(x);
+    EXPECT_TRUE(v == 0.0 || std::fpclassify(v) == FP_NORMAL) << "x = " << x;
+  }
+  EXPECT_EQ(std::fpclassify(fastmath::fast_exp(-708.0)), FP_NORMAL);
+  EXPECT_EQ(fastmath::fast_exp(-709.0), 0.0);
+  // Overflow edge: finite just below the clamp, +inf above it.
+  EXPECT_TRUE(std::isfinite(fastmath::fast_exp(709.0)));
+  EXPECT_TRUE(std::isinf(fastmath::fast_exp(709.1)));
+}
+
 TEST(FastMath, ErfcFromExpConsistent) {
   for (double x = 0.0; x <= 8.0; x += 0.01) {
     EXPECT_DOUBLE_EQ(fastmath::fast_erfc(x),

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "core/lattice.hpp"
 #include "perf/machine_model.hpp"
+#include "perf/solver_select.hpp"
 #include "perf/table4.hpp"
 #include "perf/table5.hpp"
 
@@ -187,6 +190,104 @@ TEST(BackendCosts, EmulatorForcedWhenHardwareAccuracyRequested) {
   EXPECT_EQ(recommended_backend(costs, n, box, params,
                                 /*accuracy_needs_emulator=*/true),
             Backend::kEmulator);
+}
+
+// --- long-range solver auto-selection (--solver auto) ----------------------
+
+/// The workload of an n-cell NaCl supercell with the mesh the selector
+/// itself recommends for the exact-Ewald accuracy (4 lk_cut oversampling).
+struct SolverCase {
+  double n, box;
+  EwaldParameters ewald;
+  PmeParameters pme;
+};
+SolverCase solver_case(int cells) {
+  SolverCase c;
+  c.n = double(nacl_ion_count(cells));
+  c.box = 5.63 * cells;
+  c.ewald = software_parameters(c.n, c.box);
+  c.pme.alpha = c.ewald.alpha;
+  c.pme.r_cut = c.ewald.r_cut;
+  c.pme.order = 6;
+  c.pme.grid = recommended_pme_mesh(c.ewald, c.pme.order);
+  return c;
+}
+
+TEST(SolverSelect, RecommendedMeshCoversTheExactWaveCutoff) {
+  for (int cells : {2, 4, 8, 16, 32}) {
+    const auto c = solver_case(cells);
+    EXPECT_GE(c.pme.grid, 32);
+    EXPECT_GE(double(c.pme.grid), 4.0 * c.ewald.lk_cut) << cells;
+    EXPECT_EQ(c.pme.grid & (c.pme.grid - 1), 0) << "power of two";
+  }
+}
+
+TEST(SolverSelect, RecommendationIsArgminOfAdmissiblePredictions) {
+  const SolverCostModel costs;
+  for (int cells : {2, 4, 8, 16}) {
+    const auto c = solver_case(cells);
+    const auto all = predict_kspace_solvers(costs, c.n, c.box, c.ewald,
+                                            c.pme, 5e-4);
+    ASSERT_EQ(all.size(), 3u);
+    const SolverPrediction* best = nullptr;
+    for (const auto& p : all) {
+      EXPECT_GT(p.seconds, 0.0) << to_string(p.method);
+      if (p.meets_target && (!best || p.seconds < best->seconds)) best = &p;
+    }
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(recommended_kspace_solver(costs, c.n, c.box, c.ewald, c.pme,
+                                        5e-4),
+              best->method)
+        << cells;
+  }
+}
+
+TEST(SolverSelect, CrossoverFromStructureFactorToPmeAsNGrows) {
+  // At the paper envelope (5e-4) the tree never qualifies (1.1e-2), so the
+  // choice is SF vs PME. SF's N * N_wv grows superlinearly while PME's mesh
+  // is N log N: small boxes prefer the exact sum, large ones the mesh, and
+  // the preference flips exactly once along the sweep.
+  const SolverCostModel costs;
+  std::vector<KspaceMethod> picks;
+  for (int cells : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
+    picks.push_back(recommended_app_solver(
+        costs, solver_case(cells).n, solver_case(cells).box,
+        solver_case(cells).ewald, solver_case(cells).pme));
+  EXPECT_EQ(picks.front(), KspaceMethod::kStructureFactor);
+  EXPECT_EQ(picks.back(), KspaceMethod::kPme);
+  int flips = 0;
+  for (std::size_t i = 1; i < picks.size(); ++i)
+    flips += picks[i] != picks[i - 1];
+  EXPECT_EQ(flips, 1);
+}
+
+TEST(SolverSelect, LooseTargetAdmitsTreeTightTargetExcludesIt) {
+  const SolverCostModel costs;
+  const auto c = solver_case(4);
+  // 5% RMS: everything qualifies; the tree's O(N log N) with a small
+  // constant wins on this mid-size box.
+  const auto loose = predict_kspace_solvers(costs, c.n, c.box, c.ewald,
+                                            c.pme, 5e-2);
+  for (const auto& p : loose) EXPECT_TRUE(p.meets_target)
+      << to_string(p.method);
+  // Paper envelope: the tree is inadmissible and never recommended, even
+  // where it would be cheapest.
+  EXPECT_NE(recommended_kspace_solver(costs, c.n, c.box, c.ewald, c.pme,
+                                      5e-4),
+            KspaceMethod::kBarnesHut);
+  // The app selector never returns the tree at ANY target.
+  EXPECT_NE(recommended_app_solver(costs, c.n, c.box, c.ewald, c.pme, 1.0),
+            KspaceMethod::kBarnesHut);
+}
+
+TEST(SolverSelect, ImpossibleTargetFailsTowardAccuracy) {
+  // No solver reaches 1e-9: the selector must degrade toward the most
+  // accurate (the exact sum), not the fastest.
+  const SolverCostModel costs;
+  const auto c = solver_case(8);
+  EXPECT_EQ(recommended_kspace_solver(costs, c.n, c.box, c.ewald, c.pme,
+                                      1e-9),
+            KspaceMethod::kStructureFactor);
 }
 
 }  // namespace
