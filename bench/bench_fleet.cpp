@@ -1,0 +1,232 @@
+/// \file bench_fleet.cpp
+/// Throughput + chaos bench for the sharded serving fleet (DESIGN.md §13).
+/// Two phases over the same duplicate-heavy job mix (`--jobs` submissions
+/// cycling over `--distinct` specs — the melt-parameter-sweep shape, where
+/// many tenants ask for overlapping physics):
+///
+///   1. baseline: one single-process SimService worker (the bench_serve
+///      configuration), every job computed;
+///   2. fleet: Router over `--shards` x `--workers` shard processes, with
+///      the deterministic result cache and in-flight coalescing.
+///
+/// Reports both job rates and their ratio to BENCH_fleet.json, and doubles
+/// as the fleet acceptance check (exit non-zero on violation):
+///   * every fleet submission reaches kCompleted — zero lost jobs, also
+///     under `--kill-shard i` (SIGKILL mid-load: migration + resume);
+///   * every fleet result is bit-identical to the standalone `run_job` of
+///     its spec (samples, final positions and velocities);
+///   * with `--min-speedup X`, fleet rate >= X * baseline rate.
+///
+///   ./bench_fleet [--jobs 80] [--distinct 4] [--shards 2] [--workers 2]
+///                 [--cells 2] [--steps 30] [--checkpoint-every 5]
+///                 [--kill-shard -1] [--min-speedup 0] [--root bench_fleet]
+///
+/// CI runs the shard-kill chaos smoke: `--kill-shard 0 --min-speedup 5`.
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "serve/fleet/router.hpp"
+#include "serve/runner.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mdm;
+
+bool samples_equal(const Sample& a, const Sample& b) {
+  return a.step == b.step && a.time_ps == b.time_ps &&
+         a.temperature_K == b.temperature_K && a.kinetic_eV == b.kinetic_eV &&
+         a.potential_eV == b.potential_eV && a.total_eV == b.total_eV &&
+         a.pressure_GPa == b.pressure_GPa;
+}
+
+bool vecs_equal(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].x != b[i].x || a[i].y != b[i].y || a[i].z != b[i].z)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const int jobs = static_cast<int>(cli.get_int("jobs", 80));
+  const int distinct = std::max(1, static_cast<int>(cli.get_int("distinct", 4)));
+  const int kill_shard = static_cast<int>(cli.get_int("kill-shard", -1));
+  const double min_speedup = cli.get_double("min-speedup", 0.0);
+  const std::string root = cli.get_string("root", "bench_fleet");
+
+  const auto spec_for = [&](int i) {
+    serve::JobSpec spec;
+    spec.tenant = "tenant-" + std::to_string(i % 3);
+    spec.cells = static_cast<int>(cli.get_int("cells", 2));
+    const int steps = static_cast<int>(cli.get_int("steps", 30));
+    spec.nvt_steps = 2 * steps / 3;
+    spec.nve_steps = steps - spec.nvt_steps;
+    spec.seed = static_cast<std::uint64_t>(i % distinct + 1);
+    // Fleet jobs checkpoint (the router adds manifests), so a killed
+    // shard's jobs resume instead of recomputing. The baseline service has
+    // no checkpoint root, so this is inert there, and run_job references
+    // never see a checkpoint dir at all.
+    spec.checkpoint_interval =
+        static_cast<int>(cli.get_int("checkpoint-every", 5));
+    return spec;
+  };
+
+  // Standalone references, one per distinct spec: the bit-identity anchors.
+  std::vector<serve::JobResult> references;
+  for (int d = 0; d < distinct; ++d) {
+    references.push_back(serve::run_job(spec_for(d)));
+    if (references.back().state != serve::JobState::kCompleted) {
+      std::fprintf(stderr, "reference run %d failed\n", d);
+      return 1;
+    }
+  }
+
+  // ---- phase 1: single-process baseline (every job computed) ----
+  double baseline_s;
+  {
+    serve::ServiceConfig config;
+    config.workers = 1;
+    config.threads_per_job = 1;
+    config.admission.max_queue_depth = static_cast<std::size_t>(jobs) + 1;
+    // The whole batch queues at once; size the memory budget to match.
+    config.admission.max_inflight_bytes = std::size_t(4) << 30;
+    serve::SimService service(config);
+    service.start();
+    Timer timer;
+    std::vector<serve::JobHandle> handles;
+    for (int i = 0; i < jobs; ++i) handles.push_back(service.submit(spec_for(i)));
+    service.drain();
+    baseline_s = timer.seconds();
+    for (const auto& h : handles)
+      if (h.wait().state != serve::JobState::kCompleted) {
+        std::fprintf(stderr, "baseline job %llu did not complete\n",
+                     static_cast<unsigned long long>(h.id()));
+        return 1;
+      }
+  }
+  const double baseline_rate = jobs / (baseline_s > 0 ? baseline_s : 1e-9);
+  std::printf("baseline: %d jobs on 1 worker in %.2f s (%.1f jobs/s)\n",
+              jobs, baseline_s, baseline_rate);
+
+  // ---- phase 2: the fleet, same mix ----
+  auto& reg = obs::Registry::global();
+  const std::uint64_t completed0 = reg.counter_value("fleet.completed");
+  int violations = 0;
+  double fleet_s;
+  {
+    serve::fleet::FleetConfig config;
+    config.shards = static_cast<int>(cli.get_int("shards", 2));
+    config.workers_per_shard = static_cast<int>(cli.get_int("workers", 2));
+    config.root = root;
+    serve::fleet::Router router(config);
+    router.start();
+
+    Timer timer;
+    std::vector<serve::JobHandle> handles;
+    for (int i = 0; i < jobs; ++i) handles.push_back(router.submit(spec_for(i)));
+
+    if (kill_shard >= 0) {
+      // Chaos: SIGKILL once the fleet is genuinely mid-load.
+      const std::uint64_t target =
+          completed0 + static_cast<std::uint64_t>(jobs) / 4;
+      while (reg.counter_value("fleet.completed") < target &&
+             router.pending_jobs() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (router.signal_shard(kill_shard, SIGKILL))
+        std::printf("chaos: SIGKILLed shard %d mid-load\n", kill_shard);
+    }
+
+    router.drain();
+    fleet_s = timer.seconds();
+
+    // Zero lost jobs + bit-identical results, kill or no kill.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const auto& h = handles[i];
+      if (!h.done()) {
+        std::fprintf(stderr, "VIOLATION: fleet job %llu not terminal\n",
+                     static_cast<unsigned long long>(h.id()));
+        ++violations;
+        continue;
+      }
+      const auto r = h.wait();
+      if (r.state != serve::JobState::kCompleted) {
+        std::fprintf(stderr, "VIOLATION: fleet job %llu ended %s (%s)\n",
+                     static_cast<unsigned long long>(h.id()),
+                     serve::to_string(r.state), r.error.c_str());
+        ++violations;
+        continue;
+      }
+      const auto& ref = references[static_cast<std::size_t>(
+          static_cast<int>(i) % distinct)];
+      bool identical = r.samples.size() == ref.samples.size() &&
+                       vecs_equal(r.positions, ref.positions) &&
+                       vecs_equal(r.velocities, ref.velocities);
+      for (std::size_t s = 0; identical && s < r.samples.size(); ++s)
+        identical = samples_equal(r.samples[s], ref.samples[s]);
+      if (!identical) {
+        std::fprintf(stderr,
+                     "VIOLATION: fleet job %llu diverged from the "
+                     "standalone run of its spec\n",
+                     static_cast<unsigned long long>(h.id()));
+        ++violations;
+      }
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+
+  const double fleet_rate = jobs / (fleet_s > 0 ? fleet_s : 1e-9);
+  const double speedup = fleet_rate / (baseline_rate > 0 ? baseline_rate : 1e-9);
+  const auto c = [&](const char* name) {
+    return static_cast<long long>(reg.counter_value(name));
+  };
+  std::printf("fleet:    %d jobs in %.2f s (%.1f jobs/s) — %.1fx baseline\n",
+              jobs, fleet_s, fleet_rate, speedup);
+  std::printf("          cache_hits=%lld coalesced=%lld retries=%lld "
+              "failovers=%lld migrated=%lld restarts=%lld\n",
+              c("fleet.cache.hits"), c("fleet.cache.coalesced"),
+              c("fleet.retries"), c("fleet.failovers"), c("fleet.migrated"),
+              c("fleet.shard.restarts"));
+
+  obs::BenchReport report("fleet");
+  report.add("jobs", jobs, "jobs");
+  report.add("distinct_specs", distinct, "specs");
+  report.add("baseline_rate", baseline_rate, "jobs/s");
+  report.add("fleet_rate", fleet_rate, "jobs/s");
+  report.add("speedup", speedup, "x");
+  report.add("cache_hits", static_cast<double>(c("fleet.cache.hits")),
+             "hits");
+  report.add("coalesced", static_cast<double>(c("fleet.cache.coalesced")),
+             "jobs");
+  report.add("failovers", static_cast<double>(c("fleet.failovers")),
+             "count");
+  report.add("violations", violations, "count");
+  report.write();
+
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d fleet violation(s)\n", violations);
+    return 1;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "\nspeedup %.2fx below the %.2fx contract\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("fleet checks: OK\n");
+  return 0;
+}

@@ -21,6 +21,9 @@
 /// as one trace across submit, queue, per-rank phases and checkpoints
 /// (DESIGN.md §10).
 
+#include <signal.h>
+
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +35,16 @@
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// SIGTERM = graceful drain (DESIGN.md §13): cancel in-flight jobs — each
+/// checkpoints at its exact cancel step when checkpointing is on — finish
+/// the drain, report, exit 0.
+volatile std::sig_atomic_t g_drain = 0;
+void on_sigterm(int) { g_drain = 1; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mdm;
@@ -52,7 +65,10 @@ int main(int argc, char** argv) {
   config.admission.max_queue_depth =
       static_cast<std::size_t>(cli.get_int("queue-depth", 64));
   config.checkpoint_root = cli.get_string("checkpoint-root", "serve_ckpt");
+  // Drained jobs must be resumable with zero recomputation.
+  config.checkpoint_on_cancel = true;
 
+  std::signal(SIGTERM, on_sigterm);
   serve::SimService service(config);
   service.start();
   std::printf("mdm_serve: %d jobs from %d tenants on %d workers "
@@ -88,7 +104,21 @@ int main(int argc, char** argv) {
       handles[static_cast<std::size_t>(i)].cancel();
 
   Timer timer;
-  service.drain();
+  bool drained_by_signal = false;
+  for (;;) {
+    if (g_drain && !drained_by_signal) {
+      drained_by_signal = true;
+      std::printf("SIGTERM: draining — cancelling %zu in-flight job(s)\n",
+                  handles.size());
+      for (const auto& h : handles) h.cancel();
+    }
+    try {
+      service.drain_for(50.0);
+      break;
+    } catch (const serve::JobWaitTimeout&) {
+      // Still busy; loop so a SIGTERM arriving mid-drain is honoured.
+    }
+  }
   const double wall_s = timer.seconds();
 
   std::printf("\n%5s %-10s %-12s %-18s %6s %9s %9s\n", "job", "tenant",

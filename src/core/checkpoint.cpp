@@ -1,11 +1,6 @@
 #include "core/checkpoint.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -13,6 +8,7 @@
 #include <string_view>
 #include <utility>
 
+#include "core/checkpoint_io.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "obs/logger.hpp"
@@ -23,10 +19,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+using ckptio::ByteReader;
+using ckptio::ByteWriter;
+
 constexpr std::uint64_t kMagicV2 = 0x4d444d434b505432ULL;  // "MDMCKPT2"
 constexpr std::uint64_t kMagicV1 = 0x4d444d434b505431ULL;  // "MDMCKPT1"
-
-std::atomic<int> g_fail_writes{0};
 
 obs::Counter& writes_counter() {
   static obs::Counter& c = obs::Registry::global().counter("ckpt.writes");
@@ -45,86 +42,6 @@ obs::Counter& corrupt_counter() {
       obs::Registry::global().counter("ckpt.corrupt_skipped");
   return c;
 }
-
-[[noreturn]] void fail_errno(const std::string& context,
-                             const std::string& path) {
-  const int err = errno;
-  std::string msg = context + " '" + path + "'";
-  if (err != 0) msg += ": " + std::string(std::strerror(err));
-  throw CheckpointError(msg);
-}
-
-/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-struct Crc32Table {
-  std::uint32_t t[256];
-  Crc32Table() {
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-  }
-};
-
-std::uint32_t crc32(const char* data, std::size_t size) {
-  static const Crc32Table table;
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i)
-    crc = table.t[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
-          (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
-}
-
-/// Append-only buffer the payload is serialized into before hitting disk.
-class ByteWriter {
- public:
-  template <typename T>
-  void put(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const char*>(&v);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
-  }
-  void put_bytes(const void* data, std::size_t size) {
-    const auto* p = static_cast<const char*>(data);
-    buf_.insert(buf_.end(), p, p + size);
-  }
-  std::vector<char>& bytes() { return buf_; }
-
- private:
-  std::vector<char> buf_;
-};
-
-/// Cursor over the file image; every overrun names the file and offset.
-class ByteReader {
- public:
-  ByteReader(const std::vector<char>& buf, std::size_t limit,
-             const std::string& path)
-      : buf_(buf), limit_(limit), path_(path) {}
-
-  template <typename T>
-  T get(const char* what) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T v;
-    get_bytes(&v, sizeof(T), what);
-    return v;
-  }
-  void get_bytes(void* out, std::size_t size, const char* what) {
-    if (off_ + size > limit_)
-      throw CheckpointError("checkpoint '" + path_ +
-                            "' truncated at offset " + std::to_string(off_) +
-                            " reading " + what);
-    std::memcpy(out, buf_.data() + off_, size);
-    off_ += size;
-  }
-  std::size_t offset() const { return off_; }
-
- private:
-  const std::vector<char>& buf_;
-  std::size_t limit_;
-  std::size_t off_ = 0;
-  std::string path_;
-};
 
 void serialize(const CheckpointState& state, ByteWriter& w) {
   w.put(kMagicV2);
@@ -210,80 +127,10 @@ CheckpointState deserialize_v1(const std::vector<char>& buf,
   return state;
 }
 
-/// Write `buf` durably to `fd`; honours the test failpoint by failing after
-/// half the payload, like a disk running out of space mid-write.
-void write_all(int fd, const std::vector<char>& buf,
-               const std::string& path) {
-  std::size_t limit = buf.size();
-  bool inject_failure = false;
-  int expected = g_fail_writes.load(std::memory_order_relaxed);
-  while (expected > 0 &&
-         !g_fail_writes.compare_exchange_weak(expected, expected - 1)) {
-  }
-  if (expected > 0) {
-    inject_failure = true;
-    limit = buf.size() / 2;
-  }
-  std::size_t written = 0;
-  while (written < limit) {
-    const ssize_t n = ::write(fd, buf.data() + written, limit - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail_errno("checkpoint write failed for", path);
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  if (inject_failure) {
-    errno = ENOSPC;
-    fail_errno("checkpoint write failed for", path);
-  }
-}
-
-void fsync_path(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) fail_errno("checkpoint fsync failed for", path);
-}
-
-/// Make the rename itself durable: fsync the containing directory.
-void fsync_parent_dir(const std::string& path) {
-  const fs::path parent = fs::path(path).parent_path();
-  const std::string dir = parent.empty() ? "." : parent.string();
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;  // best effort: not all filesystems allow this
-  ::fsync(fd);
-  ::close(fd);
-}
-
-/// Crash-consistent byte dump: tmp + fsync + rename + parent fsync.
-void write_file_atomic(const std::string& path,
-                       const std::vector<char>& buf) {
-  const std::string tmp = path + ".tmp";
-  errno = 0;
-  const int fd = ::open(tmp.c_str(),
-                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) fail_errno("cannot open checkpoint temp file", tmp);
-  try {
-    write_all(fd, buf, tmp);
-    fsync_path(fd, tmp);
-  } catch (...) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw;
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    fail_errno("checkpoint close failed for", tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    fail_errno("checkpoint rename failed for", path);
-  }
-  fsync_parent_dir(path);
-}
-
 }  // namespace
 
 void checkpoint_fail_next_writes_for_testing(int count) {
-  g_fail_writes.store(count < 0 ? 0 : count, std::memory_order_relaxed);
+  ckptio::set_fail_next_writes(count);
 }
 
 CheckpointState CheckpointState::capture(const ParticleSystem& system,
@@ -332,19 +179,15 @@ void write_checkpoint_file(const std::string& path,
         "checkpoint state arrays disagree on particle count");
   ByteWriter w;
   serialize(state, w);
-  const std::uint32_t crc = crc32(w.bytes().data(), w.bytes().size());
+  const std::uint32_t crc = ckptio::crc32(w.bytes().data(), w.bytes().size());
   w.put(crc);
-  write_file_atomic(path, w.bytes());
+  ckptio::write_file_atomic(path, w.bytes());
   writes_counter().add(1);
   bytes_counter().add(w.bytes().size());
 }
 
 CheckpointState read_checkpoint_file(const std::string& path) {
-  errno = 0;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) fail_errno("cannot open checkpoint", path);
-  std::vector<char> buf((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
+  const std::vector<char> buf = ckptio::read_file(path);
   if (buf.size() < sizeof(std::uint64_t))
     throw CheckpointError("checkpoint '" + path + "' truncated at offset " +
                           std::to_string(buf.size()) + " reading magic");
@@ -360,7 +203,7 @@ CheckpointState read_checkpoint_file(const std::string& path) {
     const std::size_t crc_offset = buf.size() - sizeof(std::uint32_t);
     std::uint32_t stored = 0;
     std::memcpy(&stored, buf.data() + crc_offset, sizeof stored);
-    const std::uint32_t computed = crc32(buf.data(), crc_offset);
+    const std::uint32_t computed = ckptio::crc32(buf.data(), crc_offset);
     if (stored != computed) {
       char detail[96];
       std::snprintf(detail, sizeof detail,
@@ -431,7 +274,7 @@ std::string CheckpointManager::write(const CheckpointState& state) {
   // restore_latest re-validates everything against the CRCs).
   const std::string pointer = (fs::path(dir_) / "latest").string();
   const std::string name = fs::path(path).filename().string() + "\n";
-  write_file_atomic(pointer, {name.begin(), name.end()});
+  ckptio::write_file_atomic(pointer, {name.begin(), name.end()});
 
   // Prune: keep the newest `keep_` generations.
   auto gens = generations();

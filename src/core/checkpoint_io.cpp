@@ -1,0 +1,141 @@
+#include "core/checkpoint_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace mdm::ckptio {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<int> g_fail_writes{0};
+
+[[noreturn]] void fail_errno(const std::string& context,
+                             const std::string& path) {
+  const int err = errno;
+  std::string msg = context + " '" + path + "'";
+  if (err != 0) msg += ": " + std::string(std::strerror(err));
+  throw CheckpointError(msg);
+}
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+/// Write `buf` durably to `fd`; honours the test failpoint by failing after
+/// half the payload, like a disk running out of space mid-write.
+void write_all(int fd, const std::vector<char>& buf,
+               const std::string& path) {
+  std::size_t limit = buf.size();
+  bool inject_failure = false;
+  int expected = g_fail_writes.load(std::memory_order_relaxed);
+  while (expected > 0 &&
+         !g_fail_writes.compare_exchange_weak(expected, expected - 1)) {
+  }
+  if (expected > 0) {
+    inject_failure = true;
+    limit = buf.size() / 2;
+  }
+  std::size_t written = 0;
+  while (written < limit) {
+    const ssize_t n = ::write(fd, buf.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("checkpoint write failed for", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (inject_failure) {
+    errno = ENOSPC;
+    fail_errno("checkpoint write failed for", path);
+  }
+}
+
+void fsync_path(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) fail_errno("checkpoint fsync failed for", path);
+}
+
+/// Make the rename itself durable: fsync the containing directory.
+void fsync_parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: not all filesystems allow this
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void set_fail_next_writes(int count) {
+  g_fail_writes.store(count < 0 ? 0 : count, std::memory_order_relaxed);
+}
+
+std::uint32_t crc32(const char* data, std::size_t size) {
+  static const Crc32Table table;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table.t[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<char>& buf) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_errno("cannot open checkpoint temp file", tmp);
+  try {
+    write_all(fd, buf, tmp);
+    fsync_path(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("checkpoint close failed for", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("checkpoint rename failed for", path);
+  }
+  fsync_parent_dir(path);
+}
+
+std::vector<char> read_file(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) fail_errno("cannot open checkpoint", path);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void ByteReader::get_bytes(void* out, std::size_t size, const char* what) {
+  if (off_ + size > limit_)
+    throw CheckpointError("checkpoint '" + path_ +
+                          "' truncated at offset " + std::to_string(off_) +
+                          " reading " + what);
+  std::memcpy(out, buf_.data() + off_, size);
+  off_ += size;
+}
+
+}  // namespace mdm::ckptio

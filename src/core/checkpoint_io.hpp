@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file checkpoint_io.hpp
+/// Shared binary-format plumbing of the durable on-disk formats (checkpoint
+/// generations, DESIGN.md §8; job-resume manifests, DESIGN.md §13): CRC32,
+/// bounds-checked byte cursors and the crash-consistent atomic file write
+/// (temp + fsync + rename + parent fsync). Split out of checkpoint.cpp so
+/// every format shares one implementation of the durability protocol — and
+/// one test failpoint.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/checkpoint.hpp"  // CheckpointError
+
+namespace mdm::ckptio {
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+std::uint32_t crc32(const char* data, std::size_t size);
+
+/// Backing store of checkpoint_fail_next_writes_for_testing: make the next
+/// `count` payload writes (checkpoints AND manifests) fail mid-write.
+void set_fail_next_writes(int count);
+
+/// Crash-consistent byte dump: tmp + fsync + rename + parent-dir fsync. On
+/// failure the temp file is removed and `path` is left untouched. Honours
+/// the checkpoint_fail_next_writes_for_testing failpoint (fails after half
+/// the payload with ENOSPC, like a disk filling up mid-write).
+void write_file_atomic(const std::string& path, const std::vector<char>& buf);
+
+/// Read a whole file; throws CheckpointError with errno context on failure.
+std::vector<char> read_file(const std::string& path);
+
+/// Append-only buffer a payload is serialized into before hitting disk.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const char*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+  std::vector<char>& bytes() { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Cursor over a file image; every overrun names the file and offset.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<char>& buf, std::size_t limit,
+             const std::string& path)
+      : buf_(buf), limit_(limit), path_(path) {}
+
+  template <typename T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    get_bytes(&v, sizeof(T), what);
+    return v;
+  }
+  void get_bytes(void* out, std::size_t size, const char* what);
+  std::size_t offset() const { return off_; }
+
+ private:
+  const std::vector<char>& buf_;
+  std::size_t limit_;
+  std::size_t off_ = 0;
+  std::string path_;
+};
+
+}  // namespace mdm::ckptio

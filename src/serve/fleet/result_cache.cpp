@@ -1,0 +1,56 @@
+#include "serve/fleet/result_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mdm::serve::fleet {
+namespace {
+
+obs::Counter& hits() {
+  static obs::Counter& c = obs::Registry::global().counter("fleet.cache.hits");
+  return c;
+}
+obs::Counter& misses() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("fleet.cache.misses");
+  return c;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+std::optional<JobResult> ResultCache::lookup(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses().add(1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
+  hits().add(1);
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key, const JobResult& result) {
+  if (result.state != JobState::kCompleted) return;
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace mdm::serve::fleet

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Deterministic result cache of the fleet router (DESIGN.md §13). Served
+/// trajectories are bit-identical functions of the canonical JobSpec
+/// (serve::canonical_job_key — physics fields only, placement excluded), so
+/// two identical submissions — common under heavy traffic — cost one
+/// simulation: the second is answered from this cache, or coalesced onto
+/// the in-flight primary by the router. Only kCompleted results are cached;
+/// eviction is LRU by canonical key.
+///
+/// Telemetry: `fleet.cache.hits` / `fleet.cache.misses` counters (the
+/// router adds `fleet.cache.coalesced` for in-flight attach).
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/job.hpp"
+
+namespace mdm::serve::fleet {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// Cached result for a canonical key; bumps hits/misses and recency.
+  std::optional<JobResult> lookup(const std::string& key);
+
+  /// Insert/overwrite; evicts the least recently used entry past capacity.
+  /// Non-completed results are ignored (failures are not deterministic).
+  void insert(const std::string& key, const JobResult& result);
+
+  std::size_t size() const;
+
+ private:
+  using Lru = std::list<std::pair<std::string, JobResult>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_;
+};
+
+}  // namespace mdm::serve::fleet

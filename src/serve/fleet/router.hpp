@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file router.hpp
+/// The sharded serving fleet (DESIGN.md §13): a Router in the client
+/// process supervises N `mdm_shardd` worker processes (fork+exec, one
+/// SOCK_STREAM socketpair each), hashes jobs to shards by their canonical
+/// spec hash, health-checks them (heartbeat + process reaping), and on
+/// shard death restarts the process and migrates its in-flight jobs to
+/// surviving shards — each resuming from its latest (checkpoint, manifest)
+/// pair, so zero jobs are lost and resumed results stay bit-identical to a
+/// standalone run.
+///
+/// Layered on top:
+///  * a deterministic result cache keyed by canonical_job_key, with
+///    in-flight coalescing (an identical spec submitted while the primary
+///    runs attaches as a follower and shares its result);
+///  * client retry with exponential backoff + jitter and a bounded attempt
+///    budget for Overloaded rejections (fleet.retries / fleet.failovers
+///    counters);
+///  * streamed chunked result polling: shards push trajectory chunks as
+///    they are produced, so JobHandle::poll_samples sees samples long
+///    before the job completes;
+///  * graceful drain: SIGTERM (or Router::drain_shard) checkpoints a
+///    shard's in-flight jobs at their exact current step, rejects new work
+///    with Overloaded and exits 0; the router reroutes the drained jobs.
+///
+/// Process model: fork is immediately followed by exec of the dedicated
+/// `mdm_shardd` binary — never a fork-only child — so spawning is safe from
+/// this threaded process and clean under TSan. Binary resolution:
+/// FleetConfig::shard_binary, else $MDM_FLEET_SHARDD, else the compiled-in
+/// MDM_SHARDD_PATH the build sets on fleet consumers.
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fleet/result_cache.hpp"
+#include "serve/fleet/wire.hpp"
+#include "serve/job.hpp"
+#include "util/random.hpp"
+
+namespace mdm::serve::fleet {
+
+struct FleetConfig {
+  int shards = 2;
+  int workers_per_shard = 2;
+  unsigned threads_per_job = 1;  ///< fixed fleet-wide: determinism contract
+  std::size_t shard_queue_cap = 64;
+  /// Fleet root directory: per-job checkpoint/manifest dirs and flight
+  /// recorder dumps live here. Empty = no checkpoint placement, no dumps.
+  std::string root;
+  /// Shard worker binary; empty = $MDM_FLEET_SHARDD, else MDM_SHARDD_PATH.
+  std::string shard_binary;
+  double heartbeat_ms = 50.0;          ///< ping cadence per shard
+  double heartbeat_timeout_ms = 2000.0;  ///< silent longer than this = dead
+  int max_restarts_per_shard = 3;
+  // ---- client retry (Overloaded rejections only; migration is free) ----
+  int retry_max_attempts = 4;
+  double retry_base_ms = 5.0;
+  double retry_max_ms = 200.0;
+  std::uint64_t retry_seed = 0x51eedULL;  ///< jitter stream seed
+  /// Re-dispatch delay when no shard is currently available.
+  double repark_ms = 20.0;
+  // ---- deterministic result cache ----
+  bool cache_enabled = true;
+  std::size_t cache_capacity = 128;
+};
+
+/// Client facade of the fleet. Thread-safe; returns the same JobHandle the
+/// single-process SimService does, so callers (and tests) are agnostic to
+/// whether a job ran in-process or on a shard.
+class Router {
+ public:
+  explicit Router(FleetConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Spawn the shard processes and the maintenance thread. Idempotent.
+  void start();
+  /// Shut every shard down (flushing cancelled jobs), reap, finalize
+  /// whatever is left. Called by the destructor.
+  void stop();
+
+  /// Route a job to a shard (or answer it from the result cache / coalesce
+  /// it onto an identical in-flight submission). The handle is live
+  /// immediately: poll_samples streams chunks as the shard produces them.
+  JobHandle submit(const JobSpec& spec);
+
+  /// Block until every submitted job is terminal.
+  void drain();
+  /// drain() with a deadline; throws JobWaitTimeout naming the stuck jobs.
+  void drain_for(double timeout_ms);
+
+  const FleetConfig& config() const { return config_; }
+  int alive_shards() const;
+  std::size_t pending_jobs() const;
+
+  // ---- operational / test hooks ----
+  pid_t shard_pid(int index) const;
+  /// kill(pid, sig); SIGKILL = chaos test, SIGTERM = graceful drain.
+  bool signal_shard(int index, int sig);
+  /// Ask a shard to drain over the wire (same path as SIGTERM).
+  void drain_shard(int index);
+  /// Exit code of the most recently reaped process of this shard slot
+  /// (128+signal when killed by a signal); nullopt until one was reaped.
+  std::optional<int> shard_exit_status(int index) const;
+
+ private:
+  struct PendingJob {
+    std::shared_ptr<Job> job;  ///< client-side record (stream + finalize)
+    JobSpec spec;              ///< effective spec sent to shards
+    std::uint64_t hash = 0;    ///< canonical hash: shard placement
+    std::string cache_key;
+    int shard = -1;            ///< current shard, -1 = parked
+    int attempts = 0;          ///< Overloaded retries consumed
+    bool waiting_retry = false;
+    bool cancel_sent = false;
+    int last_streamed_step = -1;  ///< chunk dedup across migration
+    Job::Clock::time_point retry_at{};
+    std::vector<std::shared_ptr<Job>> followers;  ///< coalesced duplicates
+  };
+
+  struct Shard {
+    int index = 0;
+    std::uint64_t generation = 0;  ///< bumped per spawn; stales old readers
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool draining = false;
+    int restarts = 0;
+    std::uint64_t ping_seq = 0;
+    Job::Clock::time_point last_ping{};
+    Job::Clock::time_point last_pong{};
+    ShardStats stats{};
+    std::thread reader;
+    std::mutex send_mutex;  ///< serializes frames onto fd (after mutex_)
+  };
+
+  bool spawn_shard_locked(int index);
+  void reader_main(int index, std::uint64_t generation, int fd);
+  void maintenance_main();
+  /// First observer of a death wins: migrate the shard's jobs, dump the
+  /// flight recorder, respawn (bounded). `generation` guards staleness.
+  void handle_shard_down_locked(int index, std::uint64_t generation,
+                                const char* reason);
+  int pick_shard_locked(std::uint64_t hash, int exclude) const;
+  void dispatch_locked(std::uint64_t id, PendingJob& rec, int exclude = -1);
+  /// Stream the tail, settle cache + followers, finalize, erase.
+  void finalize_locked(std::uint64_t id, JobResult result);
+  bool send_to_shard(Shard& shard, MsgType type,
+                     const std::vector<char>& payload);
+  double backoff_ms_locked(int attempt);
+
+  FleetConfig config_;
+  std::string shard_binary_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;   ///< drain(): pending_ empty
+  std::condition_variable maint_cv_;  ///< maintenance wakeup / stop
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::uint64_t, PendingJob> pending_;
+  std::map<std::string, std::uint64_t> inflight_by_key_;  ///< coalescing
+  std::map<int, int> exit_status_;  ///< shard index -> last reaped code
+  std::vector<std::pair<pid_t, int>> zombies_;  ///< awaiting reap (pid, idx)
+  std::vector<std::thread> graveyard_;  ///< finished reader threads
+  std::thread maintenance_;
+  ResultCache cache_;
+  Random retry_rng_;
+  std::uint64_t next_id_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace mdm::serve::fleet

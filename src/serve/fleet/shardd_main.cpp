@@ -1,0 +1,34 @@
+/// \file shardd_main.cpp
+/// `mdm_shardd`: the fleet shard worker binary. Never run by hand — the
+/// Router fork+execs it with the IPC socketpair end on a known fd
+/// (DESIGN.md §13). A dedicated binary (instead of re-entering the parent
+/// via /proc/self/exe) keeps the fork window exec-only, which is safe from
+/// a threaded router and clean under TSan.
+
+#include <cstdio>
+
+#include "serve/fleet/shard.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  mdm::CommandLine cli(argc, argv);
+  mdm::apply_observability_cli(cli);
+  if (cli.has("help")) {
+    std::printf(
+        "mdm_shardd — fleet shard worker (spawned by the fleet router)\n"
+        "  --ipc-fd N           router socketpair fd (default 3)\n"
+        "  --workers N          concurrent jobs on this shard\n"
+        "  --threads-per-job N  engine threads per job\n"
+        "  --queue-cap N        admission queue depth cap\n"
+        "  --shard-index N      rank label for logs/metrics\n");
+    return 0;
+  }
+  mdm::serve::fleet::ShardConfig config;
+  config.ipc_fd = static_cast<int>(cli.get_int("ipc-fd", 3));
+  config.workers = static_cast<int>(cli.get_int("workers", 2));
+  config.threads_per_job =
+      static_cast<unsigned>(cli.get_int("threads-per-job", 1));
+  config.queue_cap = static_cast<std::size_t>(cli.get_int("queue-cap", 64));
+  config.shard_index = static_cast<int>(cli.get_int("shard-index", 0));
+  return mdm::serve::fleet::shard_main(config);
+}

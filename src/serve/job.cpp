@@ -1,8 +1,60 @@
 #include "serve/job.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "obs/trace.hpp"
 
 namespace mdm::serve {
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += ';';
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string canonical_job_key(const JobSpec& spec) {
+  // Physics-relevant fields only, in a fixed order with fixed formatting.
+  // Tenant / class / deadline / checkpoint placement deliberately excluded:
+  // they never change the computed trajectory.
+  std::string key;
+  key.reserve(256);
+  append_kv(key, "cells", std::to_string(spec.cells));
+  append_kv(key, "nvt", std::to_string(spec.nvt_steps));
+  append_kv(key, "nve", std::to_string(spec.nve_steps));
+  append_kv(key, "T", format_double(spec.temperature_K));
+  append_kv(key, "dt", format_double(spec.dt_fs));
+  append_kv(key, "seed", std::to_string(spec.seed));
+  append_kv(key, "preal", std::to_string(spec.parallel_real));
+  append_kv(key, "pwn", std::to_string(spec.parallel_wn));
+  append_kv(key, "solver", spec.solver);
+  append_kv(key, "acc", format_double(spec.accuracy_target));
+  append_kv(key, "pmegrid", std::to_string(spec.pme_grid));
+  append_kv(key, "pmeorder", std::to_string(spec.pme_order));
+  append_kv(key, "backend", std::to_string(static_cast<int>(spec.backend)));
+  return key;
+}
+
+std::uint64_t canonical_job_hash(const JobSpec& spec) {
+  const std::string key = canonical_job_key(spec);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  if (h == 0) h = 1;  // 0 means "not enforced" in the manifest contract
+  return h;
+}
 
 const char* to_string(JobState state) {
   switch (state) {
@@ -57,6 +109,54 @@ JobResult Job::wait() const {
   std::unique_lock lock(mutex_);
   cv_.wait(lock, [&] { return done_; });
   return result_;
+}
+
+JobResult Job::wait_for(double timeout_ms) const {
+  std::unique_lock lock(mutex_);
+  const auto timeout =
+      std::chrono::duration<double, std::milli>(timeout_ms);
+  if (cv_.wait_for(lock, timeout, [&] { return done_; })) return result_;
+  // Name who the caller is stuck on, vmpi who-waits-on-whom style.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", timeout_ms);
+  throw JobWaitTimeout("wait_for timed out after " + std::string(buf) +
+                       " ms waiting on " + describe_locked());
+}
+
+std::string Job::describe() const {
+  std::lock_guard lock(mutex_);
+  return describe_locked();
+}
+
+std::string Job::describe_locked() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "job %" PRIu64 " (tenant '%s', class %s, %s)", id_,
+                spec_.tenant.c_str(), to_string(spec_.job_class),
+                to_string(state_));
+  return buf;
+}
+
+void Job::push_stream_sample(const Sample& sample) {
+  std::lock_guard lock(mutex_);
+  stream_.push_back(sample);
+}
+
+void Job::push_stream_samples(const std::vector<Sample>& samples) {
+  std::lock_guard lock(mutex_);
+  stream_.insert(stream_.end(), samples.begin(), samples.end());
+}
+
+std::size_t Job::stream_size() const {
+  std::lock_guard lock(mutex_);
+  return stream_.size();
+}
+
+std::vector<Sample> Job::stream_since(std::size_t cursor) const {
+  std::lock_guard lock(mutex_);
+  if (cursor >= stream_.size()) return {};
+  return std::vector<Sample>(stream_.begin() + static_cast<long>(cursor),
+                             stream_.end());
 }
 
 JobResult Job::snapshot() const {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -106,9 +107,37 @@ struct JobSpec {
   /// checkpoint_root>/job-<id>`. A resubmitted job pointing at the same
   /// directory resumes from the latest valid generation.
   std::string checkpoint_dir;
+  /// Write a portable job-resume manifest (core/manifest, DESIGN.md §13)
+  /// beside every checkpoint generation, and resume through
+  /// `find_resume_point` instead of `restore_latest`. A migrated job then
+  /// returns its *complete* trajectory (the manifest carries the sample
+  /// prefix), bit-identical to an uninterrupted run. The fleet path sets
+  /// this; it requires checkpoint_interval > 0 and is ignored on the
+  /// parallel (parallel_real > 0) path, which has its own checkpointing.
+  bool resume_manifest = false;
 
   long long particle_count() const { return nacl_ion_count(cells); }
   int total_steps() const { return nvt_steps + nve_steps; }
+};
+
+/// Canonical form of the *physics-relevant* JobSpec fields: two specs with
+/// the same canonical key produce bit-identical trajectories (given the same
+/// per-job thread count, which the service/fleet fixes globally). Excludes
+/// tenant, class, deadline and checkpoint placement — those change *where
+/// and when* a job runs, never *what it computes* — so the fleet result
+/// cache can serve a tenant's job from another tenant's identical run.
+std::string canonical_job_key(const JobSpec& spec);
+/// FNV-1a 64-bit hash of canonical_job_key (shard routing, manifest job_key).
+std::uint64_t canonical_job_hash(const JobSpec& spec);
+
+/// Thrown by the wait-with-deadline paths (Job::wait_for,
+/// SimService::drain_for). The message names *which* job(s) the waiter was
+/// blocked on — id, tenant, class, state — mirroring the vmpi
+/// who-waits-on-whom deadlock dump, so a stuck drain reads as "waiting on
+/// job 12 (tenant 'alice', class batch, running)" instead of a bare timeout.
+class JobWaitTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Terminal outcome of a job. For kCompleted the trajectory is bit-identical
@@ -164,8 +193,23 @@ class Job {
   /// Block until terminal and return the result (copies; results outlive
   /// the service).
   JobResult wait() const;
+  /// wait() with a deadline: throws JobWaitTimeout naming this job (id,
+  /// tenant, class, current state, milliseconds waited) if it is not
+  /// terminal within `timeout_ms`.
+  JobResult wait_for(double timeout_ms) const;
   /// Result if terminal, empty result with current state otherwise.
   JobResult snapshot() const;
+  /// "job <id> (tenant '<t>', class <c>, <state>)" — for timeout dumps.
+  std::string describe() const;
+
+  // ---- streamed results (fleet chunked polling) ----
+  /// Append a live trajectory sample; pollers see it immediately, long
+  /// before the job is terminal. Fed by RunOptions::on_sample.
+  void push_stream_sample(const Sample& sample);
+  void push_stream_samples(const std::vector<Sample>& samples);
+  std::size_t stream_size() const;
+  /// Samples at index >= cursor (empty when caught up).
+  std::vector<Sample> stream_since(std::size_t cursor) const;
 
   // ---- scheduler side ----
   void mark_running();
@@ -181,12 +225,15 @@ class Job {
   const Clock::time_point submit_tp_;
   const Clock::time_point deadline_tp_;
 
+  std::string describe_locked() const;
+
   std::atomic<bool> cancel_{false};
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   JobState state_ = JobState::kQueued;
   JobResult result_;
   bool done_ = false;
+  std::vector<Sample> stream_;  ///< live samples, oldest first
 };
 
 /// Client-side view of a submitted job.
@@ -203,7 +250,20 @@ class JobHandle {
   JobState state() const { return job_->state(); }
   bool done() const { return job_->done(); }
   JobResult wait() const { return job_->wait(); }
+  /// wait() with a deadline; throws JobWaitTimeout naming the job.
+  JobResult wait_for(double timeout_ms) const {
+    return job_->wait_for(timeout_ms);
+  }
   void cancel() const { job_->request_cancel(); }
+
+  /// Streamed chunked polling: returns the samples produced since `cursor`
+  /// and advances it. Chunks arrive while the job is still running; after
+  /// completion the stream holds the full trajectory seen so far.
+  std::vector<Sample> poll_samples(std::size_t& cursor) const {
+    auto chunk = job_->stream_since(cursor);
+    cursor += chunk.size();
+    return chunk;
+  }
 
   /// Service internals (tests reach through this for checkpoint paths).
   const std::shared_ptr<Job>& record() const { return job_; }

@@ -73,4 +73,13 @@ std::uint64_t JobQueue::served(const std::string& tenant) const {
   return it == shares_.end() ? 0 : it->second.served;
 }
 
+std::vector<std::shared_ptr<Job>> JobQueue::snapshot() const {
+  std::vector<std::shared_ptr<Job>> out;
+  out.reserve(size_);
+  for (const auto& tenants : buckets_)
+    for (const auto& [tenant, entries] : tenants)
+      for (const auto& entry : entries) out.push_back(entry.job);
+  return out;
+}
+
 }  // namespace mdm::serve

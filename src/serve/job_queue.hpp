@@ -48,6 +48,9 @@ class JobQueue {
   int running(const std::string& tenant) const;
   std::uint64_t served(const std::string& tenant) const;
 
+  /// Every queued job, in no particular order (drain-timeout dumps).
+  std::vector<std::shared_ptr<Job>> snapshot() const;
+
  private:
   struct TenantShare {
     int running = 0;          ///< jobs of this tenant currently executing

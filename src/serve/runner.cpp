@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "core/manifest.hpp"
 #include "core/force_field.hpp"
 #include "core/lattice.hpp"
 #include "core/simulation.hpp"
@@ -80,6 +81,10 @@ JobResult run_parallel_job(const JobSpec& spec, const RunOptions& options) {
     out.resumed_from_step = run.restored_from_step;
     out.completed_steps = spec.total_steps();
     out.state = JobState::kCompleted;
+    // The parallel app has no per-step observer hook; stream the whole
+    // trajectory at completion so pollers still converge to the full set.
+    if (options.on_sample)
+      for (const auto& s : out.samples) options.on_sample(s);
   } catch (const host::ParallelCancelled&) {
     out.state = JobState::kCancelled;
   }
@@ -128,26 +133,96 @@ JobResult run_job(const JobSpec& spec, const RunOptions& options) {
 
   JobResult out;
   std::optional<CheckpointManager> checkpoints;
-  if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
+  std::optional<ManifestStore> manifests;
+  std::vector<Sample> prefix;  // manifest mode: samples through the resume
+  const bool checkpointing =
+      spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty();
+  const bool manifest_mode = checkpointing && spec.resume_manifest;
+  const std::uint64_t manifest_key =
+      manifest_mode ? (options.manifest_key != 0 ? options.manifest_key
+                                                 : canonical_job_hash(spec))
+                    : 0;
+  if (checkpointing) {
     checkpoints.emplace(options.checkpoint_dir, options.keep_generations);
-    if (auto latest = checkpoints->restore_latest();
-        latest && latest->size() == system.size() && latest->step > 0) {
-      sim.restore(*latest);
-      out.resumed_from_step = latest->step;
+    if (manifest_mode) {
+      manifests.emplace(options.checkpoint_dir, options.keep_generations);
+      // Resume from the newest (manifest, checkpoint) pair that validates
+      // and carries this job's canonical key; the manifest's sample prefix
+      // makes the resumed result the complete trajectory.
+      if (auto rp = find_resume_point(options.checkpoint_dir, manifest_key,
+                                      system.size());
+          rp && rp->state.step > 0) {
+        sim.restore(rp->state);
+        out.resumed_from_step = rp->state.step;
+        prefix = std::move(rp->manifest.samples);
+        while (!prefix.empty() &&
+               prefix.back().step > static_cast<int>(rp->state.step))
+          prefix.pop_back();
+      }
+      // No sim-internal checkpointing: the observer below writes the
+      // checkpoint first, then the manifest, so the newest manifest always
+      // points at an on-disk generation.
+    } else {
+      if (auto latest = checkpoints->restore_latest();
+          latest && latest->size() == system.size() && latest->step > 0) {
+        sim.restore(*latest);
+        out.resumed_from_step = latest->step;
+      }
+      sim.enable_checkpointing(&*checkpoints, spec.checkpoint_interval);
     }
-    sim.enable_checkpointing(&*checkpoints, spec.checkpoint_interval);
   }
+  if (options.on_sample)
+    for (const auto& s : prefix) options.on_sample(s);
 
   const int total = spec.total_steps();
+  std::uint64_t last_ckpt_step = out.resumed_from_step;
+  // Checkpoint + manifest at one step, composed from the observer's sample:
+  // Simulation::checkpoint_state() is stale (previous step) at observer
+  // time, so capture the system directly and stamp the sample's step/time.
+  auto write_pair = [&](const Sample& s) {
+    CheckpointState state = CheckpointState::capture(
+        system, static_cast<std::uint64_t>(s.step), s.time_ps);
+    state.thermostat = sim.thermostat().state();
+    checkpoints->write(state);
+    JobResumeManifest m;
+    m.job_key = manifest_key;
+    m.step = static_cast<std::uint64_t>(s.step);
+    m.total_steps = static_cast<std::uint32_t>(total);
+    m.samples = prefix;
+    const auto& recorded = sim.samples();
+    m.samples.insert(m.samples.end(), recorded.begin(), recorded.end());
+    manifests->write(m);
+    last_ckpt_step = m.step;
+  };
+
   try {
     sim.run([&](const Sample& s) {
       out.completed_steps = s.step;
       // Step boundary: the sample for step s is recorded, so a cancel here
       // leaves a bit-exact trajectory prefix through s. The final step
       // completes the job regardless.
+      if (options.on_sample) options.on_sample(s);
+      if (manifest_mode && s.step % spec.checkpoint_interval == 0 &&
+          static_cast<std::uint64_t>(s.step) > out.resumed_from_step)
+        write_pair(s);
       if (options.cancel && s.step < total &&
-          options.cancel->load(std::memory_order_relaxed))
+          options.cancel->load(std::memory_order_relaxed)) {
+        if (options.checkpoint_on_cancel && checkpointing &&
+            static_cast<std::uint64_t>(s.step) > last_ckpt_step) {
+          // Drain: persist the exact cancel step so the migrated job
+          // resumes with zero recomputation. (The sim-internal interval
+          // hook never fires for a throwing step.)
+          if (manifest_mode) {
+            write_pair(s);
+          } else {
+            CheckpointState state = CheckpointState::capture(
+                system, static_cast<std::uint64_t>(s.step), s.time_ps);
+            state.thermostat = sim.thermostat().state();
+            checkpoints->write(state);
+          }
+        }
         throw CancelledSignal{};
+      }
     });
     out.completed_steps = total;
     out.state = JobState::kCompleted;
@@ -155,7 +230,9 @@ JobResult run_job(const JobSpec& spec, const RunOptions& options) {
     out.state = JobState::kCancelled;
   }
 
-  out.samples = sim.samples();
+  out.samples = prefix;
+  out.samples.insert(out.samples.end(), sim.samples().begin(),
+                     sim.samples().end());
   out.positions.assign(system.positions().begin(), system.positions().end());
   out.velocities.assign(system.velocities().begin(),
                         system.velocities().end());

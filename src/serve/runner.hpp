@@ -19,6 +19,8 @@
 /// generation on disk.
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/job.hpp"
@@ -37,6 +39,18 @@ struct RunOptions {
   /// (PR 4's restore path). Empty disables checkpointing.
   std::string checkpoint_dir;
   int keep_generations = 3;
+  /// Live trajectory streaming: called with every recorded sample, in step
+  /// order, from the running thread (single-process path only; the parallel
+  /// path delivers all samples at completion). Feeds Job::push_stream_sample
+  /// for chunked result polling.
+  std::function<void(const Sample&)> on_sample;
+  /// With checkpointing on: a cooperative cancel writes a checkpoint (and,
+  /// in manifest mode, a manifest) at the exact cancel step before
+  /// unwinding, so a drained shard's jobs resume with zero recomputation.
+  bool checkpoint_on_cancel = false;
+  /// Manifest job key override (spec.resume_manifest path). 0 = computed
+  /// from canonical_job_hash(spec).
+  std::uint64_t manifest_key = 0;
 };
 
 /// Run `spec` to completion (kCompleted) or to the first observed cancel

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -85,7 +86,10 @@ JobHandle SimService::submit(const JobSpec& spec) {
   if (stop_) {
     JobResult r;
     r.state = JobState::kRejected;
-    r.error = "service stopped";
+    // "Overloaded" prefix: a draining service looks exactly like an
+    // overloaded one to clients, so the fleet router's retry policy treats
+    // both the same (back off and try another shard).
+    r.error = "Overloaded: service stopped";
     job->finalize(std::move(r));
     reg().counter("serve.rejected.stopped").add(1);
     return JobHandle(job);
@@ -119,6 +123,32 @@ JobHandle SimService::submit(const JobSpec& spec) {
 void SimService::drain() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [&] { return unfinished_ == 0; });
+}
+
+void SimService::drain_for(double timeout_ms) {
+  std::unique_lock lock(mutex_);
+  const auto timeout = std::chrono::duration<double, std::milli>(timeout_ms);
+  if (idle_cv_.wait_for(lock, timeout, [&] { return unfinished_ == 0; }))
+    return;
+  // Name exactly who the drain is stuck on (running first, then queued) —
+  // the serve analogue of the vmpi who-waits-on-whom deadlock dump.
+  std::string who;
+  int named = 0;
+  for (const auto& job : active_) {
+    if (!who.empty()) who += "; ";
+    who += job->describe();
+    ++named;
+  }
+  for (const auto& job : queue_.snapshot()) {
+    if (!who.empty()) who += "; ";
+    who += job->describe();
+    ++named;
+  }
+  char head[96];
+  std::snprintf(head, sizeof head,
+                "drain timed out after %.1f ms waiting on %d job(s): ",
+                timeout_ms, named);
+  throw JobWaitTimeout(head + who);
 }
 
 std::size_t SimService::queue_depth() const {
@@ -243,6 +273,11 @@ void SimService::worker_main() {
     RunOptions options;
     options.pool = &slice;
     options.cancel = job->cancel_flag();
+    options.checkpoint_on_cancel = config_.checkpoint_on_cancel;
+    if (config_.stream_samples)
+      options.on_sample = [&job](const Sample& s) {
+        job->push_stream_sample(s);
+      };
     JobResult result;
     const JobSpec& spec = job->spec();
     if (spec.checkpoint_interval > 0) {

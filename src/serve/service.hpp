@@ -45,6 +45,14 @@ struct ServiceConfig {
   /// a spec asks for checkpointing without naming its own directory. Empty
   /// = only specs with an explicit checkpoint_dir write checkpoints.
   std::string checkpoint_root;
+  /// Stream every recorded sample into the job's live buffer
+  /// (JobHandle::poll_samples); the fleet shard turns this on to feed
+  /// chunked result polling.
+  bool stream_samples = false;
+  /// Graceful drain: a cooperative cancel persists a checkpoint (and, for
+  /// resume_manifest jobs, a manifest) at the exact cancel step, so
+  /// SIGTERM-drained jobs migrate with zero recomputation.
+  bool checkpoint_on_cancel = false;
 };
 
 class SimService {
@@ -70,6 +78,10 @@ class SimService {
   /// Block until every submitted job has reached a terminal state. The
   /// service must be started.
   void drain();
+  /// drain() with a deadline: throws JobWaitTimeout whose message names
+  /// every still-outstanding job (id, tenant, class, state) — the serve
+  /// analogue of the vmpi who-waits-on-whom deadlock dump.
+  void drain_for(double timeout_ms);
 
   const ServiceConfig& config() const { return config_; }
   std::size_t queue_depth() const;

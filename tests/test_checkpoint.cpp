@@ -20,6 +20,7 @@
 
 #include "core/health.hpp"
 #include "core/io.hpp"
+#include "core/manifest.hpp"
 #include "core/lattice.hpp"
 #include "core/simulation.hpp"
 #include "core/tosi_fumi.hpp"
@@ -451,6 +452,159 @@ TEST_F(CheckpointTest, NativeRestoreIntoLiveSimulationMatchesFreshBuild) {
   EXPECT_EQ(sim_a.samples().back().step, sim_b.samples().back().step);
   EXPECT_EQ(sim_a.samples().back().potential_eV,
             sim_b.samples().back().potential_eV);
+}
+
+/// ------------------------- job-resume manifests --------------------------
+
+Sample make_sample(int step) {
+  Sample s;
+  s.step = step;
+  s.time_ps = double(step) * 2e-3;
+  s.temperature_K = 1200.0 + step;
+  s.kinetic_eV = 0.25 * step;
+  s.potential_eV = -100.0 - step;
+  s.total_eV = s.kinetic_eV + s.potential_eV;
+  s.pressure_GPa = 0.5 + 0.01 * step;
+  return s;
+}
+
+JobResumeManifest make_manifest(std::uint64_t step, std::uint64_t key) {
+  JobResumeManifest m;
+  m.job_key = key;
+  m.step = step;
+  m.total_steps = 20;
+  for (int i = 1; i <= int(step); ++i) m.samples.push_back(make_sample(i));
+  return m;
+}
+
+/// Write the (checkpoint, manifest) pair a fleet shard would leave at
+/// `step` — checkpoint first, manifest second, same order as the runner.
+void write_pair(const fs::path& dir, std::uint64_t step, std::uint64_t key,
+                int keep = 3) {
+  CheckpointManager checkpoints(dir.string(), keep);
+  checkpoints.write(make_state(step, step));
+  ManifestStore manifests(dir.string(), keep);
+  manifests.write(make_manifest(step, key));
+}
+
+TEST_F(CheckpointTest, ManifestRoundTripPreservesEveryFieldBitwise) {
+  const auto writes = counter("ckpt.manifest.writes");
+  const auto restores = counter("ckpt.manifest.restores");
+  const auto m = make_manifest(6, 0xfeedULL);
+  write_manifest_file(path("m.mdm"), m);
+  const auto loaded = read_manifest_file(path("m.mdm"));
+  EXPECT_EQ(loaded.version, kManifestVersion);
+  EXPECT_EQ(loaded.job_key, m.job_key);
+  EXPECT_EQ(loaded.step, m.step);
+  EXPECT_EQ(loaded.total_steps, m.total_steps);
+  ASSERT_EQ(loaded.samples.size(), m.samples.size());
+  for (std::size_t i = 0; i < m.samples.size(); ++i) {
+    EXPECT_EQ(loaded.samples[i].step, m.samples[i].step);
+    EXPECT_EQ(loaded.samples[i].time_ps, m.samples[i].time_ps);
+    EXPECT_EQ(loaded.samples[i].temperature_K, m.samples[i].temperature_K);
+    EXPECT_EQ(loaded.samples[i].kinetic_eV, m.samples[i].kinetic_eV);
+    EXPECT_EQ(loaded.samples[i].potential_eV, m.samples[i].potential_eV);
+    EXPECT_EQ(loaded.samples[i].total_eV, m.samples[i].total_eV);
+    EXPECT_EQ(loaded.samples[i].pressure_GPa, m.samples[i].pressure_GPa);
+  }
+  EXPECT_EQ(counter("ckpt.manifest.writes"), writes + 1);
+  EXPECT_EQ(counter("ckpt.manifest.restores"), restores + 1);
+}
+
+TEST_F(CheckpointTest, ManifestStoreRotatesLikeCheckpoints) {
+  ManifestStore store(path("rot"), /*keep_generations=*/2);
+  for (std::uint64_t step : {2, 4, 6}) store.write(make_manifest(step, 1));
+  const auto gens = store.generations();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0], store.path_for_step(4));
+  EXPECT_EQ(gens[1], store.path_for_step(6));
+  EXPECT_FALSE(fs::exists(store.path_for_step(2)));
+  const auto latest = store.restore_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, 6u);
+}
+
+TEST_F(CheckpointTest, ManifestWriteFailpointLeavesOldGenerationIntact) {
+  ManifestStore store(path("enospc"));
+  store.write(make_manifest(2, 1));
+  checkpoint_fail_next_writes_for_testing(1);
+  EXPECT_THROW(store.write(make_manifest(4, 1)), CheckpointError);
+  checkpoint_fail_next_writes_for_testing(0);
+  // No half-written file joined the rotation; the old generation survives.
+  EXPECT_FALSE(fs::exists(store.path_for_step(4) + ".tmp"));
+  const auto latest = store.restore_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, 2u);
+}
+
+TEST_F(CheckpointTest, ResumePointPairsNewestValidManifestAndCheckpoint) {
+  write_pair(dir_ / "pair", 2, 0xabcULL);
+  write_pair(dir_ / "pair", 4, 0xabcULL);
+  const auto rp = find_resume_point((dir_ / "pair").string(), 0xabcULL,
+                                    make_state(4, 4).positions.size());
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ(rp->state.step, 4u);
+  EXPECT_EQ(rp->manifest.step, 4u);
+  EXPECT_EQ(rp->manifest.samples.size(), 4u);
+}
+
+/// The mid-migration kill scenario (ISSUE 9 satellite): the newest manifest
+/// generation is CRC-corrupt (or truncated), so the resume walks back to
+/// the older intact (checkpoint, manifest) pair instead of failing.
+TEST_F(CheckpointTest, CorruptNewestManifestFallsBackToOlderPair) {
+  const fs::path d = dir_ / "fb";
+  write_pair(d, 2, 7);
+  write_pair(d, 4, 7);
+  ManifestStore store(d.string());
+  flip_byte(store.path_for_step(4).c_str(), 40);
+
+  const auto skipped = counter("ckpt.manifest.corrupt_skipped");
+  const auto rp = find_resume_point(d.string(), 7);
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ(rp->state.step, 2u);
+  EXPECT_EQ(rp->manifest.step, 2u);
+  EXPECT_GE(counter("ckpt.manifest.corrupt_skipped"), skipped + 1);
+}
+
+TEST_F(CheckpointTest, TruncatedNewestManifestFallsBackToOlderPair) {
+  const fs::path d = dir_ / "trunc";
+  write_pair(d, 2, 7);
+  write_pair(d, 4, 7);
+  ManifestStore store(d.string());
+  // Truncate mid-payload: exactly what a kill -9 between write and rename
+  // fsyncs can leave behind on a non-journaling filesystem.
+  fs::resize_file(store.path_for_step(4), 24);
+  const auto rp = find_resume_point(d.string(), 7);
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ(rp->state.step, 2u);
+}
+
+/// The other half of the pair can be the torn one: a valid newest manifest
+/// whose same-step checkpoint is corrupt/pruned must also walk back.
+TEST_F(CheckpointTest, CorruptNewestCheckpointFallsBackToOlderPair) {
+  const fs::path d = dir_ / "ckfb";
+  write_pair(d, 2, 7);
+  write_pair(d, 4, 7);
+  CheckpointManager checkpoints(d.string());
+  flip_byte(checkpoints.path_for_step(4).c_str(), 80);
+  const auto rp = find_resume_point(d.string(), 7);
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ(rp->state.step, 2u);
+
+  fs::remove(checkpoints.path_for_step(2));  // now no pair is left
+  EXPECT_FALSE(find_resume_point(d.string(), 7).has_value());
+}
+
+TEST_F(CheckpointTest, ResumePointEnforcesJobKeyAndParticleCount) {
+  const fs::path d = dir_ / "key";
+  write_pair(d, 2, /*key=*/11);
+  // A different job's key never resumes this directory's state.
+  EXPECT_FALSE(find_resume_point(d.string(), /*expected_key=*/22).has_value());
+  // Key 0 = not enforced.
+  EXPECT_TRUE(find_resume_point(d.string()).has_value());
+  // Wrong particle count (a different `cells`) is rejected too.
+  EXPECT_FALSE(find_resume_point(d.string(), 11, /*expected_particles=*/9999)
+                   .has_value());
 }
 
 /// ------------------------- health watchdog -------------------------------

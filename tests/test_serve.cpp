@@ -541,6 +541,132 @@ TEST_F(ServeTest, MetricsAccountForEveryDisposition) {
             counter("serve.submitted") - submitted0);
 }
 
+TEST_F(ServeTest, WaitForTimeoutNamesTheJobItWaitedOn) {
+  JobSpec spec = small_spec();
+  spec.tenant = "alice";
+  SimService service(service_config(1));  // not started: stays queued
+  auto handle = service.submit(spec);
+  try {
+    handle.wait_for(5.0);
+    FAIL() << "expected JobWaitTimeout";
+  } catch (const JobWaitTimeout& e) {
+    // The who-waits-on-whom dump (mirroring the vmpi deadlock dump): id,
+    // tenant, class and current state, not a bare "timed out".
+    const std::string what = e.what();
+    EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tenant 'alice'"), std::string::npos) << what;
+    EXPECT_NE(what.find("queued"), std::string::npos) << what;
+  }
+  service.start();
+  EXPECT_EQ(handle.wait_for(60000.0).state, JobState::kCompleted);
+}
+
+TEST_F(ServeTest, DrainForTimeoutNamesEveryOutstandingJob) {
+  SimService service(service_config(1));  // not started: both stay queued
+  JobSpec a = small_spec();
+  a.tenant = "alice";
+  JobSpec b = small_spec();
+  b.tenant = "bob";
+  service.submit(a);
+  service.submit(b);
+  try {
+    service.drain_for(5.0);
+    FAIL() << "expected JobWaitTimeout";
+  } catch (const JobWaitTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 job(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("tenant 'alice'"), std::string::npos) << what;
+    EXPECT_NE(what.find("tenant 'bob'"), std::string::npos) << what;
+  }
+  service.start();
+  service.drain_for(60000.0);  // and with workers running it drains fine
+}
+
+TEST_F(ServeTest, StreamedSamplesArriveWhileTheJobRuns) {
+  ServiceConfig config = service_config(1);
+  config.stream_samples = true;
+  SimService service(config);
+  service.start();
+  auto handle = service.submit(long_spec());
+
+  std::size_t cursor = 0;
+  std::vector<Sample> streamed;
+  bool saw_chunk_before_done = false;
+  while (!handle.done()) {
+    auto chunk = handle.poll_samples(cursor);
+    if (!chunk.empty() && !handle.done()) saw_chunk_before_done = true;
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const JobResult result = handle.wait();
+  ASSERT_EQ(result.state, JobState::kCompleted);
+  EXPECT_TRUE(saw_chunk_before_done);
+  auto tail = handle.poll_samples(cursor);
+  streamed.insert(streamed.end(), tail.begin(), tail.end());
+  ASSERT_EQ(streamed.size(), result.samples.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i)
+    expect_samples_equal(streamed[i], result.samples[i]);
+}
+
+TEST_F(ServeTest, CheckpointOnCancelPersistsTheExactCancelStep) {
+  JobSpec spec = long_spec();
+  spec.checkpoint_interval = 50;  // coarse: the cancel step is between gens
+  spec.checkpoint_dir = path("ckpt");
+  ServiceConfig config = service_config(1);
+  config.checkpoint_on_cancel = true;
+  SimService service(config);
+  service.start();
+  auto handle = service.submit(spec);
+  wait_for_checkpoint(spec.checkpoint_dir);
+  handle.cancel();
+  const JobResult result = handle.wait();
+  ASSERT_EQ(result.state, JobState::kCancelled);
+
+  // Not just the last interval generation: the drain checkpoint holds the
+  // exact step the cancel landed on, so a migrated job resumes with zero
+  // recomputation.
+  const CheckpointManager manager(spec.checkpoint_dir);
+  const auto latest = manager.restore_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->step, std::uint64_t(result.completed_steps));
+}
+
+TEST_F(ServeTest, ManifestModeResumeReturnsTheCompleteTrajectory) {
+  JobSpec spec = long_spec();
+  spec.checkpoint_interval = 5;
+  spec.checkpoint_dir = path("ckpt");
+  spec.resume_manifest = true;
+  ServiceConfig config = service_config(1);
+  config.checkpoint_on_cancel = true;
+  {
+    SimService service(config);
+    service.start();
+    auto handle = service.submit(spec);
+    wait_for_checkpoint(spec.checkpoint_dir);
+    handle.cancel();
+    ASSERT_EQ(handle.wait().state, JobState::kCancelled);
+  }
+
+  // Unlike the plain resume (samples from resume_step+1 only), manifest
+  // mode returns the full trajectory: the manifest carried the prefix.
+  SimService service(config);
+  service.start();
+  const JobResult resumed = service.submit(spec).wait();
+  ASSERT_EQ(resumed.state, JobState::kCompleted);
+  EXPECT_GT(resumed.resumed_from_step, 0u);
+
+  JobSpec full = spec;
+  full.checkpoint_interval = 0;
+  full.checkpoint_dir.clear();
+  full.resume_manifest = false;
+  const JobResult reference = run_job(full);
+  ASSERT_EQ(resumed.samples.size(), reference.samples.size());
+  for (std::size_t i = 0; i < resumed.samples.size(); ++i)
+    expect_samples_equal(resumed.samples[i], reference.samples[i]);
+  expect_vecs_equal(resumed.positions, reference.positions);
+  expect_vecs_equal(resumed.velocities, reference.velocities);
+}
+
 TEST_F(ServeTest, HostileTenantNameStaysValidJson) {
   JobSpec spec;
   spec.tenant = "evil\"tenant\\name\n";
