@@ -11,6 +11,7 @@
 ///               [--solver sf|pme|auto] [--pme-grid 0] [--pme-order 6]
 ///               [--backend emulator|native]
 ///               [--checkpoint-every 0] [--checkpoint-root serve_ckpt]
+///               [--scenario spec.toml] [--analysis-root DIR]
 ///               [--metrics serve_metrics.json] [--trace-out trace.json]
 ///
 /// Every third job is submitted as interactive, the rest as batch; tenants
@@ -19,12 +20,17 @@
 /// on the full parallel backend (n real ranks); with `--trace` (or
 /// MDM_TRACE=1) and `--trace-out`, the chrome-trace export shows every job
 /// as one trace across submit, queue, per-rank phases and checkpoints
-/// (DESIGN.md §10).
+/// (DESIGN.md §10). `--scenario spec.toml` submits every job as that
+/// declarative scenario (src/scenario, DESIGN.md §14) instead of the fixed
+/// melt workload; `--analysis-root DIR` gives each job its own analysis
+/// output directory DIR/job-<i>.
 
 #include <signal.h>
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +74,23 @@ int main(int argc, char** argv) {
   // Drained jobs must be resumable with zero recomputation.
   config.checkpoint_on_cancel = true;
 
+  // Declarative path: every job carries the scenario text and runs through
+  // the scenario engine instead of the fixed melt fields.
+  std::string scenario_text;
+  if (const auto path = cli.value("scenario"); path && !path->empty()) {
+    std::ifstream in(*path);
+    if (!in) {
+      std::fprintf(stderr, "mdm_serve: cannot open scenario '%s'\n",
+                   path->c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    scenario_text = text.str();
+    std::printf("mdm_serve: jobs carry scenario '%s'\n", path->c_str());
+  }
+  const std::string analysis_root = cli.get_string("analysis-root", "");
+
   std::signal(SIGTERM, on_sigterm);
   serve::SimService service(config);
   service.start();
@@ -96,6 +119,9 @@ int main(int argc, char** argv) {
     spec.checkpoint_interval =
         static_cast<int>(cli.get_int("checkpoint-every", 0));
     spec.seed = static_cast<std::uint64_t>(i + 1);
+    spec.scenario = scenario_text;
+    if (!scenario_text.empty() && !analysis_root.empty())
+      spec.analysis_dir = analysis_root + "/job-" + std::to_string(i);
     handles.push_back(service.submit(spec));
   }
 

@@ -16,9 +16,7 @@
 #include "core/lattice.hpp"
 #include "core/rdf.hpp"
 #include "core/simulation.hpp"
-#include "core/tosi_fumi.hpp"
-#include "ewald/ewald.hpp"
-#include "ewald/parameters.hpp"
+#include "scenario/builder.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -37,23 +35,15 @@ struct Diagnostics {
 
 Diagnostics run_phase(int cells, double temperature, int steps,
                       std::uint64_t seed) {
-  auto system = make_nacl_crystal(cells);
-  assign_maxwell_velocities(system, temperature, seed);
-
-  const auto params =
-      software_parameters(double(system.size()), system.box());
-  CompositeForceField field;
-  field.add(std::make_unique<EwaldCoulomb>(params, system.box()));
-  field.add(std::make_unique<TosiFumiShortRange>(TosiFumiParameters::nacl(),
-                                                 params.r_cut, true));
-
-  // Equilibrate under velocity scaling, then sample RDF/MSD over an NVE
-  // tail (the paper's protocol shape).
-  SimulationConfig protocol;
-  protocol.temperature_K = temperature;
-  protocol.nvt_steps = 2 * steps / 3;
-  protocol.nve_steps = steps - 2 * steps / 3;
-  Simulation sim(system, field, protocol);
+  // Same scenario helper as examples/nacl_melt.cpp and the bundled
+  // nacl_melt.toml: rock-salt lattice, Ewald + Tosi-Fumi, the paper's
+  // 2/3 NVT + 1/3 NVE protocol shape.
+  const scenario::ScenarioSpec spec =
+      scenario::nacl_melt_scenario(cells, steps, temperature, seed);
+  auto system = scenario::build_system(spec);
+  auto field = scenario::build_force_field(spec, system);
+  const SimulationConfig protocol = scenario::build_protocol(spec);
+  Simulation sim(system, *field, protocol);
 
   RadialDistribution rdf(0.45 * system.box(), 90, 2);
   std::unique_ptr<MeanSquaredDisplacement> msd;

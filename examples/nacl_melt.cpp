@@ -17,12 +17,10 @@
 #include <memory>
 
 #include "core/io.hpp"
-#include "core/lattice.hpp"
 #include "core/simulation.hpp"
-#include "core/tosi_fumi.hpp"
-#include "ewald/ewald.hpp"
 #include "ewald/parameters.hpp"
 #include "host/mdm_force_field.hpp"
+#include "scenario/builder.hpp"
 #include "util/cli.hpp"
 #include "util/statistics.hpp"
 #include "util/thread_pool.hpp"
@@ -41,8 +39,12 @@ int main(int argc, char** argv) {
   const bool use_mdm = cli.get_bool("mdm");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  auto system = make_nacl_crystal(cells);
-  assign_maxwell_velocities(system, temperature, seed);
+  // The workload as a declarative scenario (src/scenario): the same spec is
+  // bundled as examples/scenarios/nacl_melt.toml and runnable through
+  // mdm_scenario and the service — bit-for-bit with this driver.
+  const scenario::ScenarioSpec spec =
+      scenario::nacl_melt_scenario(cells, steps, temperature, seed);
+  auto system = scenario::build_system(spec);
   std::printf("NaCl melt: N=%zu (n=%d supercell), L=%.2f A, T=%.0f K\n",
               system.size(), cells, system.box(), temperature);
 
@@ -61,21 +63,14 @@ int main(int argc, char** argv) {
     field = std::make_unique<host::MdmForceField>(config, system.box());
     std::printf("backend: simulated MDM machine\n");
   } else {
-    params = software_parameters(double(system.size()), system.box());
-    auto composite = std::make_unique<CompositeForceField>();
-    composite->add(std::make_unique<EwaldCoulomb>(params, system.box()));
-    composite->add(std::make_unique<TosiFumiShortRange>(
-        TosiFumiParameters::nacl(), params.r_cut, /*shift_energy=*/true));
-    field = std::move(composite);
+    params = scenario::ewald_parameters(spec, system);
+    field = scenario::build_force_field(spec, system);
     std::printf("backend: double-precision software Ewald\n");
   }
   std::printf("Ewald: alpha=%.2f, r_cut=%.2f A, Lk_cut=%.2f\n", params.alpha,
               params.r_cut, params.lk_cut);
 
-  SimulationConfig protocol;
-  protocol.temperature_K = temperature;
-  protocol.nvt_steps = 2 * steps / 3;  // the paper's 2000/1000 split
-  protocol.nve_steps = steps - protocol.nvt_steps;
+  const SimulationConfig protocol = scenario::build_protocol(spec);
   Simulation sim(system, *field, protocol);
 
   Timer timer;

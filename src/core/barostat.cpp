@@ -1,0 +1,116 @@
+#include "core/barostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/observables.hpp"
+#include "util/units.hpp"
+
+namespace mdm {
+
+namespace {
+
+double instantaneous_pressure_GPa(const ParticleSystem& system,
+                                  double virial) {
+  return pressure(system, virial) * kEvPerA3InGPa;
+}
+
+}  // namespace
+
+BerendsenBarostat::BerendsenBarostat(double target_GPa, double tau_fs,
+                                     double compressibility_per_GPa)
+    : target_GPa_(target_GPa),
+      tau_fs_(tau_fs),
+      kappa_per_GPa_(compressibility_per_GPa) {
+  if (!(tau_fs > 0.0) || !(compressibility_per_GPa > 0.0))
+    throw std::invalid_argument(
+        "BerendsenBarostat: tau and compressibility must be positive");
+}
+
+bool BerendsenBarostat::apply(ParticleSystem& system, ForceField& field,
+                              const ForceResult& last,
+                              double coupling_dt_fs) {
+  ++state_.applications;
+  const double p_GPa = instantaneous_pressure_GPa(system, last.virial);
+  double mu3 =
+      1.0 - kappa_per_GPa_ * (coupling_dt_fs / tau_fs_) * (target_GPa_ - p_GPa);
+  mu3 = std::clamp(mu3, kMuCubedMin, kMuCubedMax);
+  const double mu = std::cbrt(mu3);
+  state_.last_scale = mu;
+  state_.record_box(system.box() * mu);
+  if (mu == 1.0) return false;
+  system.rescale(mu);
+  field.set_box(system.box());
+  return true;
+}
+
+MonteCarloBarostat::MonteCarloBarostat(double target_GPa, double temperature_K,
+                                       double max_frac_dv, std::uint64_t seed)
+    : target_GPa_(target_GPa),
+      temperature_K_(temperature_K),
+      max_frac_dv_(max_frac_dv),
+      rng_(seed) {
+  if (!(temperature_K > 0.0))
+    throw std::invalid_argument("MonteCarloBarostat: temperature must be > 0");
+  if (!(max_frac_dv > 0.0) || !(max_frac_dv < 0.5))
+    throw std::invalid_argument(
+        "MonteCarloBarostat: max fractional dV must be in (0, 0.5)");
+  state_.rng = rng_.state();
+}
+
+bool MonteCarloBarostat::apply(ParticleSystem& system, ForceField& field,
+                               const ForceResult& last,
+                               double /*coupling_dt_fs*/) {
+  ++state_.applications;
+  ++state_.attempts;
+
+  const double box_old = system.box();
+  const double v_old = box_old * box_old * box_old;
+  const double u_old = last.potential;
+
+  // Linear-in-V proposal; both draws happen unconditionally so the stream
+  // position is a function of the attempt count alone.
+  const double dv = rng_.uniform(-max_frac_dv_, max_frac_dv_) * v_old;
+  const double accept_draw = rng_.uniform();
+  state_.rng = rng_.state();
+
+  const double v_new = v_old + dv;
+  const double scale = std::cbrt(v_new / v_old);
+
+  const auto positions = system.positions();
+  saved_positions_.assign(positions.begin(), positions.end());
+  force_scratch_.assign(system.size(), Vec3{});
+
+  system.rescale(scale);
+  field.set_box(system.box());
+  const ForceResult trial = evaluate_forces(field, system, force_scratch_);
+
+  // Metropolis in the isobaric-isothermal ensemble:
+  //   acc = exp(-(dU + P dV) / kT + N ln(Vn / Vo))
+  const double kT = units::kBoltzmann * temperature_K_;
+  const double p_eVA3 = target_GPa_ / kEvPerA3InGPa;
+  const double n = static_cast<double>(system.size());
+  const double log_acc = -(trial.potential - u_old + p_eVA3 * dv) / kT +
+                         n * std::log(v_new / v_old);
+
+  if (std::log(accept_draw) <= log_acc) {
+    ++state_.accepts;
+    state_.last_scale = scale;
+    state_.record_box(system.box());
+    return true;
+  }
+
+  // Reject: restore the exact pre-move geometry. rescale(1/scale) would
+  // accumulate rounding in every coordinate, so copy the saved positions
+  // back instead — bit-exact by construction.
+  system.set_box(box_old);
+  std::copy(saved_positions_.begin(), saved_positions_.end(),
+            system.positions().begin());
+  field.set_box(box_old);
+  state_.last_scale = 1.0;
+  state_.record_box(box_old);
+  return true;  // trial evaluation perturbed force-field caches either way
+}
+
+}  // namespace mdm

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file barostat.hpp
+/// Isobaric (NPT) couplings for the scenario engine. Two classic schemes:
+///
+///  * BerendsenBarostat — weak coupling: after each interval the box is
+///    rescaled by mu = (1 - kappa (dt/tau) (P0 - P))^(1/3), relaxing the
+///    virial pressure toward the target.
+///  * MonteCarloBarostat — Metropolis volume moves: propose an isotropic
+///    linear-in-V change, re-evaluate the potential, accept with
+///    exp(-(dU + P dV)/kT + N ln(Vn/Vo)); rejected moves restore the saved
+///    positions bit-exactly.
+///
+/// Both report state through BarostatState so checkpoint restore (format v3,
+/// core/checkpoint) resumes an NPT trajectory bit-identically: the move RNG
+/// stream, acceptance counters and a bounded box-edge history all persist.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/force_field.hpp"
+#include "core/particle_system.hpp"
+#include "util/random.hpp"
+
+namespace mdm {
+
+/// Serializable barostat bookkeeping (checkpoint payload, format v3).
+struct BarostatState {
+  std::uint64_t applications = 0;  ///< apply() calls
+  std::uint64_t attempts = 0;      ///< MC volume moves proposed
+  std::uint64_t accepts = 0;       ///< MC volume moves accepted
+  double last_scale = 1.0;         ///< most recent linear box scale factor
+  RandomState rng{};               ///< MC volume-move stream
+  /// Recent box edges (A), most recent last; bounded at kMaxBoxHistory so
+  /// the checkpoint stays O(1). Gives restarted runs a volume trace to
+  /// splice diagnostics against.
+  std::vector<double> box_history;
+
+  static constexpr std::size_t kMaxBoxHistory = 64;
+
+  void record_box(double box) {
+    box_history.push_back(box);
+    if (box_history.size() > kMaxBoxHistory)
+      box_history.erase(box_history.begin());
+  }
+};
+
+class Barostat {
+ public:
+  virtual ~Barostat() = default;
+
+  /// Couple the system toward the target pressure. `last` is the force
+  /// result of the step just taken (its virial feeds the instantaneous
+  /// pressure) and `coupling_dt_fs` the simulated time since the previous
+  /// application. Returns true if the box changed — the caller must then
+  /// invalidate integrator/force caches.
+  virtual bool apply(ParticleSystem& system, ForceField& field,
+                     const ForceResult& last, double coupling_dt_fs) = 0;
+
+  virtual double target_pressure_GPa() const = 0;
+
+  const BarostatState& state() const { return state_; }
+  virtual void set_state(const BarostatState& state) { state_ = state; }
+
+ protected:
+  BarostatState state_{};
+};
+
+/// Berendsen weak-coupling barostat with time constant tau (fs) and
+/// isothermal compressibility kappa (1/GPa; ~0.05 for molten salts, 4.5e-4
+/// for a stiff reference). The cube of the linear scale is clamped to
+/// [kMuCubedMin, kMuCubedMax] so one application never changes the volume
+/// by more than ~5%.
+class BerendsenBarostat final : public Barostat {
+ public:
+  BerendsenBarostat(double target_GPa, double tau_fs,
+                    double compressibility_per_GPa);
+
+  bool apply(ParticleSystem& system, ForceField& field,
+             const ForceResult& last, double coupling_dt_fs) override;
+  double target_pressure_GPa() const override { return target_GPa_; }
+
+  static constexpr double kMuCubedMin = 0.95;
+  static constexpr double kMuCubedMax = 1.05;
+
+ private:
+  double target_GPa_;
+  double tau_fs_;
+  double kappa_per_GPa_;
+};
+
+/// Metropolis Monte-Carlo volume moves, linear in V with maximum fractional
+/// step `max_frac_dv` (dV uniform in [-f V, +f V]). The acceptance draw is
+/// consumed on every attempt (even auto-rejects) so the RNG stream position
+/// depends only on the attempt count — a restored checkpoint replays moves
+/// bit-identically.
+class MonteCarloBarostat final : public Barostat {
+ public:
+  MonteCarloBarostat(double target_GPa, double temperature_K,
+                     double max_frac_dv, std::uint64_t seed);
+
+  bool apply(ParticleSystem& system, ForceField& field,
+             const ForceResult& last, double coupling_dt_fs) override;
+  double target_pressure_GPa() const override { return target_GPa_; }
+
+  void set_state(const BarostatState& state) override {
+    state_ = state;
+    rng_.set_state(state.rng);
+  }
+
+ private:
+  double target_GPa_;
+  double temperature_K_;
+  double max_frac_dv_;
+  Random rng_;
+  std::vector<Vec3> saved_positions_;  ///< reject restore, reused each move
+  std::vector<Vec3> force_scratch_;
+};
+
+}  // namespace mdm

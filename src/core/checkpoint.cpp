@@ -22,6 +22,7 @@ namespace fs = std::filesystem;
 using ckptio::ByteReader;
 using ckptio::ByteWriter;
 
+constexpr std::uint64_t kMagicV3 = 0x4d444d434b505433ULL;  // "MDMCKPT3"
 constexpr std::uint64_t kMagicV2 = 0x4d444d434b505432ULL;  // "MDMCKPT2"
 constexpr std::uint64_t kMagicV1 = 0x4d444d434b505431ULL;  // "MDMCKPT1"
 
@@ -44,7 +45,7 @@ obs::Counter& corrupt_counter() {
 }
 
 void serialize(const CheckpointState& state, ByteWriter& w) {
-  w.put(kMagicV2);
+  w.put(kMagicV3);
   w.put(kCheckpointVersion);
   w.put(state.step);
   w.put(state.time_ps);
@@ -68,16 +69,31 @@ void serialize(const CheckpointState& state, ByteWriter& w) {
   for (int i = 0; i < 4; ++i) w.put(state.rng.s[i]);
   w.put(state.rng.cached);
   w.put(state.rng.have_cached);
+  // v3 barostat block.
+  w.put(state.barostat.applications);
+  w.put(state.barostat.attempts);
+  w.put(state.barostat.accepts);
+  w.put(state.barostat.last_scale);
+  for (int i = 0; i < 4; ++i) w.put(state.barostat.rng.s[i]);
+  w.put(state.barostat.rng.cached);
+  w.put(state.barostat.rng.have_cached);
+  w.put(static_cast<std::uint32_t>(state.barostat.box_history.size()));
+  if (!state.barostat.box_history.empty())
+    w.put_bytes(state.barostat.box_history.data(),
+                state.barostat.box_history.size() * sizeof(double));
 }
 
-CheckpointState deserialize_v2(const std::vector<char>& buf,
-                               const std::string& path) {
+/// "MDMCKPT2" and "MDMCKPT3" share the layout; v3 appends the barostat
+/// block before the CRC footer.
+CheckpointState deserialize_v2plus(const std::vector<char>& buf,
+                                   const std::string& path,
+                                   std::uint32_t expected_version) {
   // The last 4 bytes are the CRC footer, already verified by the caller.
   ByteReader r(buf, buf.size() - sizeof(std::uint32_t), path);
   CheckpointState state;
   r.get<std::uint64_t>("magic");
   const auto version = r.get<std::uint32_t>("version");
-  if (version != kCheckpointVersion)
+  if (version != expected_version)
     throw CheckpointError("checkpoint '" + path + "' has unsupported version " +
                           std::to_string(version));
   state.version = version;
@@ -108,6 +124,23 @@ CheckpointState deserialize_v2(const std::vector<char>& buf,
     state.rng.s[i] = r.get<std::uint64_t>("rng word");
   state.rng.cached = r.get<double>("rng cache");
   state.rng.have_cached = r.get<std::uint8_t>("rng cache flag");
+  if (version >= 3) {
+    state.barostat.applications =
+        r.get<std::uint64_t>("barostat applications");
+    state.barostat.attempts = r.get<std::uint64_t>("barostat attempts");
+    state.barostat.accepts = r.get<std::uint64_t>("barostat accepts");
+    state.barostat.last_scale = r.get<double>("barostat scale");
+    for (int i = 0; i < 4; ++i)
+      state.barostat.rng.s[i] = r.get<std::uint64_t>("barostat rng word");
+    state.barostat.rng.cached = r.get<double>("barostat rng cache");
+    state.barostat.rng.have_cached =
+        r.get<std::uint8_t>("barostat rng cache flag");
+    const auto history = r.get<std::uint32_t>("box history count");
+    state.barostat.box_history.resize(history);
+    if (history > 0)
+      r.get_bytes(state.barostat.box_history.data(),
+                  history * sizeof(double), "box history");
+  }
   return state;
 }
 
@@ -196,7 +229,7 @@ CheckpointState read_checkpoint_file(const std::string& path) {
   CheckpointState state;
   if (magic == kMagicV1) {
     state = deserialize_v1(buf, path);
-  } else if (magic == kMagicV2) {
+  } else if (magic == kMagicV2 || magic == kMagicV3) {
     if (buf.size() < sizeof(std::uint64_t) + sizeof(std::uint32_t))
       throw CheckpointError("checkpoint '" + path + "' truncated at offset " +
                             std::to_string(buf.size()) + " reading footer");
@@ -212,7 +245,7 @@ CheckpointState read_checkpoint_file(const std::string& path) {
                             "' at offset " + std::to_string(crc_offset) +
                             ": " + detail);
     }
-    state = deserialize_v2(buf, path);
+    state = deserialize_v2plus(buf, path, magic == kMagicV2 ? 2u : 3u);
   } else {
     throw CheckpointError("'" + path + "' is not an MDM checkpoint");
   }

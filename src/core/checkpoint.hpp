@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/barostat.hpp"
 #include "core/particle_system.hpp"
 #include "core/thermostat.hpp"
 #include "util/random.hpp"
@@ -33,9 +34,11 @@
 
 namespace mdm {
 
-/// Current on-disk format version ("MDMCKPT2"). Version-1 files (the old
-/// bare positions+velocities dump) are still readable.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// Current on-disk format version ("MDMCKPT3"): version 2 plus the barostat
+/// block (volume-move RNG stream, acceptance counters, box history) so NPT
+/// runs restore bit-identically. Version-2 files and version-1 files (the
+/// old bare positions+velocities dump) are still readable.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Everything needed to resume a run bit-identically.
 struct CheckpointState {
@@ -48,6 +51,9 @@ struct CheckpointState {
   std::vector<Vec3> velocities;
   ThermostatState thermostat{};
   RandomState rng{};
+  /// NPT coupling state (format v3+); default-initialized for NVE/NVT runs
+  /// and legacy files.
+  BarostatState barostat{};
   /// Format version the state was read from (kCheckpointVersion when built
   /// in memory; 1 for legacy files, which carry only box/positions/
   /// velocities).

@@ -13,6 +13,10 @@ void CompositeForceField::invalidate_caches() {
   for (auto& f : fields_) f->invalidate_caches();
 }
 
+void CompositeForceField::set_box(double box) {
+  for (auto& f : fields_) f->set_box(box);
+}
+
 std::string CompositeForceField::name() const {
   std::string n = "composite(";
   for (std::size_t i = 0; i < fields_.size(); ++i) {

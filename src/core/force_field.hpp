@@ -46,6 +46,12 @@ class ForceField {
   /// lazy rebuild heuristics cannot compare against stale reference
   /// positions. Stateless fields need not override.
   virtual void invalidate_caches() {}
+
+  /// The periodic box changed (barostat coupling / Monte-Carlo volume move,
+  /// core/barostat). Fields that re-read system.box() every evaluation need
+  /// not override; solvers that cache box-derived quantities — Ewald's
+  /// beta = alpha/L and its real-space cell geometry — must.
+  virtual void set_box(double /*box*/) {}
 };
 
 /// Sum of several force fields (owned).
@@ -62,6 +68,7 @@ class CompositeForceField final : public ForceField {
                          std::span<Vec3> forces) override;
   std::string name() const override;
   void invalidate_caches() override;
+  void set_box(double box) override;
 
  private:
   std::vector<std::unique_ptr<ForceField>> fields_;

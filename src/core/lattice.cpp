@@ -8,14 +8,16 @@
 
 namespace mdm {
 
-ParticleSystem make_nacl_crystal(int n_cells, double lattice_constant) {
+ParticleSystem make_rock_salt_crystal(int n_cells, double lattice_constant,
+                                      const Species& cation,
+                                      const Species& anion) {
   if (n_cells < 1) throw std::invalid_argument("n_cells must be >= 1");
   const double a = lattice_constant;
   ParticleSystem system(n_cells * a);
-  const int na = system.add_species({"Na", units::kMassNa, +1.0});
-  const int cl = system.add_species({"Cl", units::kMassCl, -1.0});
+  const int na = system.add_species(cation);
+  const int cl = system.add_species(anion);
 
-  // Rock salt: Na on the fcc lattice, Cl displaced by a/2 along x.
+  // Rock salt: cations on the fcc lattice, anions displaced by a/2 along x.
   static constexpr double kFcc[4][3] = {
       {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
   for (int ix = 0; ix < n_cells; ++ix) {
@@ -31,6 +33,12 @@ ParticleSystem make_nacl_crystal(int n_cells, double lattice_constant) {
     }
   }
   return system;
+}
+
+ParticleSystem make_nacl_crystal(int n_cells, double lattice_constant) {
+  return make_rock_salt_crystal(n_cells, lattice_constant,
+                                {"Na", units::kMassNa, +1.0},
+                                {"Cl", units::kMassCl, -1.0});
 }
 
 void assign_maxwell_velocities(ParticleSystem& system, double temperature_K,

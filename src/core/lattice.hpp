@@ -18,6 +18,14 @@ namespace mdm {
 inline constexpr double kPaperLatticeConstant = 6.391047;
 
 /// Build an n x n x n rock-salt supercell (8 ions per cubic unit cell:
+/// 4 cations on the fcc sites, 4 anions on the interleaved fcc sites).
+/// Species 0 = cation, species 1 = anion. Used by the scenario engine for
+/// any alkali-halide lattice (NaCl, KCl, ...).
+ParticleSystem make_rock_salt_crystal(int n_cells, double lattice_constant,
+                                      const Species& cation,
+                                      const Species& anion);
+
+/// Build an n x n x n rock-salt supercell (8 ions per cubic unit cell:
 /// 4 Na+ on the fcc sites, 4 Cl- on the interleaved fcc sites).
 /// Species 0 = Na+ (charge +1), species 1 = Cl- (charge -1).
 ParticleSystem make_nacl_crystal(int n_cells,

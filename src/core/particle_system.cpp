@@ -71,4 +71,16 @@ void ParticleSystem::wrap_positions() {
   for (auto& r : position_) r = wrap_position(r, box_);
 }
 
+void ParticleSystem::set_box(double box) {
+  if (!(box > 0.0)) throw std::invalid_argument("box side must be positive");
+  box_ = box;
+}
+
+void ParticleSystem::rescale(double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("rescale factor must be positive");
+  box_ *= factor;
+  for (auto& r : position_) r *= factor;
+}
+
 }  // namespace mdm

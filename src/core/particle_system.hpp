@@ -75,6 +75,16 @@ class ParticleSystem {
   /// Wrap every position back into [0, box)^3.
   void wrap_positions();
 
+  /// Set the box edge without touching coordinates. Used by checkpoint
+  /// restore of an NPT run whose volume drifted from the construction-time
+  /// box; the caller is responsible for loading consistent positions.
+  void set_box(double box);
+
+  /// Isotropic volume change: multiply the box edge and every coordinate by
+  /// `factor` (barostat couplings and Monte-Carlo volume moves). Velocities
+  /// are untouched.
+  void rescale(double factor);
+
  private:
   double box_;
   std::vector<Species> species_;

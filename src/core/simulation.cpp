@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/barostat.hpp"
 #include "core/checkpoint.hpp"
 #include "core/observables.hpp"
 #include "obs/step_breakdown.hpp"
@@ -17,6 +18,22 @@ Simulation::Simulation(ParticleSystem& system, ForceField& field,
   if (config_.dt_fs <= 0.0) throw std::invalid_argument("dt must be positive");
   if (config_.sample_interval < 1 || config_.rescale_interval < 1)
     throw std::invalid_argument("intervals must be >= 1");
+  switch (config_.thermostat) {
+    case ThermostatKind::kVelocityScaling:
+      thermostat_ = std::make_unique<VelocityScalingThermostat>();
+      break;
+    case ThermostatKind::kBerendsen:
+      thermostat_ = std::make_unique<BerendsenThermostat>(
+          config_.thermostat_tau_fs);
+      break;
+  }
+}
+
+void Simulation::set_barostat(Barostat* barostat, int interval) {
+  if (barostat && interval < 1)
+    throw std::invalid_argument("barostat interval must be >= 1");
+  barostat_ = barostat;
+  barostat_interval_ = interval;
 }
 
 void Simulation::enable_checkpointing(CheckpointManager* manager,
@@ -29,13 +46,21 @@ CheckpointState Simulation::checkpoint_state() const {
   auto state = CheckpointState::capture(
       *system_, static_cast<std::uint64_t>(current_step_),
       current_step_ * config_.dt_fs * 1e-3);
-  state.thermostat = thermostat_.state();
+  state.thermostat = thermostat_->state();
+  if (barostat_) state.barostat = barostat_->state();
   return state;
 }
 
 void Simulation::restore(const CheckpointState& state) {
+  if (barostat_ && state.box != system_->box()) {
+    // An NPT run's volume drifts from the construction-time box; adopt the
+    // checkpointed edge before apply_to's exact-box check.
+    system_->set_box(state.box);
+    field_->set_box(state.box);
+  }
   state.apply_to(*system_);
-  thermostat_.set_state(state.thermostat);
+  thermostat_->set_state(state.thermostat);
+  if (barostat_) barostat_->set_state(state.barostat);
   current_step_ = resume_step_ = static_cast<int>(state.step);
   integrator_.invalidate();
   // The restore teleported every particle: lazy position-anchored caches in
@@ -103,11 +128,24 @@ void Simulation::run(const std::function<void(const Sample&)>& observer) {
       const double target = config_.temperature_schedule
                                 ? config_.temperature_schedule(step)
                                 : config_.temperature_K;
-      thermostat_.apply(*system_, target, config_.dt_fs);
+      thermostat_->apply(*system_, target, config_.dt_fs);
     }
     if (step % config_.sample_interval == 0) {
       record(step);
       if (observer) observer(samples_.back());
+    }
+    if (barostat_ && step % barostat_interval_ == 0) {
+      // Before step_hooks so a checkpoint written this step captures the
+      // post-coupling box and barostat state — the resumed run then skips
+      // straight to step + 1 without replaying (or losing) this move.
+      obs::ScopedPhase barostat_phase(obs::Phase::kHost);
+      obs::TraceSpan barostat_span("sim.barostat");
+      const ForceResult last{integrator_.potential(), integrator_.virial()};
+      if (barostat_->apply(*system_, *field_, last,
+                           barostat_interval_ * config_.dt_fs)) {
+        integrator_.invalidate();
+        field_->invalidate_caches();
+      }
     }
     step_hooks(step, /*nve=*/!nvt_phase);
     obs::record_step(static_cast<double>(obs::Trace::now_ns() - t0) * 1e-6);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/force_field.hpp"
@@ -20,6 +21,12 @@ namespace mdm {
 
 struct CheckpointState;
 class CheckpointManager;
+class Barostat;
+
+/// Thermostat used during the NVT phase. The paper's protocol is plain
+/// velocity scaling (sec. 5); Berendsen weak coupling is the gentler option
+/// the scenario engine exposes.
+enum class ThermostatKind { kVelocityScaling, kBerendsen };
 
 struct SimulationConfig {
   double dt_fs = 2.0;            ///< paper: 2 fs
@@ -34,6 +41,9 @@ struct SimulationConfig {
   std::function<double(int)> temperature_schedule;
   /// Numerical-health watchdog, checked every step (core/health).
   HealthConfig health{};
+  ThermostatKind thermostat = ThermostatKind::kVelocityScaling;
+  /// Berendsen coupling time constant (fs); ignored by velocity scaling.
+  double thermostat_tau_fs = 100.0;
 };
 
 /// One sampled point of the run.
@@ -89,7 +99,17 @@ class Simulation {
   /// sample is skipped).
   void restore(const CheckpointState& state);
 
-  const Thermostat& thermostat() const { return thermostat_; }
+  const Thermostat& thermostat() const { return *thermostat_; }
+
+  /// Couple an isobaric run: `barostat` (borrowed, may be nullptr to
+  /// disable) is applied at the end of every `interval` completed steps
+  /// with coupling time interval * dt. When it reports a box change the
+  /// integrator re-primes and force-field caches are invalidated, so the
+  /// next step runs against the new geometry. Checkpoints then carry the
+  /// barostat state and restore() re-applies a drifted box (format v3).
+  void set_barostat(Barostat* barostat, int interval);
+
+  const Barostat* barostat() const { return barostat_; }
 
  private:
   void record(int step);
@@ -100,9 +120,11 @@ class Simulation {
   ForceField* field_;  ///< borrowed; restore() must invalidate its caches
   SimulationConfig config_;
   VelocityVerlet integrator_;
-  VelocityScalingThermostat thermostat_;
+  std::unique_ptr<Thermostat> thermostat_;
   std::vector<Sample> samples_;
   HealthMonitor health_;
+  Barostat* barostat_ = nullptr;  ///< borrowed
+  int barostat_interval_ = 1;
   CheckpointManager* checkpoint_manager_ = nullptr;  ///< borrowed
   int checkpoint_interval_ = 0;
   int current_step_ = 0;

@@ -34,6 +34,29 @@ TosiFumiParameters TosiFumiParameters::nacl() {
   return p;
 }
 
+TosiFumiParameters TosiFumiParameters::kcl() {
+  TosiFumiParameters p;
+  p.species_count = 2;
+  p.rho = 0.337;
+
+  const double b = 3.38e-20 * 6.241509074e18;  // J -> eV: 0.21096 eV
+  const double sigma[2] = {1.463, 1.585};      // K, Cl
+  const double pauling[2][2] = {{1.25, 1.00}, {1.00, 0.75}};
+  // Sangster-Dixon tabulation, units 1e-79 J m^6 and 1e-99 J m^8.
+  const double c_cgs[2][2] = {{24.3, 48.0}, {48.0, 124.5}};
+  const double d_cgs[2][2] = {{24.0, 73.0}, {73.0, 250.0}};
+
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      p.born_prefactor[i][j] =
+          pauling[i][j] * b * std::exp((sigma[i] + sigma[j]) / p.rho);
+      p.c6[i][j] = c_cgs[i][j] * units::kC6Unit;
+      p.d8[i][j] = d_cgs[i][j] * units::kD8Unit;
+    }
+  }
+  return p;
+}
+
 double TosiFumiParameters::pair_energy(int ti, int tj, double r) const {
   const double r2 = r * r;
   const double r6 = r2 * r2 * r2;

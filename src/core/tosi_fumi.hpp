@@ -42,6 +42,12 @@ struct TosiFumiParameters {
   /// c in 1e-79 J m^6: {1.68, 11.2, 116}, d in 1e-99 J m^8: {0.8, 13.9, 233}.
   static TosiFumiParameters nacl();
 
+  /// Fumi-Tosi 1964 parameters for KCl (species 0 = K, 1 = Cl):
+  /// rho = 0.337 A, sigma_K = 1.463 A, sigma_Cl = 1.585 A, same Pauling
+  /// factors, c in 1e-79 J m^6: {24.3, 48, 124.5}, d in 1e-99 J m^8:
+  /// {24, 73, 250}.
+  static TosiFumiParameters kcl();
+
   /// Short-range pair energy phi_sr(r) in eV (no Coulomb term).
   double pair_energy(int ti, int tj, double r) const;
   /// Scalar s(r) = -phi_sr'(r)/r, so the force on i is s(r) * r_ij.

@@ -31,8 +31,30 @@ EwaldCoulomb::EwaldCoulomb(EwaldParameters params, double box)
     : params_(checked(params, box)),
       box_(box),
       beta_(params.alpha / box),
+      r_cut_per_box_(params.r_cut / box),
+      construction_box_(box),
+      construction_r_cut_(params.r_cut),
       kvectors_(box, params.alpha, params.lk_cut),
       real_cells_(box, params.r_cut) {}
+
+void EwaldCoulomb::set_box(double box) {
+  // The Ewald accuracy parameters are dimensionless in L: alpha = beta L,
+  // s1 = alpha r_cut / L, s2 from L k_cut. Scaling r_cut with the box
+  // keeps s1 (the real-space error) exactly constant under barostat moves —
+  // and keeps an r_cut clamped to L/2 at L/2 instead of tripping the
+  // validity check on the first volume contraction. r_cut is a pure
+  // function of the box — the fixed ratio times L, with the construction
+  // box mapping to the construction r_cut exactly ((r/L)*L can be 1 ulp
+  // off) — so restoring any previous box after a rejected volume move
+  // reproduces that box's r_cut bit for bit.
+  params_.r_cut = box == construction_box_ ? construction_r_cut_
+                                           : r_cut_per_box_ * box;
+  checked(params_, box);
+  box_ = box;
+  beta_ = params_.alpha / box;
+  kvectors_ = KVectorTable(box, params_.alpha, params_.lk_cut);
+  real_cells_ = CellList(box, params_.r_cut);
+}
 
 ForceResult EwaldCoulomb::add_real_space(const ParticleSystem& system,
                                          std::span<Vec3> forces) const {

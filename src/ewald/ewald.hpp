@@ -45,6 +45,15 @@ class EwaldCoulomb final : public ForceField {
                          std::span<Vec3> forces) override;
   std::string name() const override { return "ewald-coulomb"; }
 
+  /// Barostat coupling: alpha and L*k_cut are dimensionless in the paper's
+  /// conventions, so a volume change keeps the integer n set but rescales
+  /// beta = alpha/L, the dimensional k vectors, r_cut (the dimensionless
+  /// real-space accuracy s1 = alpha r_cut / L stays exactly constant; the
+  /// stored r_cut/L ratio makes a reject-and-restore volume move reproduce
+  /// the original r_cut bit for bit) and the real-space cell geometry.
+  /// Rebuilds are deterministic, so rejected moves stay bit-exact.
+  void set_box(double box) override;
+
   const EwaldParameters& parameters() const { return params_; }
   const KVectorTable& kvectors() const { return kvectors_; }
 
@@ -88,7 +97,10 @@ class EwaldCoulomb final : public ForceField {
  private:
   EwaldParameters params_;
   double box_;
-  double beta_;  ///< alpha / L, 1/A
+  double beta_;           ///< alpha / L, 1/A
+  double r_cut_per_box_;  ///< r_cut / L, fixed: set_box keeps s1 constant
+  double construction_box_;    ///< set_box maps this box back to the exact
+  double construction_r_cut_;  ///< construction r_cut ((r/L)*L rounds)
   KVectorTable kvectors_;
   ThreadPool* pool_ = nullptr;
 

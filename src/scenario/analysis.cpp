@@ -1,0 +1,216 @@
+#include "scenario/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/io.hpp"
+
+namespace mdm::scenario {
+
+namespace fs = std::filesystem;
+
+ScenarioAnalysis::ScenarioAnalysis(std::string name, int nstep)
+    : name_(std::move(name)), nstep_(nstep) {
+  if (nstep_ < 1) throw std::invalid_argument("analysis nstep must be >= 1");
+}
+
+void ScenarioAnalysis::sample(const ParticleSystem& system, const Sample& s) {
+  ++calls_;
+  if (calls_ % static_cast<std::uint64_t>(nstep_) != 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  do_sample(system, s);
+  ++fires_;
+  elapsed_ms_ += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+}
+
+std::string ScenarioAnalysis::finalize(const std::string& dir) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string path = do_finalize(dir);
+  elapsed_ms_ += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return path;
+}
+
+AnalysisSet::AnalysisSet(const ScenarioSpec& spec, std::string output_dir)
+    : output_dir_(std::move(output_dir)) {
+  for (const auto& a : spec.analyses) {
+    switch (a.kind) {
+      case AnalysisKind::kEnergy:
+        add(std::make_unique<EnergyAnalysis>(a));
+        break;
+      case AnalysisKind::kRdf:
+        add(std::make_unique<RdfAnalysis>(a, spec.species_index(a.species_a),
+                                          spec.species_index(a.species_b)));
+        break;
+      case AnalysisKind::kMsd:
+        add(std::make_unique<MsdAnalysis>(a));
+        break;
+      case AnalysisKind::kTrajectory:
+        add(std::make_unique<TrajectoryAnalysis>(a, output_dir_));
+        break;
+    }
+  }
+}
+
+void AnalysisSet::add(std::unique_ptr<ScenarioAnalysis> analysis) {
+  analyses_.push_back(std::move(analysis));
+}
+
+void AnalysisSet::sample(const ParticleSystem& system, const Sample& s) {
+  for (auto& a : analyses_) a->sample(system, s);
+}
+
+std::vector<std::string> AnalysisSet::finalize() {
+  std::vector<std::string> files;
+  if (!analyses_.empty() && !output_dir_.empty())
+    fs::create_directories(output_dir_);
+  for (auto& a : analyses_) {
+    std::string path = a->finalize(output_dir_);
+    if (!path.empty()) files.push_back(std::move(path));
+  }
+  return files;
+}
+
+std::string AnalysisSet::report() const {
+  double total_ms = 0.0;
+  for (const auto& a : analyses_) total_ms += a->elapsed_ms();
+  std::string out = "analysis cost (total " +
+                    std::to_string(total_ms) + " ms):\n";
+  for (const auto& a : analyses_) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-16s nstep=%-4d fires=%-6llu %8.2f ms  %5.1f%%\n",
+                  a->name().c_str(), a->nstep(),
+                  static_cast<unsigned long long>(a->fires()),
+                  a->elapsed_ms(),
+                  total_ms > 0.0 ? 100.0 * a->elapsed_ms() / total_ms : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+EnergyAnalysis::EnergyAnalysis(const AnalysisSpec& spec)
+    : ScenarioAnalysis(spec.name, spec.nstep), file_(spec.file) {}
+
+void EnergyAnalysis::do_sample(const ParticleSystem& system,
+                               const Sample& s) {
+  rows_.push_back({s, system.box()});
+}
+
+std::string EnergyAnalysis::do_finalize(const std::string& dir) {
+  if (rows_.empty()) return "";
+  const std::string path = (fs::path(dir) / file_).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write " + path);
+  std::fprintf(f,
+               "step,time_ps,temperature_K,kinetic_eV,potential_eV,"
+               "total_eV,pressure_GPa,box_A\n");
+  for (const auto& r : rows_)
+    std::fprintf(f, "%d,%.6f,%.6f,%.10g,%.10g,%.10g,%.10g,%.10g\n",
+                 r.sample.step, r.sample.time_ps, r.sample.temperature_K,
+                 r.sample.kinetic_eV, r.sample.potential_eV,
+                 r.sample.total_eV, r.sample.pressure_GPa, r.box);
+  std::fclose(f);
+  return path;
+}
+
+RdfAnalysis::RdfAnalysis(const AnalysisSpec& spec, int species_a,
+                         int species_b)
+    : ScenarioAnalysis(spec.name, spec.nstep),
+      file_(spec.file),
+      bins_(spec.bins),
+      r_max_(spec.r_max),
+      species_a_(species_a),
+      species_b_(species_b) {}
+
+void RdfAnalysis::do_sample(const ParticleSystem& system,
+                            const Sample& /*s*/) {
+  if (!rdf_) {
+    const double r_max =
+        r_max_ > 0.0 ? std::min(r_max_, 0.5 * system.box())
+                     : 0.45 * system.box();
+    rdf_ = std::make_unique<RadialDistribution>(r_max, bins_,
+                                                system.species_count());
+  }
+  rdf_->accumulate(system);
+}
+
+std::string RdfAnalysis::do_finalize(const std::string& dir) {
+  if (!rdf_ || rdf_->frames() == 0) return "";
+  const std::string path = (fs::path(dir) / file_).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write " + path);
+  const bool partial = species_a_ >= 0 && species_b_ >= 0;
+  std::fprintf(f, partial ? "r_A,g_total,g_partial\n" : "r_A,g_total\n");
+  const auto total = rdf_->total();
+  const auto pair =
+      partial ? rdf_->partial(species_a_, species_b_) : std::vector<double>{};
+  for (int bin = 0; bin < rdf_->bins(); ++bin) {
+    if (partial)
+      std::fprintf(f, "%.6f,%.8g,%.8g\n", rdf_->r(bin), total[bin],
+                   pair[bin]);
+    else
+      std::fprintf(f, "%.6f,%.8g\n", rdf_->r(bin), total[bin]);
+  }
+  std::fclose(f);
+  return path;
+}
+
+MsdAnalysis::MsdAnalysis(const AnalysisSpec& spec)
+    : ScenarioAnalysis(spec.name, spec.nstep), file_(spec.file) {}
+
+void MsdAnalysis::do_sample(const ParticleSystem& system, const Sample& s) {
+  if (!msd_) {
+    // First fire captures the reference configuration (MSD 0).
+    msd_ = std::make_unique<MeanSquaredDisplacement>(system);
+    t0_ps_ = s.time_ps;
+    rows_.push_back({s.step, s.time_ps, 0.0});
+    return;
+  }
+  rows_.push_back({s.step, s.time_ps, msd_->update(system)});
+}
+
+std::string MsdAnalysis::do_finalize(const std::string& dir) {
+  if (rows_.empty()) return "";
+  const std::string path = (fs::path(dir) / file_).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write " + path);
+  std::fprintf(f, "step,time_ps,msd_A2,diffusion_A2_per_fs\n");
+  for (const auto& r : rows_) {
+    const double elapsed_fs = (r.time_ps - t0_ps_) * 1e3;
+    std::fprintf(f, "%d,%.6f,%.8g,%.8g\n", r.step, r.time_ps, r.msd_A2,
+                 elapsed_fs > 0.0 ? r.msd_A2 / (6.0 * elapsed_fs) : 0.0);
+  }
+  std::fclose(f);
+  return path;
+}
+
+TrajectoryAnalysis::TrajectoryAnalysis(const AnalysisSpec& spec,
+                                       std::string output_dir)
+    : ScenarioAnalysis(spec.name, spec.nstep),
+      path_((fs::path(output_dir) / spec.file).string()) {}
+
+void TrajectoryAnalysis::do_sample(const ParticleSystem& system,
+                                   const Sample& s) {
+  if (!wrote_any_) {
+    // Frames stream during the run, so the directory must exist up front.
+    const auto parent = fs::path(path_).parent_path();
+    if (!parent.empty()) fs::create_directories(parent);
+  }
+  char comment[64];
+  std::snprintf(comment, sizeof comment, "step %d t=%.4f ps", s.step,
+                s.time_ps);
+  write_xyz_frame(path_, system, comment, /*append=*/wrote_any_);
+  wrote_any_ = true;
+}
+
+std::string TrajectoryAnalysis::do_finalize(const std::string& /*dir*/) {
+  return wrote_any_ ? path_ : "";
+}
+
+}  // namespace mdm::scenario

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file analysis.hpp
+/// ScenarioAnalysis sampler framework (modeled on the faunus Analysisbase):
+/// every sampler declares a cadence `nstep` in recorded production samples
+/// and fires on each nstep-th call, while the set keeps per-sampler
+/// wall-clock so a run can report where its analysis time went. Concrete
+/// samplers: RDF, MSD, energy/pressure/box time series, XYZ trajectory.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/particle_system.hpp"
+#include "core/rdf.hpp"
+#include "core/simulation.hpp"
+#include "scenario/spec.hpp"
+
+namespace mdm::scenario {
+
+class ScenarioAnalysis {
+ public:
+  ScenarioAnalysis(std::string name, int nstep);
+  virtual ~ScenarioAnalysis() = default;
+
+  /// Feed one recorded production sample. Counts the call and, on every
+  /// nstep-th one, times and runs the sampler — so N calls fire exactly
+  /// floor(N / nstep) times.
+  void sample(const ParticleSystem& system, const Sample& s);
+
+  /// Write this sampler's output file into `dir`; returns the path (empty
+  /// if the sampler produced nothing, e.g. zero fires).
+  std::string finalize(const std::string& dir);
+
+  const std::string& name() const { return name_; }
+  int nstep() const { return nstep_; }
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t fires() const { return fires_; }
+  double elapsed_ms() const { return elapsed_ms_; }
+
+ protected:
+  virtual void do_sample(const ParticleSystem& system, const Sample& s) = 0;
+  virtual std::string do_finalize(const std::string& dir) = 0;
+
+ private:
+  std::string name_;
+  int nstep_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t fires_ = 0;
+  double elapsed_ms_ = 0.0;
+};
+
+/// Ordered set of samplers sharing the fan-in point and the cost report.
+class AnalysisSet {
+ public:
+  /// Build the samplers a spec asks for. `output_dir` is where finalize
+  /// writes; trajectory samplers also stream frames there during the run.
+  AnalysisSet(const ScenarioSpec& spec, std::string output_dir);
+
+  void add(std::unique_ptr<ScenarioAnalysis> analysis);
+
+  void sample(const ParticleSystem& system, const Sample& s);
+
+  /// Finalize every sampler; returns the files written.
+  std::vector<std::string> finalize();
+
+  /// Human-readable relative-cost accounting: per sampler, fires and the
+  /// share of total analysis wall-clock (the Analysisbase "relative time"
+  /// column).
+  std::string report() const;
+
+  std::size_t size() const { return analyses_.size(); }
+  const ScenarioAnalysis& at(std::size_t i) const { return *analyses_[i]; }
+
+ private:
+  std::string output_dir_;
+  std::vector<std::unique_ptr<ScenarioAnalysis>> analyses_;
+};
+
+/// Energy / temperature / pressure / box time series -> CSV.
+class EnergyAnalysis final : public ScenarioAnalysis {
+ public:
+  EnergyAnalysis(const AnalysisSpec& spec);
+
+ protected:
+  void do_sample(const ParticleSystem& system, const Sample& s) override;
+  std::string do_finalize(const std::string& dir) override;
+
+ private:
+  struct Row {
+    Sample sample;
+    double box = 0.0;
+  };
+  std::string file_;
+  std::vector<Row> rows_;
+};
+
+/// Radial distribution function (total + optional partial) -> CSV.
+class RdfAnalysis final : public ScenarioAnalysis {
+ public:
+  RdfAnalysis(const AnalysisSpec& spec, int species_a, int species_b);
+
+ protected:
+  void do_sample(const ParticleSystem& system, const Sample& s) override;
+  std::string do_finalize(const std::string& dir) override;
+
+ private:
+  std::string file_;
+  int bins_;
+  double r_max_;  ///< 0 -> 0.45 L on first sample
+  int species_a_, species_b_;
+  std::unique_ptr<RadialDistribution> rdf_;  ///< lazy: needs box + species
+};
+
+/// Mean-squared displacement time series -> CSV.
+class MsdAnalysis final : public ScenarioAnalysis {
+ public:
+  MsdAnalysis(const AnalysisSpec& spec);
+
+ protected:
+  void do_sample(const ParticleSystem& system, const Sample& s) override;
+  std::string do_finalize(const std::string& dir) override;
+
+ private:
+  struct Row {
+    int step;
+    double time_ps;
+    double msd_A2;
+  };
+  std::string file_;
+  std::unique_ptr<MeanSquaredDisplacement> msd_;  ///< lazy: needs reference
+  double t0_ps_ = 0.0;
+  std::vector<Row> rows_;
+};
+
+/// XYZ trajectory streamed during the run (frames appended on each fire).
+class TrajectoryAnalysis final : public ScenarioAnalysis {
+ public:
+  TrajectoryAnalysis(const AnalysisSpec& spec, std::string output_dir);
+
+ protected:
+  void do_sample(const ParticleSystem& system, const Sample& s) override;
+  std::string do_finalize(const std::string& dir) override;
+
+ private:
+  std::string path_;
+  bool wrote_any_ = false;
+};
+
+}  // namespace mdm::scenario

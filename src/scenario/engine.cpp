@@ -1,0 +1,81 @@
+#include "scenario/engine.hpp"
+
+#include <optional>
+
+#include "core/checkpoint.hpp"
+#include "scenario/analysis.hpp"
+#include "scenario/builder.hpp"
+
+namespace mdm::scenario {
+
+namespace {
+struct CancelledSignal {};
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ScenarioOptions& options) {
+  ParticleSystem system = build_system(spec);
+  auto field = build_force_field(spec, system, options.pool);
+  auto barostat = build_barostat(spec);
+
+  Simulation sim(system, *field, build_protocol(spec));
+  if (barostat)
+    sim.set_barostat(barostat.get(), spec.ensemble.barostat_interval);
+
+  ScenarioResult out;
+  std::optional<CheckpointManager> checkpoints;
+  if (options.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
+    checkpoints.emplace(options.checkpoint_dir, options.keep_generations);
+    if (options.resume) {
+      if (auto latest = checkpoints->restore_latest();
+          latest && latest->size() == system.size() && latest->step > 0) {
+        sim.restore(*latest);
+        out.resumed_from_step = latest->step;
+      }
+    }
+    sim.enable_checkpointing(&*checkpoints, options.checkpoint_interval);
+  }
+
+  AnalysisSet analyses(spec, options.output_dir);
+  const int equilibration = spec.run.equilibration;
+  const int total = equilibration + spec.run.production;
+
+  double pressure_sum = 0.0;
+  double box_sum = 0.0;
+  std::size_t production_samples = 0;
+
+  try {
+    sim.run([&](const Sample& s) {
+      if (s.step > equilibration) {
+        analyses.sample(system, s);
+        pressure_sum += s.pressure_GPa;
+        box_sum += system.box();
+        ++production_samples;
+      }
+      if (options.on_sample) options.on_sample(s);
+      if (options.cancel && s.step < total &&
+          options.cancel->load(std::memory_order_relaxed))
+        throw CancelledSignal{};
+    });
+  } catch (const CancelledSignal&) {
+    out.cancelled = true;
+  }
+
+  out.samples = sim.samples();
+  if (production_samples > 0) {
+    out.mean_pressure_GPa =
+        pressure_sum / static_cast<double>(production_samples);
+    out.mean_box_A = box_sum / static_cast<double>(production_samples);
+  }
+  out.final_box_A = system.box();
+  if (spec.ensemble.kind == EnsembleKind::kNve)
+    out.nve_energy_drift = sim.nve_energy_drift();
+  out.outputs = analyses.finalize();
+  out.analysis_report = analyses.report();
+  out.positions.assign(system.positions().begin(), system.positions().end());
+  out.velocities.assign(system.velocities().begin(),
+                        system.velocities().end());
+  return out;
+}
+
+}  // namespace mdm::scenario

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file engine.hpp
+/// Run one scenario end to end: build the system and force field, execute
+/// the ensemble protocol (with the barostat wired in for NPT), feed every
+/// production sample through the AnalysisSet, and report means the tests
+/// and the service assert on (pressure, box). The serve runner dispatches
+/// scenario-carrying jobs here (serve/runner).
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "scenario/spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdm::scenario {
+
+struct ScenarioOptions {
+  ThreadPool* pool = nullptr;  ///< borrowed; nullptr = serial sweeps
+  /// Cooperative cancellation, polled at every recorded sample.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Directory for analysis outputs; empty runs the samplers but skips
+  /// finalize-time files (trajectory samplers then write into the cwd).
+  std::string output_dir;
+  std::function<void(const Sample&)> on_sample;
+  /// Rotating checkpoints (core/checkpoint v3, carries barostat state);
+  /// empty dir or interval 0 disables. `resume` restores the newest valid
+  /// generation before running.
+  std::string checkpoint_dir;
+  int checkpoint_interval = 0;
+  int keep_generations = 3;
+  bool resume = false;
+};
+
+struct ScenarioResult {
+  std::vector<Sample> samples;
+  bool cancelled = false;
+  std::uint64_t resumed_from_step = 0;
+  /// Means over the production phase (step > equilibration).
+  double mean_pressure_GPa = 0.0;
+  double mean_box_A = 0.0;
+  double final_box_A = 0.0;
+  double nve_energy_drift = 0.0;  ///< NVE ensemble only
+  std::string analysis_report;
+  std::vector<std::string> outputs;  ///< analysis files written
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+};
+
+/// Execute `spec`. The spec must already be validated (scenario/parser does
+/// this; call validate() for specs built in code).
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ScenarioOptions& options = {});
+
+}  // namespace mdm::scenario

@@ -1,0 +1,52 @@
+#include "scenario/parallel.hpp"
+
+#include "core/tosi_fumi.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/parser.hpp"
+
+namespace mdm::scenario {
+
+bool parallel_expressible(const ScenarioSpec& spec) {
+  return spec.system.kind == SystemKind::kLattice &&
+         spec.forcefield.kind != ForceFieldKind::kLennardJones &&
+         spec.forcefield.coulomb &&
+         spec.ensemble.kind != EnsembleKind::kNpt &&
+         spec.ensemble.thermostat == ThermostatKind::kVelocityScaling;
+}
+
+void apply_to_parallel_app(const ScenarioSpec& spec,
+                           host::ParallelAppConfig& config) {
+  if (spec.system.kind != SystemKind::kLattice)
+    throw ScenarioError(
+        "parallel runs need a lattice system (random placement does not "
+        "domain-decompose deterministically)");
+  if (spec.forcefield.kind == ForceFieldKind::kLennardJones)
+    throw ScenarioError(
+        "parallel runs support the Tosi-Fumi salts only (lennard-jones is "
+        "single-process for now)");
+  if (!spec.forcefield.coulomb)
+    throw ScenarioError("parallel runs require coulomb = true");
+  if (spec.ensemble.kind == EnsembleKind::kNpt)
+    throw ScenarioError(
+        "parallel runs do not support npt (box changes do not decompose)");
+  if (spec.ensemble.thermostat != ThermostatKind::kVelocityScaling)
+    throw ScenarioError(
+        "parallel runs support the velocity-scaling thermostat only");
+
+  config.protocol = build_protocol(spec);
+  const double box = spec.system.cells * spec.system.lattice_constant;
+  const double n =
+      8.0 * spec.system.cells * spec.system.cells * spec.system.cells;
+  EwaldParameters params =
+      spec.forcefield.alpha > 0.0
+          ? parameters_from_alpha(spec.forcefield.alpha, box)
+          : software_parameters(n, box);
+  if (spec.forcefield.r_cut > 0.0) params.r_cut = spec.forcefield.r_cut;
+  config.ewald = clamp_to_box(params, box);
+  config.include_tosi_fumi = true;
+  config.tosi_fumi = spec.forcefield.kind == ForceFieldKind::kTosiFumiNaCl
+                         ? TosiFumiParameters::nacl()
+                         : TosiFumiParameters::kcl();
+}
+
+}  // namespace mdm::scenario

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Bridge a ScenarioSpec onto the parallel machine (host/parallel_app).
+/// The domain-decomposed emulator path supports the salts the hardware was
+/// built for — rock-salt lattices under Ewald + Tosi-Fumi in NVE/NVT — so
+/// this adapter validates expressibility with named errors instead of
+/// silently dropping spec features (NPT box changes do not decompose).
+
+#include "host/parallel_app.hpp"
+#include "scenario/spec.hpp"
+
+namespace mdm::scenario {
+
+/// True when the spec can run through MdmParallelApp.
+bool parallel_expressible(const ScenarioSpec& spec);
+
+/// Fill `config`'s physics fields (protocol, Ewald, Tosi-Fumi) from the
+/// spec. Topology/backend/fault knobs are left to the caller. Throws
+/// ScenarioError naming the unsupported feature when the spec cannot run
+/// on the parallel machine; build the system with build_system(spec).
+void apply_to_parallel_app(const ScenarioSpec& spec,
+                           host::ParallelAppConfig& config);
+
+}  // namespace mdm::scenario

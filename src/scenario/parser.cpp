@@ -1,0 +1,389 @@
+#include "scenario/parser.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+
+#include "core/lennard_jones.hpp"
+
+namespace mdm::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strip a trailing `# comment` that is not inside a quoted string.
+std::string strip_comment(const std::string& s) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') quoted = !quoted;
+    if (s[i] == '#' && !quoted) return s.substr(0, i);
+  }
+  return s;
+}
+
+struct Cursor {
+  const std::string& origin;
+  int line = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ScenarioError(origin + ":" + std::to_string(line) + ": " + what);
+  }
+};
+
+double parse_double(const Cursor& at, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    at.fail("key '" + key + "' expects a number, got '" + value + "'");
+  return v;
+}
+
+int parse_int(const Cursor& at, const std::string& key,
+              const std::string& value) {
+  const double v = parse_double(at, key, value);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v)
+    at.fail("key '" + key + "' expects an integer, got '" + value + "'");
+  return i;
+}
+
+std::uint64_t parse_u64(const Cursor& at, const std::string& key,
+                        const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    at.fail("key '" + key + "' expects an unsigned integer, got '" + value +
+            "'");
+  return v;
+}
+
+bool parse_bool(const Cursor& at, const std::string& key,
+                const std::string& value) {
+  if (value == "true") return true;
+  if (value == "false") return false;
+  at.fail("key '" + key + "' expects true or false, got '" + value + "'");
+}
+
+std::string parse_string(const Cursor& at, const std::string& key,
+                         const std::string& value) {
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"')
+    return value.substr(1, value.size() - 2);
+  if (value.find('"') != std::string::npos)
+    at.fail("key '" + key + "' has an unterminated string: " + value);
+  return value;
+}
+
+[[noreturn]] void unknown_key(const Cursor& at, const std::string& section,
+                              const std::string& key) {
+  at.fail("unknown key '" + key + "' in [" + section + "]");
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const std::string& text,
+                            const std::string& origin) {
+  ScenarioSpec spec;
+  // Scenario-file defaults favour explicitness: schedule/temperature come
+  // from the file, not the struct defaults above (which serve in-code
+  // construction). Keep struct defaults — they match the bundled specs.
+
+  Cursor at{origin, 0};
+  std::istringstream in(text);
+  std::string raw;
+
+  std::string section;      // "scenario", "species", "system", ...
+  std::string sub;          // species / analysis instance name
+  SpeciesSpec* species = nullptr;
+  AnalysisSpec* analysis = nullptr;
+
+  while (std::getline(in, raw)) {
+    ++at.line;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        at.fail("malformed section header: " + line);
+      const std::string inner = trim(line.substr(1, line.size() - 2));
+      const auto dot = inner.find('.');
+      section = dot == std::string::npos ? inner : inner.substr(0, dot);
+      sub = dot == std::string::npos ? "" : trim(inner.substr(dot + 1));
+      species = nullptr;
+      analysis = nullptr;
+
+      if (section == "species") {
+        if (sub.empty()) at.fail("[species] needs a name: [species.Na]");
+        if (spec.species_index(sub) >= 0)
+          at.fail("duplicate species '" + sub + "'");
+        spec.species.push_back(SpeciesSpec{});
+        spec.species.back().name = sub;
+        species = &spec.species.back();
+      } else if (section == "analysis") {
+        if (sub.empty())
+          at.fail("[analysis] needs an instance name: [analysis.rdf1]");
+        for (const auto& a : spec.analyses)
+          if (a.name == sub) at.fail("duplicate analysis '" + sub + "'");
+        spec.analyses.push_back(AnalysisSpec{});
+        spec.analyses.back().name = sub;
+        analysis = &spec.analyses.back();
+      } else if (section != "scenario" && section != "system" &&
+                 section != "forcefield" && section != "ensemble" &&
+                 section != "run") {
+        at.fail("unknown section [" + inner + "]");
+      } else if (!sub.empty()) {
+        at.fail("section [" + section + "] takes no sub-name");
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      at.fail("expected 'key = value', got: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) at.fail("empty key in: " + line);
+    if (value.empty()) at.fail("key '" + key + "' has no value");
+    if (section.empty())
+      at.fail("key '" + key + "' outside any [section]");
+
+    if (section == "scenario") {
+      if (key == "name") spec.name = parse_string(at, key, value);
+      else unknown_key(at, section, key);
+    } else if (section == "species") {
+      auto& s = *species;
+      if (key == "mass") s.mass = parse_double(at, key, value);
+      else if (key == "charge") s.charge = parse_double(at, key, value);
+      else if (key == "sigma") s.sigma = parse_double(at, key, value);
+      else if (key == "eps") s.eps = parse_double(at, key, value);
+      else if (key == "count") s.count = parse_int(at, key, value);
+      else unknown_key(at, section + "." + sub, key);
+    } else if (section == "system") {
+      auto& s = spec.system;
+      if (key == "kind") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "lattice") s.kind = SystemKind::kLattice;
+        else if (v == "random") s.kind = SystemKind::kRandom;
+        else at.fail("system kind must be lattice or random, got '" + v + "'");
+      } else if (key == "cells") s.cells = parse_int(at, key, value);
+      else if (key == "lattice_constant")
+        s.lattice_constant = parse_double(at, key, value);
+      else if (key == "box") s.box = parse_double(at, key, value);
+      else if (key == "min_distance")
+        s.min_distance = parse_double(at, key, value);
+      else if (key == "seed") s.seed = parse_u64(at, key, value);
+      else unknown_key(at, section, key);
+    } else if (section == "forcefield") {
+      auto& f = spec.forcefield;
+      if (key == "kind") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "tosi-fumi-nacl") f.kind = ForceFieldKind::kTosiFumiNaCl;
+        else if (v == "tosi-fumi-kcl") f.kind = ForceFieldKind::kTosiFumiKCl;
+        else if (v == "lennard-jones") f.kind = ForceFieldKind::kLennardJones;
+        else at.fail("forcefield kind must be tosi-fumi-nacl, tosi-fumi-kcl "
+                     "or lennard-jones, got '" + v + "'");
+      } else if (key == "coulomb") f.coulomb = parse_bool(at, key, value);
+      else if (key == "alpha") f.alpha = parse_double(at, key, value);
+      else if (key == "r_cut") f.r_cut = parse_double(at, key, value);
+      else if (key == "shift_energy")
+        f.shift_energy = parse_bool(at, key, value);
+      else unknown_key(at, section, key);
+    } else if (section == "ensemble") {
+      auto& e = spec.ensemble;
+      if (key == "kind") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "nve") e.kind = EnsembleKind::kNve;
+        else if (v == "nvt") e.kind = EnsembleKind::kNvt;
+        else if (v == "npt") e.kind = EnsembleKind::kNpt;
+        else at.fail("ensemble kind must be nve, nvt or npt, got '" + v +
+                     "'");
+      } else if (key == "thermostat") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "velocity-scaling")
+          e.thermostat = ThermostatKind::kVelocityScaling;
+        else if (v == "berendsen") e.thermostat = ThermostatKind::kBerendsen;
+        else at.fail("thermostat must be velocity-scaling or berendsen, "
+                     "got '" + v + "'");
+      } else if (key == "thermostat_tau_fs")
+        e.thermostat_tau_fs = parse_double(at, key, value);
+      else if (key == "barostat") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "berendsen") e.barostat = BarostatKind::kBerendsen;
+        else if (v == "monte-carlo") e.barostat = BarostatKind::kMonteCarlo;
+        else at.fail("barostat must be berendsen or monte-carlo, got '" + v +
+                     "'");
+      } else if (key == "pressure_GPa")
+        e.pressure_GPa = parse_double(at, key, value);
+      else if (key == "barostat_tau_fs")
+        e.barostat_tau_fs = parse_double(at, key, value);
+      else if (key == "compressibility_per_GPa")
+        e.compressibility_per_GPa = parse_double(at, key, value);
+      else if (key == "max_volume_change")
+        e.max_volume_change = parse_double(at, key, value);
+      else if (key == "barostat_interval")
+        e.barostat_interval = parse_int(at, key, value);
+      else if (key == "barostat_seed")
+        e.barostat_seed = parse_u64(at, key, value);
+      else unknown_key(at, section, key);
+    } else if (section == "run") {
+      auto& r = spec.run;
+      if (key == "dt_fs") r.dt_fs = parse_double(at, key, value);
+      else if (key == "equilibration")
+        r.equilibration = parse_int(at, key, value);
+      else if (key == "production") r.production = parse_int(at, key, value);
+      else if (key == "temperature_K")
+        r.temperature_K = parse_double(at, key, value);
+      else if (key == "sample_interval")
+        r.sample_interval = parse_int(at, key, value);
+      else if (key == "rescale_interval")
+        r.rescale_interval = parse_int(at, key, value);
+      else unknown_key(at, section, key);
+    } else if (section == "analysis") {
+      auto& a = *analysis;
+      if (key == "kind") {
+        const std::string v = parse_string(at, key, value);
+        if (v == "rdf") a.kind = AnalysisKind::kRdf;
+        else if (v == "msd") a.kind = AnalysisKind::kMsd;
+        else if (v == "energy") a.kind = AnalysisKind::kEnergy;
+        else if (v == "trajectory") a.kind = AnalysisKind::kTrajectory;
+        else at.fail("analysis kind must be rdf, msd, energy or trajectory, "
+                     "got '" + v + "'");
+      } else if (key == "nstep") a.nstep = parse_int(at, key, value);
+      else if (key == "file") a.file = parse_string(at, key, value);
+      else if (key == "bins") a.bins = parse_int(at, key, value);
+      else if (key == "r_max") a.r_max = parse_double(at, key, value);
+      else if (key == "species_a") a.species_a = parse_string(at, key, value);
+      else if (key == "species_b") a.species_b = parse_string(at, key, value);
+      else unknown_key(at, section + "." + sub, key);
+    }
+  }
+
+  validate(spec, origin);
+  return spec;
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenario(text.str(), path);
+}
+
+void validate(const ScenarioSpec& spec, const std::string& origin) {
+  const auto fail = [&origin](const std::string& what) {
+    throw ScenarioError(origin + ": " + what);
+  };
+
+  if (spec.species.empty()) fail("no [species.*] sections");
+  for (const auto& s : spec.species) {
+    if (!(s.mass > 0.0))
+      fail("species '" + s.name + "' needs a positive mass");
+    if (s.sigma < 0.0)
+      fail("species '" + s.name + "' has negative sigma");
+    if (s.eps < 0.0) fail("species '" + s.name + "' has negative eps");
+    if (s.count < 0) fail("species '" + s.name + "' has negative count");
+  }
+  if (spec.species.size() >
+      static_cast<std::size_t>(LennardJonesParameters::kMaxSpecies))
+    fail("too many species (max " +
+         std::to_string(LennardJonesParameters::kMaxSpecies) + ")");
+
+  const bool tosi_fumi = spec.forcefield.kind != ForceFieldKind::kLennardJones;
+  if (tosi_fumi && spec.species.size() != 2)
+    fail("tosi-fumi force fields take exactly 2 species (cation, anion)");
+  if (spec.forcefield.kind == ForceFieldKind::kLennardJones)
+    for (const auto& s : spec.species)
+      if (!(s.sigma > 0.0))
+        fail("lennard-jones needs sigma > 0 for species '" + s.name + "'");
+  if (spec.forcefield.alpha < 0.0) fail("forcefield alpha must be >= 0");
+  if (spec.forcefield.r_cut < 0.0) fail("forcefield r_cut must be >= 0");
+
+  double total_charge = 0.0;
+  long long total_count = 0;
+  if (spec.system.kind == SystemKind::kLattice) {
+    if (spec.species.size() != 2)
+      fail("lattice placement takes exactly 2 species (cation, anion)");
+    if (spec.system.cells < 1) fail("system cells must be >= 1");
+    if (!(spec.system.lattice_constant > 0.0))
+      fail("lattice_constant must be positive");
+    const long long per_species =
+        4LL * spec.system.cells * spec.system.cells * spec.system.cells;
+    total_count = 2 * per_species;
+    total_charge = static_cast<double>(per_species) *
+                   (spec.species[0].charge + spec.species[1].charge);
+  } else {
+    if (!(spec.system.box > 0.0))
+      fail("random placement needs a positive box");
+    if (spec.system.min_distance < 0.0)
+      fail("min_distance must be >= 0");
+    for (const auto& s : spec.species) {
+      total_count += s.count;
+      total_charge += s.count * s.charge;
+    }
+    if (total_count < 1)
+      fail("random placement needs at least one species count > 0");
+    // Hard-sphere packing sanity: random insertion at min_distance d cannot
+    // realistically exceed ~half the close-packing fraction.
+    const double v = spec.system.box * spec.system.box * spec.system.box;
+    const double d = spec.system.min_distance;
+    const double packing = static_cast<double>(total_count) *
+                           (std::numbers::pi / 6.0) * d * d * d / v;
+    if (packing > 0.3)
+      fail("insert-N is over-packed: " + std::to_string(total_count) +
+           " particles at min_distance " + std::to_string(d) +
+           " A fill fraction " + std::to_string(packing) +
+           " of the box (limit 0.3)");
+  }
+  if (spec.forcefield.coulomb && std::fabs(total_charge) > 1e-9)
+    fail("coulomb system is not charge neutral (total charge " +
+         std::to_string(total_charge) + " e)");
+
+  const auto& e = spec.ensemble;
+  if (!(e.thermostat_tau_fs > 0.0)) fail("thermostat_tau_fs must be > 0");
+  if (e.kind == EnsembleKind::kNpt) {
+    if (e.barostat_interval < 1) fail("barostat_interval must be >= 1");
+    if (e.barostat == BarostatKind::kBerendsen) {
+      if (!(e.barostat_tau_fs > 0.0)) fail("barostat_tau_fs must be > 0");
+      if (!(e.compressibility_per_GPa > 0.0))
+        fail("compressibility_per_GPa must be > 0");
+    } else {
+      if (!(e.max_volume_change > 0.0) || !(e.max_volume_change < 0.5))
+        fail("max_volume_change must be in (0, 0.5)");
+    }
+  }
+
+  const auto& r = spec.run;
+  if (!(r.dt_fs > 0.0)) fail("run dt_fs must be positive");
+  if (r.equilibration < 0 || r.production < 0)
+    fail("equilibration/production must be >= 0");
+  if (!(r.temperature_K > 0.0)) fail("temperature_K must be positive");
+  if (r.sample_interval < 1 || r.rescale_interval < 1)
+    fail("sample_interval/rescale_interval must be >= 1");
+
+  for (const auto& a : spec.analyses) {
+    if (a.nstep < 1) fail("analysis '" + a.name + "' needs nstep >= 1");
+    if (a.file.empty()) fail("analysis '" + a.name + "' needs a file");
+    if (a.kind == AnalysisKind::kRdf) {
+      if (a.bins < 1) fail("analysis '" + a.name + "' needs bins >= 1");
+      if (a.r_max < 0.0) fail("analysis '" + a.name + "' has negative r_max");
+      if (a.species_a.empty() != a.species_b.empty())
+        fail("analysis '" + a.name +
+             "' needs both species_a and species_b (or neither)");
+      for (const auto* name : {&a.species_a, &a.species_b})
+        if (!name->empty() && spec.species_index(*name) < 0)
+          fail("analysis '" + a.name + "' references unknown species '" +
+               *name + "'");
+    }
+  }
+}
+
+}  // namespace mdm::scenario

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file parser.hpp
+/// Flat TOML-like scenario parser (DESIGN.md §14): `[section]` /
+/// `[section.sub]` headers, `key = value` lines, `#` comments, quoted or
+/// bare strings, no external dependencies. Every failure throws
+/// ScenarioError naming the file, line and offending token — specs are
+/// user input, so "unknown key 'sigm' in [species.Na]" beats a silent
+/// default.
+
+#include <stdexcept>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace mdm::scenario {
+
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a scenario from text. `origin` names the source in error messages
+/// (file path, "<inline>", ...). Performs full semantic validation: unknown
+/// sections/keys, negative sigma/mass, non-neutral Coulomb systems,
+/// over-packed insert-N requests and inconsistent analyses all throw.
+ScenarioSpec parse_scenario(const std::string& text,
+                            const std::string& origin = "<inline>");
+
+/// Read and parse a scenario file.
+ScenarioSpec parse_scenario_file(const std::string& path);
+
+/// Semantic validation only (parse_scenario already runs this; exposed for
+/// specs built in code). Throws ScenarioError on the first violation.
+void validate(const ScenarioSpec& spec, const std::string& origin = "<spec>");
+
+}  // namespace mdm::scenario

@@ -1,0 +1,176 @@
+#include "scenario/spec.hpp"
+
+#include <cstdio>
+
+namespace mdm::scenario {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += " = \"";
+  out += value;
+  out += "\"\n";
+}
+
+void append_kv(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += key;
+  out += " = ";
+  out += buf;
+  out += "\n";
+}
+
+void append_kv(std::string& out, const char* key, int value) {
+  out += key;
+  out += " = ";
+  out += std::to_string(value);
+  out += "\n";
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value) {
+  out += key;
+  out += " = ";
+  out += std::to_string(value);
+  out += "\n";
+}
+
+void append_kv(std::string& out, const char* key, bool value) {
+  out += key;
+  out += " = ";
+  out += value ? "true" : "false";
+  out += "\n";
+}
+
+}  // namespace
+
+std::string to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kLattice: return "lattice";
+    case SystemKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::string to_string(ForceFieldKind kind) {
+  switch (kind) {
+    case ForceFieldKind::kTosiFumiNaCl: return "tosi-fumi-nacl";
+    case ForceFieldKind::kTosiFumiKCl: return "tosi-fumi-kcl";
+    case ForceFieldKind::kLennardJones: return "lennard-jones";
+  }
+  return "?";
+}
+
+std::string to_string(EnsembleKind kind) {
+  switch (kind) {
+    case EnsembleKind::kNve: return "nve";
+    case EnsembleKind::kNvt: return "nvt";
+    case EnsembleKind::kNpt: return "npt";
+  }
+  return "?";
+}
+
+std::string to_string(BarostatKind kind) {
+  switch (kind) {
+    case BarostatKind::kBerendsen: return "berendsen";
+    case BarostatKind::kMonteCarlo: return "monte-carlo";
+  }
+  return "?";
+}
+
+std::string to_string(ThermostatKind kind) {
+  switch (kind) {
+    case ThermostatKind::kVelocityScaling: return "velocity-scaling";
+    case ThermostatKind::kBerendsen: return "berendsen";
+  }
+  return "?";
+}
+
+std::string to_string(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kRdf: return "rdf";
+    case AnalysisKind::kMsd: return "msd";
+    case AnalysisKind::kEnergy: return "energy";
+    case AnalysisKind::kTrajectory: return "trajectory";
+  }
+  return "?";
+}
+
+int ScenarioSpec::species_index(const std::string& species_name) const {
+  for (std::size_t i = 0; i < species.size(); ++i)
+    if (species[i].name == species_name) return static_cast<int>(i);
+  return -1;
+}
+
+std::string ScenarioSpec::canonical_text() const {
+  std::string out;
+  out += "[scenario]\n";
+  append_kv(out, "name", name);
+
+  for (const auto& s : species) {
+    out += "\n[species." + s.name + "]\n";
+    append_kv(out, "mass", s.mass);
+    append_kv(out, "charge", s.charge);
+    append_kv(out, "sigma", s.sigma);
+    append_kv(out, "eps", s.eps);
+    append_kv(out, "count", s.count);
+  }
+
+  out += "\n[system]\n";
+  append_kv(out, "kind", to_string(system.kind));
+  if (system.kind == SystemKind::kLattice) {
+    append_kv(out, "cells", system.cells);
+    append_kv(out, "lattice_constant", system.lattice_constant);
+  } else {
+    append_kv(out, "box", system.box);
+    append_kv(out, "min_distance", system.min_distance);
+  }
+  append_kv(out, "seed", system.seed);
+
+  out += "\n[forcefield]\n";
+  append_kv(out, "kind", to_string(forcefield.kind));
+  append_kv(out, "coulomb", forcefield.coulomb);
+  append_kv(out, "alpha", forcefield.alpha);
+  append_kv(out, "r_cut", forcefield.r_cut);
+  append_kv(out, "shift_energy", forcefield.shift_energy);
+
+  out += "\n[ensemble]\n";
+  append_kv(out, "kind", to_string(ensemble.kind));
+  append_kv(out, "thermostat", to_string(ensemble.thermostat));
+  append_kv(out, "thermostat_tau_fs", ensemble.thermostat_tau_fs);
+  if (ensemble.kind == EnsembleKind::kNpt) {
+    append_kv(out, "barostat", to_string(ensemble.barostat));
+    append_kv(out, "pressure_GPa", ensemble.pressure_GPa);
+    append_kv(out, "barostat_tau_fs", ensemble.barostat_tau_fs);
+    append_kv(out, "compressibility_per_GPa",
+              ensemble.compressibility_per_GPa);
+    append_kv(out, "max_volume_change", ensemble.max_volume_change);
+    append_kv(out, "barostat_interval", ensemble.barostat_interval);
+    append_kv(out, "barostat_seed", ensemble.barostat_seed);
+  }
+
+  out += "\n[run]\n";
+  append_kv(out, "dt_fs", run.dt_fs);
+  append_kv(out, "equilibration", run.equilibration);
+  append_kv(out, "production", run.production);
+  append_kv(out, "temperature_K", run.temperature_K);
+  append_kv(out, "sample_interval", run.sample_interval);
+  append_kv(out, "rescale_interval", run.rescale_interval);
+
+  for (const auto& a : analyses) {
+    out += "\n[analysis." + a.name + "]\n";
+    append_kv(out, "kind", to_string(a.kind));
+    append_kv(out, "nstep", a.nstep);
+    append_kv(out, "file", a.file);
+    if (a.kind == AnalysisKind::kRdf) {
+      append_kv(out, "bins", a.bins);
+      append_kv(out, "r_max", a.r_max);
+      if (!a.species_a.empty()) append_kv(out, "species_a", a.species_a);
+      if (!a.species_b.empty()) append_kv(out, "species_b", a.species_b);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdm::scenario

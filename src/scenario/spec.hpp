@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative scenario description (DESIGN.md §14). A scenario is the
+/// workload unit the MDM service accepts: species with per-atom force
+/// parameters, how to build the initial configuration, the force field and
+/// mixing rule, the ensemble (NVE / NVT / the NPT barostats of
+/// core/barostat), the run schedule, and a list of samplers. Parsed from a
+/// flat TOML-like text (scenario/parser) and serialized back canonically so
+/// the fleet result cache can key on the exact physics
+/// (`ScenarioSpec::canonical_text`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+
+namespace mdm::scenario {
+
+/// One atom species: identity plus the per-atom force-field inputs. sigma
+/// and eps feed Lorentz-Berthelot mixing for the Lennard-Jones force field;
+/// the Tosi-Fumi salts carry their own published pair tables and ignore
+/// them. `count` is used by insert-N random placement only.
+struct SpeciesSpec {
+  std::string name;
+  double mass = 0.0;    ///< amu
+  double charge = 0.0;  ///< e
+  double sigma = 0.0;   ///< A (LJ mixing)
+  double eps = 0.0;     ///< eV (LJ mixing)
+  int count = 0;        ///< particles to insert (random placement)
+};
+
+enum class SystemKind { kLattice, kRandom };
+
+struct SystemSpec {
+  SystemKind kind = SystemKind::kLattice;
+  /// Lattice placement: n x n x n rock-salt supercell of the two species
+  /// (first = cation, second = anion).
+  int cells = 3;
+  double lattice_constant = kPaperLatticeConstant;  ///< A
+  /// Random placement: cubic box edge and the minimum allowed pair
+  /// distance during insertion (overlap rejection).
+  double box = 0.0;           ///< A
+  double min_distance = 2.0;  ///< A
+  std::uint64_t seed = 1;     ///< velocity + placement stream
+};
+
+enum class ForceFieldKind { kTosiFumiNaCl, kTosiFumiKCl, kLennardJones };
+
+struct ForceFieldSpec {
+  ForceFieldKind kind = ForceFieldKind::kTosiFumiNaCl;
+  /// Full Coulomb via Ewald summation. Defaults on for the salts; an LJ
+  /// mixture of neutral species runs without it.
+  bool coulomb = true;
+  /// Dimensionless Ewald splitting parameter; 0 selects the flop-balanced
+  /// software alpha (ewald/parameters).
+  double alpha = 0.0;
+  /// Short-range cutoff override in A; 0 derives it (Ewald accuracy for
+  /// Coulomb runs, 2.5 max-sigma for pure LJ), always clamped to L/2.
+  double r_cut = 0.0;
+  /// Shift the short-range energy to zero at the cutoff.
+  bool shift_energy = true;
+};
+
+enum class EnsembleKind { kNve, kNvt, kNpt };
+enum class BarostatKind { kBerendsen, kMonteCarlo };
+
+struct EnsembleSpec {
+  EnsembleKind kind = EnsembleKind::kNve;
+  ThermostatKind thermostat = ThermostatKind::kVelocityScaling;
+  double thermostat_tau_fs = 100.0;  ///< Berendsen thermostat only
+  /// NPT only.
+  BarostatKind barostat = BarostatKind::kBerendsen;
+  double pressure_GPa = 0.0;
+  double barostat_tau_fs = 500.0;            ///< Berendsen barostat
+  double compressibility_per_GPa = 0.05;     ///< Berendsen barostat
+  double max_volume_change = 0.02;           ///< MC moves, fraction of V
+  int barostat_interval = 10;                ///< steps between couplings
+  std::uint64_t barostat_seed = 2026;        ///< MC volume-move stream
+};
+
+struct RunSpec {
+  double dt_fs = 2.0;
+  int equilibration = 200;  ///< thermostatted steps
+  int production = 100;     ///< NVE tail (nve) / further sampling (nvt, npt)
+  double temperature_K = 1200.0;
+  int sample_interval = 1;
+  int rescale_interval = 1;
+};
+
+enum class AnalysisKind { kRdf, kMsd, kEnergy, kTrajectory };
+
+/// One sampler instance: `nstep` is the cadence in *recorded samples* (the
+/// neofaunus Analysisbase convention) — the sampler fires on every nstep-th
+/// production sample.
+struct AnalysisSpec {
+  std::string name;  ///< instance name ([analysis.<name>] section)
+  AnalysisKind kind = AnalysisKind::kEnergy;
+  int nstep = 10;
+  std::string file;  ///< output file name inside the run's output directory
+  /// RDF only.
+  int bins = 90;
+  double r_max = 0.0;  ///< A; 0 selects 0.45 L
+  std::string species_a, species_b;  ///< optional partial g_ab
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::vector<SpeciesSpec> species;
+  SystemSpec system;
+  ForceFieldSpec forcefield;
+  EnsembleSpec ensemble;
+  RunSpec run;
+  std::vector<AnalysisSpec> analyses;
+
+  /// Index of a species by name, -1 if absent.
+  int species_index(const std::string& species_name) const;
+
+  /// Deterministic serialization: fixed section/key order, %.17g doubles —
+  /// equal specs produce equal text, so the fleet result cache and the
+  /// duplicate-job detector key on it. The output is itself a valid
+  /// scenario file (parse(canonical_text()) round-trips).
+  std::string canonical_text() const;
+};
+
+/// Names for the enums (used by the parser, canonical_text and messages).
+std::string to_string(SystemKind kind);
+std::string to_string(ForceFieldKind kind);
+std::string to_string(EnsembleKind kind);
+std::string to_string(BarostatKind kind);
+std::string to_string(ThermostatKind kind);
+std::string to_string(AnalysisKind kind);
+
+}  // namespace mdm::scenario

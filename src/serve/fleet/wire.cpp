@@ -207,6 +207,8 @@ std::vector<char> encode_submit(std::uint64_t job_id, const JobSpec& spec) {
   w.put(static_cast<std::int32_t>(spec.checkpoint_interval));
   put_string(w, spec.checkpoint_dir);
   w.put(static_cast<std::uint8_t>(spec.resume_manifest ? 1 : 0));
+  put_string(w, spec.scenario);
+  put_string(w, spec.analysis_dir);
   return std::move(w.bytes());
 }
 
@@ -232,6 +234,8 @@ void decode_submit(const Frame& frame, std::uint64_t& job_id, JobSpec& spec) {
   spec.checkpoint_interval = r.get<std::int32_t>("checkpoint interval");
   spec.checkpoint_dir = get_string(r, "checkpoint dir");
   spec.resume_manifest = r.get<std::uint8_t>("resume manifest") != 0;
+  spec.scenario = get_string(r, "scenario");
+  spec.analysis_dir = get_string(r, "analysis dir");
 }
 
 std::vector<char> encode_reject(std::uint64_t job_id,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/trace.hpp"
+#include "scenario/parser.hpp"
 
 namespace mdm::serve {
 namespace {
@@ -42,6 +43,23 @@ std::string canonical_job_key(const JobSpec& spec) {
   append_kv(key, "pmegrid", std::to_string(spec.pme_grid));
   append_kv(key, "pmeorder", std::to_string(spec.pme_order));
   append_kv(key, "backend", std::to_string(static_cast<int>(spec.backend)));
+  if (!spec.scenario.empty()) {
+    // The *full canonical* scenario text, so two scenarios differing in any
+    // physics field — even one the flat fields above cannot express — can
+    // never share a key (and thus never collide in the fleet result cache).
+    // Canonicalising first (fixed section/key order, %.17g doubles) makes
+    // the key independent of comment/whitespace/ordering differences; an
+    // unparsable text falls back to the raw string, which still separates
+    // distinct inputs. analysis_dir stays excluded: it changes where the
+    // analysis files land, never the trajectory.
+    std::string canonical;
+    try {
+      canonical = scenario::parse_scenario(spec.scenario).canonical_text();
+    } catch (const scenario::ScenarioError&) {
+      canonical = spec.scenario;
+    }
+    append_kv(key, "scenario", canonical);
+  }
   return key;
 }
 

@@ -70,6 +70,18 @@ struct JobSpec {
   double deadline_ms = 0.0;
 
   // ---- workload ----
+  /// Declarative scenario text (src/scenario spec grammar). Non-empty runs
+  /// the job through the scenario engine — config-driven species, ensemble
+  /// (incl. NPT) and analysis — instead of the fixed NaCl-melt fields
+  /// below, which are then ignored. The canonical job key incorporates the
+  /// *canonicalised* scenario text, so two different scenarios can never
+  /// collide in the fleet result cache.
+  std::string scenario;
+  /// Scenario path only: directory for analysis outputs (RDF/MSD/energy
+  /// CSVs, XYZ trajectory). Empty skips file outputs. Excluded from the
+  /// canonical key — it changes where results land, never what is computed.
+  std::string analysis_dir;
+
   int cells = 1;                  ///< n^3 NaCl supercell (8 n^3 ions)
   int nvt_steps = 4;
   int nve_steps = 4;

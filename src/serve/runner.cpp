@@ -16,6 +16,8 @@
 #include "host/parallel_app.hpp"
 #include "native/native_force_field.hpp"
 #include "perf/solver_select.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/parser.hpp"
 
 namespace mdm::serve {
 namespace {
@@ -91,9 +93,44 @@ JobResult run_parallel_job(const JobSpec& spec, const RunOptions& options) {
   return out;
 }
 
+/// The declarative path (spec.scenario non-empty): parse the scenario text
+/// and hand the whole run — system construction, ensemble (incl. NPT),
+/// analysis cadences — to the scenario engine. The job's pool slice, cancel
+/// flag, checkpoint placement and sample stream plug straight into
+/// ScenarioOptions, so a served scenario keeps the same cooperative-cancel
+/// and resume semantics as the fixed NaCl path.
+JobResult run_scenario_job(const JobSpec& spec, const RunOptions& options) {
+  const scenario::ScenarioSpec sc =
+      scenario::parse_scenario(spec.scenario, "job scenario");
+
+  scenario::ScenarioOptions so;
+  so.pool = options.pool;
+  so.cancel = options.cancel;
+  so.output_dir = spec.analysis_dir;
+  so.on_sample = options.on_sample;
+  if (spec.checkpoint_interval > 0 && !options.checkpoint_dir.empty()) {
+    so.checkpoint_dir = options.checkpoint_dir;
+    so.checkpoint_interval = spec.checkpoint_interval;
+    so.keep_generations = options.keep_generations;
+    so.resume = true;
+  }
+
+  scenario::ScenarioResult run = scenario::run_scenario(sc, so);
+  JobResult out;
+  out.samples = std::move(run.samples);
+  out.positions = std::move(run.positions);
+  out.velocities = std::move(run.velocities);
+  out.resumed_from_step = run.resumed_from_step;
+  out.completed_steps =
+      out.samples.empty() ? 0 : out.samples.back().step;
+  out.state = run.cancelled ? JobState::kCancelled : JobState::kCompleted;
+  return out;
+}
+
 }  // namespace
 
 JobResult run_job(const JobSpec& spec, const RunOptions& options) {
+  if (!spec.scenario.empty()) return run_scenario_job(spec, options);
   if (spec.parallel_real > 0) return run_parallel_job(spec, options);
   auto system = make_nacl_crystal(spec.cells);
   assign_maxwell_velocities(system, spec.temperature_K, spec.seed);

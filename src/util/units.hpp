@@ -40,5 +40,7 @@ inline constexpr double kD8Unit = 0.6241509074;
 /// Masses of the ions simulated in the paper (amu).
 inline constexpr double kMassNa = 22.98976928;
 inline constexpr double kMassCl = 35.453;
+/// Potassium, for the KCl scenario (amu).
+inline constexpr double kMassK = 39.0983;
 
 }  // namespace mdm::units

@@ -77,6 +77,17 @@ CheckpointState make_state(std::uint64_t step, std::uint64_t salt = 1) {
   Random rng(salt);
   rng.normal();  // populate the polar cache
   state.rng = rng.state();
+  // NPT coupling block (format v3): counters, an advanced volume-move
+  // stream and a box-edge history.
+  state.barostat.applications = 11 + salt;
+  state.barostat.attempts = 7 + salt;
+  state.barostat.accepts = 2 + salt;
+  state.barostat.last_scale = 1.0009765625;
+  Random baro_rng(salt + 77);
+  baro_rng.normal();
+  state.barostat.rng = baro_rng.state();
+  state.barostat.record_box(sys.box());
+  state.barostat.record_box(sys.box() * 0.999);
   return state;
 }
 
@@ -108,6 +119,17 @@ void expect_states_bitwise_equal(const CheckpointState& a,
   for (int i = 0; i < 4; ++i) EXPECT_EQ(a.rng.s[i], b.rng.s[i]);
   EXPECT_EQ(a.rng.cached, b.rng.cached);
   EXPECT_EQ(a.rng.have_cached, b.rng.have_cached);
+  EXPECT_EQ(a.barostat.applications, b.barostat.applications);
+  EXPECT_EQ(a.barostat.attempts, b.barostat.attempts);
+  EXPECT_EQ(a.barostat.accepts, b.barostat.accepts);
+  EXPECT_EQ(a.barostat.last_scale, b.barostat.last_scale);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(a.barostat.rng.s[i], b.barostat.rng.s[i]);
+  EXPECT_EQ(a.barostat.rng.cached, b.barostat.rng.cached);
+  EXPECT_EQ(a.barostat.rng.have_cached, b.barostat.rng.have_cached);
+  ASSERT_EQ(a.barostat.box_history.size(), b.barostat.box_history.size());
+  for (std::size_t i = 0; i < a.barostat.box_history.size(); ++i)
+    EXPECT_EQ(a.barostat.box_history[i], b.barostat.box_history[i]) << i;
 }
 
 /// ------------------------- RNG state -------------------------------------
@@ -393,6 +415,121 @@ TEST_F(CheckpointTest, SerialRestartContinuesBitIdentically) {
             baseline.thermostat().state().work_eV);
   // The resumed run only holds samples from after the restore point.
   EXPECT_EQ(resumed.samples().front().step, 5);
+}
+
+/// NPT restart (format v3): the barostat block — volume-move RNG stream,
+/// acceptance counters, drifted box — must restore so a killed NPT run
+/// continues bit-identically. Monte-Carlo volume moves are the hard case:
+/// one lost RNG draw desynchronizes every subsequent accept/reject.
+TEST_F(CheckpointTest, NptMonteCarloRestartContinuesBitIdentically) {
+  const auto initial = [] {
+    auto sys = make_nacl_crystal(2);
+    assign_maxwell_velocities(sys, 1200.0, 7);
+    return sys;
+  }();
+  SimulationConfig cfg;
+  cfg.nvt_steps = 8;  // thermostat throughout: the scenario NPT protocol
+  cfg.nve_steps = 0;
+  const auto make_barostat = [] {
+    return MonteCarloBarostat(/*target_GPa=*/2.0, /*temperature_K=*/1200.0,
+                              /*max_frac_dv=*/0.05, /*seed=*/99);
+  };
+
+  // Uninterrupted baseline.
+  auto sys_a = initial;
+  auto field_a = nacl_force_field(sys_a);
+  Simulation baseline(sys_a, *field_a, cfg);
+  auto baro_a = make_barostat();
+  baseline.set_barostat(&baro_a, /*interval=*/2);
+  baseline.run();
+  ASSERT_GE(baro_a.state().attempts, 4u);  // the moves actually happened
+
+  // Checkpointed run, killed (stopped) after step 4.
+  CheckpointManager mgr(path("npt"));
+  auto sys_b = initial;
+  auto field_b = nacl_force_field(sys_b);
+  Simulation first_half(sys_b, *field_b, cfg);
+  auto baro_b = make_barostat();
+  first_half.set_barostat(&baro_b, /*interval=*/2);
+  first_half.enable_checkpointing(&mgr, /*interval=*/4);
+  first_half.run();
+  const auto state = read_checkpoint_file(mgr.path_for_step(4));
+  EXPECT_EQ(state.version, kCheckpointVersion);
+
+  // Resume into fresh objects: box, positions, thermostat AND barostat
+  // (counters + RNG stream position) all come from the checkpoint.
+  auto sys_c = initial;
+  auto field_c = nacl_force_field(sys_c);
+  Simulation resumed(sys_c, *field_c, cfg);
+  auto baro_c = make_barostat();
+  resumed.set_barostat(&baro_c, /*interval=*/2);
+  resumed.restore(state);
+  resumed.run();
+
+  EXPECT_EQ(sys_c.box(), sys_a.box());
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    EXPECT_EQ(sys_c.positions()[i].x, sys_a.positions()[i].x) << i;
+    EXPECT_EQ(sys_c.positions()[i].y, sys_a.positions()[i].y) << i;
+    EXPECT_EQ(sys_c.positions()[i].z, sys_a.positions()[i].z) << i;
+    EXPECT_EQ(sys_c.velocities()[i].x, sys_a.velocities()[i].x) << i;
+    EXPECT_EQ(sys_c.velocities()[i].y, sys_a.velocities()[i].y) << i;
+    EXPECT_EQ(sys_c.velocities()[i].z, sys_a.velocities()[i].z) << i;
+  }
+  EXPECT_EQ(baro_c.state().applications, baro_a.state().applications);
+  EXPECT_EQ(baro_c.state().attempts, baro_a.state().attempts);
+  EXPECT_EQ(baro_c.state().accepts, baro_a.state().accepts);
+  EXPECT_EQ(baro_c.state().last_scale, baro_a.state().last_scale);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(baro_c.state().rng.s[i], baro_a.state().rng.s[i]);
+}
+
+/// Same restart contract for the Berendsen barostat (no RNG, but the box
+/// drift and counters must still survive the restore).
+TEST_F(CheckpointTest, NptBerendsenRestartContinuesBitIdentically) {
+  const auto initial = [] {
+    auto sys = make_nacl_crystal(2);
+    assign_maxwell_velocities(sys, 1200.0, 21);
+    return sys;
+  }();
+  SimulationConfig cfg;
+  cfg.nvt_steps = 8;
+  cfg.nve_steps = 0;
+
+  auto sys_a = initial;
+  auto field_a = nacl_force_field(sys_a);
+  Simulation baseline(sys_a, *field_a, cfg);
+  BerendsenBarostat baro_a(1.0, 300.0, 0.05);
+  baseline.set_barostat(&baro_a, /*interval=*/2);
+  baseline.run();
+  ASSERT_NE(sys_a.box(), initial.box());  // the coupling moved the box
+
+  CheckpointManager mgr(path("npt_berendsen"));
+  auto sys_b = initial;
+  auto field_b = nacl_force_field(sys_b);
+  Simulation first_half(sys_b, *field_b, cfg);
+  BerendsenBarostat baro_b(1.0, 300.0, 0.05);
+  first_half.set_barostat(&baro_b, /*interval=*/2);
+  first_half.enable_checkpointing(&mgr, /*interval=*/4);
+  first_half.run();
+
+  auto sys_c = initial;
+  auto field_c = nacl_force_field(sys_c);
+  Simulation resumed(sys_c, *field_c, cfg);
+  BerendsenBarostat baro_c(1.0, 300.0, 0.05);
+  resumed.set_barostat(&baro_c, /*interval=*/2);
+  resumed.restore(read_checkpoint_file(mgr.path_for_step(4)));
+  resumed.run();
+
+  EXPECT_EQ(sys_c.box(), sys_a.box());
+  for (std::size_t i = 0; i < sys_a.size(); ++i) {
+    EXPECT_EQ(sys_c.positions()[i].x, sys_a.positions()[i].x) << i;
+    EXPECT_EQ(sys_c.velocities()[i].x, sys_a.velocities()[i].x) << i;
+  }
+  EXPECT_EQ(baro_c.state().applications, baro_a.state().applications);
+  EXPECT_EQ(baro_c.state().last_scale, baro_a.state().last_scale);
+  ASSERT_FALSE(baro_c.state().box_history.empty());
+  EXPECT_EQ(baro_c.state().box_history.back(),
+            baro_a.state().box_history.back());
 }
 
 /// Regression (ISSUE 8): restoring into a LIVE native-backend Simulation

@@ -225,6 +225,97 @@ TEST_F(FleetTest, CanonicalKeySeparatesDifferentPhysics) {
   EXPECT_EQ(canonical_job_key(a), canonical_job_key(c));
 }
 
+/// Regression: the duplicate-detection key must incorporate the FULL
+/// scenario text. Before the fix two jobs with identical fixed-melt fields
+/// but different scenario payloads collided in the result cache — the
+/// second tenant got the first tenant's trajectory.
+TEST_F(FleetTest, CanonicalKeySeparatesScenarioPayloads) {
+  const char* kScenario = R"([scenario]
+name = "lj"
+[species.Ar]
+mass = 39.948
+sigma = 3.405
+eps = 0.0104
+count = 16
+[system]
+kind = "random"
+box = 20.0
+seed = 3
+[forcefield]
+kind = "lennard-jones"
+coulomb = false
+r_cut = 8.0
+[run]
+dt_fs = 4.0
+equilibration = 2
+production = 4
+temperature_K = 120.0
+)";
+  JobSpec plain = small_spec();
+  JobSpec with_scenario = small_spec();
+  with_scenario.scenario = kScenario;
+  EXPECT_NE(canonical_job_key(plain), canonical_job_key(with_scenario));
+
+  // Different physics inside the scenario text -> different key, even
+  // though every fixed JobSpec field is identical.
+  JobSpec other_physics = with_scenario;
+  other_physics.scenario = std::string(kScenario);
+  const std::size_t at = other_physics.scenario.find("seed = 3");
+  ASSERT_NE(at, std::string::npos);
+  other_physics.scenario.replace(at, 8, "seed = 4");
+  EXPECT_NE(canonical_job_key(with_scenario),
+            canonical_job_key(other_physics));
+
+  // Cosmetic differences (comments, spacing) canonicalise away, and the
+  // analysis output directory is routing, not physics.
+  JobSpec cosmetic = with_scenario;
+  cosmetic.scenario = "# a comment\n" + std::string(kScenario);
+  cosmetic.analysis_dir = "/tmp/elsewhere";
+  EXPECT_EQ(canonical_job_key(with_scenario), canonical_job_key(cosmetic));
+}
+
+/// Scenario jobs run end to end through the fleet: submit twice, the second
+/// is a cache hit with the identical trajectory.
+TEST_F(FleetTest, ScenarioJobRunsAndCachesThroughFleet) {
+  const std::uint64_t hits0 = counter("fleet.cache.hits");
+  Router router(fleet_config(1, 1));
+  router.start();
+
+  JobSpec spec;
+  spec.scenario = R"([scenario]
+name = "lj-fleet"
+[species.Ar]
+mass = 39.948
+sigma = 3.405
+eps = 0.0104
+count = 24
+[system]
+kind = "random"
+box = 24.0
+seed = 6
+[forcefield]
+kind = "lennard-jones"
+coulomb = false
+r_cut = 8.0
+[run]
+dt_fs = 4.0
+equilibration = 3
+production = 5
+temperature_K = 120.0
+)";
+  const JobResult first = router.submit(spec).wait();
+  ASSERT_EQ(first.state, JobState::kCompleted) << first.error;
+  EXPECT_EQ(first.positions.size(), 24u);
+  EXPECT_FALSE(first.samples.empty());
+
+  JobSpec again = spec;
+  again.tenant = "other";  // key ignores tenant, cache must hit
+  const JobResult second = router.submit(again).wait();
+  ASSERT_EQ(second.state, JobState::kCompleted);
+  EXPECT_EQ(counter("fleet.cache.hits") - hits0, 1u);
+  expect_result_equal(second, first);
+}
+
 // ---------------------------------------------------------------------------
 // Failover: kill -9 mid-run loses zero jobs, results stay bit-identical.
 // ---------------------------------------------------------------------------

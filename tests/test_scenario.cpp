@@ -1,0 +1,377 @@
+/// \file test_scenario.cpp
+/// Declarative scenario engine suite (DESIGN.md §14): parser round-trips
+/// and named errors, Lorentz-Berthelot mixing, the bit-for-bit contract
+/// between the bundled nacl_melt spec and the hand-written driver, NPT
+/// pressure coupling, analysis cadence accounting, and scenario payloads
+/// through the serve runner.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "core/simulation.hpp"
+#include "core/tosi_fumi.hpp"
+#include "ewald/ewald.hpp"
+#include "ewald/parameters.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/parser.hpp"
+#include "serve/runner.hpp"
+
+namespace fs = std::filesystem;
+using namespace mdm;
+using namespace mdm::scenario;
+
+namespace {
+
+/// Bundled spec directory, baked in by tests/CMakeLists.txt.
+std::string bundled(const std::string& name) {
+  return std::string(MDM_SCENARIO_DIR) + "/" + name;
+}
+
+/// Expect that parsing `text` throws a ScenarioError whose message contains
+/// `needle` (the parser promises named errors, not just failure).
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    parse_scenario(text);
+    FAIL() << "expected ScenarioError containing '" << needle << "'";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+/// A small neutral LJ binary mixture, cheap enough for engine tests.
+ScenarioSpec small_lj_spec() {
+  ScenarioSpec spec;
+  spec.name = "lj-test";
+  spec.species = {
+      {"Ar", 39.948, 0.0, 3.405, 0.0104, 32},
+      {"Kr", 83.798, 0.0, 3.630, 0.0140, 16},
+  };
+  spec.system.kind = SystemKind::kRandom;
+  spec.system.box = 22.0;
+  spec.system.min_distance = 3.0;
+  spec.system.seed = 9;
+  spec.forcefield.kind = ForceFieldKind::kLennardJones;
+  spec.forcefield.coulomb = false;
+  spec.forcefield.r_cut = 8.0;
+  spec.ensemble.kind = EnsembleKind::kNvt;
+  spec.run.dt_fs = 4.0;
+  spec.run.equilibration = 5;
+  spec.run.production = 21;
+  spec.run.temperature_K = 120.0;
+  return spec;
+}
+
+/// fires=N for the named sampler in an AnalysisSet cost report.
+long report_fires(const std::string& report, const std::string& name) {
+  std::size_t line = report.find("  " + name);
+  if (line == std::string::npos) return -1;
+  const std::size_t end = report.find('\n', line);
+  const std::size_t tag = report.find("fires=", line);
+  if (tag == std::string::npos || (end != std::string::npos && tag > end))
+    return -1;
+  return std::atol(report.c_str() + tag + 6);
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("mdm_scenario_" + std::string(info->name()) + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser: canonical round-trip and named errors.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, CanonicalTextRoundTripsThroughParser) {
+  // Comments, odd key order, quoted strings: all must normalize into the
+  // same canonical form as re-parsing the canonical form itself.
+  const std::string text = R"(# a comment
+[scenario]
+name = "round-trip"
+
+[species.B]   # declared before A on purpose
+mass = 2.0
+charge = -1.0
+sigma = 3.2
+eps = 0.011
+count = 8
+
+[species.A]
+charge = 1.0
+mass = 1.0
+eps = 0.009
+sigma = 2.8
+count = 8
+
+[system]
+kind = "random"
+box = 30.0
+seed = 11
+
+[forcefield]
+kind = "lennard-jones"
+coulomb = true
+r_cut = 6.0
+
+[run]
+production = 10
+)";
+  const ScenarioSpec spec = parse_scenario(text);
+  const std::string canonical = spec.canonical_text();
+  EXPECT_EQ(parse_scenario(canonical).canonical_text(), canonical);
+  // Species keep declaration order (B first) — order is physics here: the
+  // lattice builder reads species[0] as the cation.
+  EXPECT_EQ(spec.species[0].name, "B");
+  EXPECT_EQ(spec.species[1].name, "A");
+}
+
+TEST_F(ScenarioTest, BundledSpecsParseAndRoundTrip) {
+  for (const std::string name :
+       {"nacl_melt.toml", "kcl_melt.toml", "lj_binary.toml",
+        "nacl_npt.toml"}) {
+    SCOPED_TRACE(name);
+    const ScenarioSpec spec = parse_scenario_file(bundled(name));
+    const std::string canonical = spec.canonical_text();
+    EXPECT_EQ(parse_scenario(canonical).canonical_text(), canonical);
+  }
+}
+
+TEST_F(ScenarioTest, UnknownKeyIsNamedInError) {
+  expect_parse_error(R"([scenario]
+name = "bad"
+[species.Na]
+mass = 22.9
+charge = 1.0
+sigm = 2.0
+)",
+                     "unknown key 'sigm' in [species.Na]");
+}
+
+TEST_F(ScenarioTest, NegativeSigmaIsNamedInError) {
+  expect_parse_error(R"([scenario]
+name = "bad"
+[species.Ar]
+mass = 39.9
+sigma = -3.4
+count = 8
+[species.Kr]
+mass = 83.8
+sigma = 3.6
+count = 8
+[system]
+kind = "random"
+box = 30.0
+[forcefield]
+kind = "lennard-jones"
+coulomb = false
+)",
+                     "has negative sigma");
+}
+
+TEST_F(ScenarioTest, OverPackedInsertIsNamedInError) {
+  // 50 particles of diameter 3 A in a 10 A box: packing fraction ~0.7,
+  // far past the rejection-sampling feasibility bound.
+  expect_parse_error(R"([scenario]
+name = "bad"
+[species.Ar]
+mass = 39.9
+sigma = 3.0
+count = 50
+[system]
+kind = "random"
+box = 10.0
+min_distance = 3.0
+[forcefield]
+kind = "lennard-jones"
+coulomb = false
+)",
+                     "over-packed");
+}
+
+// ---------------------------------------------------------------------------
+// Lorentz-Berthelot mixing.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, LorentzBerthelotTableFromSpecies) {
+  const ScenarioSpec spec = small_lj_spec();
+  const LennardJonesParameters table = mixed_lj_parameters(spec);
+  ASSERT_EQ(table.species_count, 2);
+  // Diagonals are the per-species inputs.
+  EXPECT_DOUBLE_EQ(table.sigma[0][0], 3.405);
+  EXPECT_DOUBLE_EQ(table.epsilon[0][0], 0.0104);
+  EXPECT_DOUBLE_EQ(table.sigma[1][1], 3.630);
+  // Cross terms: arithmetic sigma, geometric epsilon, symmetric.
+  EXPECT_DOUBLE_EQ(table.sigma[0][1], 0.5 * (3.405 + 3.630));
+  EXPECT_DOUBLE_EQ(table.sigma[1][0], table.sigma[0][1]);
+  EXPECT_DOUBLE_EQ(table.epsilon[0][1], std::sqrt(0.0104 * 0.0140));
+  EXPECT_DOUBLE_EQ(table.epsilon[1][0], table.epsilon[0][1]);
+}
+
+// ---------------------------------------------------------------------------
+// The bit-for-bit contract with the hand-written NaCl driver.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, NaClScenarioMatchesHandWrittenDriverBitForBit) {
+  const int cells = 2, steps = 15;
+  const std::uint64_t seed = 1;
+
+  // The scenario path.
+  const ScenarioSpec spec = nacl_melt_scenario(cells, steps, 1200.0, seed);
+  validate(spec);
+  const ScenarioResult result = run_scenario(spec);
+
+  // The pre-scenario driver, written out by hand exactly as
+  // examples/nacl_melt.cpp did before the refactor.
+  auto sys = make_nacl_crystal(cells);
+  assign_maxwell_velocities(sys, 1200.0, seed);
+  const EwaldParameters params =
+      software_parameters(double(sys.size()), sys.box());
+  CompositeForceField field;
+  field.add(std::make_unique<EwaldCoulomb>(params, sys.box()));
+  field.add(std::make_unique<TosiFumiShortRange>(
+      TosiFumiParameters::nacl(), std::min(params.r_cut, 0.5 * sys.box()),
+      /*shift_energy=*/true));
+  SimulationConfig cfg;
+  cfg.nvt_steps = 2 * steps / 3;
+  cfg.nve_steps = steps - cfg.nvt_steps;
+  cfg.temperature_K = 1200.0;
+  Simulation sim(sys, field, cfg);
+  sim.run();
+
+  ASSERT_EQ(result.positions.size(), sys.size());
+  ASSERT_EQ(result.samples.size(), sim.samples().size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(result.positions[i].x, sys.positions()[i].x) << i;
+    EXPECT_EQ(result.positions[i].y, sys.positions()[i].y) << i;
+    EXPECT_EQ(result.positions[i].z, sys.positions()[i].z) << i;
+    EXPECT_EQ(result.velocities[i].x, sys.velocities()[i].x) << i;
+    EXPECT_EQ(result.velocities[i].y, sys.velocities()[i].y) << i;
+    EXPECT_EQ(result.velocities[i].z, sys.velocities()[i].z) << i;
+  }
+  for (std::size_t i = 0; i < result.samples.size(); ++i)
+    EXPECT_EQ(result.samples[i].total_eV, sim.samples()[i].total_eV) << i;
+  EXPECT_EQ(result.nve_energy_drift, sim.nve_energy_drift());
+}
+
+TEST_F(ScenarioTest, BundledNaClSpecIsTheDriverScenario) {
+  // The bundled file *is* nacl_melt_scenario(4, 300, 1200, 1) plus its
+  // analysis block — so the bit-identity proven above extends to the file.
+  ScenarioSpec from_file = parse_scenario_file(bundled("nacl_melt.toml"));
+  EXPECT_FALSE(from_file.analyses.empty());
+  from_file.analyses.clear();
+  EXPECT_EQ(from_file.canonical_text(),
+            nacl_melt_scenario(4, 300, 1200.0, 1).canonical_text());
+}
+
+// ---------------------------------------------------------------------------
+// NPT: the barostat holds the virial pressure at the target.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, NptHoldsMeanPressureNearTarget) {
+  ScenarioSpec spec = nacl_melt_scenario(2, 0, 1200.0, 5);
+  spec.ensemble.kind = EnsembleKind::kNpt;
+  spec.ensemble.barostat = BarostatKind::kBerendsen;
+  spec.ensemble.pressure_GPa = 1.0;
+  spec.ensemble.barostat_tau_fs = 150.0;
+  spec.ensemble.barostat_interval = 5;
+  spec.run.equilibration = 400;
+  spec.run.production = 400;
+  validate(spec);
+
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_NEAR(result.mean_pressure_GPa, spec.ensemble.pressure_GPa,
+              0.05 * spec.ensemble.pressure_GPa);
+  // The coupling actually moved the box (the crystal-density start is not
+  // the 1 GPa equilibrium volume).
+  EXPECT_NE(result.final_box_A, 2 * kPaperLatticeConstant);
+  EXPECT_GT(result.mean_box_A, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Analysis cadence and outputs.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, AnalysisCadenceFiresFloorSamplesOverNstep) {
+  ScenarioSpec spec = small_lj_spec();
+  spec.analyses = {
+      {"energy", AnalysisKind::kEnergy, 3, "energy.csv", 90, 0.0, "", ""},
+      {"rdf", AnalysisKind::kRdf, 5, "rdf.csv", 40, 0.0, "", ""},
+      {"msd", AnalysisKind::kMsd, 4, "msd.csv", 90, 0.0, "", ""},
+      {"traj", AnalysisKind::kTrajectory, 10, "traj.xyz", 90, 0.0, "", ""},
+  };
+  validate(spec);
+
+  ScenarioOptions options;
+  options.output_dir = dir_.string();
+  const ScenarioResult result = run_scenario(spec, options);
+
+  // 21 production samples: floor(21/nstep) fires each.
+  EXPECT_EQ(report_fires(result.analysis_report, "energy"), 7);
+  EXPECT_EQ(report_fires(result.analysis_report, "rdf"), 4);
+  EXPECT_EQ(report_fires(result.analysis_report, "msd"), 5);
+  EXPECT_EQ(report_fires(result.analysis_report, "traj"), 2);
+  for (const auto& a : spec.analyses)
+    EXPECT_TRUE(fs::exists(dir_ / a.file)) << a.file;
+  EXPECT_EQ(result.outputs.size(), spec.analyses.size());
+}
+
+// ---------------------------------------------------------------------------
+// Serve integration: scenario payloads through the job runner.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScenarioTest, ServeRunnerExecutesScenarioJobs) {
+  ScenarioSpec spec = small_lj_spec();
+  spec.run.production = 12;
+  spec.analyses = {
+      {"energy", AnalysisKind::kEnergy, 2, "energy.csv", 90, 0.0, "", ""},
+  };
+  validate(spec);
+
+  serve::JobSpec job;
+  job.scenario = spec.canonical_text();
+  job.analysis_dir = dir_.string();
+  const serve::JobResult result = serve::run_job(job);
+
+  EXPECT_EQ(result.state, serve::JobState::kCompleted);
+  EXPECT_EQ(result.positions.size(), 48u);  // 32 Ar + 16 Kr
+  EXPECT_FALSE(result.samples.empty());
+  EXPECT_TRUE(fs::exists(dir_ / "energy.csv"));
+
+  // Determinism anchor: a served scenario job is bit-identical to the
+  // engine run with the same (serial) pool configuration.
+  const ScenarioResult direct = run_scenario(spec);
+  ASSERT_EQ(result.positions.size(), direct.positions.size());
+  for (std::size_t i = 0; i < direct.positions.size(); ++i) {
+    EXPECT_EQ(result.positions[i].x, direct.positions[i].x) << i;
+    EXPECT_EQ(result.positions[i].y, direct.positions[i].y) << i;
+    EXPECT_EQ(result.positions[i].z, direct.positions[i].z) << i;
+  }
+}
+
+}  // namespace
